@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-figures experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Microbenchmarks plus one pass of every figure benchmark.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# Human-readable evaluation tables (paper Section VI).
+experiments:
+	$(GO) run ./cmd/burstbench -all -scale 0.02 -queries 300
+
+# Short fuzzing pass over every decoder.
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 20s ./internal/stream/
+	$(GO) test -fuzz FuzzLoad$$ -fuzztime 20s .
+	$(GO) test -fuzz FuzzLoadSingle -fuzztime 20s .
+	$(GO) test -fuzz FuzzDetectorAppend -fuzztime 20s .
+
+clean:
+	$(GO) clean ./...

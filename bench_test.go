@@ -1,0 +1,281 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure (each
+// regenerates its experiment end to end at a reduced scale; run
+// cmd/burstbench for the human-readable tables), plus microbenchmarks for
+// the core operations' throughput and latency.
+package histburst_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"histburst"
+	"histburst/internal/cmpbe"
+	"histburst/internal/exact"
+	"histburst/internal/experiments"
+	"histburst/internal/pbe1"
+	"histburst/internal/pbe2"
+	"histburst/internal/stream"
+	"histburst/internal/workload"
+)
+
+// benchConfig keeps each figure bench around a second per iteration.
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 0.004, Queries: 30, Seed: 1}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// One benchmark per table/figure of the paper's evaluation (Section VI).
+
+func BenchmarkFig7Characteristics(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8PBE1Parameter(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9PBE2Parameter(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10SpaceAccuracy(b *testing.B)  { benchExperiment(b, "fig10a") }
+func BenchmarkFig10CurveSize(b *testing.B)      { benchExperiment(b, "fig10b") }
+func BenchmarkFig11CMPBE(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12BurstyEvents(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13Timeline(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkBaselineComparison(b *testing.B)  { benchExperiment(b, "tbl-base") }
+func BenchmarkAblationDPvsCHT(b *testing.B)     { benchExperiment(b, "abl-dp") }
+func BenchmarkAblationMedianVsMin(b *testing.B) { benchExperiment(b, "abl-med") }
+func BenchmarkAblationKleinberg(b *testing.B)   { benchExperiment(b, "abl-klein") }
+func BenchmarkAblationPlainCM(b *testing.B)     { benchExperiment(b, "abl-cm") }
+
+// --- Microbenchmarks -----------------------------------------------------
+
+// benchTimestamps builds a reusable duplicate-heavy timestamp sequence.
+func benchTimestamps(n int) stream.TimestampSeq {
+	r := rand.New(rand.NewSource(42))
+	ts := make(stream.TimestampSeq, n)
+	cur := int64(0)
+	for i := range ts {
+		if r.Intn(4) == 0 {
+			cur += int64(1 + r.Intn(50))
+		}
+		ts[i] = cur
+	}
+	return ts
+}
+
+func BenchmarkPBE1Append(b *testing.B) {
+	ts := benchTimestamps(b.N)
+	p, err := pbe1.New(1500, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Append(ts[i])
+	}
+	p.Finish()
+}
+
+func BenchmarkPBE2Append(b *testing.B) {
+	ts := benchTimestamps(b.N)
+	p, err := pbe2.New(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Append(ts[i])
+	}
+	p.Finish()
+}
+
+func BenchmarkPBE1Compress(b *testing.B) {
+	// The dynamic program on one full buffer (CHT variant): the dominant
+	// construction cost of PBE-1.
+	ts := benchTimestamps(300_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pbe1.New(1500, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range ts {
+			p.Append(t)
+		}
+		p.Finish()
+	}
+}
+
+func BenchmarkPBE1Estimate(b *testing.B) {
+	p, _ := pbe1.New(1500, 100)
+	for _, t := range benchTimestamps(200_000) {
+		p.Append(t)
+	}
+	p.Finish()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.Estimate(int64(i % 1_000_000))
+	}
+	_ = sink
+}
+
+func BenchmarkPBE2Estimate(b *testing.B) {
+	p, _ := pbe2.New(4)
+	for _, t := range benchTimestamps(200_000) {
+		p.Append(t)
+	}
+	p.Finish()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.Estimate(int64(i % 1_000_000))
+	}
+	_ = sink
+}
+
+// benchDetector builds a shared detector over a mixed stream.
+func benchDetector(b *testing.B, k uint64, n int, opts ...histburst.Option) (*histburst.Detector, stream.Stream) {
+	b.Helper()
+	r := rand.New(rand.NewSource(7))
+	data := make(stream.Stream, n)
+	cur := int64(0)
+	for i := range data {
+		cur += int64(r.Intn(3))
+		data[i] = stream.Element{Event: uint64(r.Intn(int(k))), Time: cur}
+	}
+	det, err := histburst.New(k, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, el := range data {
+		det.Append(el.Event, el.Time)
+	}
+	det.Finish()
+	return det, data
+}
+
+func BenchmarkDetectorAppend(b *testing.B) {
+	det, err := histburst.New(1024, histburst.WithPBE2(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	events := make([]uint64, b.N)
+	times := make([]int64, b.N)
+	cur := int64(0)
+	for i := 0; i < b.N; i++ {
+		cur += int64(r.Intn(3))
+		events[i], times[i] = uint64(r.Intn(1024)), cur
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Append(events[i], times[i])
+	}
+}
+
+func BenchmarkDetectorAppendNoIndex(b *testing.B) {
+	det, err := histburst.New(1024, histburst.WithPBE2(8), histburst.WithoutEventIndex())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	events := make([]uint64, b.N)
+	times := make([]int64, b.N)
+	cur := int64(0)
+	for i := 0; i < b.N; i++ {
+		cur += int64(r.Intn(3))
+		events[i], times[i] = uint64(r.Intn(1024)), cur
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Append(events[i], times[i])
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	det, _ := benchDetector(b, 256, 100_000, histburst.WithPBE2(8))
+	horizon := det.MaxTime()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		v, err := det.Burstiness(uint64(i%256), int64(i)%horizon, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkBurstyTimeQuery(b *testing.B) {
+	det, _ := benchDetector(b, 64, 100_000, histburst.WithPBE2(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.BurstyTimes(uint64(i%64), 50, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBurstyEventQuery(b *testing.B) {
+	det, _ := benchDetector(b, 1024, 100_000, histburst.WithPBE2(8))
+	horizon := det.MaxTime()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.BurstyEvents(int64(i)%horizon, 100, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactBaselinePointQuery(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	st := exact.New()
+	cur := int64(0)
+	for i := 0; i < 100_000; i++ {
+		cur += int64(r.Intn(3))
+		st.Append(uint64(r.Intn(256)), cur)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += st.Burstiness(uint64(i%256), int64(i)%st.MaxTime(), 1000)
+	}
+	_ = sink
+}
+
+func BenchmarkCMPBEInsert(b *testing.B) {
+	f, err := cmpbe.PBE2Factory(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, err := cmpbe.New(4, 272, 1, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	cur := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur += int64(r.Intn(2))
+		sk.Append(uint64(r.Intn(4096)), cur)
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := workload.Generate(workload.OlympicRioSpec(int64(i), 50_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s) == 0 {
+			b.Fatal("empty stream")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Emergency: the introduction's use case — after the fact, reconstruct how
+// an emergency developed from a city's information stream. Raw messages
+// (with hashtags) flow through the paper's h mapping into event ids and
+// into the detector; weeks later an analyst asks exactly when the fire
+// broke out, how fast attention accelerated, and what else was bursting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"histburst"
+	"histburst/internal/textmap"
+)
+
+func main() {
+	// The city monitors a fixed set of situation topics by keyword.
+	mapper := textmap.NewKeywordMapper()
+	fire := mapper.AddEvent("warehouse-fire", "fire", "smoke", "evacuate")
+	traffic := mapper.AddEvent("traffic", "traffic", "congestion", "jam")
+	outage := mapper.AddEvent("power-outage", "outage", "blackout")
+	weather := mapper.AddEvent("weather", "rain", "forecast")
+
+	det, err := histburst.New(mapper.Events(), histburst.WithPBE2(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate one day of city chatter at one-second granularity: steady
+	// weather/traffic noise; a fire breaks out at 14:10 and attention
+	// explodes, dragging traffic with it; a small outage follows.
+	rng := rand.New(rand.NewSource(3))
+	const fireStart = 14*3600 + 600
+	ingest := func(t int64, msg string) {
+		for _, e := range mapper.Map(msg) {
+			det.Append(e, t)
+		}
+	}
+	for t := int64(0); t < 24*3600; t++ {
+		if rng.Intn(20) == 0 {
+			ingest(t, "morning rain forecast for the bay")
+		}
+		if rng.Intn(30) == 0 {
+			ingest(t, "usual traffic on 5th avenue")
+		}
+		if t >= fireStart && t < fireStart+1800 {
+			// Mentions ramp up fast after the outbreak.
+			rate := int((t - fireStart) / 60)
+			for i := 0; i < 1+rate/3; i++ {
+				ingest(t, "#fire huge smoke column downtown, evacuate now!")
+			}
+			if rng.Intn(4) == 0 {
+				ingest(t, "roads closed, terrible congestion near the fire")
+			}
+		}
+		if t >= fireStart+2400 && t < fireStart+3000 && rng.Intn(2) == 0 {
+			ingest(t, "blackout reported in the warehouse district")
+		}
+	}
+	det.Finish()
+
+	const tau = 600 // ten-minute burst span
+	names := map[uint64]string{fire: "warehouse-fire", traffic: "traffic", outage: "power-outage", weather: "weather"}
+
+	// When exactly did the fire event burst?
+	ranges, err := det.BurstyTimes(fire, 50, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("warehouse-fire bursty periods (θ=50, τ=10min):")
+	for _, r := range ranges {
+		fmt.Printf("  %s – %s\n", clock(r.Start), clock(r.End))
+	}
+
+	// How did attention accelerate through the first half hour?
+	fmt.Println("\nattention acceleration after the outbreak:")
+	for _, dt := range []int64{300, 600, 900, 1200, 1500} {
+		b, err := det.Burstiness(fire, fireStart+dt, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  +%2dmin  b ≈ %6.0f\n", dt/60, b)
+	}
+
+	// What else was bursting while the fire developed?
+	at := int64(fireStart + 1500)
+	events, err := det.BurstyEvents(at, 20, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbursting at %s (θ=20):\n", clock(at))
+	for _, e := range events {
+		b, _ := det.Burstiness(e, at, tau)
+		fmt.Printf("  %-15s b ≈ %.0f\n", names[e], b)
+	}
+}
+
+func clock(t int64) string {
+	return fmt.Sprintf("%02d:%02d:%02d", t/3600, (t/60)%60, t%60)
+}

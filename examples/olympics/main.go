@@ -1,0 +1,74 @@
+// Olympics: the paper's motivating olympicrio analysis. Generate a
+// month-long Rio-2016-like stream (864 events), summarize it once, and
+// travel back in time: which days was soccer bursty, when did swimming go
+// quiet, and what was bursting the evening of the final?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"histburst"
+	"histburst/internal/workload"
+)
+
+func main() {
+	const n = 300_000
+	spec := workload.OlympicRioSpec(1, n)
+	data, err := workload.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := histburst.New(workload.OlympicRioK, histburst.WithPBE2(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, el := range data {
+		det.Append(el.Event, el.Time)
+	}
+	det.Finish()
+	fmt.Printf("summarized %d tweets over 31 days into %d KB\n\n", det.N(), det.Bytes()/1024)
+
+	tau := workload.Day
+
+	// Figure-7 style: daily burstiness of the two featured events.
+	fmt.Println("day  soccer-burstiness  swimming-burstiness")
+	for day := int64(1); day <= 31; day += 2 {
+		bs, err := det.Burstiness(workload.SoccerID, day*workload.Day, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw, _ := det.Burstiness(workload.SwimmingID, day*workload.Day, tau)
+		fmt.Printf("%3d  %17.0f  %19.0f\n", day, bs, bw)
+	}
+
+	// BURSTY TIME: find soccer's big moments without scanning the stream.
+	fmt.Println("\nsoccer bursty periods (θ = 2000):")
+	ranges, err := det.BurstyTimes(workload.SoccerID, 2000, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ranges {
+		fmt.Printf("  day %.1f – day %.1f\n",
+			float64(r.Start)/float64(workload.Day), float64(r.End)/float64(workload.Day))
+	}
+
+	// BURSTY EVENT: what was bursting the evening of the final (day 20)?
+	finalEvening := 20*workload.Day + 21*3600
+	events, err := det.BurstyEvents(finalEvening, 1500, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbursting on the final's evening (θ = 1500):\n")
+	for _, e := range events {
+		b, _ := det.Burstiness(e, finalEvening, tau)
+		name := fmt.Sprintf("event %d", e)
+		switch e {
+		case workload.SoccerID:
+			name = "soccer"
+		case workload.SwimmingID:
+			name = "swimming"
+		}
+		fmt.Printf("  %-12s b ≈ %.0f\n", name, b)
+	}
+}

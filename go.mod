@@ -1,0 +1,3 @@
+module histburst
+
+go 1.22

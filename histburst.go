@@ -1,0 +1,354 @@
+// Package histburst detects bursty events throughout the history of an
+// event stream using the persistent burstiness estimation sketches of
+// "Bursty Event Detection Throughout Histories" (Paul, Peng, Li — ICDE
+// 2019).
+//
+// Burstiness is the acceleration of an event's incoming rate: with F_e(t)
+// the cumulative number of mentions of event e up to time t and τ a burst
+// span chosen at query time,
+//
+//	b_e(t) = F_e(t) − 2·F_e(t−τ) + F_e(t−2τ).
+//
+// A Detector ingests (event id, timestamp) elements once, in time order,
+// and afterwards answers — for any historical instant, without storing the
+// stream — the paper's three query types:
+//
+//	POINT        Burstiness(e, t, τ)          how bursty was e at time t?
+//	BURSTY TIME  BurstyTimes(e, θ, τ)         when was e bursty?
+//	BURSTY EVENT BurstyEvents(t, θ, τ)        what was bursty at time t?
+//
+// Internally each event's cumulative-frequency curve is approximated by a
+// persistent burstiness estimator — PBE-1 (optimal buffered staircase
+// compression) or PBE-2 (online piecewise-linear approximation with error
+// cap γ) — sharded across a Count-Min layout (CM-PBE) so the space is
+// sublinear in both the stream length and the number of events, plus a
+// dyadic decomposition over the event-id space for sub-linear bursty-event
+// search. All estimates are approximate with two-sided guarantees; see the
+// option docs for the tuning knobs.
+package histburst
+
+import (
+	"fmt"
+
+	"histburst/internal/cmpbe"
+	"histburst/internal/dyadic"
+	"histburst/internal/pbe"
+)
+
+// TimeRange is a half-open interval [Start, End) of time instants.
+type TimeRange struct {
+	Start, End int64
+}
+
+// Contains reports whether t lies in the range.
+func (r TimeRange) Contains(t int64) bool { return t >= r.Start && t < r.End }
+
+// config collects the options for a Detector.
+type config struct {
+	seed           int64
+	d, w           int
+	epsilon, delta float64 // set when d == -1 (WithErrorBounds)
+	usePBE1        bool
+	bufferN        int
+	eta            int
+	pbe1CapMode    bool  // PBE-1 cells use an error cap instead of a fixed η
+	pbe1Cap        int64 // per-chunk area-error cap (pbe1CapMode only)
+	gamma          float64
+	noIndex        bool
+}
+
+// Option configures a Detector.
+type Option func(*config)
+
+// WithSeed fixes the hash seed; detectors with equal seeds and options are
+// deterministic replicas. The default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithSketchDims sets the Count-Min layout explicitly: d rows, w cells per
+// row. The default is d=5, w=272 (≈ ε=0.01, δ=0.01).
+func WithSketchDims(d, w int) Option {
+	return func(c *config) { c.d, c.w = d, w }
+}
+
+// WithErrorBounds sets the Count-Min layout from the standard guarantees:
+// the collision term of a frequency estimate stays below ε·N with
+// probability 1−δ. d = ⌈ln 1/δ⌉, w = ⌈e/ε⌉.
+func WithErrorBounds(epsilon, delta float64) Option {
+	return func(c *config) {
+		// Deliberately unvalidated here; New validates via cmpbe.
+		c.d, c.w = -1, -1
+		c.epsilon, c.delta = epsilon, delta
+	}
+}
+
+// WithPBE1 selects PBE-1 cells: each cell buffers bufferN exact curve
+// corners and compresses them to the optimal eta-point staircase (Section
+// III-A). PBE-1 gives the best accuracy per byte at the cost of buffering
+// during construction.
+func WithPBE1(bufferN, eta int) Option {
+	return func(c *config) {
+		c.usePBE1 = true
+		c.bufferN, c.eta = bufferN, eta
+	}
+}
+
+// WithPBE1ErrorCap selects PBE-1 cells that compress each bufferN-corner
+// chunk to the smallest point budget keeping its area error at or below
+// cap — the paper's "hard cap on the error instead of a space constraint"
+// variant (Section III-A). Space then adapts to the data instead of being
+// fixed per chunk.
+func WithPBE1ErrorCap(bufferN int, cap int64) Option {
+	return func(c *config) {
+		c.usePBE1 = true
+		c.pbe1CapMode = true
+		c.bufferN, c.pbe1Cap = bufferN, cap
+		c.eta = 0
+	}
+}
+
+// WithPBE2 selects PBE-2 cells with error cap gamma: every frequency
+// estimate stays within [F−γ, F] and every burstiness estimate within 4γ of
+// the truth, per summarized stream (Section III-B). This is the default,
+// with γ = 8.
+func WithPBE2(gamma float64) Option {
+	return func(c *config) {
+		c.usePBE1 = false
+		c.gamma = gamma
+	}
+}
+
+// WithoutEventIndex disables the dyadic bursty-event index, saving a factor
+// ~log₂(K) of space and ingest work. BurstyEvents then returns an error;
+// point and bursty-time queries are unaffected.
+func WithoutEventIndex() Option {
+	return func(c *config) { c.noIndex = true }
+}
+
+// Detector answers historical burstiness queries over a mixed event stream.
+// It is not safe for concurrent use; wrap it in a mutex or shard by stream.
+type Detector struct {
+	k    uint64
+	cfg  config       // resolved configuration, kept for serialization
+	tree *dyadic.Tree // nil when the event index is disabled
+	base baseLevel    // leaf-level summary (tree level 0, or standalone)
+
+	n          int64
+	minT       int64
+	maxT       int64
+	lastT      int64
+	started    bool
+	outOfOrder int64
+}
+
+// baseLevel is what the facade needs from the leaf summary; both
+// *cmpbe.Sketch and *cmpbe.Direct provide it.
+type baseLevel interface {
+	Append(e uint64, t int64)
+	Finish()
+	EstimateF(e uint64, t int64) float64
+	Burstiness(e uint64, t, tau int64) float64
+	BurstyTimes(e uint64, theta float64, tau int64) []pbe.TimeRange
+	Bytes() int
+}
+
+// New creates a Detector over the event-id space [0, k). k is rounded up to
+// a power of two for the dyadic index.
+func New(k uint64, opts ...Option) (*Detector, error) {
+	if k == 0 {
+		return nil, fmt.Errorf("histburst: event space must be non-empty")
+	}
+	c := config{seed: 1, d: 5, w: 272, gamma: 8}
+	for _, o := range opts {
+		o(&c)
+	}
+	var factory cmpbe.Factory
+	var err error
+	switch {
+	case c.usePBE1 && c.pbe1CapMode:
+		factory, err = cmpbe.PBE1ErrorCapFactory(c.bufferN, c.pbe1Cap)
+	case c.usePBE1:
+		factory, err = cmpbe.PBE1Factory(c.bufferN, c.eta)
+	default:
+		factory, err = cmpbe.PBE2Factory(c.gamma)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	det := &Detector{k: k}
+	if c.d == -1 { // WithErrorBounds path
+		probe, err := cmpbe.NewWithError(c.epsilon, c.delta, c.seed, factory)
+		if err != nil {
+			return nil, fmt.Errorf("histburst: %w", err)
+		}
+		c.d, c.w = probe.Dims()
+		// The bounds are fully expressed by the resolved dimensions; clear
+		// them so detectors round-trip through Save/Load (which does not
+		// persist them) with configurations that still compare equal for
+		// MergeAppend.
+		c.epsilon, c.delta = 0, 0
+	}
+	if c.d <= 0 || c.w <= 0 {
+		return nil, fmt.Errorf("histburst: sketch dimensions must be positive, got d=%d w=%d", c.d, c.w)
+	}
+	det.cfg = c
+	levelFactory := dyadic.CMPBELevels(c.d, c.w, c.seed, factory)
+	if c.noIndex {
+		lvl, err := levelFactory(0, roundPow2(k))
+		if err != nil {
+			return nil, fmt.Errorf("histburst: %w", err)
+		}
+		base, ok := lvl.(baseLevel)
+		if !ok {
+			return nil, fmt.Errorf("histburst: internal error: level type %T lacks query methods", lvl)
+		}
+		det.base = base
+		return det, nil
+	}
+	tree, err := dyadic.New(k, levelFactory)
+	if err != nil {
+		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	base, ok := tree.Level(0).(baseLevel)
+	if !ok {
+		return nil, fmt.Errorf("histburst: internal error: level type %T lacks query methods", tree.Level(0))
+	}
+	det.tree = tree
+	det.base = base
+	return det, nil
+}
+
+// K returns the detector's (rounded) event-id space size.
+func (d *Detector) K() uint64 { return roundPow2(d.k) }
+
+// Append ingests one element. Elements must arrive in non-decreasing time
+// order; a timestamp below the frontier is clamped to it and counted in
+// OutOfOrder. Event ids at or above K are folded into the space by modulo.
+func (d *Detector) Append(e uint64, t int64) {
+	if d.started && t < d.lastT {
+		d.outOfOrder++
+		t = d.lastT
+	}
+	if !d.started || t < d.minT {
+		d.minT = t
+	}
+	d.lastT = t
+	d.started = true
+	if d.tree != nil {
+		d.tree.Append(e, t) // feeds every level including the base
+	} else {
+		d.base.Append(e%d.K(), t)
+	}
+	d.n++
+	if t > d.maxT {
+		d.maxT = t
+	}
+}
+
+// Finish flushes internal buffers; call it after the last Append (further
+// Appends are allowed and start new buffers). Queries before Finish are
+// valid and include all ingested data. Idempotent.
+func (d *Detector) Finish() {
+	if d.tree != nil {
+		d.tree.Finish()
+		return
+	}
+	d.base.Finish()
+}
+
+// N returns the number of ingested elements.
+func (d *Detector) N() int64 { return d.n }
+
+// MinTime returns the smallest timestamp ingested (zero when empty).
+func (d *Detector) MinTime() int64 { return d.minT }
+
+// MaxTime returns the largest timestamp ingested (the stream horizon T).
+func (d *Detector) MaxTime() int64 { return d.maxT }
+
+// OutOfOrder returns how many elements were clamped to the time frontier.
+func (d *Detector) OutOfOrder() int64 { return d.outOfOrder }
+
+// CumulativeFrequency returns the estimate F̃_e(t) of how many times event e
+// was mentioned up to and including time t.
+func (d *Detector) CumulativeFrequency(e uint64, t int64) float64 {
+	return d.base.EstimateF(e%d.K(), t)
+}
+
+// Burstiness answers the POINT QUERY q(e, t, τ): the estimated acceleration
+// of e's incoming rate at time t over burst span tau > 0.
+func (d *Detector) Burstiness(e uint64, t, tau int64) (float64, error) {
+	if tau <= 0 {
+		return 0, fmt.Errorf("histburst: burst span must be positive, got %d", tau)
+	}
+	return d.base.Burstiness(e%d.K(), t, tau), nil
+}
+
+// BurstyTimes answers the BURSTY TIME QUERY q(e, θ, τ): the maximal time
+// ranges within [0, MaxTime] where e's estimated burstiness reaches theta.
+// Cost is linear in the summary size, not the stream size.
+func (d *Detector) BurstyTimes(e uint64, theta float64, tau int64) ([]TimeRange, error) {
+	if tau <= 0 {
+		return nil, fmt.Errorf("histburst: burst span must be positive, got %d", tau)
+	}
+	internal := d.base.BurstyTimes(e%d.K(), theta, tau)
+	out := make([]TimeRange, len(internal))
+	for i, r := range internal {
+		out[i] = TimeRange{Start: r.Start, End: r.End}
+	}
+	return out, nil
+}
+
+// BurstyEvents answers the BURSTY EVENT QUERY q(t, θ, τ): all event ids
+// whose estimated burstiness at time t reaches theta (> 0), found by the
+// pruned dyadic search — typically O(log K) point queries rather than K.
+func (d *Detector) BurstyEvents(t int64, theta float64, tau int64) ([]uint64, error) {
+	if d.tree == nil {
+		return nil, fmt.Errorf("histburst: event index disabled (WithoutEventIndex)")
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("histburst: burst span must be positive, got %d", tau)
+	}
+	return d.tree.BurstyEvents(t, theta, tau, nil)
+}
+
+// EventBurstiness pairs an event id with its estimated burstiness.
+type EventBurstiness struct {
+	Event      uint64
+	Burstiness float64
+}
+
+// TopBursty returns up to k events with the largest estimated burstiness at
+// time t (descending), via best-first search over the dyadic index —
+// typically far fewer point queries than ranking all K events. Requires the
+// event index.
+func (d *Detector) TopBursty(t int64, k int, tau int64) ([]EventBurstiness, error) {
+	if d.tree == nil {
+		return nil, fmt.Errorf("histburst: event index disabled (WithoutEventIndex)")
+	}
+	scores, err := d.tree.TopBursty(t, k, tau, nil)
+	if err != nil {
+		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	out := make([]EventBurstiness, len(scores))
+	for i, s := range scores {
+		out[i] = EventBurstiness{Event: s.Event, Burstiness: s.Burstiness}
+	}
+	return out, nil
+}
+
+// Bytes returns the detector's summary footprint in bytes.
+func (d *Detector) Bytes() int {
+	if d.tree != nil {
+		return d.tree.Bytes()
+	}
+	return d.base.Bytes()
+}
+
+func roundPow2(k uint64) uint64 {
+	p := uint64(1)
+	for p < k {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,181 @@
+package histburst_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"histburst"
+	"histburst/internal/exact"
+	"histburst/internal/textmap"
+	"histburst/internal/workload"
+)
+
+// TestFullPipeline exercises the complete system the paper describes: raw
+// message text M flows through the mapping h (textmap) into an event
+// identifier stream S, into the sketch, and all three query types are
+// checked against the exact oracle built from the same mapped stream.
+func TestFullPipeline(t *testing.T) {
+	spec := workload.Spec{
+		Horizon: 40_000,
+		Seed:    5,
+		Profiles: []workload.EventProfile{
+			{ID: 0, BaseRate: 0.05},
+			{ID: 1, BaseRate: 0.05, Bursts: []workload.BurstWindow{
+				{Start: 20_000, Peak: 21_000, End: 26_000, PeakRate: 2},
+			}},
+			{ID: 2, BaseRate: 0.02},
+			{ID: 3, BaseRate: 0.02},
+		},
+	}
+	msgs, err := workload.Messages(spec, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) == 0 {
+		t.Fatal("no messages generated")
+	}
+
+	mapper := textmap.NewHashtagMapper(0)
+	det, err := histburst.New(4, histburst.WithPBE2(2), histburst.WithSketchDims(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	hashtagToID := map[uint64]uint64{} // mapper id -> generator id
+	for _, m := range msgs {
+		for _, id := range mapper.Map(m.Text) {
+			det.Append(id, m.Time)
+			oracle.Append(id, m.Time)
+		}
+	}
+	det.Finish()
+	_ = hashtagToID
+
+	if det.N() != oracle.Len() {
+		t.Fatalf("pipeline dropped elements: %d vs %d", det.N(), oracle.Len())
+	}
+	// POINT queries across all mapped events.
+	tau := int64(1000)
+	var sumErr float64
+	samples := 0
+	for _, e := range oracle.Events() {
+		for q := int64(0); q <= oracle.MaxTime(); q += 333 {
+			b, err := det.Burstiness(e, q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumErr += math.Abs(b - float64(oracle.Burstiness(e, q, tau)))
+			samples++
+		}
+	}
+	if mean := sumErr / float64(samples); mean > 6 {
+		t.Fatalf("pipeline mean point error %.2f too large", mean)
+	}
+
+	// The planted burst (generator event 1) is discoverable end to end. Its
+	// mapper id is whatever the mapper assigned the hashtag "#event1".
+	mappedID, ok := mapper.Lookup("event1")
+	if !ok {
+		t.Fatal("hashtag for bursty event never seen")
+	}
+	ranges, err := det.BurstyTimes(mappedID, 200, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) == 0 {
+		t.Fatal("planted burst not found end to end")
+	}
+	for _, r := range ranges {
+		if r.End < 19_000 || r.Start > 27_500 {
+			t.Fatalf("burst range %+v far from planted window [20000,26000]", r)
+		}
+	}
+}
+
+// TestHawkesEndToEnd verifies the detector finds endogenous (self-excited)
+// bursts, not just scheduled ones: the top bursty instants of a Hawkes
+// stream must coincide with its densest cascades.
+func TestHawkesEndToEnd(t *testing.T) {
+	ts, err := workload.HawkesProfileStream(9, 0.85, 300, 30_000, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := histburst.NewSingle(histburst.WithPBE2(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for _, v := range ts {
+		s.Append(v)
+		oracle.Append(0, v)
+	}
+	s.Finish()
+	tau := int64(2000)
+	// Find the densest window in the raw data.
+	var bestT int64
+	var bestCount int64
+	for q := tau; q < 500_000; q += tau / 2 {
+		if c := oracle.Curve(0).BurstFrequency(q, tau); c > bestCount {
+			bestCount, bestT = c, q
+		}
+	}
+	theta := float64(bestCount) / 3
+	ranges, err := s.BurstyTimes(theta, tau, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) == 0 {
+		t.Fatal("no bursts found in a Hawkes stream")
+	}
+	// The densest cascade must be flagged within a couple of spans.
+	hit := false
+	for _, r := range ranges {
+		if r.Start <= bestT+tau && r.End >= bestT-2*tau {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("densest cascade at t=%d not flagged: %v", bestT, ranges)
+	}
+}
+
+// TestConcurrentReadQueries hammers a finished detector from many
+// goroutines; run with -race. (Ingestion is documented as single-threaded;
+// queries after Finish are read-only.)
+func TestConcurrentReadQueries(t *testing.T) {
+	det, err := histburst.New(64, histburst.WithPBE2(4), histburst.WithSketchDims(3, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := int64(0); tm < 20_000; tm++ {
+		det.Append(uint64(tm%64), tm)
+	}
+	det.Finish()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := uint64((g*31 + i) % 64)
+				q := int64((g*997 + i*13) % 20_000)
+				if _, err := det.Burstiness(e, q, 100); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%20 == 0 {
+					if _, err := det.BurstyTimes(e, 50, 100); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := det.BurstyEvents(q, 50, 100); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+// Package archive persists a history of burstiness summaries as
+// time-partitioned files — the storage layer a deployment of the paper's
+// system needs: each ingestion period (an hour, a day) is summarized
+// independently, sealed as its own partition, and queries run over any
+// union of partitions without ever touching raw data again.
+//
+// An archive is a directory containing a JSON manifest and one detector
+// file per partition. Partitions must abut in time order (strictly
+// increasing, non-overlapping spans) and share the exact detector
+// configuration so they merge losslessly (histburst.Detector.MergeAppend).
+// Opening an archive loads and merges all partitions into a single
+// queryable detector; partitions can also be loaded individually.
+package archive
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"histburst"
+)
+
+// manifestName is the archive's index file.
+const manifestName = "manifest.json"
+
+// partitionMeta describes one sealed partition.
+type partitionMeta struct {
+	// File is the partition's detector file name within the archive dir.
+	File string `json:"file"`
+	// Start and End delimit the partition's time span [Start, End].
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Elements is the partition's ingested element count.
+	Elements int64 `json:"elements"`
+}
+
+// manifest is the archive's on-disk index.
+type manifest struct {
+	Version    int             `json:"version"`
+	Partitions []partitionMeta `json:"partitions"`
+}
+
+// Archive is an open archive directory.
+type Archive struct {
+	dir string
+	m   manifest
+}
+
+// ErrOverlap reports a partition that does not start after the previous
+// partition's end.
+var ErrOverlap = errors.New("archive: partition overlaps the previous one")
+
+// Create initializes an empty archive in dir (created if absent; must not
+// already contain an archive).
+func Create(dir string) (*Archive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, manifestName)
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("archive: %s already exists", path)
+	}
+	a := &Archive{dir: dir, m: manifest{Version: 1}}
+	if err := a.writeManifest(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Open opens an existing archive directory.
+func Open(dir string) (*Archive, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("archive: corrupt manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("archive: unsupported manifest version %d", m.Version)
+	}
+	if !sort.SliceIsSorted(m.Partitions, func(i, j int) bool {
+		return m.Partitions[i].Start < m.Partitions[j].Start
+	}) {
+		return nil, fmt.Errorf("archive: corrupt manifest: partitions out of order")
+	}
+	return &Archive{dir: dir, m: m}, nil
+}
+
+// Partitions returns the number of sealed partitions.
+func (a *Archive) Partitions() int { return len(a.m.Partitions) }
+
+// Span returns the archive's overall time span; ok is false when empty.
+func (a *Archive) Span() (start, end int64, ok bool) {
+	if len(a.m.Partitions) == 0 {
+		return 0, 0, false
+	}
+	return a.m.Partitions[0].Start, a.m.Partitions[len(a.m.Partitions)-1].End, true
+}
+
+// Seal appends a finished detector as the next partition covering
+// [start, end]. The span must begin after the previous partition's end,
+// and the detector's data must lie within the span. The detector is
+// Finish()ed and written atomically (temp file + rename).
+func (a *Archive) Seal(det *histburst.Detector, start, end int64) error {
+	if det == nil {
+		return fmt.Errorf("archive: nil detector")
+	}
+	if start > end {
+		return fmt.Errorf("archive: inverted span [%d, %d]", start, end)
+	}
+	if n := len(a.m.Partitions); n > 0 && start <= a.m.Partitions[n-1].End {
+		return fmt.Errorf("%w: span starts at %d, previous ends at %d",
+			ErrOverlap, start, a.m.Partitions[n-1].End)
+	}
+	if det.N() > 0 && det.MaxTime() > end {
+		return fmt.Errorf("archive: detector data (max t=%d) exceeds span end %d", det.MaxTime(), end)
+	}
+	if det.N() > 0 && det.MinTime() < start {
+		return fmt.Errorf("archive: detector data (min t=%d) precedes span start %d", det.MinTime(), start)
+	}
+	name := fmt.Sprintf("part-%020d.hbsk", start)
+	tmp := filepath.Join(a.dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := det.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(a.dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	a.m.Partitions = append(a.m.Partitions, partitionMeta{
+		File: name, Start: start, End: end, Elements: det.N(),
+	})
+	if err := a.writeManifest(); err != nil {
+		// Roll back the in-memory state; the orphan file is harmless and
+		// will be overwritten by a retried Seal.
+		a.m.Partitions = a.m.Partitions[:len(a.m.Partitions)-1]
+		return err
+	}
+	return nil
+}
+
+// LoadPartition loads one partition's detector by index.
+func (a *Archive) LoadPartition(i int) (*histburst.Detector, error) {
+	if i < 0 || i >= len(a.m.Partitions) {
+		return nil, fmt.Errorf("archive: partition %d out of range [0, %d)", i, len(a.m.Partitions))
+	}
+	f, err := os.Open(filepath.Join(a.dir, a.m.Partitions[i].File))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return histburst.Load(f)
+}
+
+// LoadRange loads and merges all partitions whose spans intersect
+// [from, to], returning one detector that answers queries over that whole
+// window (estimates for instants before the first loaded partition see
+// zero frequency, as the raw history before the window is not loaded).
+func (a *Archive) LoadRange(from, to int64) (*histburst.Detector, error) {
+	if from > to {
+		return nil, fmt.Errorf("archive: inverted range [%d, %d]", from, to)
+	}
+	var merged *histburst.Detector
+	for i, p := range a.m.Partitions {
+		if p.End < from || p.Start > to {
+			continue
+		}
+		det, err := a.LoadPartition(i)
+		if err != nil {
+			return nil, fmt.Errorf("archive: partition %s: %w", p.File, err)
+		}
+		if merged == nil {
+			merged = det
+			continue
+		}
+		if err := merged.MergeAppend(det); err != nil {
+			return nil, fmt.Errorf("archive: merging %s: %w", p.File, err)
+		}
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("archive: no partitions intersect [%d, %d]", from, to)
+	}
+	return merged, nil
+}
+
+// LoadAll loads and merges every partition.
+func (a *Archive) LoadAll() (*histburst.Detector, error) {
+	s, e, ok := a.Span()
+	if !ok {
+		return nil, fmt.Errorf("archive: empty")
+	}
+	return a.LoadRange(s, e)
+}
+
+// writeManifest persists the manifest atomically.
+func (a *Archive) writeManifest() error {
+	raw, err := json.MarshalIndent(a.m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(a.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(a.dir, manifestName))
+}

@@ -1,0 +1,263 @@
+package archive
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"histburst"
+	"histburst/internal/exact"
+)
+
+var detOpts = []histburst.Option{
+	histburst.WithPBE2(2),
+	histburst.WithSketchDims(3, 32),
+	histburst.WithSeed(7),
+}
+
+// buildPartition creates a detector over [start, end) with one element per
+// tick on rotating events, plus a burst on event 3 if burst is set.
+func buildPartition(t *testing.T, start, end int64, burst bool, oracle *exact.Store) *histburst.Detector {
+	t.Helper()
+	det, err := histburst.New(16, detOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := start; tm < end; tm++ {
+		e := uint64(tm % 16)
+		det.Append(e, tm)
+		if oracle != nil {
+			oracle.Append(e, tm)
+		}
+		if burst && tm >= (start+end)/2 && tm < (start+end)/2+50 {
+			for j := 0; j < 6; j++ {
+				det.Append(3, tm)
+				if oracle != nil {
+					oracle.Append(3, tm)
+				}
+			}
+		}
+	}
+	return det
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	a, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Partitions() != 0 {
+		t.Fatal("new archive not empty")
+	}
+	if _, _, ok := a.Span(); ok {
+		t.Fatal("empty archive has a span")
+	}
+	// Creating again fails.
+	if _, err := Create(dir); err == nil {
+		t.Fatal("double create accepted")
+	}
+	// Reopen.
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Partitions() != 0 {
+		t.Fatal("reopened archive not empty")
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("open of non-archive accepted")
+	}
+}
+
+func TestSealAndQueryAcrossPartitions(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	a, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	// Three day-like partitions; the middle one has a burst.
+	for i, span := range [][2]int64{{0, 1000}, {1000, 2000}, {2000, 3000}} {
+		det := buildPartition(t, span[0], span[1], i == 1, oracle)
+		if err := a.Seal(det, span[0], span[1]-1); err != nil {
+			t.Fatalf("seal %d: %v", i, err)
+		}
+	}
+	if a.Partitions() != 3 {
+		t.Fatalf("Partitions = %d", a.Partitions())
+	}
+	s, e, ok := a.Span()
+	if !ok || s != 0 || e != 2999 {
+		t.Fatalf("Span = %d..%d", s, e)
+	}
+
+	// Reopen from disk and query the merged whole.
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := a2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.N() != oracle.Len() {
+		t.Fatalf("merged N = %d, want %d", det.N(), oracle.Len())
+	}
+	// Burstiness matches the oracle across partition boundaries.
+	var sumErr float64
+	n := 0
+	for q := int64(0); q < 3000; q += 77 {
+		b, err := det.Burstiness(3, q, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumErr += math.Abs(b - float64(oracle.Burstiness(3, q, 100)))
+		n++
+	}
+	if mean := sumErr / float64(n); mean > 10 {
+		t.Fatalf("mean error %.2f across partitions", mean)
+	}
+	// The mid-archive burst is discoverable.
+	events, err := det.BurstyEvents(1549, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("burst in middle partition not found: %v", events)
+	}
+}
+
+func TestLoadRangeSubset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	a, _ := Create(dir)
+	for _, span := range [][2]int64{{0, 1000}, {1000, 2000}, {2000, 3000}} {
+		det := buildPartition(t, span[0], span[1], false, nil)
+		if err := a.Seal(det, span[0], span[1]-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A range touching only the last two partitions.
+	det, err := a.LoadRange(1500, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.N() != 2000 {
+		t.Fatalf("range-loaded N = %d, want 2000", det.N())
+	}
+	// Instants before the loaded window see zero frequency (documented).
+	if f := det.CumulativeFrequency(1, 999); f != 0 {
+		t.Fatalf("pre-window frequency = %v", f)
+	}
+	if _, err := a.LoadRange(9000, 9999); err == nil {
+		t.Fatal("disjoint range accepted")
+	}
+	if _, err := a.LoadRange(10, 5); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestPartialRangeBurstinessMatchesFull(t *testing.T) {
+	// Burstiness is a second difference of cumulative frequencies, so the
+	// constant offset introduced by skipping earlier partitions cancels:
+	// querying from a range load must equal querying from the full load,
+	// as long as the loaded partitions cover [t−2τ, t].
+	dir := filepath.Join(t.TempDir(), "arch")
+	a, _ := Create(dir)
+	for i, span := range [][2]int64{{0, 1000}, {1000, 2000}, {2000, 3000}} {
+		det := buildPartition(t, span[0], span[1], i != 0, nil)
+		if err := a.Seal(det, span[0], span[1]-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := a.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := int64(100)
+	for _, q := range []int64{2300, 2500, 2900} {
+		partial, err := a.LoadRange(q-2*tau, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := uint64(0); e < 16; e += 3 {
+			bf, _ := full.Burstiness(e, q, tau)
+			bp, _ := partial.Burstiness(e, q, tau)
+			if math.Abs(bf-bp) > 8 { // both are γ=2 approximations of the same truth
+				t.Fatalf("e=%d t=%d: full %v vs partial %v", e, q, bf, bp)
+			}
+		}
+	}
+}
+
+func TestSealValidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	a, _ := Create(dir)
+	det := buildPartition(t, 0, 100, false, nil)
+	if err := a.Seal(nil, 0, 10); err == nil {
+		t.Error("nil detector accepted")
+	}
+	if err := a.Seal(det, 50, 10); err == nil {
+		t.Error("inverted span accepted")
+	}
+	if err := a.Seal(det, 0, 50); err == nil {
+		t.Error("span smaller than data accepted")
+	}
+	if err := a.Seal(det, 10, 99); err == nil {
+		t.Error("span starting after the data accepted")
+	}
+	if err := a.Seal(det, 0, 99); err != nil {
+		t.Fatal(err)
+	}
+	// Overlap with the sealed partition.
+	det2 := buildPartition(t, 50, 150, false, nil)
+	if err := a.Seal(det2, 50, 149); !errors.Is(err, ErrOverlap) {
+		t.Errorf("overlap = %v, want ErrOverlap", err)
+	}
+}
+
+func TestLoadPartition(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	a, _ := Create(dir)
+	det := buildPartition(t, 0, 500, false, nil)
+	if err := a.Seal(det, 0, 499); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.LoadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != det.N() {
+		t.Fatalf("N = %d, want %d", got.N(), det.N())
+	}
+	if _, err := a.LoadPartition(1); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := a.LoadPartition(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"version":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Package binenc provides the tiny framed binary encoding shared by every
+// serializable structure in histburst.
+//
+// Values are appended to a growing buffer as fixed little-endian scalars or
+// uvarint-length-prefixed blobs. The Reader mirrors the Writer and carries a
+// sticky error so call sites can decode a whole record and check a single
+// error at the end, in the style of bufio.Scanner.
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt reports malformed input.
+var ErrCorrupt = errors.New("binenc: corrupt input")
+
+// Writer accumulates an encoded record.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded record.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uint64 appends a fixed 8-byte value.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Int64 appends a fixed 8-byte signed value.
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Uvarint appends a varint-encoded count.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a varint-encoded signed value.
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Float64 appends an IEEE-754 encoded float.
+func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
+
+// Bool appends one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// BytesBlob appends a length-prefixed blob.
+func (w *Writer) BytesBlob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Reader decodes a record written by Writer. Methods return zero values
+// after the first error; check Err (or use Close) once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps an encoded record.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Close verifies the record decoded cleanly and completely.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, r.off)
+	}
+}
+
+// Uint64 reads a fixed 8-byte value.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Int64 reads a fixed 8-byte signed value.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Uvarint reads a varint-encoded count.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a varint-encoded signed value.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Float64 reads an IEEE-754 encoded float.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Bool reads one byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.fail("bool")
+		return false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v != 0
+}
+
+// BytesBlob reads a length-prefixed blob. The result aliases the input.
+func (r *Reader) BytesBlob() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		r.fail("blob")
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// Len reads a count and validates it against a sane ceiling so corrupt
+// input cannot trigger huge allocations.
+func (r *Reader) Len(max uint64) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > max {
+		r.err = fmt.Errorf("%w: implausible length %d (max %d)", ErrCorrupt, n, max)
+		return 0
+	}
+	return int(n)
+}

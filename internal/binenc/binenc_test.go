@@ -1,0 +1,132 @@
+package binenc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uint64(42)
+	w.Int64(-7)
+	w.Uvarint(300)
+	w.Varint(-12345)
+	w.Float64(math.Pi)
+	w.Bool(true)
+	w.Bool(false)
+	w.BytesBlob([]byte("hello"))
+	w.BytesBlob(nil)
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != 42 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := r.Int64(); got != -7 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool order wrong")
+	}
+	if got := string(r.BytesBlob()); got != "hello" {
+		t.Errorf("BytesBlob = %q", got)
+	}
+	if got := r.BytesBlob(); len(got) != 0 {
+		t.Errorf("empty blob = %v", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.Uint64(1)
+	w.BytesBlob([]byte("abcdef"))
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Uint64()
+		r.BytesBlob()
+		if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: Close = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	var w Writer
+	w.Uint64(1)
+	w.Uint64(2)
+	r := NewReader(w.Bytes())
+	r.Uint64()
+	if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Close with trailing = %v", err)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Uint64() // fails
+	// Everything after the failure returns zero values without panicking.
+	if r.Int64() != 0 || r.Uvarint() != 0 || r.Varint() != 0 || r.Float64() != 0 || r.Bool() || r.BytesBlob() != nil {
+		t.Fatal("post-error reads not zero")
+	}
+	if r.Err() == nil {
+		t.Fatal("Err not sticky")
+	}
+}
+
+func TestLenGuard(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if got := r.Len(1000); got != 0 || r.Err() == nil {
+		t.Fatalf("Len accepted implausible value: %d, %v", got, r.Err())
+	}
+	var w2 Writer
+	w2.Uvarint(7)
+	r2 := NewReader(w2.Bytes())
+	if got := r2.Len(1000); got != 7 || r2.Err() != nil {
+		t.Fatalf("Len(7) = %d, %v", got, r2.Err())
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, fl float64, b bool, blob []byte) bool {
+		if math.IsNaN(fl) {
+			fl = 0 // NaN != NaN; use zero for comparability
+		}
+		var w Writer
+		w.Uint64(u)
+		w.Varint(i)
+		w.Float64(fl)
+		w.Bool(b)
+		w.BytesBlob(blob)
+		r := NewReader(w.Bytes())
+		ok := r.Uint64() == u && r.Varint() == i && r.Float64() == fl && r.Bool() == b
+		got := r.BytesBlob()
+		if len(got) != len(blob) {
+			return false
+		}
+		for j := range got {
+			if got[j] != blob[j] {
+				return false
+			}
+		}
+		return ok && r.Close() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package cmpbe implements CM-PBE (paper Section IV): a Count-Min sketch
+// whose cells hold persistent burstiness estimators instead of counters,
+// enabling historical burstiness queries over a stream with a mixture of
+// events in sublinear space.
+//
+// The sketch keeps d = O(log 1/δ) rows of w = O(1/ε) cells, each cell a PBE
+// (either PBE-1 or PBE-2, chosen by the Factory). An incoming element (e, t)
+// is hashed to one cell per row; the cell ignores the event id and treats
+// everything mapped to it as a single event stream. A query for F_e(t)
+// probes the d cells e maps to and returns the median of their estimates:
+// collisions push a cell's estimate up while the PBE's never-overestimate
+// property pushes it down, and the median balances the two (Theorem 1:
+// Pr[|F̃_e(t) − F_e(t)| ≤ εN + Δ] ≥ 1 − δ, with γ for CM-PBE-2).
+package cmpbe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"histburst/internal/hash"
+	"histburst/internal/pbe"
+	"histburst/internal/pbe1"
+	"histburst/internal/pbe2"
+)
+
+// Factory creates one empty PBE cell. Cells are created eagerly at sketch
+// construction so parameter validation happens exactly once, in the factory
+// constructors below.
+type Factory func() pbe.PBE
+
+// PBE1Factory returns a Factory producing PBE-1 cells with the given buffer
+// size and per-chunk point budget (see pbe1.New).
+func PBE1Factory(bufferN, eta int) (Factory, error) {
+	if _, err := pbe1.New(bufferN, eta); err != nil {
+		return nil, err
+	}
+	return func() pbe.PBE {
+		b, _ := pbe1.New(bufferN, eta)
+		return b
+	}, nil
+}
+
+// PBE1ErrorCapFactory returns a Factory producing PBE-1 cells that compress
+// each chunk to the smallest budget meeting a per-chunk area-error cap (see
+// pbe1.NewWithErrorCap).
+func PBE1ErrorCapFactory(bufferN int, cap int64) (Factory, error) {
+	if _, err := pbe1.NewWithErrorCap(bufferN, cap); err != nil {
+		return nil, err
+	}
+	return func() pbe.PBE {
+		b, _ := pbe1.NewWithErrorCap(bufferN, cap)
+		return b
+	}, nil
+}
+
+// PBE2Factory returns a Factory producing PBE-2 cells with error cap gamma
+// (see pbe2.New).
+func PBE2Factory(gamma float64) (Factory, error) {
+	if _, err := pbe2.New(gamma); err != nil {
+		return nil, err
+	}
+	return func() pbe.PBE {
+		b, _ := pbe2.New(gamma)
+		return b
+	}, nil
+}
+
+// Sketch is a CM-PBE.
+type Sketch struct {
+	d, w  int
+	seed  int64
+	cells [][]pbe.PBE // d rows × w columns
+	hf    hash.Family
+	n     int64 // total elements ingested
+	maxT  int64
+}
+
+// New creates a CM-PBE with explicit dimensions, deterministically seeded.
+func New(d, w int, seed int64, f Factory) (*Sketch, error) {
+	if d <= 0 || w <= 0 {
+		return nil, fmt.Errorf("cmpbe: dimensions must be positive, got d=%d w=%d", d, w)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("cmpbe: factory must not be nil")
+	}
+	hf, err := hash.NewFamily(d, w, seed)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([][]pbe.PBE, d)
+	for i := range cells {
+		cells[i] = make([]pbe.PBE, w)
+		for j := range cells[i] {
+			cells[i][j] = f()
+		}
+	}
+	return &Sketch{d: d, w: w, seed: seed, cells: cells, hf: hf}, nil
+}
+
+// NewWithError creates a CM-PBE sized from the usual Count-Min parameters:
+// d = ⌈ln(1/δ)⌉ rows and w = ⌈e/ε⌉ columns.
+func NewWithError(epsilon, delta float64, seed int64, f Factory) (*Sketch, error) {
+	if !(epsilon > 0 && epsilon < 1) {
+		return nil, fmt.Errorf("cmpbe: epsilon must be in (0,1), got %v", epsilon)
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("cmpbe: delta must be in (0,1), got %v", delta)
+	}
+	d := int(math.Ceil(math.Log(1 / delta)))
+	w := int(math.Ceil(math.E / epsilon))
+	return New(d, w, seed, f)
+}
+
+// Dims returns the sketch dimensions.
+func (s *Sketch) Dims() (d, w int) { return s.d, s.w }
+
+// Append ingests one element (e, t). Elements must arrive in non-decreasing
+// time order across the whole mixed stream.
+func (s *Sketch) Append(e uint64, t int64) {
+	for i := 0; i < s.d; i++ {
+		s.cells[i][s.hf.Hash(i, e)].Append(t)
+	}
+	s.n++
+	if t > s.maxT {
+		s.maxT = t
+	}
+}
+
+// Finish flushes every cell. Idempotent.
+func (s *Sketch) Finish() {
+	for i := range s.cells {
+		for j := range s.cells[i] {
+			s.cells[i][j].Finish()
+		}
+	}
+}
+
+// N returns the total number of elements ingested.
+func (s *Sketch) N() int64 { return s.n }
+
+// MaxTime returns the largest timestamp seen.
+func (s *Sketch) MaxTime() int64 { return s.maxT }
+
+// EstimateF returns the median-of-rows estimate F̃_e(t).
+func (s *Sketch) EstimateF(e uint64, t int64) float64 {
+	vals := make([]float64, s.d)
+	for i := 0; i < s.d; i++ {
+		vals[i] = s.cells[i][s.hf.Hash(i, e)].Estimate(t)
+	}
+	return median(vals)
+}
+
+// EstimateFMin returns the min-of-rows estimate. Plain Count-Min uses the
+// minimum because its per-cell error is one-sided; CM-PBE's is two-sided, so
+// the median is the right estimator (Section IV). The minimum is exposed for
+// the ablation benchmark that demonstrates exactly that.
+func (s *Sketch) EstimateFMin(e uint64, t int64) float64 {
+	min := math.Inf(1)
+	for i := 0; i < s.d; i++ {
+		if v := s.cells[i][s.hf.Hash(i, e)].Estimate(t); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Burstiness answers the POINT QUERY q(e, t, τ): the median over rows of the
+// per-row burstiness estimate (each row evaluates equation (2) on its own
+// coherent curve).
+func (s *Sketch) Burstiness(e uint64, t, tau int64) float64 {
+	vals := make([]float64, s.d)
+	for i := 0; i < s.d; i++ {
+		c := s.cells[i][s.hf.Hash(i, e)]
+		vals[i] = pbe.Burstiness(c, t, tau)
+	}
+	return median(vals)
+}
+
+// View returns a read-only per-event estimator whose Estimate is the
+// median-of-rows F̃_e and whose Breakpoints are the union of the event's d
+// cell breakpoints. It satisfies pbe.Estimator, so pbe.BurstyTimes answers
+// the BURSTY TIME QUERY over the sketch.
+func (s *Sketch) View(e uint64) pbe.Estimator {
+	return &view{s: s, e: e}
+}
+
+// BurstyTimes answers the BURSTY TIME QUERY q(e, θ, τ) over the sketch.
+// Between breakpoints the median of the d per-row estimates may switch rows,
+// so unlike the single-stream case the crossing refinement is heuristic
+// there; candidate instants themselves are still evaluated exactly against
+// the sketch.
+func (s *Sketch) BurstyTimes(e uint64, theta float64, tau int64) []pbe.TimeRange {
+	return pbe.BurstyTimes(s.View(e), theta, tau, s.maxT)
+}
+
+// Bytes returns the total footprint of all cells.
+func (s *Sketch) Bytes() int {
+	total := 0
+	for i := range s.cells {
+		for j := range s.cells[i] {
+			total += s.cells[i][j].Bytes()
+		}
+	}
+	return total
+}
+
+type view struct {
+	s *Sketch
+	e uint64
+}
+
+func (v *view) Estimate(t int64) float64 { return v.s.EstimateF(v.e, t) }
+
+func (v *view) Breakpoints() []int64 {
+	set := make(map[int64]struct{})
+	for i := 0; i < v.s.d; i++ {
+		for _, b := range v.s.cells[i][v.s.hf.Hash(i, v.e)].Breakpoints() {
+			set[b] = struct{}{}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// median returns the median of vals (average of the two middle values for
+// even lengths), destroying the slice order.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

@@ -1,0 +1,86 @@
+package cmpbe
+
+import (
+	"fmt"
+
+	"histburst/internal/pbe"
+)
+
+// Direct is the degenerate sketch for a small id space: one PBE per id,
+// no hashing, no collisions. The dyadic tree of Section V uses it for its
+// top levels, where the number of aggregate ids is smaller than any useful
+// Count-Min width — hashing two ids into two cells would collide with
+// constant probability and destroy the additivity (F_parent = ΣF_child)
+// that the pruning bound relies on.
+type Direct struct {
+	cells []pbe.PBE
+	n     int64
+	maxT  int64
+}
+
+// NewDirect creates a direct summary over the id space [0, ids).
+func NewDirect(ids uint64, f Factory) (*Direct, error) {
+	if ids == 0 {
+		return nil, fmt.Errorf("cmpbe: direct id space must be non-empty")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("cmpbe: factory must not be nil")
+	}
+	cells := make([]pbe.PBE, ids)
+	for i := range cells {
+		cells[i] = f()
+	}
+	return &Direct{cells: cells}, nil
+}
+
+// Append ingests one element. Ids outside the space are folded in.
+func (d *Direct) Append(e uint64, t int64) {
+	d.cells[e%uint64(len(d.cells))].Append(t)
+	d.n++
+	if t > d.maxT {
+		d.maxT = t
+	}
+}
+
+// Finish flushes every cell. Idempotent.
+func (d *Direct) Finish() {
+	for _, c := range d.cells {
+		c.Finish()
+	}
+}
+
+// N returns the number of elements ingested.
+func (d *Direct) N() int64 { return d.n }
+
+// MaxTime returns the largest timestamp seen.
+func (d *Direct) MaxTime() int64 { return d.maxT }
+
+// EstimateF returns F̃_e(t) from e's dedicated PBE (error is the PBE's own
+// only — no collision term).
+func (d *Direct) EstimateF(e uint64, t int64) float64 {
+	return d.cells[e%uint64(len(d.cells))].Estimate(t)
+}
+
+// Burstiness answers the point query from e's dedicated PBE.
+func (d *Direct) Burstiness(e uint64, t, tau int64) float64 {
+	return pbe.Burstiness(d.cells[e%uint64(len(d.cells))], t, tau)
+}
+
+// View returns e's PBE as a read-only estimator.
+func (d *Direct) View(e uint64) pbe.Estimator {
+	return d.cells[e%uint64(len(d.cells))]
+}
+
+// BurstyTimes answers the BURSTY TIME QUERY for e.
+func (d *Direct) BurstyTimes(e uint64, theta float64, tau int64) []pbe.TimeRange {
+	return pbe.BurstyTimes(d.View(e), theta, tau, d.maxT)
+}
+
+// Bytes returns the total footprint of all cells.
+func (d *Direct) Bytes() int {
+	total := 0
+	for _, c := range d.cells {
+		total += c.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,144 @@
+package cmpbe
+
+import (
+	"encoding"
+	"fmt"
+
+	"histburst/internal/binenc"
+	"histburst/internal/pbe"
+)
+
+// Serialization. Sketches and Direct summaries serialize their dimensions,
+// bookkeeping and every cell's own binary form; loading requires the same
+// Factory that built them (the cell format carries its own magic, so a
+// mismatched factory fails cleanly rather than misinterpreting bytes).
+
+var (
+	sketchMagic = []byte{'C', 'M', 'P', 1}
+	directMagic = []byte{'D', 'I', 'R', 1}
+)
+
+const maxCells = 1 << 24
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var w binenc.Writer
+	w.BytesBlob(sketchMagic)
+	w.Uvarint(uint64(s.d))
+	w.Uvarint(uint64(s.w))
+	w.Int64(s.seed)
+	w.Varint(s.n)
+	w.Varint(s.maxT)
+	for i := range s.cells {
+		for j := range s.cells[i] {
+			blob, err := marshalCell(s.cells[i][j])
+			if err != nil {
+				return nil, fmt.Errorf("cmpbe: cell (%d,%d): %w", i, j, err)
+			}
+			w.BytesBlob(blob)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalSketch decodes a sketch serialized by MarshalBinary. The factory
+// must produce the same cell type and parameters used at build time.
+func UnmarshalSketch(data []byte, f Factory) (*Sketch, error) {
+	r := binenc.NewReader(data)
+	if string(r.BytesBlob()) != string(sketchMagic) {
+		return nil, fmt.Errorf("cmpbe: bad sketch magic")
+	}
+	d := int(r.Uvarint())
+	w := int(r.Uvarint())
+	seed := r.Int64()
+	n := r.Varint()
+	maxT := r.Varint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if d <= 0 || w <= 0 || d*w > maxCells {
+		return nil, fmt.Errorf("cmpbe: implausible dimensions %d×%d", d, w)
+	}
+	s, err := New(d, w, seed, f)
+	if err != nil {
+		return nil, err
+	}
+	s.n = n
+	s.maxT = maxT
+	for i := 0; i < d; i++ {
+		for j := 0; j < w; j++ {
+			if err := unmarshalCell(s.cells[i][j], r.BytesBlob()); err != nil {
+				return nil, fmt.Errorf("cmpbe: cell (%d,%d): %w", i, j, err)
+			}
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (d *Direct) MarshalBinary() ([]byte, error) {
+	var w binenc.Writer
+	w.BytesBlob(directMagic)
+	w.Uvarint(uint64(len(d.cells)))
+	w.Varint(d.n)
+	w.Varint(d.maxT)
+	for i, c := range d.cells {
+		blob, err := marshalCell(c)
+		if err != nil {
+			return nil, fmt.Errorf("cmpbe: direct cell %d: %w", i, err)
+		}
+		w.BytesBlob(blob)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalDirect decodes a Direct summary serialized by MarshalBinary.
+func UnmarshalDirect(data []byte, f Factory) (*Direct, error) {
+	r := binenc.NewReader(data)
+	if string(r.BytesBlob()) != string(directMagic) {
+		return nil, fmt.Errorf("cmpbe: bad direct magic")
+	}
+	ids := r.Uvarint()
+	n := r.Varint()
+	maxT := r.Varint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if ids == 0 || ids > maxCells {
+		return nil, fmt.Errorf("cmpbe: implausible direct size %d", ids)
+	}
+	d, err := NewDirect(ids, f)
+	if err != nil {
+		return nil, err
+	}
+	d.n = n
+	d.maxT = maxT
+	for i := range d.cells {
+		if err := unmarshalCell(d.cells[i], r.BytesBlob()); err != nil {
+			return nil, fmt.Errorf("cmpbe: direct cell %d: %w", i, err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func marshalCell(c pbe.PBE) ([]byte, error) {
+	m, ok := c.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("cell type %T is not serializable", c)
+	}
+	return m.MarshalBinary()
+}
+
+func unmarshalCell(c pbe.PBE, blob []byte) error {
+	u, ok := c.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("cell type %T is not serializable", c)
+	}
+	return u.UnmarshalBinary(blob)
+}

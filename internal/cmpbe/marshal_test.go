@@ -1,0 +1,137 @@
+package cmpbe
+
+import (
+	"testing"
+)
+
+func TestSketchMarshalRoundTrip(t *testing.T) {
+	f, _ := PBE2Factory(2)
+	s, err := New(3, 32, 9, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mixedStream(5, 5000, 40)
+	for _, el := range data {
+		s.Append(el.Event, el.Time)
+	}
+	s.Finish()
+
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSketch(blob, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.N() || got.MaxTime() != s.MaxTime() || got.Bytes() != s.Bytes() {
+		t.Fatal("metadata mismatch")
+	}
+	for e := uint64(0); e < 40; e += 3 {
+		for q := int64(0); q <= s.MaxTime(); q += 131 {
+			if got.EstimateF(e, q) != s.EstimateF(e, q) {
+				t.Fatalf("EstimateF differs at e=%d t=%d", e, q)
+			}
+			if got.Burstiness(e, q, 50) != s.Burstiness(e, q, 50) {
+				t.Fatalf("Burstiness differs at e=%d t=%d", e, q)
+			}
+		}
+	}
+}
+
+func TestSketchMarshalPBE1Cells(t *testing.T) {
+	f, err := PBE1Factory(200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := New(2, 16, 3, f)
+	data := mixedStream(7, 3000, 20)
+	for _, el := range data {
+		s.Append(el.Event, el.Time)
+	}
+	// Deliberately no Finish: the PBE-1 buffered tails must round-trip.
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSketch(blob, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 20; e++ {
+		if got.EstimateF(e, s.MaxTime()) != s.EstimateF(e, s.MaxTime()) {
+			t.Fatalf("estimate differs for event %d", e)
+		}
+	}
+}
+
+func TestDirectMarshalRoundTrip(t *testing.T) {
+	f, _ := PBE2Factory(1)
+	d, _ := NewDirect(8, f)
+	for tm := int64(0); tm < 2000; tm++ {
+		d.Append(uint64(tm%8), tm)
+	}
+	d.Finish()
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDirect(blob, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() || got.MaxTime() != d.MaxTime() {
+		t.Fatal("metadata mismatch")
+	}
+	for e := uint64(0); e < 8; e++ {
+		for q := int64(0); q < 2000; q += 97 {
+			if got.EstimateF(e, q) != d.EstimateF(e, q) {
+				t.Fatalf("estimate differs e=%d t=%d", e, q)
+			}
+		}
+	}
+}
+
+func TestUnmarshalAnyDispatch(t *testing.T) {
+	f, _ := PBE2Factory(2)
+	s, _ := New(2, 4, 1, f)
+	s.Append(1, 10)
+	s.Finish()
+	sBlob, _ := s.MarshalBinary()
+	d, _ := NewDirect(4, f)
+	d.Append(1, 10)
+	d.Finish()
+	dBlob, _ := d.MarshalBinary()
+
+	if v, err := UnmarshalAny(sBlob, f); err != nil {
+		t.Fatal(err)
+	} else if _, ok := v.(*Sketch); !ok {
+		t.Fatalf("sketch blob decoded as %T", v)
+	}
+	if v, err := UnmarshalAny(dBlob, f); err != nil {
+		t.Fatal(err)
+	} else if _, ok := v.(*Direct); !ok {
+		t.Fatalf("direct blob decoded as %T", v)
+	}
+	if _, err := UnmarshalAny([]byte("junk"), f); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestUnmarshalSketchRejectsCorrupt(t *testing.T) {
+	f, _ := PBE2Factory(2)
+	s, _ := New(2, 4, 1, f)
+	s.Append(1, 10)
+	s.Finish()
+	blob, _ := s.MarshalBinary()
+	for cut := 0; cut < len(blob); cut += 3 {
+		if _, err := UnmarshalSketch(blob[:cut], f); err == nil {
+			t.Fatalf("cut=%d accepted", cut)
+		}
+	}
+	// Wrong factory type: PBE-1 cells cannot decode PBE-2 blobs.
+	f1, _ := PBE1Factory(100, 5)
+	if _, err := UnmarshalSketch(blob, f1); err == nil {
+		t.Fatal("mismatched cell factory accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package cmpbe
+
+import (
+	"fmt"
+
+	"histburst/internal/pbe"
+)
+
+// mergeAppender is the per-cell merge capability (implemented by both PBE
+// builders).
+type mergeAppender interface {
+	MergeAppend(other pbe.PBE) error
+}
+
+// MergeAppend absorbs a sketch built over a strictly later time range of
+// the same stream. Both sketches must share dimensions and seed (so every
+// event maps to the same cells); cells then merge pairwise, which is valid
+// because each cell pair summarizes time-disjoint partitions of the same
+// merged substream.
+func (s *Sketch) MergeAppend(other *Sketch) error {
+	if other == nil {
+		return fmt.Errorf("cmpbe: cannot merge nil sketch")
+	}
+	if s.d != other.d || s.w != other.w {
+		return fmt.Errorf("cmpbe: dimension mismatch (%d×%d vs %d×%d)", s.d, s.w, other.d, other.w)
+	}
+	if s.seed != other.seed {
+		return fmt.Errorf("cmpbe: seed mismatch (%d vs %d)", s.seed, other.seed)
+	}
+	for i := range s.cells {
+		for j := range s.cells[i] {
+			m, ok := s.cells[i][j].(mergeAppender)
+			if !ok {
+				return fmt.Errorf("cmpbe: cell type %T is not mergeable", s.cells[i][j])
+			}
+			if err := m.MergeAppend(other.cells[i][j]); err != nil {
+				return fmt.Errorf("cmpbe: cell (%d,%d): %w", i, j, err)
+			}
+		}
+	}
+	s.n += other.n
+	if other.maxT > s.maxT {
+		s.maxT = other.maxT
+	}
+	return nil
+}
+
+// MergeAppend absorbs a Direct summary built over a strictly later time
+// range.
+func (d *Direct) MergeAppend(other *Direct) error {
+	if other == nil {
+		return fmt.Errorf("cmpbe: cannot merge nil summary")
+	}
+	if len(d.cells) != len(other.cells) {
+		return fmt.Errorf("cmpbe: id space mismatch (%d vs %d)", len(d.cells), len(other.cells))
+	}
+	for i := range d.cells {
+		m, ok := d.cells[i].(mergeAppender)
+		if !ok {
+			return fmt.Errorf("cmpbe: cell type %T is not mergeable", d.cells[i])
+		}
+		if err := m.MergeAppend(other.cells[i]); err != nil {
+			return fmt.Errorf("cmpbe: direct cell %d: %w", i, err)
+		}
+	}
+	d.n += other.n
+	if other.maxT > d.maxT {
+		d.maxT = other.maxT
+	}
+	return nil
+}

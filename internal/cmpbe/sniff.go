@@ -1,0 +1,26 @@
+package cmpbe
+
+import (
+	"fmt"
+
+	"histburst/internal/binenc"
+)
+
+// UnmarshalAny decodes a serialized Sketch or Direct, dispatching on the
+// embedded magic. The concrete type is *Sketch or *Direct; callers (e.g.
+// the dyadic tree loader) assert to the interface they need.
+func UnmarshalAny(data []byte, f Factory) (any, error) {
+	r := binenc.NewReader(data)
+	magic := string(r.BytesBlob())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cmpbe: unreadable summary header: %w", err)
+	}
+	switch magic {
+	case string(sketchMagic):
+		return UnmarshalSketch(data, f)
+	case string(directMagic):
+		return UnmarshalDirect(data, f)
+	default:
+		return nil, fmt.Errorf("cmpbe: unknown summary magic %q", magic)
+	}
+}

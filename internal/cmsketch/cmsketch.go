@@ -1,0 +1,117 @@
+// Package cmsketch implements the classic Count-Min sketch of Cormode and
+// Muthukrishnan (paper Section II-C), the substrate CM-PBE generalizes.
+//
+// A CM sketch keeps d = ⌈ln(1/δ)⌉ rows of w = ⌈e/ε⌉ counters. Each update
+// increments one counter per row chosen by a row-specific hash; a point
+// query returns the minimum over the rows, guaranteeing
+// Pr[ f̂(x) − f(x) ≤ εN ] ≥ 1 − δ with f̂ ≥ f always.
+//
+// Besides serving as a reference point in benchmarks (a plain CM sketch can
+// only summarize frequencies "up to now" — precisely the limitation that
+// motivates CM-PBE), the conservative-update variant is exposed for
+// ablations.
+package cmsketch
+
+import (
+	"fmt"
+	"math"
+
+	"histburst/internal/hash"
+)
+
+// Sketch is a Count-Min sketch over uint64 keys.
+type Sketch struct {
+	d, w         int
+	rows         [][]uint64
+	hf           hash.Family
+	n            uint64 // total updates
+	conservative bool
+}
+
+// Option configures a Sketch.
+type Option func(*Sketch)
+
+// WithConservativeUpdate enables conservative update: an increment only
+// raises the counters that currently equal the key's estimate, tightening
+// one-sided error at slightly higher update cost.
+func WithConservativeUpdate() Option {
+	return func(s *Sketch) { s.conservative = true }
+}
+
+// New creates a sketch with failure probability delta and relative error
+// epsilon (both in (0,1)), seeded deterministically.
+func New(epsilon, delta float64, seed int64, opts ...Option) (*Sketch, error) {
+	if !(epsilon > 0 && epsilon < 1) {
+		return nil, fmt.Errorf("cmsketch: epsilon must be in (0,1), got %v", epsilon)
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("cmsketch: delta must be in (0,1), got %v", delta)
+	}
+	d := int(math.Ceil(math.Log(1 / delta)))
+	w := int(math.Ceil(math.E / epsilon))
+	return NewWithDims(d, w, seed, opts...)
+}
+
+// NewWithDims creates a sketch with explicit dimensions.
+func NewWithDims(d, w int, seed int64, opts ...Option) (*Sketch, error) {
+	if d <= 0 || w <= 0 {
+		return nil, fmt.Errorf("cmsketch: dimensions must be positive, got d=%d w=%d", d, w)
+	}
+	hf, err := hash.NewFamily(d, w, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]uint64, d)
+	for i := range rows {
+		rows[i] = make([]uint64, w)
+	}
+	s := &Sketch{d: d, w: w, rows: rows, hf: hf}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Dims returns the sketch dimensions (d rows, w columns).
+func (s *Sketch) Dims() (d, w int) { return s.d, s.w }
+
+// Add increments the count of key by delta (delta ≥ 1).
+func (s *Sketch) Add(key uint64, delta uint64) {
+	if delta == 0 {
+		return
+	}
+	s.n += delta
+	if !s.conservative {
+		for i := 0; i < s.d; i++ {
+			s.rows[i][s.hf.Hash(i, key)] += delta
+		}
+		return
+	}
+	est := s.Estimate(key) + delta
+	for i := 0; i < s.d; i++ {
+		c := &s.rows[i][s.hf.Hash(i, key)]
+		if *c < est {
+			*c = est
+		}
+	}
+}
+
+// Inc increments the count of key by one.
+func (s *Sketch) Inc(key uint64) { s.Add(key, 1) }
+
+// Estimate returns the point estimate f̂(key) = min over rows.
+func (s *Sketch) Estimate(key uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for i := 0; i < s.d; i++ {
+		if c := s.rows[i][s.hf.Hash(i, key)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// N returns the total number of updates (the stream size weight).
+func (s *Sketch) N() uint64 { return s.n }
+
+// Bytes returns the counter array footprint.
+func (s *Sketch) Bytes() int { return 8 * s.d * s.w }

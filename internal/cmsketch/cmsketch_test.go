@@ -1,0 +1,126 @@
+package cmsketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct{ eps, delta float64 }{
+		{0, 0.1}, {1, 0.1}, {-1, 0.1}, {0.1, 0}, {0.1, 1}, {0.1, -2},
+	} {
+		if _, err := New(c.eps, c.delta, 1); err == nil {
+			t.Errorf("eps=%v delta=%v accepted", c.eps, c.delta)
+		}
+	}
+	s, err := New(0.01, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, w := s.Dims()
+	if d < 3 || w < 271 {
+		t.Errorf("dims d=%d w=%d too small for eps=0.01 delta=0.05", d, w)
+	}
+	if _, err := NewWithDims(0, 5, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	s, _ := NewWithDims(4, 64, 7)
+	truth := make(map[uint64]uint64)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		k := uint64(r.Intn(500))
+		s.Inc(k)
+		truth[k]++
+	}
+	for k, f := range truth {
+		if got := s.Estimate(k); got < f {
+			t.Fatalf("underestimate for %d: %d < %d", k, got, f)
+		}
+	}
+	if s.N() != 20000 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	// With eps=0.01 and N=50k the additive error should be ≤ εN = 500 for
+	// the overwhelming majority of keys (δ=0.01).
+	s, _ := New(0.01, 0.01, 42)
+	truth := make(map[uint64]uint64)
+	r := rand.New(rand.NewSource(8))
+	zipf := rand.NewZipf(r, 1.3, 1, 5000)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		k := zipf.Uint64()
+		s.Inc(k)
+		truth[k]++
+	}
+	bad := 0
+	for k, f := range truth {
+		if s.Estimate(k)-f > uint64(0.01*n) {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(len(truth)); frac > 0.05 {
+		t.Fatalf("%.1f%% of keys exceed the εN bound", frac*100)
+	}
+}
+
+func TestConservativeUpdateTighter(t *testing.T) {
+	plain, _ := NewWithDims(3, 32, 5)
+	cons, _ := NewWithDims(3, 32, 5, WithConservativeUpdate())
+	truth := make(map[uint64]uint64)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 30000; i++ {
+		k := uint64(r.Intn(300))
+		plain.Inc(k)
+		cons.Inc(k)
+		truth[k]++
+	}
+	var plainErr, consErr uint64
+	for k, f := range truth {
+		plainErr += plain.Estimate(k) - f
+		if e := cons.Estimate(k); e < f {
+			t.Fatalf("conservative update underestimated %d: %d < %d", k, e, f)
+		} else {
+			consErr += e - f
+		}
+	}
+	if consErr > plainErr {
+		t.Fatalf("conservative update should not be worse: %d vs %d", consErr, plainErr)
+	}
+}
+
+func TestAddDelta(t *testing.T) {
+	s, _ := NewWithDims(3, 128, 9)
+	s.Add(7, 100)
+	s.Add(7, 0) // no-op
+	if got := s.Estimate(7); got < 100 {
+		t.Fatalf("Estimate = %d, want ≥ 100", got)
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d, want 100", s.N())
+	}
+}
+
+func TestAbsentKeySmall(t *testing.T) {
+	s, _ := NewWithDims(4, 1024, 11)
+	for i := uint64(0); i < 100; i++ {
+		s.Inc(i)
+	}
+	// A key never added collides with ≤ a few counters; with w=1024 and
+	// only 100 distinct keys its estimate is almost surely 0.
+	if got := s.Estimate(999999); got > 2 {
+		t.Fatalf("absent key estimate = %d", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s, _ := NewWithDims(3, 100, 1)
+	if got := s.Bytes(); got != 2400 {
+		t.Fatalf("Bytes = %d, want 2400", got)
+	}
+}

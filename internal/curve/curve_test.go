@@ -1,0 +1,247 @@
+package curve
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"histburst/internal/stream"
+)
+
+func mustFromTimestamps(t *testing.T, ts stream.TimestampSeq) Staircase {
+	t.Helper()
+	c, err := FromTimestamps(ts)
+	if err != nil {
+		t.Fatalf("FromTimestamps(%v): %v", ts, err)
+	}
+	return c
+}
+
+func TestFromTimestampsCollapsesDuplicates(t *testing.T) {
+	c := mustFromTimestamps(t, stream.TimestampSeq{1, 1, 1, 4, 9, 9})
+	want := []Point{{1, 3}, {4, 4}, {9, 6}}
+	if !reflect.DeepEqual(c.Points(), want) {
+		t.Fatalf("Points = %v, want %v", c.Points(), want)
+	}
+}
+
+func TestFromTimestampsRejectsUnsorted(t *testing.T) {
+	_, err := FromTimestamps(stream.TimestampSeq{5, 2})
+	if !errors.Is(err, stream.ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestFromPointsValidation(t *testing.T) {
+	if _, err := FromPoints([]Point{{1, 1}, {1, 2}}); !errors.Is(err, ErrNotMonotone) {
+		t.Errorf("duplicate T accepted: %v", err)
+	}
+	if _, err := FromPoints([]Point{{1, 2}, {2, 2}}); !errors.Is(err, ErrNotMonotone) {
+		t.Errorf("non-increasing F accepted: %v", err)
+	}
+	if _, err := FromPoints([]Point{{1, 1}, {2, 3}}); err != nil {
+		t.Errorf("valid points rejected: %v", err)
+	}
+	if _, err := FromPoints(nil); err != nil {
+		t.Errorf("empty rejected: %v", err)
+	}
+}
+
+func TestValue(t *testing.T) {
+	c := mustFromTimestamps(t, stream.TimestampSeq{10, 20, 20, 30})
+	cases := []struct {
+		t    int64
+		want int64
+	}{
+		{0, 0}, {9, 0}, {10, 1}, {15, 1}, {20, 3}, {29, 3}, {30, 4}, {1000, 4},
+	}
+	for _, cse := range cases {
+		if got := c.Value(cse.t); got != cse.want {
+			t.Errorf("Value(%d) = %d, want %d", cse.t, got, cse.want)
+		}
+	}
+	var empty Staircase
+	if empty.Value(5) != 0 || empty.Total() != 0 {
+		t.Error("empty staircase should be identically zero")
+	}
+}
+
+func TestValueMatchesCountAtOrBefore(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts := make(stream.TimestampSeq, int(n))
+		cur := int64(0)
+		for i := range ts {
+			cur += int64(r.Intn(3))
+			ts[i] = cur
+		}
+		c, err := FromTimestamps(ts)
+		if err != nil {
+			return false
+		}
+		for q := int64(-2); q <= cur+2; q++ {
+			if c.Value(q) != ts.CountAtOrBefore(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstinessIdentity(t *testing.T) {
+	// b(t) must equal bf(t) − bf(t−τ) for every t and τ (equation 1).
+	r := rand.New(rand.NewSource(99))
+	ts := make(stream.TimestampSeq, 300)
+	cur := int64(0)
+	for i := range ts {
+		cur += int64(r.Intn(5))
+		ts[i] = cur
+	}
+	c := mustFromTimestamps(t, ts)
+	for trial := 0; trial < 500; trial++ {
+		q := int64(r.Intn(int(cur) + 10))
+		tau := int64(1 + r.Intn(20))
+		got := c.Burstiness(q, tau)
+		want := c.BurstFrequency(q, tau) - c.BurstFrequency(q-tau, tau)
+		if got != want {
+			t.Fatalf("b(%d,τ=%d) = %d but bf−bf = %d", q, tau, got, want)
+		}
+	}
+}
+
+func TestBurstinessFigure1(t *testing.T) {
+	// Mirrors the shape of Figure 1: stable arrivals, then accelerating,
+	// then still-growing-but-decelerating. τ = 10.
+	var ts stream.TimestampSeq
+	add := func(start, end int64, per int) {
+		for tt := start; tt < end; tt++ {
+			for k := 0; k < per; k++ {
+				ts = append(ts, tt)
+			}
+		}
+	}
+	// Per-span arrival rates; with τ = span width, the burstiness at the
+	// last instant of span k is span·(rate_k − rate_{k−1}).
+	rates := []int{1, 1, 1, 2, 5, 9, 10, 10}
+	for k, r := range rates {
+		add(int64(10*k), int64(10*(k+1)), r)
+	}
+	c := mustFromTimestamps(t, ts)
+	tau := int64(10)
+	b := func(k int) int64 { return c.Burstiness(int64(10*k+9), tau) }
+	if got := b(2); got != 0 {
+		t.Errorf("b(span 2) = %d, want 0 (stable rate)", got)
+	}
+	if !(b(3) > 0 && b(4) > b(3) && b(5) > b(4)) {
+		t.Errorf("burstiness should increase through the ramp: %d %d %d", b(3), b(4), b(5))
+	}
+	if !(b(6) < b(5) && b(7) == 0) {
+		t.Errorf("burstiness should fall when growth slows: b5=%d b6=%d b7=%d", b(5), b(6), b(7))
+	}
+	if got, want := b(3), int64(10); got != want {
+		t.Errorf("b(span 3) = %d, want %d", got, want)
+	}
+}
+
+func TestAreaBetween(t *testing.T) {
+	c := mustFromTimestamps(t, stream.TimestampSeq{2, 4, 4})
+	// F: 0 on [0,2), 1 on [2,4), 3 on [4,...).
+	cases := []struct {
+		t1, t2, want int64
+	}{
+		{0, 2, 0},
+		{0, 4, 2},
+		{0, 6, 8},
+		{3, 5, 4},
+		{4, 4, 0},
+		{5, 3, 0}, // inverted
+		{-3, 2, 0},
+	}
+	for _, cse := range cases {
+		if got := c.AreaBetween(cse.t1, cse.t2); got != cse.want {
+			t.Errorf("AreaBetween(%d,%d) = %d, want %d", cse.t1, cse.t2, got, cse.want)
+		}
+	}
+}
+
+func TestAreaBetweenMatchesPointwiseSum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts := make(stream.TimestampSeq, 1+r.Intn(40))
+		cur := int64(r.Intn(5))
+		for i := range ts {
+			ts[i] = cur
+			cur += int64(r.Intn(4))
+		}
+		c, err := FromTimestamps(ts)
+		if err != nil {
+			return false
+		}
+		t1 := int64(r.Intn(10))
+		t2 := t1 + int64(r.Intn(int(cur)+5))
+		var want int64
+		for q := t1; q < t2; q++ {
+			want += c.Value(q)
+		}
+		return c.AreaBetween(t1, t2) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixAreas(t *testing.T) {
+	c := mustFromTimestamps(t, stream.TimestampSeq{2, 4, 4, 10})
+	a := c.PrefixAreas()
+	pts := c.Points()
+	for i := 1; i < len(pts); i++ {
+		want := c.AreaBetween(pts[0].T, pts[i].T)
+		if a[i] != want {
+			t.Errorf("PrefixAreas[%d] = %d, want %d", i, a[i], want)
+		}
+	}
+	if a[0] != 0 {
+		t.Errorf("PrefixAreas[0] = %d, want 0", a[0])
+	}
+	var empty Staircase
+	if empty.PrefixAreas() != nil {
+		t.Error("PrefixAreas(empty) should be nil")
+	}
+}
+
+func TestDoubled(t *testing.T) {
+	c := mustFromTimestamps(t, stream.TimestampSeq{5, 10, 11})
+	got := c.Doubled()
+	want := []Point{{4, 0}, {5, 1}, {9, 1}, {10, 2}, {11, 3}}
+	// Note: corner at 11 is adjacent to 10, so no intermediate point.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Doubled = %v, want %v", got, want)
+	}
+	// Doubled points all lie exactly on the staircase.
+	for _, p := range got {
+		if c.Value(p.T) != p.F {
+			t.Errorf("doubled point (%d,%d) not on curve (F=%d)", p.T, p.F, c.Value(p.T))
+		}
+	}
+	var empty Staircase
+	if empty.Doubled() != nil {
+		t.Error("Doubled(empty) should be nil")
+	}
+}
+
+func TestMaxGap(t *testing.T) {
+	c := mustFromTimestamps(t, stream.TimestampSeq{2, 5, 5, 9})
+	// An approximation that is exactly F has zero gap.
+	if g := c.MaxGap(func(t int64) float64 { return float64(c.Value(t)) }); g != 0 {
+		t.Errorf("MaxGap(exact) = %v, want 0", g)
+	}
+	// An approximation 1.5 below F everywhere has gap 1.5.
+	if g := c.MaxGap(func(t int64) float64 { return float64(c.Value(t)) - 1.5 }); g != 1.5 {
+		t.Errorf("MaxGap(-1.5) = %v, want 1.5", g)
+	}
+}

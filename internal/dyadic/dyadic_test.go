@@ -1,0 +1,283 @@
+package dyadic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"histburst/internal/cmpbe"
+	"histburst/internal/exact"
+	"histburst/internal/stream"
+)
+
+// exactLevel wraps the exact store as a Level, letting tests exercise the
+// pruning logic with zero estimation error.
+type exactLevel struct{ st *exact.Store }
+
+func newExactLevel() *exactLevel { return &exactLevel{st: exact.New()} }
+
+func (l *exactLevel) Append(e uint64, t int64) { l.st.Append(e, t) }
+func (l *exactLevel) Finish()                  {}
+func (l *exactLevel) Burstiness(e uint64, t, tau int64) float64 {
+	return float64(l.st.Burstiness(e, t, tau))
+}
+func (l *exactLevel) Bytes() int { return l.st.Bytes() }
+
+func exactFactory(level int, ids uint64) (Level, error) { return newExactLevel(), nil }
+
+func burstyStream(seed int64, k int, horizon int64) stream.Stream {
+	// Background Poisson-ish noise on all events plus strong bursts on a
+	// few chosen events in known windows.
+	r := rand.New(rand.NewSource(seed))
+	var s stream.Stream
+	for tm := int64(0); tm < horizon; tm++ {
+		if r.Intn(2) == 0 {
+			s = append(s, stream.Element{Event: uint64(r.Intn(k)), Time: tm})
+		}
+		if tm >= horizon/2 && tm < horizon/2+50 {
+			for j := 0; j < 8; j++ {
+				s = append(s, stream.Element{Event: 3, Time: tm})
+			}
+			for j := 0; j < 5; j++ {
+				s = append(s, stream.Element{Event: uint64(k - 1), Time: tm})
+			}
+		}
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, exactFactory); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(8, nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	tr, err := New(100, exactFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.K() != 128 {
+		t.Fatalf("K = %d, want 128 (rounded)", tr.K())
+	}
+	tr2, _ := New(64, exactFactory)
+	if tr2.K() != 64 {
+		t.Fatalf("K = %d, want 64 (already a power of two)", tr2.K())
+	}
+}
+
+func TestExactTreePerfectPrecision(t *testing.T) {
+	// With exact levels every returned event is truly bursty (the leaf
+	// filter is exact), i.e. the result is always a subset of the oracle's.
+	// Equality is NOT guaranteed even with exact estimates: Algorithm 3's
+	// pruning bound constrains only the immediate children's aggregate
+	// burstiness, and deeper bursty leaves can hide behind siblings with
+	// cancelling (negative) acceleration — the reason the paper's Figure 12
+	// reports recall below 1. TestPruningCancellationMiss pins that
+	// behaviour down explicitly.
+	const k = 32
+	data := burstyStream(1, k, 2000)
+	tr, err := New(k, exactFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for _, el := range data {
+		tr.Append(el.Event, el.Time)
+		oracle.Append(el.Event, el.Time)
+	}
+	tr.Finish()
+	r := rand.New(rand.NewSource(2))
+	misses := 0
+	total := 0
+	for trial := 0; trial < 200; trial++ {
+		ts := int64(r.Intn(2000))
+		tau := int64(1 + r.Intn(100))
+		theta := float64(1 + r.Intn(10))
+		got, err := tr.BurstyEvents(ts, theta, tau, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracle.BurstyEvents(ts, int64(theta), tau)
+		wantSet := make(map[uint64]bool, len(want))
+		for _, e := range want {
+			wantSet[e] = true
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for _, e := range got {
+			if !wantSet[e] {
+				t.Fatalf("ts=%d τ=%d θ=%v: false positive %d (got %v, want %v)",
+					ts, tau, theta, e, got, want)
+			}
+		}
+		misses += len(want) - len(got)
+		total += len(want)
+	}
+	// Cancellation misses exist but must be the exception on this
+	// noise-dominated workload with low thresholds.
+	if total > 0 && float64(misses)/float64(total) > 0.25 {
+		t.Fatalf("recall too low: missed %d of %d", misses, total)
+	}
+}
+
+func TestPruningCancellationMiss(t *testing.T) {
+	// Documents the inherent limitation of equation (6): two siblings with
+	// equal-and-opposite acceleration make their parent (and the pruning
+	// statistic at the grandparent) vanish, hiding both. Event 0
+	// accelerates (+R per tick in the window) while event 1 decelerates
+	// symmetrically; events 2 and 3 stay silent so every ancestor aggregate
+	// has b ≈ 0.
+	var data stream.Stream
+	for tm := int64(0); tm < 300; tm++ {
+		// Event 1 runs at a high steady rate, then stops at t=200 —
+		// negative acceleration; event 0 starts at t=200 with the same
+		// rate — positive acceleration of the same magnitude.
+		if tm < 200 {
+			for j := 0; j < 5; j++ {
+				data = append(data, stream.Element{Event: 1, Time: tm})
+			}
+		} else {
+			for j := 0; j < 5; j++ {
+				data = append(data, stream.Element{Event: 0, Time: tm})
+			}
+		}
+	}
+	tr, err := New(4, exactFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for _, el := range data {
+		tr.Append(el.Event, el.Time)
+		oracle.Append(el.Event, el.Time)
+	}
+	tr.Finish()
+	ts, tau := int64(249), int64(50)
+	theta := 100.0
+	// The oracle sees event 0 bursting.
+	if b := oracle.Burstiness(0, ts, tau); float64(b) < theta {
+		t.Fatalf("setup broken: oracle b_0 = %d", b)
+	}
+	var stats QueryStats
+	got, err := tr.BurstyEvents(ts, theta, tau, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected the cancellation miss documented by the paper's design, got %v", got)
+	}
+	if stats.Pruned == 0 {
+		t.Fatal("expected the root to be pruned")
+	}
+}
+
+func TestPruningActuallyPrunes(t *testing.T) {
+	const k = 1024
+	data := burstyStream(3, k, 4000)
+	tr, _ := New(k, exactFactory)
+	for _, el := range data {
+		tr.Append(el.Event, el.Time)
+	}
+	tr.Finish()
+	var stats QueryStats
+	// Query inside the burst window with a threshold only the injected
+	// bursts pass.
+	if _, err := tr.BurstyEvents(2049, 100, 50, &stats); err != nil {
+		t.Fatal(err)
+	}
+	// A naive scan costs k point queries; the pruned search should do far
+	// fewer (O(log k) scale).
+	if stats.PointQueries > 200 {
+		t.Fatalf("pruned search used %d point queries for k=%d", stats.PointQueries, k)
+	}
+	if stats.Pruned == 0 {
+		t.Fatal("no subtree was pruned")
+	}
+}
+
+func TestThetaValidation(t *testing.T) {
+	tr, _ := New(8, exactFactory)
+	if _, err := tr.BurstyEvents(10, 0, 5, nil); err == nil {
+		t.Error("theta=0 accepted")
+	}
+	if _, err := tr.BurstyEvents(10, -3, 5, nil); err == nil {
+		t.Error("negative theta accepted")
+	}
+}
+
+func TestOutOfRangeIDFolded(t *testing.T) {
+	tr, _ := New(8, exactFactory)
+	tr.Append(1000, 5) // folds to 1000 % 8 = 0
+	tr.Finish()
+	if tr.N() != 1 {
+		t.Fatalf("N = %d", tr.N())
+	}
+	if b := tr.Burstiness(0, 5, 2); b <= 0 {
+		t.Fatalf("folded id invisible: b = %v", b)
+	}
+}
+
+func TestSketchTreeFindsPlantedBursts(t *testing.T) {
+	const k = 64
+	data := burstyStream(7, k, 3000)
+	f, err := cmpbe.PBE2Factory(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(k, CMPBELevels(4, 64, 11, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for _, el := range data {
+		tr.Append(el.Event, el.Time)
+		oracle.Append(el.Event, el.Time)
+	}
+	tr.Finish()
+	// Query at the end of the burst ramp: events 3 and 63 are bursting.
+	ts := int64(1549)
+	tau := int64(50)
+	theta := 100.0
+	got, err := tr.BurstyEvents(ts, theta, tau, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.BurstyEvents(ts, int64(theta), tau)
+	// The sketch answer must contain every truly bursty event (recall) and
+	// not blow up with false positives.
+	gotSet := make(map[uint64]bool)
+	for _, e := range got {
+		gotSet[e] = true
+	}
+	for _, e := range want {
+		if !gotSet[e] {
+			t.Fatalf("missed bursty event %d; got %v, want %v", e, got, want)
+		}
+	}
+	if len(got) > len(want)+5 {
+		t.Fatalf("too many false positives: got %v, want %v", got, want)
+	}
+}
+
+func TestBytesSumsLevels(t *testing.T) {
+	tr, _ := New(16, exactFactory)
+	tr.Append(3, 1)
+	tr.Append(5, 2)
+	tr.Finish()
+	// 5 levels (lgK=4 → 0..4), each an exact store holding 2 timestamps.
+	if got := tr.Bytes(); got != 5*2*8 {
+		t.Fatalf("Bytes = %d, want 80", got)
+	}
+	if tr.MaxTime() != 2 {
+		t.Fatalf("MaxTime = %d", tr.MaxTime())
+	}
+}
+
+func TestRoundPow2(t *testing.T) {
+	cases := map[uint64]uint64{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 864: 1024, 1689: 2048, 1 << 20: 1 << 20}
+	for in, want := range cases {
+		if got := roundPow2(in); got != want {
+			t.Errorf("roundPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

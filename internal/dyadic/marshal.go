@@ -1,0 +1,81 @@
+package dyadic
+
+import (
+	"encoding"
+	"fmt"
+
+	"histburst/internal/binenc"
+	"histburst/internal/cmpbe"
+)
+
+// Serialization: the tree stores its shape plus every level's own binary
+// form. Loading is specific to CM-PBE-backed levels (the only persistent
+// kind); the cell Factory must match the one used at build time.
+
+var treeMagic = []byte{'D', 'Y', 'A', 1}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Every level must be
+// serializable (CM-PBE and Direct levels are; test-only exact levels are
+// not).
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	var w binenc.Writer
+	w.BytesBlob(treeMagic)
+	w.Uvarint(t.k)
+	w.Varint(t.n)
+	w.Varint(t.maxT)
+	w.Uvarint(uint64(len(t.levels)))
+	for i, l := range t.levels {
+		m, ok := l.(encoding.BinaryMarshaler)
+		if !ok {
+			return nil, fmt.Errorf("dyadic: level %d type %T is not serializable", i, l)
+		}
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("dyadic: level %d: %w", i, err)
+		}
+		w.BytesBlob(blob)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalTree decodes a tree serialized by MarshalBinary whose levels are
+// CM-PBE summaries built from the given cell factory.
+func UnmarshalTree(data []byte, f cmpbe.Factory) (*Tree, error) {
+	r := binenc.NewReader(data)
+	if string(r.BytesBlob()) != string(treeMagic) {
+		return nil, fmt.Errorf("dyadic: bad magic")
+	}
+	k := r.Uvarint()
+	n := r.Varint()
+	maxT := r.Varint()
+	nLevels := r.Len(65)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if k == 0 || k != roundPow2(k) {
+		return nil, fmt.Errorf("dyadic: implausible id space %d", k)
+	}
+	levels := make([]Level, nLevels)
+	for i := range levels {
+		v, err := cmpbe.UnmarshalAny(r.BytesBlob(), f)
+		if err != nil {
+			return nil, fmt.Errorf("dyadic: level %d: %w", i, err)
+		}
+		lvl, ok := v.(Level)
+		if !ok {
+			return nil, fmt.Errorf("dyadic: level %d type %T lacks the Level methods", i, v)
+		}
+		levels[i] = lvl
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	lgK := 0
+	for 1<<lgK < int(k) {
+		lgK++
+	}
+	if nLevels != lgK+1 {
+		return nil, fmt.Errorf("dyadic: level count %d does not match id space %d", nLevels, k)
+	}
+	return &Tree{k: k, lgK: lgK, levels: levels, n: n, maxT: maxT}, nil
+}

@@ -1,0 +1,49 @@
+package dyadic
+
+import (
+	"fmt"
+
+	"histburst/internal/cmpbe"
+)
+
+// MergeAppend absorbs a tree built over a strictly later time range of the
+// same stream: every level merges with its counterpart. Both trees must
+// have been built with equivalent level factories (same shapes and seeds).
+func (t *Tree) MergeAppend(other *Tree) error {
+	if other == nil {
+		return fmt.Errorf("dyadic: cannot merge nil tree")
+	}
+	if t.k != other.k || len(t.levels) != len(other.levels) {
+		return fmt.Errorf("dyadic: shape mismatch (k=%d/%d, levels=%d/%d)",
+			t.k, other.k, len(t.levels), len(other.levels))
+	}
+	for i := range t.levels {
+		if err := mergeLevel(t.levels[i], other.levels[i]); err != nil {
+			return fmt.Errorf("dyadic: level %d: %w", i, err)
+		}
+	}
+	t.n += other.n
+	if other.maxT > t.maxT {
+		t.maxT = other.maxT
+	}
+	return nil
+}
+
+func mergeLevel(dst, src Level) error {
+	switch d := dst.(type) {
+	case *cmpbe.Sketch:
+		s, ok := src.(*cmpbe.Sketch)
+		if !ok {
+			return fmt.Errorf("level type mismatch: %T vs %T", dst, src)
+		}
+		return d.MergeAppend(s)
+	case *cmpbe.Direct:
+		s, ok := src.(*cmpbe.Direct)
+		if !ok {
+			return fmt.Errorf("level type mismatch: %T vs %T", dst, src)
+		}
+		return d.MergeAppend(s)
+	default:
+		return fmt.Errorf("level type %T is not mergeable", dst)
+	}
+}

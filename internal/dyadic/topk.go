@@ -1,0 +1,107 @@
+package dyadic
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// EventScore pairs an event id with its estimated burstiness.
+type EventScore struct {
+	Event      uint64
+	Burstiness float64
+}
+
+// TopBursty returns up to k events with the largest estimated burstiness at
+// time ts (descending), found by best-first search over the dyadic tree.
+//
+// Each node is scored by its aggregate burstiness magnitude |b̃|; the
+// search expands the highest-scored node first and stops once k leaves
+// have been resolved whose scores dominate every unexpanded node's score.
+// Like Algorithm 3's pruning bound, the aggregate score constrains deeper
+// leaves only up to sibling cancellation, so a leaf hidden behind a
+// sibling with opposite acceleration can be missed — exactly the events
+// the BURSTY EVENT query also misses.
+func (t *Tree) TopBursty(ts int64, k int, tau int64, stats *QueryStats) ([]EventScore, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dyadic: k must be positive, got %d", k)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("dyadic: tau must be positive, got %d", tau)
+	}
+	if stats == nil {
+		stats = &QueryStats{}
+	}
+	pq := &nodeHeap{}
+	heap.Init(pq)
+	rootScore := t.levels[t.lgK].Burstiness(0, ts, tau)
+	stats.PointQueries++
+	heap.Push(pq, node{lv: t.lgK, agg: 0, bound: math.Abs(rootScore)})
+
+	var results []EventScore
+	worst := math.Inf(-1) // k-th best resolved leaf score
+	for pq.Len() > 0 {
+		n := heap.Pop(pq).(node)
+		stats.NodesVisited++
+		if len(results) >= k && n.bound <= worst {
+			break
+		}
+		if n.lv == 0 {
+			results = insertScore(results, EventScore{Event: n.agg, Burstiness: n.exact}, k)
+			if len(results) >= k {
+				worst = results[len(results)-1].Burstiness
+			}
+			continue
+		}
+		bl := t.levels[n.lv-1].Burstiness(n.agg<<1, ts, tau)
+		br := t.levels[n.lv-1].Burstiness(n.agg<<1|1, ts, tau)
+		stats.PointQueries += 2
+		for i, bc := range [2]float64{bl, br} {
+			child := node{lv: n.lv - 1, agg: n.agg<<1 | uint64(i)}
+			if child.lv == 0 {
+				child.bound = bc
+				child.exact = bc
+			} else {
+				child.bound = math.Abs(bc)
+			}
+			heap.Push(pq, child)
+		}
+	}
+	return results, nil
+}
+
+// insertScore keeps the k best scores in descending order.
+func insertScore(rs []EventScore, s EventScore, k int) []EventScore {
+	pos := len(rs)
+	for pos > 0 && rs[pos-1].Burstiness < s.Burstiness {
+		pos--
+	}
+	rs = append(rs, EventScore{})
+	copy(rs[pos+1:], rs[pos:])
+	rs[pos] = s
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs
+}
+
+type node struct {
+	lv    int
+	agg   uint64
+	bound float64
+	exact float64 // leaf burstiness (lv == 0 only)
+}
+
+type nodeHeap []node
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].bound > h[j].bound }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

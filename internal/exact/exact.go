@@ -1,0 +1,182 @@
+// Package exact implements the paper's baseline (Section II-B): store the
+// entire event stream and answer every query exactly with binary search.
+//
+// The baseline costs O(n) space and O(log n) per point query, which is
+// exactly why the sketches exist — but it is also the ground-truth oracle
+// against which every approximation in the test suite and the experiment
+// harness is measured.
+package exact
+
+import (
+	"sort"
+
+	"histburst/internal/curve"
+	"histburst/internal/stream"
+)
+
+// Store holds the complete event stream, organized per event for fast
+// queries. It answers all three query types from Section II exactly.
+type Store struct {
+	byEvent map[uint64]stream.TimestampSeq
+	curves  map[uint64]curve.Staircase // built lazily
+	n       int64                      // total elements
+	maxTime int64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		byEvent: make(map[uint64]stream.TimestampSeq),
+		curves:  make(map[uint64]curve.Staircase),
+	}
+}
+
+// FromStream bulk-loads a sorted stream.
+func FromStream(s stream.Stream) (*Store, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	st := New()
+	for _, el := range s {
+		st.Append(el.Event, el.Time)
+	}
+	return st, nil
+}
+
+// Append adds one element. Timestamps must be non-decreasing overall (the
+// store does not re-sort; use FromStream for bulk loads of sorted data).
+func (s *Store) Append(e uint64, t int64) {
+	s.byEvent[e] = append(s.byEvent[e], t)
+	delete(s.curves, e) // invalidate cached curve
+	s.n++
+	if t > s.maxTime {
+		s.maxTime = t
+	}
+}
+
+// Len returns the total number of stored elements N.
+func (s *Store) Len() int64 { return s.n }
+
+// MaxTime returns the largest timestamp seen (the stream horizon T).
+func (s *Store) MaxTime() int64 { return s.maxTime }
+
+// Events returns all distinct event ids, ascending.
+func (s *Store) Events() []uint64 {
+	out := make([]uint64, 0, len(s.byEvent))
+	for e := range s.byEvent {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Curve returns the exact frequency curve of event e (empty staircase if the
+// event never occurred). Curves are cached until the event next changes.
+func (s *Store) Curve(e uint64) curve.Staircase {
+	if c, ok := s.curves[e]; ok {
+		return c
+	}
+	ts := s.byEvent[e]
+	c, err := curve.FromTimestamps(ts)
+	if err != nil {
+		// Timestamps are appended in order; this cannot happen unless the
+		// caller violated the Append contract, in which case sorting is the
+		// most useful recovery.
+		sorted := append(stream.TimestampSeq(nil), ts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		c, _ = curve.FromTimestamps(sorted)
+	}
+	s.curves[e] = c
+	return c
+}
+
+// CumFreq returns F_e(t) exactly.
+func (s *Store) CumFreq(e uint64, t int64) int64 {
+	return s.Curve(e).Value(t)
+}
+
+// Burstiness answers the POINT QUERY q(e, t, τ) exactly.
+func (s *Store) Burstiness(e uint64, t, tau int64) int64 {
+	return s.Curve(e).Burstiness(t, tau)
+}
+
+// BurstyTimes answers the BURSTY TIME QUERY q(e, θ, τ) exactly: all
+// timestamps t in [0, MaxTime] with b_e(t) ≥ θ, reported as maximal
+// half-open intervals [Start, End) to keep the answer compact. The
+// burstiness is piecewise constant, changing only at arrival times shifted
+// by {0, τ, 2τ}, so it suffices to evaluate at those breakpoints.
+func (s *Store) BurstyTimes(e uint64, theta int64, tau int64) []TimeRange {
+	c := s.Curve(e)
+	pts := c.Points()
+	if len(pts) == 0 {
+		return nil
+	}
+	bps := breakpoints(pts, tau, s.maxTime)
+	var out []TimeRange
+	for i, t := range bps {
+		if c.Burstiness(t, tau) < theta {
+			continue
+		}
+		end := s.maxTime + 1
+		if i+1 < len(bps) {
+			end = bps[i+1]
+		}
+		if len(out) > 0 && out[len(out)-1].End == t {
+			out[len(out)-1].End = end
+			continue
+		}
+		out = append(out, TimeRange{Start: t, End: end})
+	}
+	return out
+}
+
+// BurstyEvents answers the BURSTY EVENT QUERY q(t, θ, τ) exactly.
+func (s *Store) BurstyEvents(t int64, theta int64, tau int64) []uint64 {
+	var out []uint64
+	for _, e := range s.Events() {
+		if s.Burstiness(e, t, tau) >= theta {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Bytes returns the heap footprint of the stored timestamps — the paper's
+// O(n) baseline space cost (8 bytes per element; map overhead excluded to
+// keep the number comparable with the sketch accounting).
+func (s *Store) Bytes() int {
+	var total int
+	for _, ts := range s.byEvent {
+		total += 8 * len(ts)
+	}
+	return total
+}
+
+// TimeRange is a half-open interval [Start, End).
+type TimeRange struct {
+	Start, End int64
+}
+
+// Contains reports whether t lies in the range.
+func (r TimeRange) Contains(t int64) bool { return t >= r.Start && t < r.End }
+
+// breakpoints returns the sorted distinct time instants in [0, maxTime]
+// where b(t) can change: every corner time shifted by 0, τ and 2τ, plus 0.
+func breakpoints(pts []curve.Point, tau, maxTime int64) []int64 {
+	set := make(map[int64]struct{}, 3*len(pts)+1)
+	set[0] = struct{}{}
+	for _, p := range pts {
+		for _, d := range [3]int64{0, tau, 2 * tau} {
+			t := p.T + d
+			if t >= 0 && t <= maxTime {
+				set[t] = struct{}{}
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,139 @@
+package exact
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+func randomStream(seed int64, n, k int, maxStep int) stream.Stream {
+	r := rand.New(rand.NewSource(seed))
+	s := make(stream.Stream, n)
+	cur := int64(0)
+	for i := range s {
+		cur += int64(r.Intn(maxStep))
+		s[i] = stream.Element{Event: uint64(r.Intn(k)), Time: cur}
+	}
+	return s
+}
+
+func TestFromStreamRejectsUnsorted(t *testing.T) {
+	if _, err := FromStream(stream.Stream{{Event: 1, Time: 5}, {Event: 1, Time: 1}}); err == nil {
+		t.Fatal("unsorted stream accepted")
+	}
+}
+
+func TestCumFreqAndBurstiness(t *testing.T) {
+	s, err := FromStream(stream.Stream{{Event: 1, Time: 2}, {Event: 2, Time: 3}, {Event: 1, Time: 5}, {Event: 1, Time: 5}, {Event: 2, Time: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CumFreq(1, 4); got != 1 {
+		t.Errorf("F_1(4) = %d, want 1", got)
+	}
+	if got := s.CumFreq(1, 5); got != 3 {
+		t.Errorf("F_1(5) = %d, want 3", got)
+	}
+	if got := s.CumFreq(99, 100); got != 0 {
+		t.Errorf("F_absent = %d, want 0", got)
+	}
+	// b_1(5, τ=2) = F(5) − 2F(3) + F(1) = 3 − 2 + 0 = 1.
+	if got := s.Burstiness(1, 5, 2); got != 1 {
+		t.Errorf("b_1(5,2) = %d, want 1", got)
+	}
+	if s.Len() != 5 || s.MaxTime() != 9 {
+		t.Errorf("Len=%d MaxTime=%d", s.Len(), s.MaxTime())
+	}
+}
+
+func TestEvents(t *testing.T) {
+	s, _ := FromStream(stream.Stream{{Event: 5, Time: 1}, {Event: 1, Time: 2}, {Event: 5, Time: 3}})
+	if got := s.Events(); !reflect.DeepEqual(got, []uint64{1, 5}) {
+		t.Fatalf("Events = %v", got)
+	}
+}
+
+func TestAppendInvalidatesCurveCache(t *testing.T) {
+	s := New()
+	s.Append(1, 10)
+	if got := s.CumFreq(1, 10); got != 1 {
+		t.Fatalf("F(10) = %d, want 1", got)
+	}
+	s.Append(1, 20)
+	if got := s.CumFreq(1, 20); got != 2 {
+		t.Fatalf("F(20) after append = %d, want 2 (stale cache?)", got)
+	}
+}
+
+func TestBurstyTimesMatchesBruteForce(t *testing.T) {
+	s, err := FromStream(randomStream(3, 400, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []int64{1, 3, 7} {
+		for _, theta := range []int64{1, 2, 4} {
+			for _, e := range s.Events() {
+				ranges := s.BurstyTimes(e, theta, tau)
+				for q := int64(0); q <= s.MaxTime(); q++ {
+					want := s.Burstiness(e, q, tau) >= theta
+					got := false
+					for _, r := range ranges {
+						if r.Contains(q) {
+							got = true
+							break
+						}
+					}
+					if got != want {
+						t.Fatalf("e=%d τ=%d θ=%d t=%d: in-range=%v want %v",
+							e, tau, theta, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBurstyTimesEmptyEvent(t *testing.T) {
+	s := New()
+	if got := s.BurstyTimes(42, 1, 5); got != nil {
+		t.Fatalf("BurstyTimes(absent) = %v", got)
+	}
+}
+
+func TestBurstyEventsMatchesPointQueries(t *testing.T) {
+	s, err := FromStream(randomStream(17, 600, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		q := int64(r.Intn(int(s.MaxTime()) + 1))
+		tau := int64(1 + r.Intn(10))
+		theta := int64(1 + r.Intn(5))
+		got := s.BurstyEvents(q, theta, tau)
+		var want []uint64
+		for _, e := range s.Events() {
+			if s.Burstiness(e, q, tau) >= theta {
+				want = append(want, e)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("BurstyEvents(%d,%d,%d) = %v, want %v", q, theta, tau, got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s := New()
+	if s.Bytes() != 0 {
+		t.Errorf("empty Bytes = %d", s.Bytes())
+	}
+	s.Append(1, 1)
+	s.Append(2, 2)
+	s.Append(1, 3)
+	if got := s.Bytes(); got != 24 {
+		t.Errorf("Bytes = %d, want 24", got)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"histburst/internal/metrics"
+	"histburst/internal/pbe1"
+)
+
+func init() {
+	register("abl-cap", "ablation: PBE-1 fixed η vs the paper's hard-error-cap variant at matched space", ablationErrorCap)
+}
+
+// ablationErrorCap compares PBE-1's two contracts from Section III-A: a
+// fixed per-chunk point budget η versus a hard cap on each chunk's area
+// error ("finds the smallest space usage to ensure that a specified error
+// threshold is never crossed"). At matched space, the cap variant adapts
+// its budget to each chunk's complexity, trading a slightly different mean
+// error for a guaranteed worst case per chunk.
+func ablationErrorCap(cfg Config) (Table, error) {
+	ts := soccerStream(cfg)
+	c := curveOf(ts)
+	horizon := ts[len(ts)-1]
+
+	t := Table{
+		ID:    "abl-cap",
+		Title: "PBE-1: fixed η vs hard error cap (soccer)",
+		Note:  "the cap variant spends points where the curve is complex; its per-chunk error never exceeds the cap",
+		Header: []string{"cap", "cap space", "cap mean err", "cap max err",
+			"matched η", "η space", "η mean err", "η max err"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	// Derive caps from the curve's own error scale: the area error of a
+	// near-minimal fixed budget bounds what any cap can be asked to beat.
+	probe, err := pbe1.New(pbe1BufferN, 4)
+	if err != nil {
+		return Table{}, err
+	}
+	buildPBE(probe, ts)
+	ref := probe.AreaError() / int64(c.Len()/pbe1BufferN+1) // per-chunk scale
+	if ref < 4 {
+		ref = 4
+	}
+	for _, cap := range []int64{ref / 100, ref / 20, ref / 5, ref / 2} {
+		if cap < 1 {
+			cap = 1
+		}
+		capped, err := pbe1.NewWithErrorCap(pbe1BufferN, cap)
+		if err != nil {
+			return Table{}, err
+		}
+		buildPBE(capped, ts)
+		capStats := singlePointErrors(capped, c, horizon, cfg.Queries, rng)
+
+		// Match the fixed-η variant to the capped one's space.
+		fixed, err := buildPBE1At(ts, capped.Bytes())
+		if err != nil {
+			return Table{}, err
+		}
+		fixedStats := singlePointErrors(fixed, c, horizon, cfg.Queries, rng)
+		eta := fixed.Bytes() / 16 // total points ≈ chunks·η; report the per-chunk figure
+		chunks := c.Len()/pbe1BufferN + 1
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", cap),
+			metrics.HumanBytes(capped.Bytes()),
+			fmtF(capStats.Mean), fmtF(capStats.Max),
+			fmt.Sprintf("%d", eta/chunks),
+			metrics.HumanBytes(fixed.Bytes()),
+			fmtF(fixedStats.Mean), fmtF(fixedStats.Max),
+		})
+	}
+	return t, nil
+}

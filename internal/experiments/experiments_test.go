@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps every experiment fast enough for the unit-test suite.
+func tinyConfig() Config {
+	return Config{Scale: 0.004, Queries: 30, Seed: 1}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run("fig7", Config{Scale: 0, Queries: 10}); err == nil {
+		t.Error("scale=0 accepted")
+	}
+	if _, err := Run("fig7", Config{Scale: 1, Queries: 0}); err == nil {
+		t.Error("queries=0 accepted")
+	}
+	if _, err := Run("no-such-figure", tinyConfig()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestListAndDescribe(t *testing.T) {
+	ids := List()
+	want := []string{"abl-cap", "abl-cm", "abl-dp", "abl-klein", "abl-med", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig7", "fig8", "fig9", "tbl-base"}
+	if len(ids) != len(want) {
+		t.Fatalf("List = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("List = %v, want %v", ids, want)
+		}
+		if Describe(ids[i]) == "" {
+			t.Errorf("no description for %s", ids[i])
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	cfg := tinyConfig()
+	for _, id := range List() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, cfg)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if tbl.ID != id {
+				t.Errorf("table id %q != %q", tbl.ID, id)
+			}
+			if len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+				t.Fatalf("empty table: %+v", tbl)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tbl.Header))
+				}
+			}
+			out := tbl.Format()
+			if !strings.Contains(out, tbl.Title) {
+				t.Error("Format missing title")
+			}
+		})
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tbl, err := Run("fig7", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 31 {
+		t.Fatalf("fig7 should have 31 day rows, got %d", len(tbl.Rows))
+	}
+	// Soccer's largest burstiness lands near day 20; swimming's late-month
+	// rate is near zero.
+	bestDay, bestB := 0, int64(-1<<62)
+	var lateSwimRate int64
+	for _, row := range tbl.Rows {
+		day, _ := strconv.Atoi(row[0])
+		b, _ := strconv.ParseInt(row[2], 10, 64)
+		if b > bestB {
+			bestB, bestDay = b, day
+		}
+		if day >= 25 {
+			r, _ := strconv.ParseInt(row[3], 10, 64)
+			if r > lateSwimRate {
+				lateSwimRate = r
+			}
+		}
+	}
+	if bestDay < 18 || bestDay > 22 {
+		t.Errorf("soccer peak burstiness at day %d, want ≈20", bestDay)
+	}
+	var firstWeekSwim int64
+	for _, row := range tbl.Rows[:9] {
+		r, _ := strconv.ParseInt(row[3], 10, 64)
+		if r > firstWeekSwim {
+			firstWeekSwim = r
+		}
+	}
+	if lateSwimRate*5 > firstWeekSwim {
+		t.Errorf("swimming late rate %d not small vs early %d", lateSwimRate, firstWeekSwim)
+	}
+}
+
+func TestFig9SpaceMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tbl, err := Run("fig9", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Space must not grow as gamma grows (soccer column).
+	prev := int64(1) << 62
+	for _, row := range tbl.Rows {
+		kb := parseBytes(t, row[1])
+		if kb > prev {
+			t.Fatalf("space grew with gamma: %v", tbl.Format())
+		}
+		prev = kb
+	}
+}
+
+func parseBytes(t *testing.T, s string) int64 {
+	t.Helper()
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "MB"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "KB")
+	default:
+		s = strings.TrimSuffix(s, "B")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parseBytes(%q): %v", s, err)
+	}
+	return int64(v * float64(mult))
+}
+
+func TestAblationDPEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tbl, err := Run("abl-dp", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("DP variants disagree: %v", tbl.Format())
+		}
+	}
+}
+
+func TestTableFormatAlignment(t *testing.T) {
+	tbl := Table{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"lonnng", "1"}},
+	}
+	out := tbl.Format()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+0+1 {
+		t.Fatalf("unexpected line count: %q", out)
+	}
+	// Separator row matches header width.
+	if !strings.HasPrefix(lines[2], "------") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"histburst/internal/cmpbe"
+	"histburst/internal/dyadic"
+	"histburst/internal/metrics"
+	"histburst/internal/stream"
+	"histburst/internal/workload"
+)
+
+func init() {
+	register("fig12", "bursty event detection: space vs precision/recall (both datasets)", fig12)
+}
+
+// fig12 reproduces Figure 12: precision and recall of the dyadic-tree
+// bursty event query against the exact oracle, across sketch widths (the
+// space axis). Both rise with space and olympicrio beats uspolitics at
+// equal budgets. Recall is additionally capped by the pruning bound's
+// blindness to sibling cancellation (see the dyadic package tests), which
+// is why neither dataset reaches 1 even with generous space.
+func fig12(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "fig12",
+		Title:  "Bursty event detection: space vs precision/recall",
+		Note:   "both rise with space; olympicrio beats uspolitics at equal budgets",
+		Header: []string{"dataset", "variant", "width", "space", "precision", "recall", "point queries/query"},
+	}
+	datasets := []struct {
+		name string
+		k    uint64
+		s    stream.Stream
+	}{
+		{"olympicrio", workload.OlympicRioK, olympicStream(cfg)},
+		{"uspolitics", workload.USPoliticsK, politicsStream(cfg)},
+	}
+	f1, f2, err := cellFactories(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	for _, ds := range datasets {
+		oracle := oracleFor(ds.name+fmt.Sprint(cfg.Scale, cfg.Seed), ds.s)
+		tau := workload.Day
+		rng := rand.New(rand.NewSource(cfg.Seed + 33))
+		maxB := burstinessRange(oracle, tau, rng)
+		for _, w := range []int{136, 272, 544} {
+			for vi, factory := range []cmpbe.Factory{f1, f2} {
+				name := "CM-PBE-1"
+				if vi == 1 {
+					name = "CM-PBE-2"
+				}
+				tree, err := dyadic.New(ds.k, dyadic.CMPBELevels(cmpbeDepth, w, cfg.Seed, factory))
+				if err != nil {
+					return Table{}, err
+				}
+				for _, el := range ds.s {
+					tree.Append(el.Event, el.Time)
+				}
+				tree.Finish()
+
+				var agg metrics.PrecisionRecall
+				queries := cfg.Queries / 2
+				if queries < 20 {
+					queries = 20
+				}
+				var stats dyadic.QueryStats
+				for q := 0; q < queries; q++ {
+					qt := int64(rng.Int63n(oracle.MaxTime() + 1))
+					// Thresholds from the upper part of the observed
+					// burstiness range: prominent bursts, the paper's
+					// use case.
+					theta := maxB * (0.03 + 0.17*rng.Float64())
+					got, err := tree.BurstyEvents(qt, theta, tau, &stats)
+					if err != nil {
+						return Table{}, err
+					}
+					want := oracle.BurstyEvents(qt, int64(theta), tau)
+					agg.Add(metrics.Compare(got, want))
+				}
+				t.Rows = append(t.Rows, []string{
+					ds.name, name, fmt.Sprintf("%d", w),
+					metrics.HumanBytes(tree.Bytes()),
+					fmtF(agg.Precision()), fmtF(agg.Recall()),
+					fmt.Sprintf("%d", stats.PointQueries/queries),
+				})
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"histburst/internal/metrics"
+	"histburst/internal/pbe1"
+)
+
+func init() {
+	register("fig8", "PBE-1 parameter study: η vs space, construction time, accuracy", fig8)
+}
+
+// pbe1BufferN is the paper's buffer size: PBE-1 compresses the exact curve
+// every n = 1500 corner points.
+const pbe1BufferN = 1500
+
+// fig8Etas is the paper's η sweep (Figure 8's x-axis runs to 700).
+var fig8Etas = []int{100, 200, 300, 400, 500, 600, 700}
+
+// fig8 reproduces Figure 8: as the per-buffer point budget η grows, PBE-1's
+// size and construction time grow linearly while its approximation error
+// collapses ("when η > 120, its approximation error is less than 1" at full
+// scale).
+func fig8(cfg Config) (Table, error) {
+	soccerTS := soccerStream(cfg)
+	swimmingTS := swimmingStream(cfg)
+	soccerC := curveOf(soccerTS)
+	swimmingC := curveOf(swimmingTS)
+
+	t := Table{
+		ID:    "fig8",
+		Title: fmt.Sprintf("PBE-1 parameter study (buffer n = %d)", pbe1BufferN),
+		Note:  "space and construction time grow ~linearly with η; error collapses once η is a modest fraction of the buffer",
+		Header: []string{"eta",
+			"soccer space", "soccer construct", "soccer mean err", "soccer max err",
+			"swim space", "swim construct", "swim mean err"},
+	}
+	for _, eta := range fig8Etas {
+		if eta >= pbe1BufferN {
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", eta)}
+		b1, err := pbe1.New(pbe1BufferN, eta)
+		if err != nil {
+			return Table{}, err
+		}
+		sw := metrics.NewStopwatch()
+		buildPBE(b1, soccerTS)
+		soccerBuild := sw.Elapsed()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(eta)))
+		sErr := singlePointErrors(b1, soccerC, soccerTS[len(soccerTS)-1], cfg.Queries, rng)
+
+		b2, err := pbe1.New(pbe1BufferN, eta)
+		if err != nil {
+			return Table{}, err
+		}
+		sw = metrics.NewStopwatch()
+		buildPBE(b2, swimmingTS)
+		swimBuild := sw.Elapsed()
+		wErr := singlePointErrors(b2, swimmingC, swimmingTS[len(swimmingTS)-1], cfg.Queries, rng)
+
+		row = append(row,
+			metrics.HumanBytes(b1.Bytes()),
+			fmt.Sprintf("%.1fms", float64(soccerBuild.Microseconds())/1000),
+			fmtF(sErr.Mean), fmtF(sErr.Max),
+			metrics.HumanBytes(b2.Bytes()),
+			fmt.Sprintf("%.1fms", float64(swimBuild.Microseconds())/1000),
+			fmtF(wErr.Mean),
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"histburst/internal/metrics"
+	"histburst/internal/pbe2"
+)
+
+func init() {
+	register("fig9", "PBE-2 parameter study: γ vs space, construction time, accuracy", fig9)
+}
+
+// fig9Gammas is the paper's γ sweep (Figure 9's x-axis runs 20..100 for the
+// 1M-element streams); scaleGamma maps them to the configured volume.
+var fig9Gammas = []float64{20, 40, 60, 80, 100}
+
+// fig9 reproduces Figure 9: raising the PBE-2 error cap γ shrinks the
+// summary quickly at first and then flattens (only large bursts remain
+// worth storing), construction stays fast and roughly flat, and the
+// measured error stays linear in — and well under — the 4γ bound.
+func fig9(cfg Config) (Table, error) {
+	soccerTS := soccerStream(cfg)
+	swimmingTS := swimmingStream(cfg)
+	soccerC := curveOf(soccerTS)
+	swimmingC := curveOf(swimmingTS)
+
+	t := Table{
+		ID:    "fig9",
+		Title: "PBE-2 parameter study",
+		Note:  "space drops quickly as γ grows, then flattens; error stays ≤ 4γ (and usually well under γ itself)",
+		Header: []string{"gamma",
+			"soccer space", "soccer construct", "soccer mean err",
+			"swim space", "swim construct", "swim mean err"},
+	}
+	for _, gamma := range sweepGammas(fig9Gammas, cfg) {
+		b1, err := pbe2.New(gamma)
+		if err != nil {
+			return Table{}, err
+		}
+		sw := metrics.NewStopwatch()
+		buildPBE(b1, soccerTS)
+		soccerBuild := sw.Elapsed()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(gamma)))
+		sErr := singlePointErrors(b1, soccerC, soccerTS[len(soccerTS)-1], cfg.Queries, rng)
+
+		b2, err := pbe2.New(gamma)
+		if err != nil {
+			return Table{}, err
+		}
+		sw = metrics.NewStopwatch()
+		buildPBE(b2, swimmingTS)
+		swimBuild := sw.Elapsed()
+		wErr := singlePointErrors(b2, swimmingC, swimmingTS[len(swimmingTS)-1], cfg.Queries, rng)
+
+		t.Rows = append(t.Rows, []string{
+			fmtF(gamma),
+			metrics.HumanBytes(b1.Bytes()),
+			fmt.Sprintf("%.1fms", float64(soccerBuild.Microseconds())/1000),
+			fmtF(sErr.Mean),
+			metrics.HumanBytes(b2.Bytes()),
+			fmt.Sprintf("%.1fms", float64(swimBuild.Microseconds())/1000),
+			fmtF(wErr.Mean),
+		})
+	}
+	return t, nil
+}

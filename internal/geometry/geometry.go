@@ -1,0 +1,291 @@
+// Package geometry provides the small computational-geometry substrate used
+// by PBE-2's online piecewise-linear approximation.
+//
+// PBE-2 maintains, in the (slope, intercept) parameter plane, the convex
+// feasible region of all lines that pass through every frequency constraint
+// seen since the current segment began. Each constraint contributes two
+// half-planes; the region is a convex polygon that is repeatedly clipped
+// (Sutherland–Hodgman) until it becomes empty, at which point a segment is
+// emitted. This package implements the vectors, half-planes, clipping,
+// centroid and area primitives needed for that.
+package geometry
+
+import "math"
+
+// Eps is the absolute tolerance used for half-plane membership tests. The
+// coordinates PBE-2 works with are frequency counts and timestamps, which
+// are exact small-magnitude values, so a fixed absolute epsilon suffices.
+const Eps = 1e-9
+
+// Vec2 is a point (or vector) in the plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v − w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns k·v.
+func (v Vec2) Scale(k float64) Vec2 { return Vec2{k * v.X, k * v.Y} }
+
+// Cross returns the z-component of v × w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// HalfPlane is the closed region A·x + B·y ≤ C.
+type HalfPlane struct {
+	A, B, C float64
+}
+
+// Contains reports whether p satisfies the half-plane within Eps.
+func (h HalfPlane) Contains(p Vec2) bool {
+	return h.A*p.X+h.B*p.Y <= h.C+Eps
+}
+
+// eval returns the signed slack C − (A·x + B·y); non-negative means inside.
+func (h HalfPlane) eval(p Vec2) float64 {
+	return h.C - (h.A*p.X + h.B*p.Y)
+}
+
+// LineIntersection returns the intersection point of the two boundary lines
+// A·x + B·y = C. ok is false when the lines are (nearly) parallel.
+func LineIntersection(h1, h2 HalfPlane) (Vec2, bool) {
+	det := h1.A*h2.B - h2.A*h1.B
+	if math.Abs(det) < Eps {
+		return Vec2{}, false
+	}
+	return Vec2{
+		X: (h1.C*h2.B - h2.C*h1.B) / det,
+		Y: (h1.A*h2.C - h2.A*h1.C) / det,
+	}, true
+}
+
+// Polygon is a convex polygon given by its vertices in counter-clockwise
+// order. An empty vertex set denotes the empty region. The zero value is the
+// empty polygon.
+type Polygon struct {
+	vs []Vec2
+}
+
+// NewPolygon builds a polygon from vertices assumed convex and CCW-ordered.
+// The slice is copied.
+func NewPolygon(vs []Vec2) Polygon {
+	cp := make([]Vec2, len(vs))
+	copy(cp, vs)
+	return Polygon{vs: cp}
+}
+
+// Vertices returns a copy of the polygon's vertices.
+func (p Polygon) Vertices() []Vec2 {
+	cp := make([]Vec2, len(p.vs))
+	copy(cp, p.vs)
+	return cp
+}
+
+// Len returns the number of vertices.
+func (p Polygon) Len() int { return len(p.vs) }
+
+// Empty reports whether the polygon has (numerically) vanished: fewer than
+// three vertices cannot bound a 2-D region. PBE-2 treats a degenerate
+// (segment or point) region as empty and emits a segment, which is safe: any
+// point of the previous non-empty region is a valid answer.
+func (p Polygon) Empty() bool { return len(p.vs) < 3 }
+
+// Clip intersects the polygon with the half-plane and returns the result.
+// Standard Sutherland–Hodgman: walk edges, keep inside vertices, insert the
+// boundary crossing when an edge straddles the line.
+func (p Polygon) Clip(h HalfPlane) Polygon {
+	if len(p.vs) == 0 {
+		return Polygon{}
+	}
+	out := make([]Vec2, 0, len(p.vs)+1)
+	for i := 0; i < len(p.vs); i++ {
+		cur := p.vs[i]
+		next := p.vs[(i+1)%len(p.vs)]
+		curIn := h.eval(cur) >= -Eps
+		nextIn := h.eval(next) >= -Eps
+		if curIn {
+			out = append(out, cur)
+		}
+		if curIn != nextIn {
+			// Edge crosses the boundary; find the crossing by linear
+			// interpolation on the slack, which is affine along the edge.
+			d1 := h.eval(cur)
+			d2 := h.eval(next)
+			t := d1 / (d1 - d2)
+			if t < 0 {
+				t = 0
+			} else if t > 1 {
+				t = 1
+			}
+			out = append(out, cur.Add(next.Sub(cur).Scale(t)))
+		}
+	}
+	return Polygon{vs: dedupe(out)}
+}
+
+// dedupe removes consecutive (and wrap-around) vertices closer than Eps,
+// which clipping can produce when the boundary passes through a vertex.
+func dedupe(vs []Vec2) []Vec2 {
+	if len(vs) == 0 {
+		return vs
+	}
+	out := vs[:0]
+	for _, v := range vs {
+		if len(out) > 0 {
+			d := v.Sub(out[len(out)-1])
+			if math.Abs(d.X) < Eps && math.Abs(d.Y) < Eps {
+				continue
+			}
+		}
+		out = append(out, v)
+	}
+	for len(out) > 1 {
+		d := out[0].Sub(out[len(out)-1])
+		if math.Abs(d.X) < Eps && math.Abs(d.Y) < Eps {
+			out = out[:len(out)-1]
+			continue
+		}
+		break
+	}
+	return out
+}
+
+// Area returns the polygon's (non-negative) area.
+func (p Polygon) Area() float64 {
+	if len(p.vs) < 3 {
+		return 0
+	}
+	var a float64
+	for i := range p.vs {
+		a += p.vs[i].Cross(p.vs[(i+1)%len(p.vs)])
+	}
+	return math.Abs(a) / 2
+}
+
+// Centroid returns a representative interior point: the area centroid for a
+// proper polygon, or the vertex average for a degenerate one. PBE-2 uses it
+// as the "randomly chosen point from G" of Algorithm 2 — any feasible point
+// is valid, and the centroid is deterministic and well-centred.
+func (p Polygon) Centroid() Vec2 {
+	if len(p.vs) == 0 {
+		return Vec2{}
+	}
+	if len(p.vs) < 3 {
+		return vertexMean(p.vs)
+	}
+	var cx, cy, a float64
+	for i := range p.vs {
+		v1 := p.vs[i]
+		v2 := p.vs[(i+1)%len(p.vs)]
+		cross := v1.Cross(v2)
+		a += cross
+		cx += (v1.X + v2.X) * cross
+		cy += (v1.Y + v2.Y) * cross
+	}
+	if math.Abs(a) < Eps {
+		// Nearly zero area: fall back to the vertex mean.
+		return vertexMean(p.vs)
+	}
+	return Vec2{X: cx / (3 * a), Y: cy / (3 * a)}
+}
+
+func vertexMean(vs []Vec2) Vec2 {
+	var m Vec2
+	for _, v := range vs {
+		m = m.Add(v)
+	}
+	return m.Scale(1 / float64(len(vs)))
+}
+
+// Contains reports whether q lies inside the polygon (within Eps), assuming
+// CCW orientation.
+func (p Polygon) Contains(q Vec2) bool {
+	if len(p.vs) < 3 {
+		return false
+	}
+	for i := range p.vs {
+		a := p.vs[i]
+		b := p.vs[(i+1)%len(p.vs)]
+		if b.Sub(a).Cross(q.Sub(a)) < -Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundedIntersection builds the polygon from exactly four half-planes whose
+// pairwise boundary intersections bound a (possibly degenerate)
+// parallelogram-like region. PBE-2 seeds each feasible region from the four
+// constraints of its first two points; for distinct timestamps the two
+// constraint pairs have different boundary slopes, so the region is bounded.
+// ok is false if the region is empty or unbounded (parallel seed
+// constraints).
+func BoundedIntersection(hs [4]HalfPlane) (Polygon, bool) {
+	// Gather all pairwise boundary intersections that satisfy every
+	// half-plane; their convex hull is the region.
+	var pts []Vec2
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			p, ok := LineIntersection(hs[i], hs[j])
+			if !ok {
+				continue
+			}
+			inside := true
+			for k := 0; k < 4; k++ {
+				if !hs[k].Contains(p) {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				pts = append(pts, p)
+			}
+		}
+	}
+	hull := ConvexHull(pts)
+	if len(hull) < 3 {
+		return Polygon{vs: hull}, len(hull) > 0
+	}
+	return Polygon{vs: hull}, true
+}
+
+// ConvexHull returns the convex hull of the points in CCW order (Andrew's
+// monotone chain). Collinear interior points are dropped.
+func ConvexHull(pts []Vec2) []Vec2 {
+	if len(pts) <= 2 {
+		return dedupe(append([]Vec2(nil), pts...))
+	}
+	sorted := append([]Vec2(nil), pts...)
+	// Sort by (X, Y).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && less(sorted[j], sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var lower, upper []Vec2
+	for _, p := range sorted {
+		for len(lower) >= 2 && lower[len(lower)-1].Sub(lower[len(lower)-2]).Cross(p.Sub(lower[len(lower)-2])) <= Eps {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		p := sorted[i]
+		for len(upper) >= 2 && upper[len(upper)-1].Sub(upper[len(upper)-2]).Cross(p.Sub(upper[len(upper)-2])) <= Eps {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return dedupe(hull)
+}
+
+func less(a, b Vec2) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}

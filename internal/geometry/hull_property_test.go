@@ -1,0 +1,78 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestConvexHullProperty checks the two defining hull properties on random
+// point sets: every input point lies inside (or on) the hull, and every
+// hull vertex is one of the input points.
+func TestConvexHullProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(30)
+		pts := make([]Vec2, n)
+		for i := range pts {
+			// Grid-snapped coordinates exercise collinear/duplicate cases.
+			pts[i] = Vec2{X: float64(r.Intn(10)), Y: float64(r.Intn(10))}
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 1 {
+			return false
+		}
+		poly := Polygon{vs: hull}
+		if len(hull) >= 3 {
+			for _, p := range pts {
+				if !poly.Contains(p) {
+					return false
+				}
+			}
+		}
+		// Hull vertices are input points.
+		in := func(q Vec2) bool {
+			for _, p := range pts {
+				if p == q {
+					return true
+				}
+			}
+			return false
+		}
+		for _, h := range hull {
+			if !in(h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClipIdempotent checks that clipping twice by the same half-plane is a
+// no-op after the first clip.
+func TestClipIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewPolygon([]Vec2{{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+		h := HalfPlane{A: r.NormFloat64(), B: r.NormFloat64(), C: r.NormFloat64() * 3}
+		once := p.Clip(h)
+		twice := once.Clip(h)
+		if once.Len() != twice.Len() {
+			return false
+		}
+		a, b := once.Vertices(), twice.Vertices()
+		for i := range a {
+			d := a[i].Sub(b[i])
+			if d.X > 1e-6 || d.X < -1e-6 || d.Y > 1e-6 || d.Y < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package hash provides the seeded hash-function family used by every
+// sketch in histburst.
+//
+// Count-Min style sketches need d independent hash functions
+// h_i : uint64 → [w] drawn from a pairwise-independent family. We use the
+// classic polynomial construction over the Mersenne prime p = 2^61 − 1:
+// h(x) = ((a·x + b) mod p) mod w with a ∈ [1, p), b ∈ [0, p) drawn from a
+// seeded PRNG, which is pairwise independent and cheap to evaluate with
+// 128-bit multiplication (math/bits).
+package hash
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// mersenne61 is the prime 2^61 − 1 used as the hash field modulus.
+const mersenne61 = (1 << 61) - 1
+
+// Func is one member of the family: a pairwise-independent map from uint64
+// keys to buckets [0, w).
+type Func struct {
+	a, b uint64
+	w    uint64
+}
+
+// Family is a set of d independent hash functions sharing a bucket count.
+type Family struct {
+	fns []Func
+}
+
+// NewFamily creates d hash functions onto [0, w), deterministically derived
+// from seed. d and w must be positive.
+func NewFamily(d, w int, seed int64) (Family, error) {
+	if d <= 0 {
+		return Family{}, fmt.Errorf("hash: d must be positive, got %d", d)
+	}
+	if w <= 0 {
+		return Family{}, fmt.Errorf("hash: w must be positive, got %d", w)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fns := make([]Func, d)
+	for i := range fns {
+		// a in [1, p), b in [0, p).
+		a := uint64(rng.Int63n(mersenne61-1)) + 1
+		b := uint64(rng.Int63n(mersenne61))
+		fns[i] = Func{a: a, b: b, w: uint64(w)}
+	}
+	return Family{fns: fns}, nil
+}
+
+// Len returns the number of functions d.
+func (f Family) Len() int { return len(f.fns) }
+
+// Width returns the bucket count w.
+func (f Family) Width() int {
+	if len(f.fns) == 0 {
+		return 0
+	}
+	return int(f.fns[0].w)
+}
+
+// Hash applies the i-th function to x.
+func (f Family) Hash(i int, x uint64) int {
+	return f.fns[i].Apply(x)
+}
+
+// Apply evaluates the hash function at x.
+func (h Func) Apply(x uint64) int {
+	// Fold x into the field first so the polynomial sees a value < p.
+	v := mulModMersenne(h.a, modMersenne(x)) + h.b
+	if v >= mersenne61 {
+		v -= mersenne61
+	}
+	return int(v % h.w)
+}
+
+// modMersenne reduces x modulo 2^61 − 1 using the Mersenne identity
+// x mod (2^k − 1) = (x >> k) + (x & (2^k − 1)), iterated.
+func modMersenne(x uint64) uint64 {
+	x = (x >> 61) + (x & mersenne61)
+	if x >= mersenne61 {
+		x -= mersenne61
+	}
+	return x
+}
+
+// mulModMersenne returns (a*b) mod (2^61 − 1) via 128-bit multiplication.
+func mulModMersenne(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a,b < 2^61 so hi < 2^58. The product is hi·2^64 + lo.
+	// 2^64 ≡ 2^3 (mod 2^61 − 1), so product ≡ hi·8 + lo.
+	r := (hi << 3) | (lo >> 61)
+	r = modMersenne(r + (lo & mersenne61))
+	return r
+}

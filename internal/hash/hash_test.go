@@ -1,0 +1,134 @@
+package hash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFamilyValidation(t *testing.T) {
+	if _, err := NewFamily(0, 10, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewFamily(-1, 10, 1); err == nil {
+		t.Error("d<0 accepted")
+	}
+	if _, err := NewFamily(3, 0, 1); err == nil {
+		t.Error("w=0 accepted")
+	}
+	f, err := NewFamily(3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 || f.Width() != 10 {
+		t.Fatalf("Len=%d Width=%d", f.Len(), f.Width())
+	}
+}
+
+func TestDeterministicAcrossConstruction(t *testing.T) {
+	f1, _ := NewFamily(4, 100, 42)
+	f2, _ := NewFamily(4, 100, 42)
+	for i := 0; i < 4; i++ {
+		for x := uint64(0); x < 1000; x++ {
+			if f1.Hash(i, x) != f2.Hash(i, x) {
+				t.Fatalf("same seed produced different hashes at row %d x %d", i, x)
+			}
+		}
+	}
+	f3, _ := NewFamily(4, 100, 43)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if f1.Hash(0, x) == f3.Hash(0, x) {
+			same++
+		}
+	}
+	if same > 200 { // expected ~10 collisions by chance
+		t.Fatalf("different seeds produced suspiciously similar hashes (%d/1000)", same)
+	}
+}
+
+func TestRange(t *testing.T) {
+	f, _ := NewFamily(5, 37, 7)
+	check := func(x uint64) bool {
+		for i := 0; i < f.Len(); i++ {
+			h := f.Hash(i, x)
+			if h < 0 || h >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared test on bucket occupancy for sequential keys (the hard
+	// case for weak hashes). With w=64 buckets and n=64k keys the expected
+	// count per bucket is 1024; chi2 with 63 dof should be well below 120
+	// for a healthy hash (p ≈ 1e-5 cutoff).
+	const w = 64
+	const n = 64 * 1024
+	f, _ := NewFamily(3, w, 12345)
+	for row := 0; row < f.Len(); row++ {
+		var counts [w]int
+		for x := uint64(0); x < n; x++ {
+			counts[f.Hash(row, x)]++
+		}
+		expected := float64(n) / w
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > 120 {
+			t.Errorf("row %d: chi2 = %.1f, suspiciously non-uniform", row, chi2)
+		}
+	}
+}
+
+func TestPairwiseCollisionRate(t *testing.T) {
+	// For a pairwise-independent family, Pr[h(x)=h(y)] ≈ 1/w for x≠y.
+	const w = 128
+	f, _ := NewFamily(1, w, 99)
+	pairs := 0
+	collisions := 0
+	for x := uint64(0); x < 400; x++ {
+		for y := x + 1; y < 400; y++ {
+			pairs++
+			if f.Hash(0, x) == f.Hash(0, y) {
+				collisions++
+			}
+		}
+	}
+	rate := float64(collisions) / float64(pairs)
+	if math.Abs(rate-1.0/w) > 3.0/w {
+		t.Errorf("collision rate %.5f, want about %.5f", rate, 1.0/w)
+	}
+}
+
+func TestMersenneArithmetic(t *testing.T) {
+	// Spot-check the modular primitives against big-integer-free identities.
+	if got := modMersenne(mersenne61); got != 0 {
+		t.Errorf("modMersenne(p) = %d, want 0", got)
+	}
+	if got := modMersenne(mersenne61 + 5); got != 5 {
+		t.Errorf("modMersenne(p+5) = %d, want 5", got)
+	}
+	if got := modMersenne(math.MaxUint64); got != math.MaxUint64%mersenne61 {
+		t.Errorf("modMersenne(max) = %d, want %d", got, uint64(math.MaxUint64)%mersenne61)
+	}
+	// mulModMersenne against direct computation for small operands.
+	for a := uint64(0); a < 50; a++ {
+		for b := uint64(0); b < 50; b++ {
+			if got := mulModMersenne(a, b); got != (a*b)%mersenne61 {
+				t.Fatalf("mulModMersenne(%d,%d) = %d", a, b, got)
+			}
+		}
+	}
+	// Large-operand identity: (p−1)² mod p = 1.
+	if got := mulModMersenne(mersenne61-1, mersenne61-1); got != 1 {
+		t.Errorf("(p-1)^2 mod p = %d, want 1", got)
+	}
+}

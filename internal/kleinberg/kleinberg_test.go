@@ -1,0 +1,124 @@
+package kleinberg
+
+import (
+	"math/rand"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+func TestDetectValidation(t *testing.T) {
+	ts := stream.TimestampSeq{1, 2, 3}
+	for _, o := range []Options{{S: 1, Gamma: 1}, {S: 0.5, Gamma: 1}, {S: 2, Gamma: 0}, {S: 2, Gamma: -1}} {
+		if _, err := Detect(ts, o); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+	if _, err := Detect(stream.TimestampSeq{3, 1}, DefaultOptions()); err == nil {
+		t.Error("unsorted input accepted")
+	}
+}
+
+func TestDetectDegenerate(t *testing.T) {
+	opt := DefaultOptions()
+	if iv, err := Detect(nil, opt); err != nil || iv != nil {
+		t.Errorf("empty: %v %v", iv, err)
+	}
+	if iv, err := Detect(stream.TimestampSeq{5}, opt); err != nil || iv != nil {
+		t.Errorf("single: %v %v", iv, err)
+	}
+	if iv, err := Detect(stream.TimestampSeq{5, 5, 5}, opt); err != nil || iv != nil {
+		t.Errorf("zero span: %v %v", iv, err)
+	}
+}
+
+func TestDetectUniformStreamQuiet(t *testing.T) {
+	// Perfectly regular arrivals: no bursts.
+	var ts stream.TimestampSeq
+	for i := int64(0); i < 500; i++ {
+		ts = append(ts, i*10)
+	}
+	ivs, err := Detect(ts, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 0 {
+		t.Fatalf("uniform stream flagged bursty: %v", ivs)
+	}
+}
+
+func TestDetectFindsPlantedBurst(t *testing.T) {
+	// Background gap 50, burst of gap 1 in [5000, 5500].
+	r := rand.New(rand.NewSource(5))
+	var ts stream.TimestampSeq
+	cur := int64(0)
+	for cur < 5000 {
+		cur += int64(30 + r.Intn(40))
+		ts = append(ts, cur)
+	}
+	for cur < 5500 {
+		cur += 1
+		ts = append(ts, cur)
+	}
+	for cur < 12000 {
+		cur += int64(30 + r.Intn(40))
+		ts = append(ts, cur)
+	}
+	ivs, err := Detect(ts, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) == 0 {
+		t.Fatal("planted burst not found")
+	}
+	// The burst window must be covered; the quiet regions essentially not.
+	in := Coverage(ivs, 5000, 5500)
+	out := Coverage(ivs, 0, 4900) + Coverage(ivs, 5700, 12000)
+	if float64(in) < 400 {
+		t.Fatalf("burst coverage only %d of ~500", in)
+	}
+	if out > 400 {
+		t.Fatalf("quiet coverage %d too large", out)
+	}
+}
+
+func TestDetectPlateauIsBursty(t *testing.T) {
+	// A sustained high-rate plateau IS bursty to Kleinberg (elevated rate)
+	// even though the paper's acceleration-based burstiness would be ~0
+	// inside it — the definitional contrast Section VII draws.
+	var ts stream.TimestampSeq
+	cur := int64(0)
+	for i := 0; i < 100; i++ { // slow prefix
+		cur += 100
+		ts = append(ts, cur)
+	}
+	for i := 0; i < 2000; i++ { // long fast plateau
+		cur += 1
+		ts = append(ts, cur)
+	}
+	for i := 0; i < 100; i++ { // slow suffix
+		cur += 100
+		ts = append(ts, cur)
+	}
+	ivs, err := Detect(ts, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plateauLo, plateauHi := int64(10000), int64(12000)
+	if Coverage(ivs, plateauLo, plateauHi) < 1500 {
+		t.Fatalf("plateau not covered: %v", ivs)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	ivs := []Interval{{Start: 10, End: 20}, {Start: 30, End: 35}}
+	if got := Coverage(ivs, 0, 100); got != 11+6 {
+		t.Fatalf("Coverage = %d", got)
+	}
+	if got := Coverage(ivs, 15, 32); got != 6+3 {
+		t.Fatalf("clipped Coverage = %d", got)
+	}
+	if got := Coverage(nil, 0, 10); got != 0 {
+		t.Fatalf("empty Coverage = %d", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package metrics implements the evaluation measures of Section VI: additive
+// approximation error summaries for point queries, precision/recall for
+// bursty-event detection, and small helpers for timing and size reporting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrorStats summarizes a sample of absolute errors |b̃ − b|.
+type ErrorStats struct {
+	Count  int
+	Mean   float64
+	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
+	StdDev float64
+}
+
+// SummarizeErrors computes ErrorStats over a sample of signed errors
+// (absolute values are taken internally).
+func SummarizeErrors(errs []float64) ErrorStats {
+	if len(errs) == 0 {
+		return ErrorStats{}
+	}
+	abs := make([]float64, len(errs))
+	var sum float64
+	for i, e := range errs {
+		abs[i] = math.Abs(e)
+		sum += abs[i]
+	}
+	sort.Float64s(abs)
+	mean := sum / float64(len(abs))
+	var varsum float64
+	for _, a := range abs {
+		d := a - mean
+		varsum += d * d
+	}
+	return ErrorStats{
+		Count:  len(abs),
+		Mean:   mean,
+		Max:    abs[len(abs)-1],
+		P50:    quantile(abs, 0.50),
+		P95:    quantile(abs, 0.95),
+		P99:    quantile(abs, 0.99),
+		StdDev: math.Sqrt(varsum / float64(len(abs))),
+	}
+}
+
+// quantile returns the q-quantile of a sorted sample (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// PrecisionRecall summarizes a set-retrieval outcome.
+type PrecisionRecall struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Compare computes precision/recall counts for a predicted id set against
+// the ground truth set.
+func Compare[T comparable](got, want []T) PrecisionRecall {
+	wantSet := make(map[T]struct{}, len(want))
+	for _, w := range want {
+		wantSet[w] = struct{}{}
+	}
+	var pr PrecisionRecall
+	gotSet := make(map[T]struct{}, len(got))
+	for _, g := range got {
+		if _, dup := gotSet[g]; dup {
+			continue
+		}
+		gotSet[g] = struct{}{}
+		if _, ok := wantSet[g]; ok {
+			pr.TruePositives++
+		} else {
+			pr.FalsePositives++
+		}
+	}
+	for _, w := range want {
+		if _, ok := gotSet[w]; !ok {
+			pr.FalseNegatives++
+		}
+	}
+	return pr
+}
+
+// Add accumulates another outcome into pr.
+func (pr *PrecisionRecall) Add(other PrecisionRecall) {
+	pr.TruePositives += other.TruePositives
+	pr.FalsePositives += other.FalsePositives
+	pr.FalseNegatives += other.FalseNegatives
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was predicted.
+func (pr PrecisionRecall) Precision() float64 {
+	denom := pr.TruePositives + pr.FalsePositives
+	if denom == 0 {
+		return 1
+	}
+	return float64(pr.TruePositives) / float64(denom)
+}
+
+// Recall returns TP/(TP+FN), or 1 when nothing was relevant.
+func (pr PrecisionRecall) Recall() float64 {
+	denom := pr.TruePositives + pr.FalseNegatives
+	if denom == 0 {
+		return 1
+	}
+	return float64(pr.TruePositives) / float64(denom)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (pr PrecisionRecall) F1() float64 {
+	p, r := pr.Precision(), pr.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// HumanBytes renders a byte count the way the paper's figures label space
+// axes (KB/MB with one decimal).
+func HumanBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Stopwatch measures wall-clock durations for construction/query reporting.
+type Stopwatch struct{ start time.Time }
+
+// NewStopwatch starts timing.
+func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

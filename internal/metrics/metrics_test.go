@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeErrors(t *testing.T) {
+	s := SummarizeErrors([]float64{1, -2, 3, -4})
+	if s.Count != 4 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", s.Mean)
+	}
+	if s.Max != 4 {
+		t.Errorf("Max = %v, want 4", s.Max)
+	}
+	if s.P50 != 2 {
+		t.Errorf("P50 = %v, want 2", s.P50)
+	}
+	wantStd := math.Sqrt((1.5*1.5 + 0.5*0.5 + 0.5*0.5 + 1.5*1.5) / 4)
+	if math.Abs(s.StdDev-wantStd) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, wantStd)
+	}
+	if z := SummarizeErrors(nil); z.Count != 0 || z.Mean != 0 {
+		t.Errorf("empty sample = %+v", z)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.95); q != 10 {
+		t.Errorf("P95 of 10 = %v", q)
+	}
+	if q := quantile(sorted, 0.5); q != 5 {
+		t.Errorf("P50 = %v, want 5", q)
+	}
+	if q := quantile(sorted, 0); q != 1 {
+		t.Errorf("P0 = %v, want 1", q)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	pr := Compare([]uint64{1, 2, 3}, []uint64{2, 3, 4})
+	if pr.TruePositives != 2 || pr.FalsePositives != 1 || pr.FalseNegatives != 1 {
+		t.Fatalf("pr = %+v", pr)
+	}
+	if math.Abs(pr.Precision()-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %v", pr.Precision())
+	}
+	if math.Abs(pr.Recall()-2.0/3) > 1e-12 {
+		t.Errorf("Recall = %v", pr.Recall())
+	}
+	if math.Abs(pr.F1()-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", pr.F1())
+	}
+}
+
+func TestCompareDuplicatesAndEmpties(t *testing.T) {
+	pr := Compare([]int{1, 1, 2}, []int{1})
+	if pr.TruePositives != 1 || pr.FalsePositives != 1 {
+		t.Fatalf("duplicates counted wrong: %+v", pr)
+	}
+	empty := Compare([]int{}, []int{})
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Fatal("vacuous precision/recall should be 1")
+	}
+	noPred := Compare([]int{}, []int{5})
+	if noPred.Recall() != 0 || noPred.Precision() != 1 {
+		t.Fatalf("noPred = %+v p=%v r=%v", noPred, noPred.Precision(), noPred.Recall())
+	}
+	if noPred.F1() != 0 {
+		t.Fatalf("F1 with zero recall = %v", noPred.F1())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := PrecisionRecall{1, 2, 3}
+	a.Add(PrecisionRecall{4, 5, 6})
+	if a != (PrecisionRecall{5, 7, 9}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int]string{
+		512:           "512B",
+		2048:          "2.0KB",
+		10 << 20:      "10.0MB",
+		1536:          "1.5KB",
+		1 << 20:       "1.0MB",
+		(1 << 20) - 1: "1024.0KB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := NewStopwatch()
+	if sw.Elapsed() < 0 {
+		t.Fatal("negative elapsed time")
+	}
+}

@@ -1,0 +1,168 @@
+// Package pbe defines the common interface implemented by both persistent
+// burstiness estimators (PBE-1 and PBE-2) and shared helpers built on it.
+//
+// A PBE summarizes a single-event stream — an ordered sequence of
+// timestamps — into a compact approximation F̃(t) of the cumulative
+// frequency curve F(t) that (a) never overestimates F and (b) supports
+// evaluation at any historical time instance. Burstiness estimation for any
+// burst span τ then follows from the identity
+//
+//	b(t) = F(t) − 2·F(t−τ) + F(t−2τ)     (paper, equation 1)
+//
+// evaluated on the approximation (equation 2).
+package pbe
+
+import "sort"
+
+// Estimator is the read side of a burstiness summary: anything that can
+// evaluate an approximate cumulative-frequency curve and enumerate the
+// instants where its shape changes. Both single-stream PBEs and per-event
+// views of a CM-PBE satisfy it.
+type Estimator interface {
+	// Estimate returns F̃(t), the approximate cumulative frequency at t.
+	Estimate(t int64) float64
+
+	// Breakpoints returns the sorted time instants at which F̃ changes
+	// shape (corner/segment starts). Burstiness over the summary is
+	// piecewise simple between consecutive breakpoints, which is what makes
+	// the bursty-time query linear in the summary size.
+	Breakpoints() []int64
+}
+
+// PBE is a persistent burstiness estimator over a single event stream.
+//
+// Append timestamps in non-decreasing order, call Finish once after the last
+// one, then query freely. Implementations must tolerate queries before
+// Finish by including any buffered tail exactly.
+type PBE interface {
+	Estimator
+
+	// Append ingests one arrival at time t. Timestamps must be
+	// non-decreasing; implementations may panic or degrade on violations
+	// (the exported facade validates).
+	Append(t int64)
+
+	// Finish flushes internal buffers. Idempotent. Appending after Finish
+	// is allowed and starts a new buffered tail.
+	Finish()
+
+	// Count returns the number of arrivals ingested so far.
+	Count() int64
+
+	// Bytes returns the summary's heap footprint in bytes (the space cost
+	// reported by the experiments).
+	Bytes() int
+}
+
+// Burstiness evaluates b̃(t) for burst span τ on any PBE via equation (2).
+func Burstiness(p Estimator, t, tau int64) float64 {
+	return p.Estimate(t) - 2*p.Estimate(t-tau) + p.Estimate(t-2*tau)
+}
+
+// BurstFrequency evaluates the approximate incoming rate bf̃(t) = F̃(t) − F̃(t−τ).
+func BurstFrequency(p Estimator, t, tau int64) float64 {
+	return p.Estimate(t) - p.Estimate(t-tau)
+}
+
+// TimeRange is a half-open interval [Start, End).
+type TimeRange struct {
+	Start, End int64
+}
+
+// Contains reports whether t lies in the range.
+func (r TimeRange) Contains(t int64) bool { return t >= r.Start && t < r.End }
+
+// BurstyTimes answers the BURSTY TIME QUERY q(e, θ, τ) over a PBE summary
+// (Section V): it evaluates b̃ only at the union of the summary's
+// breakpoints shifted by {0, τ, 2τ} — the instants where b̃ can change —
+// and returns the maximal intervals where b̃(t) ≥ θ. horizon is the last
+// time instant considered (inclusive).
+//
+// For PBE-1 the estimate is piecewise constant, so the result is exact with
+// respect to the summary. For PBE-2 the estimate is piecewise linear, so b̃
+// is piecewise linear too; BurstyTimes additionally solves for threshold
+// crossings inside each piece, making the result exact with respect to the
+// summary there as well.
+func BurstyTimes(p Estimator, theta float64, tau, horizon int64) []TimeRange {
+	bps := ShiftedBreakpoints(p, tau, horizon)
+	if len(bps) == 0 {
+		return nil
+	}
+	var out []TimeRange
+	emit := func(start, end int64) {
+		if start >= end {
+			return
+		}
+		if len(out) > 0 && out[len(out)-1].End == start {
+			out[len(out)-1].End = end
+			return
+		}
+		out = append(out, TimeRange{Start: start, End: end})
+	}
+	for i, t0 := range bps {
+		t1 := horizon + 1
+		if i+1 < len(bps) {
+			t1 = bps[i+1]
+		}
+		b0 := Burstiness(p, t0, tau)
+		if t1 == t0+1 {
+			if b0 >= theta {
+				emit(t0, t1)
+			}
+			continue
+		}
+		// Within (t0, t1) the estimate of each of the three terms is linear
+		// (or constant), so b̃ is linear; evaluate at both ends and solve
+		// the crossing if they straddle θ.
+		bLast := Burstiness(p, t1-1, tau)
+		switch {
+		case b0 >= theta && bLast >= theta:
+			emit(t0, t1)
+		case b0 < theta && bLast < theta:
+			// Linear between the ends: no interior excursion possible.
+		default:
+			// One crossing inside [t0, t1−1]; binary search for it using
+			// monotonicity of the linear piece.
+			lo, hi := t0, t1-1
+			rising := bLast >= theta
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				bm := Burstiness(p, mid, tau)
+				if (bm >= theta) == rising {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			if rising {
+				emit(lo, t1)
+			} else {
+				emit(t0, lo)
+			}
+		}
+	}
+	return out
+}
+
+// ShiftedBreakpoints returns the sorted distinct instants in [0, horizon]
+// where b̃ can change: each summary breakpoint shifted by 0, τ and 2τ,
+// plus 0.
+func ShiftedBreakpoints(p Estimator, tau, horizon int64) []int64 {
+	base := p.Breakpoints()
+	set := make(map[int64]struct{}, 3*len(base)+1)
+	set[0] = struct{}{}
+	for _, b := range base {
+		for _, d := range [3]int64{0, tau, 2 * tau} {
+			t := b + d
+			if t >= 0 && t <= horizon {
+				set[t] = struct{}{}
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,176 @@
+package pbe
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// stepEstimator is a synthetic piecewise-constant estimator for exercising
+// the query helpers in isolation: F̃(t) = value of the last step at or
+// before t.
+type stepEstimator struct {
+	steps []struct {
+		t int64
+		f float64
+	}
+}
+
+func newStepEstimator(pairs ...int64) *stepEstimator {
+	e := &stepEstimator{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		e.steps = append(e.steps, struct {
+			t int64
+			f float64
+		}{pairs[i], float64(pairs[i+1])})
+	}
+	return e
+}
+
+func (e *stepEstimator) Estimate(t int64) float64 {
+	v := 0.0
+	for _, s := range e.steps {
+		if s.t > t {
+			break
+		}
+		v = s.f
+	}
+	return v
+}
+
+func (e *stepEstimator) Breakpoints() []int64 {
+	out := make([]int64, len(e.steps))
+	for i, s := range e.steps {
+		out[i] = s.t
+	}
+	return out
+}
+
+func TestBurstinessIdentity(t *testing.T) {
+	e := newStepEstimator(0, 0, 10, 5, 20, 30, 30, 35)
+	// b(t) = F(t) − 2F(t−τ) + F(t−2τ); τ=10.
+	got := Burstiness(e, 25, 10)
+	want := e.Estimate(25) - 2*e.Estimate(15) + e.Estimate(5)
+	if got != want {
+		t.Fatalf("Burstiness = %v, want %v", got, want)
+	}
+	if bf := BurstFrequency(e, 25, 10); bf != e.Estimate(25)-e.Estimate(15) {
+		t.Fatalf("BurstFrequency = %v", bf)
+	}
+}
+
+func TestTimeRangeContains(t *testing.T) {
+	r := TimeRange{Start: 5, End: 8}
+	for q, want := range map[int64]bool{4: false, 5: true, 7: true, 8: false} {
+		if got := r.Contains(q); got != want {
+			t.Errorf("Contains(%d) = %v", q, want)
+		}
+	}
+}
+
+func TestShiftedBreakpoints(t *testing.T) {
+	e := newStepEstimator(3, 1, 7, 4)
+	got := ShiftedBreakpoints(e, 5, 20)
+	want := []int64{0, 3, 7, 8, 12, 13, 17}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ShiftedBreakpoints = %v, want %v", got, want)
+	}
+	// Horizon clipping.
+	got = ShiftedBreakpoints(e, 5, 9)
+	want = []int64{0, 3, 7, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clipped = %v, want %v", got, want)
+	}
+}
+
+func TestBurstyTimesMatchesBruteForce(t *testing.T) {
+	// Step curve with a burst: flat, then a sharp rise, then flat again.
+	e := newStepEstimator(0, 0, 10, 10, 20, 20, 30, 90, 40, 100, 60, 101)
+	horizon := int64(80)
+	for _, tau := range []int64{5, 10, 17} {
+		for _, theta := range []float64{1, 20, 55, 1000} {
+			ranges := BurstyTimes(e, theta, tau, horizon)
+			for q := int64(0); q <= horizon; q++ {
+				want := Burstiness(e, q, tau) >= theta
+				got := false
+				for _, r := range ranges {
+					if r.Contains(q) {
+						got = true
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("τ=%d θ=%v t=%d: in-range=%v want %v", tau, theta, q, got, want)
+				}
+			}
+			// Ranges must be sorted, disjoint and non-empty.
+			for i, r := range ranges {
+				if r.Start >= r.End {
+					t.Fatalf("degenerate range %+v", r)
+				}
+				if i > 0 && r.Start < ranges[i-1].End {
+					t.Fatalf("overlapping ranges %v", ranges)
+				}
+			}
+		}
+	}
+}
+
+func TestBurstyTimesEmptyEstimator(t *testing.T) {
+	e := &stepEstimator{}
+	ranges := BurstyTimes(e, 1, 5, 100)
+	if len(ranges) != 0 {
+		t.Fatalf("empty estimator returned %v", ranges)
+	}
+	// θ below zero matches everything (b̃ ≡ 0 ≥ θ).
+	ranges = BurstyTimes(e, -1, 5, 10)
+	if len(ranges) != 1 || ranges[0].Start != 0 || ranges[0].End != 11 {
+		t.Fatalf("always-true query = %v", ranges)
+	}
+}
+
+// linEstimator is piecewise linear, for the crossing-refinement path.
+type linEstimator struct{}
+
+func (linEstimator) Estimate(t int64) float64 {
+	switch {
+	case t < 0:
+		return 0
+	case t <= 100:
+		return float64(t) // slope 1
+	default:
+		return 100
+	}
+}
+func (linEstimator) Breakpoints() []int64 { return []int64{0, 101} }
+
+func TestBurstyTimesLinearCrossing(t *testing.T) {
+	// With F̃ linear of slope 1 on [0,100] then flat: for τ=10,
+	// b(t) = F(t) − 2F(t−10) + F(t−20). For t in [0,10): b = t (ramp-in);
+	// t in [10,20): b = t − 2(t−10) = 20 − t; t in [20,100]: 0.
+	e := linEstimator{}
+	ranges := BurstyTimes(e, 5, 10, 150)
+	// b ≥ 5 ⟺ t in [5, 15].
+	if len(ranges) != 1 {
+		t.Fatalf("ranges = %v", ranges)
+	}
+	if ranges[0].Start != 5 || ranges[0].End != 16 {
+		t.Fatalf("crossing refinement wrong: %v (want [5,16))", ranges[0])
+	}
+	// Verify against brute force.
+	for q := int64(0); q <= 150; q++ {
+		want := Burstiness(e, q, 10) >= 5
+		got := ranges[0].Contains(q)
+		if got != want {
+			t.Fatalf("t=%d: %v want %v", q, got, want)
+		}
+	}
+}
+
+func TestBreakpointHelpersSorted(t *testing.T) {
+	e := newStepEstimator(9, 1, 3, 2) // deliberately unsorted steps input
+	bps := ShiftedBreakpoints(e, 2, 100)
+	if !sort.SliceIsSorted(bps, func(i, j int) bool { return bps[i] < bps[j] }) {
+		t.Fatal("ShiftedBreakpoints not sorted")
+	}
+}

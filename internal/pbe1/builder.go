@@ -1,0 +1,213 @@
+package pbe1
+
+import (
+	"fmt"
+	"sort"
+
+	"histburst/internal/curve"
+)
+
+// Builder maintains a PBE-1 summary in a streaming fashion.
+//
+// Arrivals accumulate into the exact staircase of the current buffer; when
+// the buffer reaches BufferN corner points it is compressed to Eta points by
+// the optimal dynamic program and appended to the immutable summary, exactly
+// as Section III-A prescribes ("PBE-1 maintains F(t) ... and when F(t) has
+// reached n points ... it runs the above algorithm"). Queries see the
+// compressed summary plus the still-exact buffered tail, so estimates are
+// always available without flushing.
+type Builder struct {
+	bufferN  int
+	eta      int
+	useCHT   bool
+	capMode  bool  // compress to the smallest budget meeting errorCap
+	errorCap int64 // per-chunk area-error cap (capMode only)
+
+	summary []curve.Point // compressed corners, strictly increasing
+	buf     []curve.Point // exact pending corners, strictly increasing
+	count   int64         // arrivals ingested
+	lastT   int64
+	started bool
+
+	areaErr    int64 // accumulated optimal Δ across compressed chunks
+	outOfOrder int64 // arrivals observed with t < lastT (clamped)
+}
+
+// Option configures a Builder.
+type Option func(*Builder)
+
+// WithNaiveDP forces the quadratic dynamic program instead of the
+// convex-hull-trick one. Used by the ablation benchmarks; results are
+// identical.
+func WithNaiveDP() Option {
+	return func(b *Builder) { b.useCHT = false }
+}
+
+// New creates a PBE-1 builder that buffers bufferN exact corner points and
+// compresses each full buffer down to eta selected points. Requires
+// 2 ≤ eta < bufferN.
+func New(bufferN, eta int, opts ...Option) (*Builder, error) {
+	if eta < 2 {
+		return nil, fmt.Errorf("pbe1: eta must be at least 2, got %d", eta)
+	}
+	if bufferN <= eta {
+		return nil, fmt.Errorf("pbe1: bufferN (%d) must exceed eta (%d)", bufferN, eta)
+	}
+	b := &Builder{bufferN: bufferN, eta: eta, useCHT: true}
+	for _, o := range opts {
+		o(b)
+	}
+	return b, nil
+}
+
+// Append ingests one arrival at time t. Out-of-order arrivals (t below the
+// current frontier) are clamped to the frontier and counted in OutOfOrder —
+// the summary stays consistent and monotone.
+func (b *Builder) Append(t int64) {
+	if b.started && t < b.lastT {
+		b.outOfOrder++
+		t = b.lastT
+	}
+	b.count++
+	if b.started && t == b.lastT {
+		// Same instant: the open corner absorbs the arrival. The open
+		// corner is always the last of buf (a fresh buffer after a flush
+		// re-opens it below).
+		if len(b.buf) > 0 {
+			b.buf[len(b.buf)-1].F = b.count
+		} else {
+			b.buf = append(b.buf, curve.Point{T: t, F: b.count})
+		}
+		return
+	}
+	// Time advanced: previous corners are final. Flush a full buffer
+	// before opening the new corner so compression only ever sees final
+	// corners.
+	if len(b.buf) >= b.bufferN {
+		b.flush()
+	}
+	b.buf = append(b.buf, curve.Point{T: t, F: b.count})
+	b.lastT = t
+	b.started = true
+}
+
+// flush compresses the buffered corners into the summary.
+func (b *Builder) flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	sel, errArea, err := b.compress(b.buf)
+	if err != nil {
+		// Cannot happen with validated parameters; keep the exact points
+		// rather than lose data.
+		sel = append([]curve.Point(nil), b.buf...)
+		errArea = 0
+	}
+	b.summary = append(b.summary, sel...)
+	b.areaErr += errArea
+	b.buf = b.buf[:0]
+}
+
+func (b *Builder) compress(pts []curve.Point) ([]curve.Point, int64, error) {
+	// Normalize both coordinates by the chunk's base: the area objective is
+	// invariant to shifting either axis, and keeping the DP's magnitudes at
+	// chunk scale protects the convex-hull-trick pruning (whose crossing
+	// comparisons round through float64) from precision loss on large
+	// absolute timestamps.
+	baseF := int64(0)
+	if len(b.summary) > 0 {
+		baseF = b.summary[len(b.summary)-1].F
+	}
+	baseT := int64(0)
+	if len(pts) > 0 {
+		baseT = pts[0].T
+	}
+	local := make([]curve.Point, len(pts))
+	for i, p := range pts {
+		local[i] = curve.Point{T: p.T - baseT, F: p.F - baseF}
+	}
+	var sel []curve.Point
+	var errArea int64
+	var err error
+	switch {
+	case b.capMode:
+		sel, errArea, err = CompressToError(local, b.errorCap)
+	case b.useCHT:
+		sel, errArea, err = CompressCHT(local, b.eta)
+	default:
+		sel, errArea, err = CompressDP(local, b.eta)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range sel {
+		sel[i].T += baseT
+		sel[i].F += baseF
+	}
+	return sel, errArea, nil
+}
+
+// Finish compresses any buffered tail. Idempotent; Append may be called
+// afterwards to start a new buffer.
+func (b *Builder) Finish() {
+	if len(b.buf) > b.eta || (b.capMode && len(b.buf) > 2) {
+		b.flush()
+		return
+	}
+	// Small tails are kept verbatim: compression could not reduce them.
+	b.summary = append(b.summary, b.buf...)
+	b.buf = b.buf[:0]
+}
+
+// Estimate returns F̃(t): the F of the last summary-or-buffer corner at or
+// before t, or 0 before the first corner. Never overestimates F.
+func (b *Builder) Estimate(t int64) float64 {
+	// The buffer strictly follows the summary in time.
+	if n := len(b.buf); n > 0 && t >= b.buf[0].T {
+		i := sort.Search(n, func(i int) bool { return b.buf[i].T > t })
+		return float64(b.buf[i-1].F)
+	}
+	i := sort.Search(len(b.summary), func(i int) bool { return b.summary[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return float64(b.summary[i-1].F)
+}
+
+// Breakpoints returns the times of all summary and buffered corners.
+func (b *Builder) Breakpoints() []int64 {
+	out := make([]int64, 0, len(b.summary)+len(b.buf))
+	for _, p := range b.summary {
+		out = append(out, p.T)
+	}
+	for _, p := range b.buf {
+		out = append(out, p.T)
+	}
+	return out
+}
+
+// Count returns the number of arrivals ingested.
+func (b *Builder) Count() int64 { return b.count }
+
+// OutOfOrder returns how many arrivals were clamped for arriving below the
+// time frontier.
+func (b *Builder) OutOfOrder() int64 { return b.outOfOrder }
+
+// AreaError returns the accumulated optimal area error Δ of all compressed
+// chunks — the quantity Lemma 1 bounds the expected burstiness error by 4Δ.
+func (b *Builder) AreaError() int64 { return b.areaErr }
+
+// Points returns the current summary corners followed by buffered corners.
+// The result is a copy.
+func (b *Builder) Points() []curve.Point {
+	out := make([]curve.Point, 0, len(b.summary)+len(b.buf))
+	out = append(out, b.summary...)
+	out = append(out, b.buf...)
+	return out
+}
+
+// Bytes returns the summary's heap footprint: 16 bytes per stored corner
+// (two int64s) for both compressed and buffered points.
+func (b *Builder) Bytes() int {
+	return 16 * (len(b.summary) + len(b.buf))
+}

@@ -1,0 +1,245 @@
+// Package pbe1 implements PBE-1 (paper Section III-A): persistent
+// burstiness estimation with buffering.
+//
+// The exact cumulative-frequency curve F(t) of a single-event stream is a
+// staircase with n corner points. PBE-1 buffers the corners and, once a
+// buffer fills, replaces them with the optimal η-point sub-staircase — the
+// subset of corners (always containing the first and last, per Lemma 3 and
+// Corollary 1) minimizing the area Δ = ∫(F − F̃) subject to never
+// overestimating F. The minimization is a textbook interval dynamic program;
+// this file provides both the direct O(n²·η) DP (Algorithm 1) and an
+// O(n·η) convex-hull-trick formulation that produces identical results.
+package pbe1
+
+import (
+	"fmt"
+	"math"
+
+	"histburst/internal/curve"
+)
+
+// cost returns the approximation error contributed by making corners a and b
+// consecutive in the selection: the area between F and the flat line at
+// y_a over [t_a, t_b), computed from prefix areas in O(1).
+func cost(pts []curve.Point, areas []int64, a, b int) int64 {
+	return (areas[b] - areas[a]) - pts[a].F*(pts[b].T-pts[a].T)
+}
+
+// CompressDP selects at most eta corner points minimizing the area error by
+// the quadratic dynamic program of Algorithm 1. It returns the selected
+// points (a fresh slice) and the optimal error Δ.
+//
+// eta must be at least 2; if the curve already has eta or fewer corners it
+// is returned unchanged with zero error.
+func CompressDP(pts []curve.Point, eta int) ([]curve.Point, int64, error) {
+	if err := checkCompressArgs(pts, eta); err != nil {
+		return nil, 0, err
+	}
+	n := len(pts)
+	if n <= eta {
+		return append([]curve.Point(nil), pts...), 0, nil
+	}
+	sc, err := curve.FromPoints(pts)
+	if err != nil {
+		return nil, 0, err
+	}
+	areas := sc.PrefixAreas()
+
+	const inf = math.MaxInt64 / 4
+	// cur[b] = E[j][b]: minimal error selecting exactly j corners from
+	// p_0..p_b with p_b selected (and p_0 always selected).
+	prev := make([]int64, n)
+	cur := make([]int64, n)
+	// back[j][b] = predecessor index a achieving E[j][b].
+	back := make([][]int32, eta+1)
+	for j := range back {
+		back[j] = make([]int32, n)
+	}
+	for b := range prev {
+		prev[b] = inf
+	}
+	prev[0] = 0 // E[1][0]: only p_0 selected
+	for j := 2; j <= eta; j++ {
+		for b := range cur {
+			cur[b] = inf
+		}
+		for b := j - 1; b < n; b++ {
+			best := int64(inf)
+			bestA := -1
+			for a := j - 2; a < b; a++ {
+				if prev[a] >= inf {
+					continue
+				}
+				c := prev[a] + cost(pts, areas, a, b)
+				if c < best {
+					best = c
+					bestA = a
+				}
+			}
+			cur[b] = best
+			back[j][b] = int32(bestA)
+		}
+		prev, cur = cur, prev
+	}
+	return backtrack(pts, back, eta, n, prev[n-1])
+}
+
+// CompressCHT selects at most eta corner points minimizing the area error
+// with a convex-hull-trick acceleration of the same dynamic program,
+// running in O(n·η). The selection error is identical to CompressDP's
+// (ties may be broken differently; the error never differs).
+//
+// Derivation: E[j][b] = A[b] + min_a { E[j−1][a] − A[a] + y_a·t_a − y_a·t_b }.
+// For fixed j the inner term is a lower envelope of lines with slope −y_a
+// (strictly decreasing in a) queried at x = t_b (strictly increasing in b),
+// so a monotone hull over a deque answers each query amortized O(1).
+func CompressCHT(pts []curve.Point, eta int) ([]curve.Point, int64, error) {
+	if err := checkCompressArgs(pts, eta); err != nil {
+		return nil, 0, err
+	}
+	n := len(pts)
+	if n <= eta {
+		return append([]curve.Point(nil), pts...), 0, nil
+	}
+	sc, err := curve.FromPoints(pts)
+	if err != nil {
+		return nil, 0, err
+	}
+	areas := sc.PrefixAreas()
+
+	const inf = math.MaxInt64 / 4
+	prev := make([]int64, n)
+	cur := make([]int64, n)
+	back := make([][]int32, eta+1)
+	for j := range back {
+		back[j] = make([]int32, n)
+	}
+	for b := range prev {
+		prev[b] = inf
+	}
+	prev[0] = 0
+
+	hull := newMonotoneHull(n)
+	for j := 2; j <= eta; j++ {
+		hull.reset()
+		for b := range cur {
+			cur[b] = inf
+		}
+		next := j - 2 // next candidate line to insert (index a)
+		for b := j - 1; b < n; b++ {
+			// Insert all lines for a < b before querying.
+			for ; next < b; next++ {
+				if prev[next] >= inf {
+					continue
+				}
+				hull.add(line{
+					m:     -pts[next].F,
+					c:     prev[next] - areas[next] + pts[next].F*pts[next].T,
+					owner: int32(next),
+				})
+			}
+			if hull.empty() {
+				continue
+			}
+			val, owner := hull.query(pts[b].T)
+			cur[b] = areas[b] + val
+			back[j][b] = owner
+		}
+		prev, cur = cur, prev
+	}
+	return backtrack(pts, back, eta, n, prev[n-1])
+}
+
+func checkCompressArgs(pts []curve.Point, eta int) error {
+	if eta < 2 {
+		return fmt.Errorf("pbe1: eta must be at least 2, got %d", eta)
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	return nil
+}
+
+func backtrack(pts []curve.Point, back [][]int32, eta, n int, best int64) ([]curve.Point, int64, error) {
+	if best >= math.MaxInt64/4 {
+		return nil, 0, fmt.Errorf("pbe1: dynamic program found no solution (n=%d, eta=%d)", n, eta)
+	}
+	idx := make([]int, 0, eta)
+	b := n - 1
+	for j := eta; j >= 2; j-- {
+		idx = append(idx, b)
+		b = int(back[j][b])
+	}
+	idx = append(idx, b) // must be 0
+	// Reverse into ascending order.
+	sel := make([]curve.Point, 0, len(idx))
+	for i := len(idx) - 1; i >= 0; i-- {
+		sel = append(sel, pts[idx[i]])
+	}
+	return sel, best, nil
+}
+
+// line is y = m·x + c with the DP index that produced it.
+type line struct {
+	m, c  int64
+	owner int32
+}
+
+// monotoneHull is a lower-envelope structure for lines added in strictly
+// decreasing slope order and queried at strictly increasing x.
+type monotoneHull struct {
+	ls   []line
+	head int
+}
+
+func newMonotoneHull(capacity int) *monotoneHull {
+	return &monotoneHull{ls: make([]line, 0, capacity)}
+}
+
+func (h *monotoneHull) reset() {
+	h.ls = h.ls[:0]
+	h.head = 0
+}
+
+func (h *monotoneHull) empty() bool { return h.head >= len(h.ls) }
+
+// useless reports whether l2 never attains the minimum given neighbours l1
+// (larger slope) and l3 (smaller slope). Cross-multiplied comparison of the
+// intersection abscissae; float64 is used for the products, which exceed
+// int64 range only for inputs far beyond any realistic curve, and a wrong
+// pruning decision there costs optimality slack, never correctness of the
+// envelope's value ordering beyond ties.
+func useless(l1, l2, l3 line) bool {
+	// l2 is useless iff l3 overtakes l1 no later than l2 does:
+	// x(l1,l3) ≤ x(l1,l2), i.e. (c3−c1)·(m1−m2) ≤ (c2−c1)·(m1−m3),
+	// with both slope differences positive for strictly decreasing slopes.
+	return float64(l3.c-l1.c)*float64(l1.m-l2.m) <= float64(l2.c-l1.c)*float64(l1.m-l3.m)
+}
+
+func (h *monotoneHull) add(l line) {
+	// Slopes strictly decrease; equal slopes keep the lower intercept.
+	for len(h.ls) > 0 && h.ls[len(h.ls)-1].m == l.m {
+		if h.ls[len(h.ls)-1].c <= l.c {
+			return
+		}
+		h.ls = h.ls[:len(h.ls)-1]
+	}
+	for len(h.ls)-h.head >= 2 && useless(h.ls[len(h.ls)-2], h.ls[len(h.ls)-1], l) {
+		h.ls = h.ls[:len(h.ls)-1]
+	}
+	if h.head > len(h.ls) {
+		h.head = len(h.ls)
+	}
+	h.ls = append(h.ls, l)
+}
+
+func (h *monotoneHull) query(x int64) (int64, int32) {
+	// Strict improvement only: on ties keep the earlier line (smaller DP
+	// index), matching the naive DP's tie-breaking so both variants pick
+	// identical selections.
+	for h.head+1 < len(h.ls) && h.ls[h.head+1].m*x+h.ls[h.head+1].c < h.ls[h.head].m*x+h.ls[h.head].c {
+		h.head++
+	}
+	l := h.ls[h.head]
+	return l.m*x + l.c, l.owner
+}

@@ -1,0 +1,254 @@
+package pbe1
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"histburst/internal/curve"
+	"histburst/internal/stream"
+)
+
+// randomCorners builds a random strictly-increasing staircase with n corners.
+func randomCorners(r *rand.Rand, n int) []curve.Point {
+	pts := make([]curve.Point, n)
+	t, f := int64(0), int64(0)
+	for i := range pts {
+		t += int64(1 + r.Intn(10))
+		f += int64(1 + r.Intn(8))
+		pts[i] = curve.Point{T: t, F: f}
+	}
+	return pts
+}
+
+// selectionError computes the area error of a given selection directly.
+func selectionError(pts []curve.Point, sel []int) int64 {
+	sc, err := curve.FromPoints(pts)
+	if err != nil {
+		panic(err)
+	}
+	areas := sc.PrefixAreas()
+	var total int64
+	for i := 1; i < len(sel); i++ {
+		total += cost(pts, areas, sel[i-1], sel[i])
+	}
+	return total
+}
+
+// bruteForceBest finds the optimal error by enumerating all selections of
+// exactly eta points that include the two boundary points.
+func bruteForceBest(pts []curve.Point, eta int) int64 {
+	n := len(pts)
+	best := int64(1) << 62
+	var rec func(sel []int, next, remaining int)
+	rec = func(sel []int, next, remaining int) {
+		if remaining == 0 {
+			full := append(append([]int{}, sel...), n-1)
+			if e := selectionError(pts, full); e < best {
+				best = e
+			}
+			return
+		}
+		for i := next; i <= n-1-remaining; i++ {
+			rec(append(sel, i), i+1, remaining-1)
+		}
+	}
+	rec([]int{0}, 1, eta-2)
+	return best
+}
+
+func TestCompressDPOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + r.Intn(8)
+		eta := 2 + r.Intn(n-2)
+		pts := randomCorners(r, n)
+		_, got, err := CompressDP(pts, eta)
+		if err != nil {
+			t.Fatalf("CompressDP: %v", err)
+		}
+		want := bruteForceBest(pts, eta)
+		if got != want {
+			t.Fatalf("n=%d eta=%d: DP error %d, brute force %d (pts %v)",
+				n, eta, got, want, pts)
+		}
+	}
+}
+
+func TestCompressCHTMatchesDP(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		n := 5 + r.Intn(60)
+		eta := 2 + r.Intn(n-2)
+		pts := randomCorners(r, n)
+		_, dpErr, err := CompressDP(pts, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, chtErr, err := CompressCHT(pts, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dpErr != chtErr {
+			t.Fatalf("n=%d eta=%d: DP error %d, CHT error %d", n, eta, dpErr, chtErr)
+		}
+	}
+}
+
+func TestCompressKeepsBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := randomCorners(r, 30)
+	for _, eta := range []int{2, 3, 10, 29} {
+		sel, _, err := CompressCHT(pts, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel) != eta {
+			t.Fatalf("eta=%d: selected %d points", eta, len(sel))
+		}
+		if sel[0] != pts[0] || sel[len(sel)-1] != pts[len(pts)-1] {
+			t.Fatalf("eta=%d: boundaries not kept: %v", eta, sel)
+		}
+	}
+}
+
+func TestCompressNeverOverestimates(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		pts := randomCorners(r, 40)
+		exact, err := curve.FromPoints(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, _, err := CompressCHT(pts, 2+r.Intn(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := curve.FromPoints(sel)
+		if err != nil {
+			t.Fatalf("selection not monotone: %v", err)
+		}
+		last := pts[len(pts)-1].T
+		for q := int64(0); q <= last+3; q++ {
+			if approx.Value(q) > exact.Value(q) {
+				t.Fatalf("overestimate at t=%d: %d > %d", q, approx.Value(q), exact.Value(q))
+			}
+		}
+	}
+}
+
+func TestCompressErrorMatchesMeasuredArea(t *testing.T) {
+	// The DP's reported Δ must equal the directly measured area between
+	// the exact and approximate curves over the chunk's span.
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 30; trial++ {
+		pts := randomCorners(r, 25)
+		eta := 2 + r.Intn(15)
+		sel, reported, err := CompressCHT(pts, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := curve.FromPoints(pts)
+		approx, _ := curve.FromPoints(sel)
+		var measured int64
+		for q := pts[0].T; q < pts[len(pts)-1].T; q++ {
+			measured += exact.Value(q) - approx.Value(q)
+		}
+		if measured != reported {
+			t.Fatalf("eta=%d: reported Δ=%d, measured %d", eta, reported, measured)
+		}
+	}
+}
+
+func TestCompressSmallInputs(t *testing.T) {
+	if _, _, err := CompressDP(nil, 2); err != nil {
+		t.Errorf("empty input rejected: %v", err)
+	}
+	if _, _, err := CompressDP([]curve.Point{{T: 1, F: 1}}, 2); err != nil {
+		t.Errorf("single point rejected: %v", err)
+	}
+	if _, _, err := CompressDP([]curve.Point{{T: 1, F: 1}, {T: 2, F: 2}}, 1); err == nil {
+		t.Error("eta=1 accepted")
+	}
+	sel, e, err := CompressCHT([]curve.Point{{T: 1, F: 1}, {T: 2, F: 2}}, 5)
+	if err != nil || e != 0 || len(sel) != 2 {
+		t.Errorf("n<eta passthrough: sel=%v e=%d err=%v", sel, e, err)
+	}
+}
+
+func TestCompressMoreBudgetNeverWorse(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	pts := randomCorners(r, 40)
+	prev := int64(1) << 62
+	for eta := 2; eta <= 40; eta++ {
+		_, e, err := CompressCHT(pts, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev {
+			t.Fatalf("error increased from %d to %d at eta=%d", prev, e, eta)
+		}
+		prev = e
+	}
+	if prev != 0 {
+		t.Fatalf("full budget should give zero error, got %d", prev)
+	}
+}
+
+func TestCompressSelectionIsSubset(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	pts := randomCorners(r, 30)
+	sel, _, err := CompressCHT(pts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[curve.Point]bool, len(pts))
+	for _, p := range pts {
+		set[p] = true
+	}
+	for _, p := range sel {
+		if !set[p] {
+			t.Fatalf("selected point %v not a corner of the input (Lemma 3)", p)
+		}
+	}
+	// Selection must be strictly increasing.
+	if _, err := curve.FromPoints(sel); err != nil {
+		t.Fatalf("selection not monotone: %v", err)
+	}
+}
+
+func TestCompressDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randomCorners(r, 50)
+	a, e1, _ := CompressCHT(pts, 9)
+	b, e2, _ := CompressCHT(pts, 9)
+	if e1 != e2 || !reflect.DeepEqual(a, b) {
+		t.Fatal("compression not deterministic")
+	}
+}
+
+// timestampsFromCorners expands corners back into a timestamp sequence.
+func timestampsFromCorners(pts []curve.Point) stream.TimestampSeq {
+	var ts stream.TimestampSeq
+	prev := int64(0)
+	for _, p := range pts {
+		for k := prev; k < p.F; k++ {
+			ts = append(ts, p.T)
+		}
+		prev = p.F
+	}
+	return ts
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	// Sanity for the test helper itself.
+	pts := []curve.Point{{T: 2, F: 3}, {T: 5, F: 4}}
+	ts := timestampsFromCorners(pts)
+	c, err := curve.FromTimestamps(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Points(), pts) {
+		t.Fatalf("round trip: %v != %v", c.Points(), pts)
+	}
+}

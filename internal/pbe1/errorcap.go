@@ -1,0 +1,74 @@
+package pbe1
+
+import (
+	"fmt"
+
+	"histburst/internal/curve"
+)
+
+// CompressToError selects the smallest corner subset whose area error does
+// not exceed maxErr — the paper's alternative contract for PBE-1 ("An
+// end-user may also impose a hard cap on the error instead of imposing a
+// space constraint η. The algorithm can be easily modified such that it
+// finds the smallest space usage to ensure that a specified error threshold
+// is never crossed", Section III-A).
+//
+// The optimal error is non-increasing in the point budget (a superset of
+// choices can only help), so the smallest sufficient budget is found by
+// binary search over η, each probe running the O(nη) construction.
+func CompressToError(pts []curve.Point, maxErr int64) ([]curve.Point, int64, error) {
+	if maxErr < 0 {
+		return nil, 0, fmt.Errorf("pbe1: error cap must be non-negative, got %d", maxErr)
+	}
+	n := len(pts)
+	if n <= 2 {
+		return append([]curve.Point(nil), pts...), 0, nil
+	}
+	// Quick accept: the two boundary points alone may already satisfy the
+	// cap (a flat-ish chunk).
+	best, bestErr, err := CompressCHT(pts, 2)
+	if err != nil {
+		return nil, 0, err
+	}
+	if bestErr <= maxErr {
+		return best, bestErr, nil
+	}
+	lo, hi := 3, n // invariant: eta=lo-1 insufficient; eta=hi sufficient (full set has zero error)
+	var hiSel []curve.Point
+	var hiErr int64
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		sel, e, err := CompressCHT(pts, mid)
+		if err != nil {
+			return nil, 0, err
+		}
+		if e <= maxErr {
+			hi = mid
+			hiSel, hiErr = sel, e
+		} else {
+			lo = mid + 1
+		}
+	}
+	if hiSel == nil {
+		// hi never moved: only the full set satisfies the cap.
+		return append([]curve.Point(nil), pts...), 0, nil
+	}
+	return hiSel, hiErr, nil
+}
+
+// NewWithErrorCap creates a PBE-1 builder that compresses each bufferN-
+// corner chunk to the smallest point budget keeping that chunk's area error
+// at or below cap, instead of using a fixed η.
+func NewWithErrorCap(bufferN int, cap int64) (*Builder, error) {
+	if bufferN < 3 {
+		return nil, fmt.Errorf("pbe1: bufferN must be at least 3, got %d", bufferN)
+	}
+	if cap < 0 {
+		return nil, fmt.Errorf("pbe1: error cap must be non-negative, got %d", cap)
+	}
+	return &Builder{bufferN: bufferN, eta: 2, useCHT: true, capMode: true, errorCap: cap}, nil
+}
+
+// ErrorCap returns the per-chunk error cap (meaningful only for builders
+// from NewWithErrorCap).
+func (b *Builder) ErrorCap() (int64, bool) { return b.errorCap, b.capMode }

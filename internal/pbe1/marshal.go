@@ -1,0 +1,127 @@
+package pbe1
+
+import (
+	"fmt"
+
+	"histburst/internal/binenc"
+	"histburst/internal/curve"
+)
+
+// Serialization format (see internal/binenc):
+//
+//	magic     "PB1\x01"
+//	bufferN   uvarint
+//	eta       uvarint
+//	useCHT    bool
+//	count     varint
+//	lastT     varint
+//	started   bool
+//	areaErr   varint
+//	outOfOrd  varint
+//	summary   uvarint count, then delta-encoded (T, F) pairs
+//	buf       uvarint count, then delta-encoded (T, F) pairs
+//
+// Marshal works at any point; Finish is not required (the buffered tail is
+// preserved verbatim).
+
+var pbe1Magic = []byte{'P', 'B', '1', 1}
+
+// maxPoints bounds decoded point counts so corrupt input cannot trigger
+// huge allocations (2^32 points would be a 64 GiB summary).
+const maxPoints = 1 << 32
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (b *Builder) MarshalBinary() ([]byte, error) {
+	var w binenc.Writer
+	w.BytesBlob(pbe1Magic)
+	w.Uvarint(uint64(b.bufferN))
+	w.Uvarint(uint64(b.eta))
+	w.Bool(b.useCHT)
+	w.Bool(b.capMode)
+	w.Varint(b.errorCap)
+	w.Varint(b.count)
+	w.Varint(b.lastT)
+	w.Bool(b.started)
+	w.Varint(b.areaErr)
+	w.Varint(b.outOfOrder)
+	writePoints(&w, b.summary)
+	writePoints(&w, b.buf)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// builder's state entirely.
+func (b *Builder) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if string(r.BytesBlob()) != string(pbe1Magic) {
+		return fmt.Errorf("pbe1: bad magic")
+	}
+	bufferN := int(r.Uvarint())
+	eta := int(r.Uvarint())
+	useCHT := r.Bool()
+	capMode := r.Bool()
+	errorCap := r.Varint()
+	count := r.Varint()
+	lastT := r.Varint()
+	started := r.Bool()
+	areaErr := r.Varint()
+	outOfOrder := r.Varint()
+	summary, err := readPoints(r)
+	if err != nil {
+		return err
+	}
+	buf, err := readPoints(r)
+	if err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("pbe1: %w", err)
+	}
+	var nb *Builder
+	var err2 error
+	if capMode {
+		nb, err2 = NewWithErrorCap(bufferN, errorCap)
+	} else {
+		nb, err2 = New(bufferN, eta)
+	}
+	if err2 != nil {
+		return fmt.Errorf("pbe1: unmarshal: %w", err2)
+	}
+	nb.useCHT = useCHT
+	nb.count = count
+	nb.lastT = lastT
+	nb.started = started
+	nb.areaErr = areaErr
+	nb.outOfOrder = outOfOrder
+	nb.summary = summary
+	nb.buf = buf
+	*b = *nb
+	return nil
+}
+
+// writePoints appends a delta-encoded point list.
+func writePoints(w *binenc.Writer, pts []curve.Point) {
+	w.Uvarint(uint64(len(pts)))
+	var pt, pf int64
+	for _, p := range pts {
+		w.Varint(p.T - pt)
+		w.Varint(p.F - pf)
+		pt, pf = p.T, p.F
+	}
+}
+
+// readPoints decodes a delta-encoded point list.
+func readPoints(r *binenc.Reader) ([]curve.Point, error) {
+	n := r.Len(maxPoints)
+	if n == 0 {
+		return nil, r.Err()
+	}
+	pts := make([]curve.Point, n)
+	var pt, pf int64
+	for i := range pts {
+		pt += r.Varint()
+		pf += r.Varint()
+		pts[i] = curve.Point{T: pt, F: pf}
+	}
+	return pts, r.Err()
+}

@@ -1,0 +1,88 @@
+package pbe1
+
+import (
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	ts := randomTimestamps(5, 3000)
+	b := buildPBE1(t, ts, 200, 25)
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Builder
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != b.Count() || got.AreaError() != b.AreaError() || got.Bytes() != b.Bytes() {
+		t.Fatalf("metadata mismatch: %d/%d %d/%d %d/%d",
+			got.Count(), b.Count(), got.AreaError(), b.AreaError(), got.Bytes(), b.Bytes())
+	}
+	for q := int64(0); q <= ts[len(ts)-1]+5; q += 3 {
+		if got.Estimate(q) != b.Estimate(q) {
+			t.Fatalf("estimate differs at t=%d: %v vs %v", q, got.Estimate(q), b.Estimate(q))
+		}
+	}
+}
+
+func TestMarshalMidStreamKeepsBuffer(t *testing.T) {
+	// Marshal without Finish: the exact buffered tail must survive.
+	b, err := New(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{3, 3, 9, 20} {
+		b.Append(v)
+	}
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Builder
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate(9) != 3 {
+		t.Fatalf("buffered estimate lost: %v", got.Estimate(9))
+	}
+	// Appending continues where the original left off.
+	got.Append(25)
+	got.Finish()
+	if got.Count() != 5 || got.Estimate(25) != 5 {
+		t.Fatalf("append after unmarshal broken: count=%d est=%v", got.Count(), got.Estimate(25))
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	b, _ := New(100, 5)
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Builder
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 0 || got.Estimate(100) != 0 {
+		t.Fatal("empty round trip broken")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var b Builder
+	cases := [][]byte{nil, []byte("x"), []byte("PB1\x01garbage")}
+	for i, c := range cases {
+		if err := b.UnmarshalBinary(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncations of a valid blob must all fail (or be detected by Close).
+	src := buildPBE1(t, randomTimestamps(3, 200), 100, 10)
+	blob, _ := src.MarshalBinary()
+	for cut := 0; cut < len(blob); cut += 7 {
+		if err := b.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("cut=%d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package pbe1
+
+import (
+	"fmt"
+
+	"histburst/internal/curve"
+	"histburst/internal/pbe"
+)
+
+// MergeAppend absorbs a summary built over a strictly later time range —
+// the "parallel processing on mutually exclusive time ranges" of Section
+// III-A. Both builders are flushed; other's cumulative frequencies are
+// offset by the receiver's count (a later partition starts counting from
+// zero) and its selected corners are concatenated. The result is exactly
+// the summary that sequential processing with per-partition buffer resets
+// would have produced. other is not usable afterwards independence-wise
+// (it is flushed but otherwise unchanged).
+func (b *Builder) MergeAppend(other pbe.PBE) error {
+	o, ok := other.(*Builder)
+	if !ok {
+		return fmt.Errorf("pbe1: cannot merge %T into PBE-1", other)
+	}
+	if o.bufferN != b.bufferN || o.eta != b.eta || o.capMode != b.capMode || o.errorCap != b.errorCap {
+		return fmt.Errorf("pbe1: parameter mismatch (n=%d/%d, eta=%d/%d, cap=%v %d/%v %d)",
+			b.bufferN, o.bufferN, b.eta, o.eta, b.capMode, b.errorCap, o.capMode, o.errorCap)
+	}
+	b.Finish()
+	o.Finish()
+	if o.count == 0 {
+		return nil
+	}
+	if b.started && len(o.summary) > 0 && o.summary[0].T <= b.lastT {
+		return fmt.Errorf("pbe1: time ranges overlap (receiver ends at %d, other starts at %d)",
+			b.lastT, o.summary[0].T)
+	}
+	offset := b.count
+	for _, p := range o.summary {
+		b.summary = append(b.summary, curve.Point{T: p.T, F: p.F + offset})
+	}
+	b.count += o.count
+	b.lastT = o.lastT
+	b.started = b.started || o.started
+	b.areaErr += o.areaErr
+	b.outOfOrder += o.outOfOrder
+	return nil
+}

@@ -1,0 +1,92 @@
+package pbe1
+
+import (
+	"strings"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+func TestMergeAppendEquivalentToSequential(t *testing.T) {
+	ts := randomTimestamps(31, 4000)
+	// Split at a timestamp boundary.
+	cut := len(ts) / 2
+	for cut < len(ts) && ts[cut] == ts[cut-1] {
+		cut++
+	}
+	left, right := ts[:cut], ts[cut:]
+
+	seq := buildPBE1(t, ts, 150, 12)
+
+	a := buildPBE1(t, left, 150, 12)
+	b := buildPBE1(t, right, 150, 12)
+	if err := a.MergeAppend(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != seq.Count() {
+		t.Fatalf("count %d, want %d", a.Count(), seq.Count())
+	}
+	// Merged estimates never overestimate and are close to sequential ones.
+	// (They need not be identical: partition boundaries reset buffers at
+	// different corners, which is precisely how the paper's parallel
+	// construction behaves.)
+	horizon := ts[len(ts)-1]
+	exact := left // rebuild exact curve from all timestamps
+	_ = exact
+	full, err := streamCurve(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := int64(0); q <= horizon; q += 5 {
+		est := a.Estimate(q)
+		if est > float64(full.CountAtOrBefore(q)) {
+			t.Fatalf("merged summary overestimates at t=%d", q)
+		}
+	}
+	// The final cumulative count is exact (last corner always kept).
+	if got := a.Estimate(horizon); got != float64(len(ts)) {
+		t.Fatalf("final estimate %v, want %d", got, len(ts))
+	}
+}
+
+func streamCurve(ts stream.TimestampSeq) (stream.TimestampSeq, error) {
+	return ts, ts.Validate()
+}
+
+func TestMergeAppendValidation(t *testing.T) {
+	a, _ := New(100, 10)
+	b, _ := New(100, 11)
+	if err := a.MergeAppend(b); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("parameter mismatch accepted: %v", err)
+	}
+	// Overlapping time ranges rejected.
+	c, _ := New(100, 10)
+	d, _ := New(100, 10)
+	c.Append(100)
+	d.Append(50)
+	if err := c.MergeAppend(d); err == nil {
+		t.Fatal("overlap accepted")
+	}
+}
+
+func TestMergeAppendEmptySides(t *testing.T) {
+	a, _ := New(100, 10)
+	b, _ := New(100, 10)
+	b.Append(5)
+	b.Append(9)
+	// Empty receiver adopts other.
+	if err := a.MergeAppend(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2 || a.Estimate(9) != 2 {
+		t.Fatalf("adopt failed: count=%d est=%v", a.Count(), a.Estimate(9))
+	}
+	// Empty other is a no-op.
+	empty, _ := New(100, 10)
+	if err := a.MergeAppend(empty); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2 {
+		t.Fatal("empty merge changed state")
+	}
+}

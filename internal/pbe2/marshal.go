@@ -1,0 +1,101 @@
+package pbe2
+
+import (
+	"fmt"
+
+	"histburst/internal/binenc"
+)
+
+// Serialization format (see internal/binenc):
+//
+//	magic    "PB2\x01"
+//	gamma    float64
+//	maxVerts uvarint
+//	count    varint
+//	lastT    varint
+//	prevF    varint
+//	started  bool
+//	done     bool
+//	outOfOrd varint
+//	segments uvarint count, then (A float64, B float64, ΔStart varint, len varint)
+//
+// The open feasible region is not serialized: MarshalBinary finishes the
+// builder first (sealing the current window into a segment), which loses no
+// committed information and keeps the format independent of the geometry
+// engine. Appending after unmarshal continues normally.
+
+var pbe2Magic = []byte{'P', 'B', '2', 1}
+
+const maxSegments = 1 << 32
+
+// MarshalBinary implements encoding.BinaryMarshaler. The builder is
+// Finish()ed as a side effect (idempotent, and any other choice would drop
+// the open window's data).
+func (b *Builder) MarshalBinary() ([]byte, error) {
+	b.Finish()
+	var w binenc.Writer
+	w.BytesBlob(pbe2Magic)
+	w.Float64(b.gamma)
+	w.Uvarint(uint64(b.maxVertices))
+	w.Varint(b.count)
+	w.Varint(b.lastT)
+	w.Varint(b.prevF)
+	w.Bool(b.started)
+	w.Bool(b.done)
+	w.Varint(b.outOfOrder)
+	w.Uvarint(uint64(len(b.segs)))
+	var prevStart int64
+	for _, s := range b.segs {
+		w.Float64(s.A)
+		w.Float64(s.B)
+		w.Varint(s.Start - prevStart)
+		w.Varint(s.End - s.Start)
+		prevStart = s.Start
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// builder's state entirely.
+func (b *Builder) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if string(r.BytesBlob()) != string(pbe2Magic) {
+		return fmt.Errorf("pbe2: bad magic")
+	}
+	gamma := r.Float64()
+	maxVerts := int(r.Uvarint())
+	count := r.Varint()
+	lastT := r.Varint()
+	prevF := r.Varint()
+	started := r.Bool()
+	done := r.Bool()
+	outOfOrder := r.Varint()
+	n := r.Len(maxSegments)
+	segs := make([]Segment, n)
+	var prevStart int64
+	for i := range segs {
+		a := r.Float64()
+		bb := r.Float64()
+		start := prevStart + r.Varint()
+		end := start + r.Varint()
+		segs[i] = Segment{A: a, B: bb, Start: start, End: end}
+		prevStart = start
+	}
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("pbe2: %w", err)
+	}
+	nb, err := New(gamma)
+	if err != nil {
+		return fmt.Errorf("pbe2: unmarshal: %w", err)
+	}
+	nb.maxVertices = maxVerts
+	nb.count = count
+	nb.lastT = lastT
+	nb.prevF = prevF
+	nb.started = started
+	nb.done = done
+	nb.outOfOrder = outOfOrder
+	nb.segs = segs
+	*b = *nb
+	return nil
+}

@@ -1,0 +1,80 @@
+package pbe2
+
+import "testing"
+
+func TestMarshalRoundTrip(t *testing.T) {
+	ts := randomTimestamps(11, 2000, 3)
+	b := buildPBE2(t, ts, 3)
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Builder
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != b.Count() || got.NumSegments() != b.NumSegments() || got.Gamma() != b.Gamma() {
+		t.Fatalf("metadata mismatch")
+	}
+	for q := int64(0); q <= ts[len(ts)-1]+5; q += 3 {
+		if got.Estimate(q) != b.Estimate(q) {
+			t.Fatalf("estimate differs at t=%d: %v vs %v", q, got.Estimate(q), b.Estimate(q))
+		}
+	}
+}
+
+func TestMarshalFinishesOpenWindow(t *testing.T) {
+	b, _ := New(2)
+	for _, v := range []int64{1, 5, 9, 14} {
+		b.Append(v)
+	}
+	// No Finish: MarshalBinary must seal the window itself.
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Builder
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if est := got.Estimate(14); est != 4 {
+		t.Fatalf("Estimate(14) = %v, want 4", est)
+	}
+	// Appending continues.
+	got.Append(30)
+	got.Finish()
+	if got.Count() != 5 || got.Estimate(30) != 5 {
+		t.Fatalf("append after unmarshal broken: %d %v", got.Count(), got.Estimate(30))
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	b, _ := New(4)
+	blob, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Builder
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 0 || got.Estimate(10) != 0 || got.Gamma() != 4 {
+		t.Fatal("empty round trip broken")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var b Builder
+	for i, c := range [][]byte{nil, []byte("nope"), []byte("PB2\x01xx")} {
+		if err := b.UnmarshalBinary(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	src := buildPBE2(t, randomTimestamps(3, 300, 3), 2)
+	blob, _ := src.MarshalBinary()
+	for cut := 0; cut < len(blob); cut += 5 {
+		if err := b.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("cut=%d accepted", cut)
+		}
+	}
+}

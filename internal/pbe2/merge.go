@@ -1,0 +1,48 @@
+package pbe2
+
+import (
+	"fmt"
+
+	"histburst/internal/pbe"
+)
+
+// MergeAppend absorbs a summary built over a strictly later time range —
+// parallel construction over mutually exclusive time partitions. Both
+// builders are flushed; other's segments are lifted by the receiver's
+// count (a later partition counts from zero) and concatenated. Every
+// per-instant guarantee (F−γ ≤ F̃ ≤ F) carries over to the merged stream
+// because cumulative frequencies of time-disjoint partitions add.
+func (b *Builder) MergeAppend(other pbe.PBE) error {
+	o, ok := other.(*Builder)
+	if !ok {
+		return fmt.Errorf("pbe2: cannot merge %T into PBE-2", other)
+	}
+	if o.gamma != b.gamma {
+		return fmt.Errorf("pbe2: gamma mismatch (%v vs %v)", b.gamma, o.gamma)
+	}
+	b.Finish()
+	o.Finish()
+	if o.count == 0 {
+		return nil
+	}
+	// other's first constraint is the virtual pin one tick before its first
+	// arrival, which may legally coincide with the receiver's frontier (the
+	// pinned value, once offset, is exactly the merged F there); only a
+	// strictly earlier start means the partitions overlap.
+	if b.started && len(o.segs) > 0 && o.segs[0].Start < b.lastT {
+		return fmt.Errorf("pbe2: time ranges overlap (receiver ends at %d, other starts at %d)",
+			b.lastT, o.segs[0].Start)
+	}
+	offset := float64(b.count)
+	for _, s := range o.segs {
+		s.B += offset
+		b.segs = append(b.segs, s)
+	}
+	b.count += o.count
+	b.lastT = o.lastT
+	b.prevF = b.count
+	b.started = b.started || o.started
+	b.done = true
+	b.outOfOrder += o.outOfOrder
+	return nil
+}

@@ -1,0 +1,63 @@
+package pbe2
+
+import (
+	"testing"
+
+	"histburst/internal/curve"
+)
+
+func TestMergeAppendPreservesGammaBound(t *testing.T) {
+	ts := randomTimestamps(41, 3000, 3)
+	cut := len(ts) / 3
+	for cut < len(ts) && ts[cut] == ts[cut-1] {
+		cut++
+	}
+	gamma := 3.0
+	a := buildPBE2(t, ts[:cut], gamma)
+	b := buildPBE2(t, ts[cut:], gamma)
+	if err := a.MergeAppend(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != int64(len(ts)) {
+		t.Fatalf("count = %d, want %d", a.Count(), len(ts))
+	}
+	exact, err := curve.FromTimestamps(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWithinGamma(t, a, exact, ts[len(ts)-1]+5, gamma)
+}
+
+func TestMergeAppendValidation(t *testing.T) {
+	a, _ := New(2)
+	b, _ := New(3)
+	if err := a.MergeAppend(b); err == nil {
+		t.Fatal("gamma mismatch accepted")
+	}
+	c, _ := New(2)
+	d, _ := New(2)
+	c.Append(100)
+	d.Append(100) // same instant ⇒ overlapping partitions
+	if err := c.MergeAppend(d); err == nil {
+		t.Fatal("overlap accepted")
+	}
+}
+
+func TestMergeAppendEmptySides(t *testing.T) {
+	a, _ := New(2)
+	b, _ := New(2)
+	b.Append(10)
+	if err := a.MergeAppend(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1 || a.Estimate(10) != 1 {
+		t.Fatalf("adopt failed: %d %v", a.Count(), a.Estimate(10))
+	}
+	empty, _ := New(2)
+	if err := a.MergeAppend(empty); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1 {
+		t.Fatal("empty merge changed state")
+	}
+}

@@ -1,0 +1,331 @@
+// Package pbe2 implements PBE-2 (paper Section III-B): persistent
+// burstiness estimation without buffering.
+//
+// PBE-2 approximates the cumulative-frequency staircase F(t) with a
+// piecewise-linear curve F̃ satisfying F(t) − γ ≤ F̃(t) ≤ F(t) at every
+// instant, for a user-chosen error cap γ. The construction is fully online:
+// in the (slope a, intercept b) parameter plane it maintains the convex
+// feasible region of all lines that cut through every frequency range
+// (t_j, [F(t_j)−γ, F(t_j)]) seen since the current segment started. Each new
+// corner adds two half-plane constraints (equation 5); when the region
+// becomes empty, a line is chosen from the previous region, the segment is
+// closed (Algorithm 2), and a fresh region starts.
+//
+// Per Section III-B the corner set is "doubled": for every staircase corner
+// p_i the point just before the rise, (t_i − 1, F(t_{i−1})), is also
+// constrained, which pins the flat run leading into every jump and bounds
+// the error across wide gaps. Lemma 4 then gives |b̃(t) − b(t)| ≤ 4γ for
+// every t and τ.
+package pbe2
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"histburst/internal/geometry"
+)
+
+// Segment is one piece of the piecewise-linear approximation: the line
+// A·t + B in effect on [Start, End] (inclusive).
+type Segment struct {
+	A, B       float64
+	Start, End int64
+}
+
+// Eval returns the segment's line value at t.
+func (s Segment) Eval(t int64) float64 { return s.A*float64(t) + s.B }
+
+// Builder maintains a PBE-2 summary online.
+type Builder struct {
+	gamma       float64
+	maxVertices int // cap on feasible-polygon vertices (0 = unlimited)
+
+	segs []Segment
+
+	// Current feasible region and the constraint window it covers.
+	poly     geometry.Polygon
+	polyOpen bool
+	winStart int64   // first constrained time of the open window
+	winEnd   int64   // last constrained time of the open window
+	pending  []point // constraint points not yet absorbed into a polygon (0..1 of them)
+
+	// Staircase state: the currently open corner.
+	count   int64 // arrivals so far
+	lastT   int64 // time of the open corner
+	prevF   int64 // cumulative frequency before the open corner
+	started bool
+	done    bool // Finish sealed the open corner
+
+	outOfOrder int64
+}
+
+// point is a constrained instant: F̃(t) must land in [f−γ, f].
+type point struct {
+	t int64
+	f int64
+}
+
+// Option configures a Builder.
+type Option func(*Builder)
+
+// WithMaxVertices bounds the feasible polygon's vertex count: when the
+// polygon would exceed n vertices the current segment is closed early. The
+// paper suggests this as the way to meet a hard space constraint while
+// constructing; accuracy is unaffected (every emitted line still satisfies
+// all its constraints).
+func WithMaxVertices(n int) Option {
+	return func(b *Builder) { b.maxVertices = n }
+}
+
+// New creates a PBE-2 builder with error cap gamma ≥ 1.
+func New(gamma float64, opts ...Option) (*Builder, error) {
+	if gamma < 1 || math.IsNaN(gamma) || math.IsInf(gamma, 0) {
+		return nil, fmt.Errorf("pbe2: gamma must be at least 1, got %v", gamma)
+	}
+	b := &Builder{gamma: gamma}
+	for _, o := range opts {
+		o(b)
+	}
+	return b, nil
+}
+
+// Gamma returns the configured error cap.
+func (b *Builder) Gamma() float64 { return b.gamma }
+
+// Append ingests one arrival at time t. Out-of-order arrivals are clamped
+// to the frontier and counted.
+func (b *Builder) Append(t int64) {
+	if b.started && t < b.lastT {
+		b.outOfOrder++
+		t = b.lastT
+	}
+	if b.started && t == b.lastT && !b.done {
+		b.count++
+		return
+	}
+	if !b.started {
+		b.count++
+		b.lastT = t
+		b.prevF = 0
+		b.started = true
+		b.done = false
+		// Pin the instant just before the first rise: F is 0 there. Only
+		// useful when it doesn't precede time zero's history — it's a
+		// virtual constraint on the same staircase, always valid.
+		b.feed(point{t: t - 1, f: 0})
+		return
+	}
+	// Time advances (or we restart after Finish): seal the open corner.
+	b.sealCorner(t)
+	b.count++
+	b.lastT = t
+	b.done = false
+}
+
+// sealCorner closes the corner at lastT with frequency count, feeds its
+// constraints, and records the flat run up to nextT (the "doubled" point).
+func (b *Builder) sealCorner(nextT int64) {
+	if !b.started {
+		return
+	}
+	if !b.done {
+		b.feed(point{t: b.lastT, f: b.count})
+	}
+	if nextT > b.lastT+1 {
+		// Pin the end of the flat run just before the next rise.
+		b.feed(point{t: nextT - 1, f: b.count})
+	}
+	b.prevF = b.count
+}
+
+// Finish seals the open corner and closes the final segment. Idempotent;
+// Append may be called afterwards.
+func (b *Builder) Finish() {
+	if !b.started || b.done {
+		return
+	}
+	b.feed(point{t: b.lastT, f: b.count})
+	b.closeWindow()
+	b.done = true
+}
+
+// feed adds one constraint point to the open feasible region, emitting a
+// segment and restarting when the region empties.
+func (b *Builder) feed(p point) {
+	if !b.polyOpen {
+		if len(b.pending) == 0 {
+			b.pending = append(b.pending, p)
+			b.winStart = p.t
+			return
+		}
+		// Two points seed a bounded region (their boundary slopes differ
+		// because timestamps differ).
+		first := b.pending[0]
+		if p.t == first.t {
+			// Same-instant refeed (can happen after clamping); keep the
+			// tighter (later) constraint.
+			b.pending[0] = p
+			return
+		}
+		poly, ok := geometry.BoundedIntersection(seedConstraints(first, p, b.gamma))
+		if !ok || poly.Empty() {
+			// The two points alone are infeasible for one line — possible
+			// only when the rise between them exceeds any γ-line's reach;
+			// emit a zero-length segment for the first point and retry
+			// with the second.
+			b.emitPointSegment(first)
+			b.pending = b.pending[:0]
+			b.pending = append(b.pending, p)
+			b.winStart = p.t
+			return
+		}
+		b.poly = poly
+		b.polyOpen = true
+		b.pending = b.pending[:0]
+		b.winEnd = p.t
+		return
+	}
+	h1, h2 := pointConstraints(p, b.gamma)
+	next := b.poly.Clip(h1).Clip(h2)
+	if next.Empty() {
+		// Close the segment over the window that was still feasible, then
+		// start a new window at p.
+		b.closeWindow()
+		b.pending = append(b.pending[:0], p)
+		b.winStart = p.t
+		return
+	}
+	b.poly = next
+	b.winEnd = p.t
+	if b.maxVertices > 0 && b.poly.Len() > b.maxVertices {
+		b.closeWindow()
+		b.pending = append(b.pending[:0], p)
+		b.winStart = p.t
+	}
+}
+
+// closeWindow emits a segment for the open window, if any.
+func (b *Builder) closeWindow() {
+	if b.polyOpen {
+		c := b.poly.Centroid()
+		b.appendSegment(Segment{A: c.X, B: c.Y, Start: b.winStart, End: b.winEnd})
+		b.poly = geometry.Polygon{}
+		b.polyOpen = false
+		return
+	}
+	if len(b.pending) == 1 {
+		b.emitPointSegment(b.pending[0])
+		b.pending = b.pending[:0]
+	}
+}
+
+// emitPointSegment records a single-instant segment pinned to the middle of
+// the point's admissible range.
+func (b *Builder) emitPointSegment(p point) {
+	b.appendSegment(Segment{A: 0, B: float64(p.f) - b.gamma/2, Start: p.t, End: p.t})
+}
+
+func (b *Builder) appendSegment(s Segment) {
+	b.segs = append(b.segs, s)
+}
+
+// seedConstraints returns the four half-planes of two constraint points.
+func seedConstraints(p1, p2 point, gamma float64) [4]geometry.HalfPlane {
+	a1, a2 := pointConstraints(p1, gamma)
+	b1, b2 := pointConstraints(p2, gamma)
+	return [4]geometry.HalfPlane{a1, a2, b1, b2}
+}
+
+// pointConstraints returns the two half-planes of equation (5):
+// f − γ ≤ a·t + b ≤ f in the (a, b) plane.
+func pointConstraints(p point, gamma float64) (geometry.HalfPlane, geometry.HalfPlane) {
+	t := float64(p.t)
+	f := float64(p.f)
+	upper := geometry.HalfPlane{A: t, B: 1, C: f}           // a·t + b ≤ f
+	lower := geometry.HalfPlane{A: -t, B: -1, C: gamma - f} // a·t + b ≥ f − γ
+	return upper, lower
+}
+
+// Estimate returns F̃(t).
+//
+// Closed segments answer t within their spans; between segments F̃ holds the
+// previous segment's final value (the staircase is flat there, so the hold
+// stays within γ). Queries on the still-open tail are answered from the
+// live feasible region (any of its lines satisfies every constraint of the
+// open window) or, at and past the frontier, from the exact running count.
+func (b *Builder) Estimate(t int64) float64 {
+	if b.started {
+		if t >= b.lastT {
+			// At or past the frontier the count is exact.
+			return float64(b.count)
+		}
+		if b.polyOpen && t >= b.winStart {
+			c := b.poly.Centroid()
+			return clampNonNegative(c.X*float64(t) + c.Y)
+		}
+		if !b.polyOpen && len(b.pending) == 1 && t >= b.winStart {
+			// Single uncommitted constraint: the staircase is flat at its
+			// frequency from that instant to the open corner.
+			return float64(b.pending[0].f)
+		}
+	}
+	i := sort.Search(len(b.segs), func(i int) bool { return b.segs[i].Start > t })
+	if i == 0 {
+		return 0
+	}
+	s := b.segs[i-1]
+	if t <= s.End {
+		return clampNonNegative(s.Eval(t))
+	}
+	// Gap between segments: the staircase was flat, hold the final value.
+	return clampNonNegative(s.Eval(s.End))
+}
+
+func clampNonNegative(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Segments returns a copy of the closed segments.
+func (b *Builder) Segments() []Segment {
+	return append([]Segment(nil), b.segs...)
+}
+
+// Breakpoints returns the times where F̃ changes shape: each segment start
+// and the instant just past each segment end (where the flat hold begins),
+// plus the open-corner frontier.
+func (b *Builder) Breakpoints() []int64 {
+	out := make([]int64, 0, 2*len(b.segs)+1)
+	for _, s := range b.segs {
+		out = append(out, s.Start)
+		out = append(out, s.End+1)
+	}
+	if b.started {
+		out = append(out, b.lastT)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Deduplicate.
+	uniq := out[:0]
+	for i, v := range out {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}
+
+// Count returns the number of arrivals ingested.
+func (b *Builder) Count() int64 { return b.count }
+
+// OutOfOrder returns how many arrivals were clamped.
+func (b *Builder) OutOfOrder() int64 { return b.outOfOrder }
+
+// NumSegments returns the number of closed segments.
+func (b *Builder) NumSegments() int { return len(b.segs) }
+
+// Bytes returns the summary footprint: 32 bytes per segment (two float64
+// coefficients and two int64 endpoints).
+func (b *Builder) Bytes() int { return 32 * len(b.segs) }

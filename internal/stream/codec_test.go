@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := Stream{{1, 0}, {2, 0}, {864, 1}, {3, 100000}, {3, 100000}, {1, 2678400}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], s[i])
+		}
+	}
+}
+
+func TestCodecEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatalf("Write(empty): %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read(empty): %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Read(empty) = %v", got)
+	}
+}
+
+func TestCodecRejectsUnsorted(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, Stream{{1, 5}, {1, 2}})
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("Write(unsorted) = %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,                         // empty
+		[]byte("short"),             // truncated header
+		bytes.Repeat([]byte{0}, 16), // bad magic
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("case %d: Read = %v, want ErrBadFormat", i, err)
+		}
+	}
+}
+
+func TestCodecRejectsTruncatedBody(t *testing.T) {
+	s := Stream{{1, 1}, {2, 2}, {3, 3}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 16; cut < len(raw); cut++ {
+		if _, err := Read(bytes.NewReader(raw[:cut])); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("cut=%d: Read = %v, want ErrBadFormat", cut, err)
+		}
+	}
+}
+
+func TestCodecRejectsHugeCountGracefully(t *testing.T) {
+	// A header claiming 2^40 elements with no body must fail cleanly, not OOM.
+	var buf bytes.Buffer
+	if err := Write(&buf, Stream{{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8], raw[9], raw[10], raw[11], raw[12] = 0, 0, 0, 0, 1
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("Read = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestCodecProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := make(Stream, int(n))
+		cur := int64(0)
+		for i := range s {
+			cur += int64(r.Intn(1000))
+			s[i] = Element{Event: r.Uint64() % 2048, Time: cur}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

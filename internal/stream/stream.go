@@ -1,0 +1,173 @@
+// Package stream defines the event-stream model used throughout histburst.
+//
+// An event stream is an ordered sequence of (event id, timestamp) pairs with
+// non-decreasing timestamps, matching the paper's definition
+// S = {(a_1,t_1), (a_2,t_2), ...}. The package also provides single-event
+// timestamp sequences (S_e), temporal substreams (S[t1,t2]), k-way merging,
+// and a compact binary serialization used by the command-line tools.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Element is one stream entry: event id plus timestamp.
+type Element struct {
+	// Event identifies the event this element mentions. Ids live in a
+	// dense space [0, K).
+	Event uint64
+	// Time is the element's timestamp. The unit is application-defined
+	// (the experiments use seconds); only ordering and differences matter.
+	Time int64
+}
+
+// Stream is an ordered multiset of elements. A valid stream has
+// non-decreasing timestamps; use Sort or Validate to establish/verify that.
+type Stream []Element
+
+// ErrOutOfOrder reports a stream whose timestamps decrease.
+var ErrOutOfOrder = errors.New("stream: timestamps out of order")
+
+// Validate returns an error if the stream's timestamps are not
+// non-decreasing.
+func (s Stream) Validate() error {
+	for i := 1; i < len(s); i++ {
+		if s[i].Time < s[i-1].Time {
+			return fmt.Errorf("%w: element %d has time %d after %d",
+				ErrOutOfOrder, i, s[i].Time, s[i-1].Time)
+		}
+	}
+	return nil
+}
+
+// Sort orders the stream by timestamp (stably, so elements sharing a
+// timestamp keep their relative order).
+func (s Stream) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Time < s[j].Time })
+}
+
+// Span returns the smallest and largest timestamps in the stream. It returns
+// zeros for an empty stream; ok reports whether the stream was non-empty.
+func (s Stream) Span() (lo, hi int64, ok bool) {
+	if len(s) == 0 {
+		return 0, 0, false
+	}
+	return s[0].Time, s[len(s)-1].Time, true
+}
+
+// Sub returns the temporal substream S[t1,t2]: all elements with
+// t1 <= Time <= t2. The receiver must be sorted. The result aliases the
+// receiver's backing array.
+func (s Stream) Sub(t1, t2 int64) Stream {
+	if t1 > t2 {
+		return nil
+	}
+	lo := sort.Search(len(s), func(i int) bool { return s[i].Time >= t1 })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].Time > t2 })
+	return s[lo:hi]
+}
+
+// Filter returns the single-event stream S_e for event e: the ordered
+// sequence of timestamps at which e was mentioned.
+func (s Stream) Filter(e uint64) TimestampSeq {
+	var ts TimestampSeq
+	for _, el := range s {
+		if el.Event == e {
+			ts = append(ts, el.Time)
+		}
+	}
+	return ts
+}
+
+// Events returns the set of distinct event ids in the stream, ascending.
+func (s Stream) Events() []uint64 {
+	seen := make(map[uint64]struct{})
+	for _, el := range s {
+		seen[el.Event] = struct{}{}
+	}
+	out := make([]uint64, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counts returns the total frequency of every event in the stream.
+func (s Stream) Counts() map[uint64]int64 {
+	m := make(map[uint64]int64)
+	for _, el := range s {
+		m[el.Event]++
+	}
+	return m
+}
+
+// Merge merges sorted streams into one sorted stream. It is a simple k-way
+// merge; inputs must individually be sorted.
+func Merge(streams ...Stream) Stream {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make(Stream, 0, total)
+	idx := make([]int, len(streams))
+	for {
+		best := -1
+		var bestTime int64
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best == -1 || s[idx[i]].Time < bestTime {
+				best = i
+				bestTime = s[idx[i]].Time
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// TimestampSeq is a single-event stream S_e: an ordered sequence of
+// timestamps, possibly with duplicates (multiple mentions at one instant).
+type TimestampSeq []int64
+
+// Validate returns an error if the sequence is not non-decreasing.
+func (ts TimestampSeq) Validate() error {
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			return fmt.Errorf("%w: timestamp %d at index %d after %d",
+				ErrOutOfOrder, ts[i], i, ts[i-1])
+		}
+	}
+	return nil
+}
+
+// CountAtOrBefore returns the number of timestamps <= t, i.e. the exact
+// cumulative frequency F(t). The sequence must be sorted.
+func (ts TimestampSeq) CountAtOrBefore(t int64) int64 {
+	return int64(sort.Search(len(ts), func(i int) bool { return ts[i] > t }))
+}
+
+// CountIn returns the number of timestamps in [t1, t2], i.e. the exact
+// frequency f(t1, t2). The sequence must be sorted.
+func (ts TimestampSeq) CountIn(t1, t2 int64) int64 {
+	if t1 > t2 {
+		return 0
+	}
+	return ts.CountAtOrBefore(t2) - ts.CountAtOrBefore(t1-1)
+}
+
+// ToStream lifts the sequence back into a Stream with the given event id.
+func (ts TimestampSeq) ToStream(e uint64) Stream {
+	s := make(Stream, len(ts))
+	for i, t := range ts {
+		s[i] = Element{Event: e, Time: t}
+	}
+	return s
+}

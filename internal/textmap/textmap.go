@@ -1,0 +1,184 @@
+// Package textmap implements the message-to-event mapping h of Section
+// II-A, which the paper treats as a black box: every raw message m_i must be
+// mapped to one or more event ids in [0, K).
+//
+// Two mappers are provided. HashtagMapper assigns a dense id to every
+// distinct #hashtag it sees (the paper's own example: "h can be as simple as
+// using the hashtag of a message"). KeywordMapper routes messages to
+// explicitly configured events by keyword lists, mirroring the paper's
+// classification of olympicrio tweets "based on hashtags and keywords".
+package textmap
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Mapper turns one message's text into the event ids it mentions. A message
+// may mention several events; an empty result means the message matches no
+// known event.
+type Mapper interface {
+	Map(message string) []uint64
+}
+
+// ExtractHashtags returns the lower-cased hashtags in a message, in order
+// of appearance, without the leading '#'. A hashtag is a '#' followed by at
+// least one letter/digit/underscore run.
+func ExtractHashtags(message string) []string {
+	var tags []string
+	runes := []rune(message)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '#' {
+			continue
+		}
+		j := i + 1
+		for j < len(runes) && isTagRune(runes[j]) {
+			j++
+		}
+		if j > i+1 {
+			tags = append(tags, strings.ToLower(string(runes[i+1:j])))
+		}
+		i = j - 1
+	}
+	return tags
+}
+
+func isTagRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// HashtagMapper maps each distinct hashtag to a dense event id assigned in
+// first-seen order. It is deterministic for a fixed message order.
+type HashtagMapper struct {
+	ids  map[string]uint64
+	next uint64
+	max  uint64 // 0 = unlimited
+}
+
+// NewHashtagMapper creates a mapper. maxEvents bounds the id space (0 for
+// unlimited); hashtags beyond the bound are ignored rather than aliased, so
+// ids never collide.
+func NewHashtagMapper(maxEvents uint64) *HashtagMapper {
+	return &HashtagMapper{ids: make(map[string]uint64), max: maxEvents}
+}
+
+// Map returns the event ids of the message's hashtags, deduplicated,
+// assigning fresh ids to unseen hashtags.
+func (m *HashtagMapper) Map(message string) []uint64 {
+	var out []uint64
+	seen := make(map[uint64]struct{})
+	for _, tag := range ExtractHashtags(message) {
+		id, ok := m.ids[tag]
+		if !ok {
+			if m.max > 0 && m.next >= m.max {
+				continue
+			}
+			id = m.next
+			m.ids[tag] = id
+			m.next++
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Events returns the number of distinct events assigned so far (K).
+func (m *HashtagMapper) Events() uint64 { return m.next }
+
+// Lookup returns the id of a hashtag if assigned.
+func (m *HashtagMapper) Lookup(tag string) (uint64, bool) {
+	id, ok := m.ids[strings.ToLower(tag)]
+	return id, ok
+}
+
+// Vocabulary returns the assigned hashtags sorted by id.
+func (m *HashtagMapper) Vocabulary() []string {
+	out := make([]string, m.next)
+	for tag, id := range m.ids {
+		out[id] = tag
+	}
+	return out
+}
+
+// KeywordMapper routes messages to named events when any of the event's
+// keywords appears as a word (or hashtag) in the message.
+type KeywordMapper struct {
+	events   []string            // event name by id
+	keywords map[string][]uint64 // keyword -> event ids
+}
+
+// NewKeywordMapper creates an empty keyword mapper.
+func NewKeywordMapper() *KeywordMapper {
+	return &KeywordMapper{keywords: make(map[string][]uint64)}
+}
+
+// AddEvent registers an event with its keyword list and returns its id.
+// Keywords are matched case-insensitively as whole words.
+func (m *KeywordMapper) AddEvent(name string, keywords ...string) uint64 {
+	id := uint64(len(m.events))
+	m.events = append(m.events, name)
+	for _, kw := range keywords {
+		kw = strings.ToLower(kw)
+		m.keywords[kw] = append(m.keywords[kw], id)
+	}
+	return id
+}
+
+// Name returns the event name for an id.
+func (m *KeywordMapper) Name(id uint64) string {
+	if id >= uint64(len(m.events)) {
+		return ""
+	}
+	return m.events[id]
+}
+
+// Events returns the number of registered events.
+func (m *KeywordMapper) Events() uint64 { return uint64(len(m.events)) }
+
+// Map returns the ids of all events whose keywords occur in the message,
+// ascending and deduplicated.
+func (m *KeywordMapper) Map(message string) []uint64 {
+	seen := make(map[uint64]struct{})
+	for _, w := range tokenize(message) {
+		for _, id := range m.keywords[w] {
+			seen[id] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// tokenize lower-cases and splits a message into word tokens, stripping the
+// leading '#' from hashtags so keywords match both plain words and tags.
+func tokenize(message string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range message {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return words
+}

@@ -1,0 +1,115 @@
+package textmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtractHashtags(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"LBC homeboy stoked to see Brasil wins #brasil #gold #Olympics216", []string{"brasil", "gold", "olympics216"}},
+		{"no tags here", nil},
+		{"#a#b", []string{"a", "b"}},
+		{"edge # lone hash", nil},
+		{"#_underscore_ok", []string{"_underscore_ok"}},
+		{"trailing #tag!", []string{"tag"}},
+		{"#ÜNICÖDE works", []string{"ünicöde"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := ExtractHashtags(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ExtractHashtags(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHashtagMapperAssignsDenseIDs(t *testing.T) {
+	m := NewHashtagMapper(0)
+	ids := m.Map("#soccer final! #rio")
+	if !reflect.DeepEqual(ids, []uint64{0, 1}) {
+		t.Fatalf("first message ids = %v", ids)
+	}
+	ids = m.Map("#rio again and #swimming")
+	if !reflect.DeepEqual(ids, []uint64{1, 2}) {
+		t.Fatalf("second message ids = %v", ids)
+	}
+	if m.Events() != 3 {
+		t.Fatalf("Events = %d", m.Events())
+	}
+	if id, ok := m.Lookup("SOCCER"); !ok || id != 0 {
+		t.Fatalf("Lookup(SOCCER) = %d,%v", id, ok)
+	}
+	if _, ok := m.Lookup("absent"); ok {
+		t.Fatal("Lookup(absent) should miss")
+	}
+	if got := m.Vocabulary(); !reflect.DeepEqual(got, []string{"soccer", "rio", "swimming"}) {
+		t.Fatalf("Vocabulary = %v", got)
+	}
+}
+
+func TestHashtagMapperDeduplicatesWithinMessage(t *testing.T) {
+	m := NewHashtagMapper(0)
+	ids := m.Map("#x #X #x")
+	if !reflect.DeepEqual(ids, []uint64{0}) {
+		t.Fatalf("ids = %v, want [0]", ids)
+	}
+}
+
+func TestHashtagMapperBound(t *testing.T) {
+	m := NewHashtagMapper(2)
+	m.Map("#a #b #c #d")
+	if m.Events() != 2 {
+		t.Fatalf("Events = %d, want 2 (bounded)", m.Events())
+	}
+	if ids := m.Map("#c"); ids != nil {
+		t.Fatalf("over-bound hashtag mapped to %v", ids)
+	}
+	if ids := m.Map("#a"); !reflect.DeepEqual(ids, []uint64{0}) {
+		t.Fatalf("known hashtag lost: %v", ids)
+	}
+}
+
+func TestKeywordMapper(t *testing.T) {
+	m := NewKeywordMapper()
+	soccer := m.AddEvent("soccer-final", "soccer", "brasil", "gold")
+	swim := m.AddEvent("swimming", "swimming", "phelps")
+	if m.Events() != 2 {
+		t.Fatalf("Events = %d", m.Events())
+	}
+	got := m.Map("LBC homeboy stoked to see Brasil wins #gold")
+	if !reflect.DeepEqual(got, []uint64{soccer}) {
+		t.Fatalf("Map = %v, want [%d]", got, soccer)
+	}
+	got = m.Map("PHELPS wins gold in swimming!")
+	if !reflect.DeepEqual(got, []uint64{soccer, swim}) {
+		t.Fatalf("multi-event Map = %v", got)
+	}
+	if got := m.Map("nothing relevant"); got != nil {
+		t.Fatalf("Map(no match) = %v", got)
+	}
+	if m.Name(soccer) != "soccer-final" || m.Name(999) != "" {
+		t.Fatal("Name lookup wrong")
+	}
+}
+
+func TestKeywordMapperWholeWords(t *testing.T) {
+	m := NewKeywordMapper()
+	m.AddEvent("rio", "rio")
+	if got := m.Map("glorious Rio!"); len(got) != 1 {
+		t.Fatalf("word match failed: %v", got)
+	}
+	if got := m.Map("period of inferior play"); got != nil {
+		t.Fatalf("substring should not match: %v", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := tokenize("Hello, #World_1 — again")
+	want := []string{"hello", "world_1", "again"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokenize = %v, want %v", got, want)
+	}
+}

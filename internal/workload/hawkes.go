@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"histburst/internal/stream"
+)
+
+// HawkesParams configures a self-exciting (Hawkes) arrival process — the
+// standard model for social-media cascades, where every mention provokes
+// further mentions. Scheduled BurstWindows model exogenous events (a match,
+// a press conference); a Hawkes process models endogenous virality: bursts
+// arise spontaneously, ramp fast and decay exponentially.
+type HawkesParams struct {
+	// Mu is the exogenous base rate (arrivals per tick).
+	Mu float64
+	// Alpha is the branching ratio: expected number of direct children per
+	// arrival. Must be in [0, 1) for the process to be stable.
+	Alpha float64
+	// Decay is the mean lifetime (ticks) of one arrival's excitation.
+	Decay float64
+}
+
+// Validate checks the parameters' invariants.
+func (p HawkesParams) Validate() error {
+	if !(p.Mu >= 0) || math.IsInf(p.Mu, 0) {
+		return fmt.Errorf("workload: hawkes mu must be non-negative and finite, got %v", p.Mu)
+	}
+	if !(p.Alpha >= 0 && p.Alpha < 1) {
+		return fmt.Errorf("workload: hawkes alpha must be in [0,1), got %v", p.Alpha)
+	}
+	if !(p.Decay > 0) || math.IsInf(p.Decay, 0) {
+		return fmt.Errorf("workload: hawkes decay must be positive and finite, got %v", p.Decay)
+	}
+	return nil
+}
+
+// Hawkes samples a self-exciting process on [0, horizon) by Ogata's
+// thinning algorithm: the conditional intensity is
+//
+//	λ(t) = μ + (α/decay)·Σ_{t_i<t} e^{−(t−t_i)/decay}
+//
+// and after each candidate the current intensity is an upper bound until
+// the next arrival, so exponential candidate gaps at the current bound plus
+// acceptance with probability λ(t)/λ̄ sample the process exactly. Expected
+// volume is μ·horizon/(1−α).
+func Hawkes(rng *rand.Rand, p HawkesParams, horizon int64) (stream.TimestampSeq, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: horizon must be positive, got %d", horizon)
+	}
+	if p.Mu == 0 {
+		return nil, nil
+	}
+	var ts stream.TimestampSeq
+	jump := p.Alpha / p.Decay // intensity added by one arrival
+	t := 0.0
+	excite := 0.0 // Σ contribution of past arrivals at current t
+	for {
+		bound := p.Mu + excite
+		gap := rng.ExpFloat64() / bound
+		// Decay the excitation over the gap.
+		excite *= math.Exp(-gap / p.Decay)
+		t += gap
+		if t >= float64(horizon) {
+			return ts, nil
+		}
+		if rng.Float64()*bound <= p.Mu+excite {
+			ts = append(ts, int64(t))
+			excite += jump
+		}
+	}
+}
+
+// HawkesProfileStream materializes a Hawkes process scaled to roughly
+// targetN expected arrivals over the horizon — a drop-in alternative to the
+// windowed profiles for generating endogenous-burst workloads.
+func HawkesProfileStream(seed int64, alpha, decay float64, targetN, horizon int64) (stream.TimestampSeq, error) {
+	if targetN <= 0 {
+		return nil, fmt.Errorf("workload: targetN must be positive, got %d", targetN)
+	}
+	mu := float64(targetN) * (1 - alpha) / float64(horizon)
+	return Hawkes(rand.New(rand.NewSource(seed)), HawkesParams{Mu: mu, Alpha: alpha, Decay: decay}, horizon)
+}

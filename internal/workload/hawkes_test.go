@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHawkesValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	bad := []HawkesParams{
+		{Mu: -1, Alpha: 0.5, Decay: 10},
+		{Mu: 1, Alpha: 1, Decay: 10},
+		{Mu: 1, Alpha: -0.1, Decay: 10},
+		{Mu: 1, Alpha: 0.5, Decay: 0},
+		{Mu: math.Inf(1), Alpha: 0.5, Decay: 10},
+	}
+	for _, p := range bad {
+		if _, err := Hawkes(r, p, 100); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	if _, err := Hawkes(r, HawkesParams{Mu: 1, Alpha: 0.5, Decay: 10}, 0); err == nil {
+		t.Error("horizon=0 accepted")
+	}
+	if ts, err := Hawkes(r, HawkesParams{Mu: 0, Alpha: 0.5, Decay: 10}, 100); err != nil || ts != nil {
+		t.Errorf("mu=0 should yield empty: %v %v", ts, err)
+	}
+}
+
+func TestHawkesVolumeNearExpectation(t *testing.T) {
+	// Expected count = mu*T/(1-alpha).
+	r := rand.New(rand.NewSource(7))
+	p := HawkesParams{Mu: 0.05, Alpha: 0.5, Decay: 50}
+	const horizon = 200_000
+	ts, err := Hawkes(r, p, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Mu * horizon / (1 - p.Alpha)
+	got := float64(len(ts))
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("volume %v, want ≈%v", got, want)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ts[len(ts)-1] >= horizon {
+		t.Fatal("arrival beyond horizon")
+	}
+}
+
+func TestHawkesIsOverdispersed(t *testing.T) {
+	// Self-excitation clusters arrivals: windowed counts must have variance
+	// well above a Poisson process of equal rate (variance ≈ mean).
+	r := rand.New(rand.NewSource(3))
+	p := HawkesParams{Mu: 0.02, Alpha: 0.8, Decay: 200}
+	const horizon = 500_000
+	ts, err := Hawkes(r, p, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 2000
+	counts := make([]float64, horizon/window)
+	for _, v := range ts {
+		counts[v/window]++
+	}
+	var mean, varsum float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(len(counts))
+	for _, c := range counts {
+		varsum += (c - mean) * (c - mean)
+	}
+	variance := varsum / float64(len(counts))
+	if variance < 2*mean {
+		t.Fatalf("variance %v not overdispersed vs mean %v", variance, mean)
+	}
+}
+
+func TestHawkesProfileStream(t *testing.T) {
+	ts, err := HawkesProfileStream(11, 0.6, 300, 20_000, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(len(ts))-20_000)/20_000 > 0.2 {
+		t.Fatalf("volume %d, want ≈20000", len(ts))
+	}
+	if _, err := HawkesProfileStream(11, 0.6, 300, 0, 100); err == nil {
+		t.Error("targetN=0 accepted")
+	}
+}
+
+func TestHawkesDeterministic(t *testing.T) {
+	a, _ := HawkesProfileStream(5, 0.5, 100, 5000, 100_000)
+	b, _ := HawkesProfileStream(5, 0.5, 100, 5000, 100_000)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic element")
+		}
+	}
+}

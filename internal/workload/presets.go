@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"math/rand"
+
+	"histburst/internal/stream"
+)
+
+// Event ids reserved by the olympicrio preset.
+const (
+	// SoccerID is the olympicrio sub-stream with bursts throughout the
+	// month and the largest right before the final (paper Figure 7).
+	SoccerID uint64 = 0
+	// SwimmingID is the olympicrio sub-stream whose bursts concentrate in
+	// the first half of the games and then die out (paper Figure 7).
+	SwimmingID uint64 = 1
+)
+
+// OlympicRioK is the olympicrio id-space size reported by the paper.
+const OlympicRioK = 864
+
+// USPoliticsK is the uspolitics id-space size reported by the paper.
+const USPoliticsK = 1689
+
+// SoccerProfile mimics the paper's soccer sub-stream: a low background rate
+// plus a burst for every match day spread across the whole month, peaking
+// with the final around day 20, scaled to targetN expected arrivals.
+func SoccerProfile(id uint64, targetN int64) EventProfile {
+	// Mentions concentrate intensely around the ~3-hour match windows
+	// (the paper's streams pack ~10⁶ mentions into a few thousand distinct
+	// seconds); the background chatter rate is tiny by comparison.
+	p := EventProfile{ID: id, BaseRate: 0.02}
+	matchDays := []struct {
+		day  int64
+		peak float64 // relative peak height
+	}{
+		{3, 20}, {6, 25}, {9, 30}, {12, 35}, {15, 45}, {17, 55}, {19, 80}, {20, 120},
+	}
+	for _, m := range matchDays {
+		start := m.day*Day + 18*3600 // evening match
+		// Sharp onset, long decay: tweet volume spikes within the hour and
+		// tails off overnight, like real social-media bursts.
+		p.Bursts = append(p.Bursts, BurstWindow{
+			Start:    start,
+			Peak:     start + 3600,
+			End:      start + 12*3600,
+			PeakRate: m.peak,
+		})
+	}
+	return p.Scale(targetN, Month)
+}
+
+// SwimmingProfile mimics the paper's swimming sub-stream: large bursts
+// concentrated in days 1–9 of the games, after which both the incoming rate
+// and burstiness drop to almost zero.
+func SwimmingProfile(id uint64, targetN int64) EventProfile {
+	p := EventProfile{ID: id, BaseRate: 0.005}
+	for day := int64(1); day <= 9; day++ {
+		peak := 60.0
+		if day == 5 || day == 6 {
+			peak = 100 // mid-week finals
+		}
+		start := day*Day + 17*3600
+		p.Bursts = append(p.Bursts, BurstWindow{
+			Start:    start,
+			Peak:     start + 2*3600,
+			End:      start + 14*3600,
+			PeakRate: peak,
+		})
+	}
+	return p.Scale(targetN, Month)
+}
+
+// OlympicRioSpec builds the full olympicrio-like workload: K=864 events over
+// a 31-day second-granularity horizon with totalN expected elements. Event 0
+// is soccer and event 1 is swimming (given a fair share of the volume);
+// the rest follow a Zipf popularity distribution with a few random burst
+// windows each, concentrated while "the games" run.
+func OlympicRioSpec(seed int64, totalN int64) Spec {
+	r := rand.New(rand.NewSource(seed ^ 0x52494f)) // profile-shape randomness
+	featured := totalN / 20                        // soccer and swimming each get 5%
+	rest := totalN - 2*featured
+
+	profiles := []EventProfile{
+		SoccerProfile(SoccerID, featured),
+		SwimmingProfile(SwimmingID, featured),
+	}
+	// Zipf weights for the remaining events.
+	k := OlympicRioK - 2
+	weights := make([]float64, k)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+2) // zipf-ish tail, exponent 1
+		wsum += weights[i]
+	}
+	for i := 0; i < k; i++ {
+		id := uint64(i + 2)
+		target := float64(rest) * weights[i] / wsum
+		p := EventProfile{ID: id, BaseRate: 0.05}
+		// Popular events get a couple of bursts during the games.
+		nb := 0
+		if i < k/4 {
+			nb = 1 + r.Intn(3)
+		}
+		for j := 0; j < nb; j++ {
+			day := int64(1 + r.Intn(20))
+			start := day*Day + int64(r.Intn(int(Day/2)))
+			up := 3600 + int64(r.Intn(int(Day/8)))
+			decay := Day/2 + int64(r.Intn(int(Day)))
+			p.Bursts = append(p.Bursts, BurstWindow{
+				Start:    start,
+				Peak:     start + up,
+				End:      start + up + decay,
+				PeakRate: 10 + 20*r.Float64(),
+			})
+		}
+		profiles = append(profiles, p.Scale(int64(target)+1, Month))
+	}
+	return Spec{Horizon: Month, Profiles: profiles, Seed: seed}
+}
+
+// USPoliticsSpec builds the uspolitics-like workload: K=1689 events over a
+// six-month horizon, heavily Zipf-skewed popularity ("events with very
+// different population") and many short intermittent spikes (Figure 13's
+// texture). Even ids are tagged Democrat, odd ids Republican, for the
+// category timeline experiment.
+func USPoliticsSpec(seed int64, totalN int64) Spec {
+	const horizon = 183 * Day // June through November
+	r := rand.New(rand.NewSource(seed ^ 0x55535f))
+	k := USPoliticsK
+	weights := make([]float64, k)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+1) // strong skew: top events dominate
+		wsum += weights[i]
+	}
+	// Shuffle which id gets which popularity rank so categories interleave.
+	perm := r.Perm(k)
+	profiles := make([]EventProfile, 0, k)
+	for i := 0; i < k; i++ {
+		id := uint64(perm[i])
+		target := float64(totalN) * weights[i] / wsum
+		p := EventProfile{ID: id, BaseRate: 0.05}
+		// Intermittent spikes: popular events spike often, minor ones
+		// rarely; spikes are short (hours) and sharp.
+		spikes := 1
+		if i < 30 {
+			spikes = 4 + r.Intn(8)
+		} else if i < 300 {
+			spikes = 1 + r.Intn(3)
+		} else if r.Intn(3) != 0 {
+			spikes = 0
+		}
+		for j := 0; j < spikes; j++ {
+			start := int64(r.Intn(int(horizon - 8*Day)))
+			up := Day/12 + int64(r.Intn(int(Day/4))) // onset: 2h – 8h
+			decay := Day + int64(r.Intn(int(2*Day))) // tail: 1 – 3 days
+			p.Bursts = append(p.Bursts, BurstWindow{
+				Start:    start,
+				Peak:     start + up,
+				End:      start + up + decay,
+				PeakRate: 10 + 40*r.Float64(),
+			})
+		}
+		profiles = append(profiles, p.Scale(int64(target)+1, horizon))
+	}
+	return Spec{Horizon: horizon, Profiles: profiles, Seed: seed}
+}
+
+// USPoliticsCategory labels an event id with its Figure-13 category.
+func USPoliticsCategory(e uint64) string {
+	if e%2 == 0 {
+		return "Democrat"
+	}
+	return "Republican"
+}
+
+// SingleEvent materializes just one profile as a timestamp sequence — the
+// single-event-stream setting of Section III's experiments.
+func SingleEvent(seed int64, p EventProfile, horizon int64) stream.TimestampSeq {
+	return GenerateEvent(rand.New(rand.NewSource(seed)), p, horizon)
+}

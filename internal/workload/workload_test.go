@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"histburst/internal/exact"
+	"histburst/internal/textmap"
+)
+
+func TestBurstWindowValidate(t *testing.T) {
+	bad := []BurstWindow{
+		{Start: 10, Peak: 10, End: 20, PeakRate: 1},
+		{Start: 10, Peak: 20, End: 20, PeakRate: 1},
+		{Start: 20, Peak: 15, End: 10, PeakRate: 1},
+		{Start: 0, Peak: 5, End: 10, PeakRate: -1},
+		{Start: 0, Peak: 5, End: 10, PeakRate: math.NaN()},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: invalid window accepted: %+v", i, w)
+		}
+	}
+	if err := (BurstWindow{Start: 0, Peak: 5, End: 10, PeakRate: 2}).Validate(); err != nil {
+		t.Errorf("valid window rejected: %v", err)
+	}
+}
+
+func TestBurstWindowRateShape(t *testing.T) {
+	w := BurstWindow{Start: 0, Peak: 10, End: 30, PeakRate: 6}
+	if got := w.rate(-1); got != 0 {
+		t.Errorf("rate before start = %v", got)
+	}
+	if got := w.rate(30); got != 0 {
+		t.Errorf("rate at end = %v", got)
+	}
+	if got := w.rate(10); got != 6 {
+		t.Errorf("rate at peak = %v, want 6", got)
+	}
+	if got := w.rate(5); math.Abs(got-3) > 1e-9 {
+		t.Errorf("rate mid-ramp = %v, want 3", got)
+	}
+	if got := w.rate(20); math.Abs(got-3) > 1e-9 {
+		t.Errorf("rate mid-descent = %v, want 3", got)
+	}
+	if got := w.expected(); math.Abs(got-90) > 1e-9 {
+		t.Errorf("expected = %v, want 90", got)
+	}
+}
+
+func TestScaleHitsTarget(t *testing.T) {
+	p := EventProfile{ID: 1, BaseRate: 2, Bursts: []BurstWindow{
+		{Start: 10, Peak: 20, End: 30, PeakRate: 5},
+	}}
+	scaled := p.Scale(1000, 100)
+	if got := scaled.Expected(100); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("scaled expectation = %v, want 1000", got)
+	}
+	// Relative structure preserved.
+	if scaled.Bursts[0].PeakRate/scaled.BaseRate != p.Bursts[0].PeakRate/p.BaseRate {
+		t.Fatal("scaling changed relative rates")
+	}
+	zero := EventProfile{ID: 2}
+	if got := zero.Scale(100, 100); got.BaseRate != 0 {
+		t.Fatal("zero profile should scale to itself")
+	}
+}
+
+func TestGenerateDeterministicAndSorted(t *testing.T) {
+	spec := Spec{
+		Horizon: 10000,
+		Seed:    7,
+		Profiles: []EventProfile{
+			{ID: 0, BaseRate: 0.05},
+			{ID: 1, BaseRate: 0.02, Bursts: []BurstWindow{{Start: 2000, Peak: 2500, End: 3000, PeakRate: 1}}},
+		},
+	}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic element %d", i)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("unsorted output: %v", err)
+	}
+	if lo, hi, ok := a.Span(); !ok || lo < 0 || hi >= 10000 {
+		t.Fatalf("out-of-horizon timestamps: %d..%d", lo, hi)
+	}
+}
+
+func TestGenerateVolumeNearExpectation(t *testing.T) {
+	spec := Spec{
+		Horizon:  50000,
+		Seed:     3,
+		Profiles: []EventProfile{{ID: 0, BaseRate: 0.2}},
+	}
+	s, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.Expected()
+	got := float64(len(s))
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("volume %v too far from expectation %v", got, want)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Horizon: 0}); err == nil {
+		t.Error("horizon=0 accepted")
+	}
+	bad := Spec{Horizon: 10, Profiles: []EventProfile{{ID: 0, BaseRate: -1}}}
+	if _, err := Generate(bad); err == nil {
+		t.Error("negative base rate accepted")
+	}
+	badBurst := Spec{Horizon: 10, Profiles: []EventProfile{
+		{ID: 0, Bursts: []BurstWindow{{Start: 5, Peak: 5, End: 6, PeakRate: 1}}},
+	}}
+	if _, err := Generate(badBurst); err == nil {
+		t.Error("invalid burst window accepted")
+	}
+}
+
+func TestSoccerProfileShape(t *testing.T) {
+	// Scaled-down soccer stream: bursts spread over the month with the
+	// maximum burstiness right before/at the final (~day 20).
+	p := SoccerProfile(SoccerID, 100000)
+	ts := SingleEvent(1, p, Month)
+	if len(ts) == 0 {
+		t.Fatal("empty soccer stream")
+	}
+	st := exact.New()
+	for _, v := range ts {
+		st.Append(SoccerID, v)
+	}
+	tau := Day
+	var bestDay int64
+	var bestB int64
+	var early, late int64
+	for day := int64(2); day <= 30; day++ {
+		b := st.Burstiness(SoccerID, day*Day, tau)
+		if b > bestB {
+			bestB, bestDay = b, day
+		}
+		if day <= 15 {
+			if b > early {
+				early = b
+			}
+		} else if b > late {
+			late = b
+		}
+	}
+	if bestDay < 18 || bestDay > 22 {
+		t.Fatalf("largest soccer burst at day %d, want ≈20", bestDay)
+	}
+	if late <= early {
+		t.Fatalf("final-week burst (%d) should exceed earlier bursts (%d)", late, early)
+	}
+}
+
+func TestSwimmingProfileShape(t *testing.T) {
+	p := SwimmingProfile(SwimmingID, 100000)
+	ts := SingleEvent(2, p, Month)
+	st := exact.New()
+	for _, v := range ts {
+		st.Append(SwimmingID, v)
+	}
+	// Essentially all volume lands in the first half of the month.
+	firstHalf := st.CumFreq(SwimmingID, 15*Day)
+	total := st.CumFreq(SwimmingID, Month)
+	if float64(firstHalf)/float64(total) < 0.9 {
+		t.Fatalf("only %d of %d arrivals in the first half", firstHalf, total)
+	}
+	// Burstiness in the last third is near zero relative to the peak.
+	var peak, tail int64
+	for day := int64(2); day <= 30; day++ {
+		b := st.Burstiness(SwimmingID, day*Day, Day)
+		if b < 0 {
+			b = -b
+		}
+		if day <= 10 && b > peak {
+			peak = b
+		}
+		if day >= 20 && b > tail {
+			tail = b
+		}
+	}
+	if tail*10 > peak {
+		t.Fatalf("swimming tail burstiness %d not near zero vs peak %d", tail, peak)
+	}
+}
+
+func TestOlympicRioSpecShape(t *testing.T) {
+	spec := OlympicRioSpec(5, 200000)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Profiles) != OlympicRioK {
+		t.Fatalf("profiles = %d, want %d", len(spec.Profiles), OlympicRioK)
+	}
+	if spec.Horizon != Month {
+		t.Fatalf("horizon = %d", spec.Horizon)
+	}
+	exp := spec.Expected()
+	if math.Abs(exp-200000)/200000 > 0.1 {
+		t.Fatalf("expected volume %v, want ≈200000", exp)
+	}
+}
+
+func TestUSPoliticsSpecShape(t *testing.T) {
+	spec := USPoliticsSpec(5, 150000)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Profiles) != USPoliticsK {
+		t.Fatalf("profiles = %d, want %d", len(spec.Profiles), USPoliticsK)
+	}
+	// Popularity is heavily skewed: the top profile expects far more than
+	// the median one.
+	var max, sum float64
+	for _, p := range spec.Profiles {
+		e := p.Expected(spec.Horizon)
+		if e > max {
+			max = e
+		}
+		sum += e
+	}
+	if max/sum < 0.05 {
+		t.Fatalf("top event share %.3f too small for a Zipf workload", max/sum)
+	}
+	if USPoliticsCategory(2) != "Democrat" || USPoliticsCategory(3) != "Republican" {
+		t.Fatal("category labels wrong")
+	}
+}
+
+func TestMessagesRoundTripThroughTextmap(t *testing.T) {
+	spec := Spec{
+		Horizon: 5000,
+		Seed:    9,
+		Profiles: []EventProfile{
+			{ID: 0, BaseRate: 0.05},
+			{ID: 1, BaseRate: 0.05},
+			{ID: 2, BaseRate: 0.05},
+		},
+	}
+	msgs, err := Messages(spec, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) == 0 {
+		t.Fatal("no messages")
+	}
+	m := textmap.NewHashtagMapper(0)
+	mapped := 0
+	for _, msg := range msgs {
+		if ids := m.Map(msg.Text); len(ids) > 0 {
+			mapped++
+		}
+	}
+	if mapped != len(msgs) {
+		t.Fatalf("only %d of %d messages mapped to events", mapped, len(msgs))
+	}
+	// The mapper discovered at most 3 hashtag vocabularies (exactly the
+	// generated ones).
+	if m.Events() > 3 {
+		t.Fatalf("vocabulary exploded: %d", m.Events())
+	}
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i].Time < msgs[i-1].Time {
+			t.Fatal("messages out of order")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package histburst
+
+import (
+	"fmt"
+	"sync"
+
+	"histburst/internal/cmpbe"
+)
+
+// Element is one stream entry for bulk ingestion: an event id and its
+// timestamp.
+type Element struct {
+	Event uint64
+	Time  int64
+}
+
+// MergeAppend absorbs a detector built over a strictly later time range of
+// the same logical stream — the paper's "parallel processing on mutually
+// exclusive time ranges". Both detectors must have been created with
+// identical options (same sketch dimensions, seed, cell estimator and
+// event-index setting). Both are flushed; the receiver then answers queries
+// over the concatenated history exactly as if it had ingested everything
+// sequentially (PBE-1's per-partition buffer resets included). other should
+// not be used afterwards.
+func (d *Detector) MergeAppend(other *Detector) error {
+	if other == nil {
+		return fmt.Errorf("histburst: cannot merge nil detector")
+	}
+	if d.cfg != other.cfg || d.K() != other.K() {
+		return fmt.Errorf("histburst: configuration mismatch; partitions must share all options")
+	}
+	d.Finish()
+	other.Finish()
+	if other.n == 0 {
+		return nil
+	}
+	if d.tree != nil {
+		if err := d.tree.MergeAppend(other.tree); err != nil {
+			return err
+		}
+	} else if err := mergeBase(d.base, other.base); err != nil {
+		return err
+	}
+	if !d.started && other.started {
+		d.minT = other.minT
+	}
+	d.n += other.n
+	if other.maxT > d.maxT {
+		d.maxT = other.maxT
+	}
+	if other.lastT > d.lastT {
+		d.lastT = other.lastT
+	}
+	d.started = d.started || other.started
+	d.outOfOrder += other.outOfOrder
+	return nil
+}
+
+// BuildParallel constructs a Detector over a time-sorted bulk load by
+// splitting it into time-disjoint partitions (never splitting a timestamp),
+// summarizing each partition on its own goroutine, and merging the partial
+// detectors in time order. The result is identical to sequential ingestion.
+func BuildParallel(k uint64, elems []Element, workers int, opts ...Option) (*Detector, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("histburst: workers must be at least 1, got %d", workers)
+	}
+	for i := 1; i < len(elems); i++ {
+		if elems[i].Time < elems[i-1].Time {
+			return nil, fmt.Errorf("histburst: elements out of order at index %d", i)
+		}
+	}
+	parts := partition(elems, workers)
+	dets := make([]*Detector, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part []Element) {
+			defer wg.Done()
+			det, err := New(k, opts...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for _, el := range part {
+				det.Append(el.Event, el.Time)
+			}
+			det.Finish()
+			dets[i] = det
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(dets) == 0 {
+		return New(k, opts...)
+	}
+	out := dets[0]
+	for _, det := range dets[1:] {
+		if err := out.MergeAppend(det); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// partition splits a sorted element slice into up to n contiguous parts,
+// moving each cut forward so no timestamp straddles two parts.
+func partition(elems []Element, n int) [][]Element {
+	if len(elems) == 0 {
+		return nil
+	}
+	if n > len(elems) {
+		n = len(elems)
+	}
+	var parts [][]Element
+	start := 0
+	for i := 0; i < n && start < len(elems); i++ {
+		end := start + (len(elems)-start)/(n-i)
+		if end >= len(elems) {
+			end = len(elems)
+		} else {
+			for end < len(elems) && elems[end].Time == elems[end-1].Time {
+				end++
+			}
+		}
+		if end > start {
+			parts = append(parts, elems[start:end])
+		}
+		start = end
+	}
+	return parts
+}
+
+// mergeBase merges standalone (index-free) base levels.
+func mergeBase(dst, src baseLevel) error {
+	switch d := dst.(type) {
+	case *cmpbe.Sketch:
+		s, ok := src.(*cmpbe.Sketch)
+		if !ok {
+			return fmt.Errorf("histburst: base type mismatch: %T vs %T", dst, src)
+		}
+		return d.MergeAppend(s)
+	case *cmpbe.Direct:
+		s, ok := src.(*cmpbe.Direct)
+		if !ok {
+			return fmt.Errorf("histburst: base type mismatch: %T vs %T", dst, src)
+		}
+		return d.MergeAppend(s)
+	default:
+		return fmt.Errorf("histburst: base type %T is not mergeable", dst)
+	}
+}

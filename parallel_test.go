@@ -1,0 +1,172 @@
+package histburst
+
+import (
+	"math"
+	"testing"
+
+	"histburst/internal/exact"
+)
+
+func toElements(data []struct {
+	Event uint64
+	Time  int64
+}) []Element {
+	out := make([]Element, len(data))
+	for i, d := range data {
+		out[i] = Element{Event: d.Event, Time: d.Time}
+	}
+	return out
+}
+
+func streamToElements(t *testing.T, seed int64, k int, horizon int64) []Element {
+	t.Helper()
+	s := testStream(seed, k, horizon)
+	out := make([]Element, len(s))
+	for i, el := range s {
+		out[i] = Element{Event: el.Event, Time: el.Time}
+	}
+	return out
+}
+
+func TestBuildParallelMatchesSequentialClosely(t *testing.T) {
+	elems := streamToElements(t, 51, 64, 4000)
+	opts := []Option{WithPBE2(2), WithSketchDims(4, 64), WithSeed(9)}
+
+	seq, err := New(64, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for _, el := range elems {
+		seq.Append(el.Event, el.Time)
+		oracle.Append(el.Event, el.Time)
+	}
+	seq.Finish()
+
+	par, err := BuildParallel(64, elems, 4, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.N() != seq.N() || par.MaxTime() != seq.MaxTime() {
+		t.Fatalf("counters differ: N %d/%d maxT %d/%d", par.N(), seq.N(), par.MaxTime(), seq.MaxTime())
+	}
+	// Parallel construction resets PBE windows at partition boundaries so
+	// estimates may differ slightly from sequential ones, but both respect
+	// the same guarantees; check the parallel result directly against the
+	// oracle.
+	var sumErr float64
+	samples := 0
+	for e := uint64(0); e < 64; e += 5 {
+		for q := int64(0); q <= 4000; q += 111 {
+			b, err := par.Burstiness(e, q, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumErr += math.Abs(b - float64(oracle.Burstiness(e, q, 60)))
+			samples++
+		}
+	}
+	if mean := sumErr / float64(samples); mean > 20 {
+		t.Fatalf("parallel build mean error %.2f too large", mean)
+	}
+	// Bursty-event query still finds the planted bursts.
+	got, err := par.BurstyEvents(2059, 150, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]bool{}
+	for _, e := range got {
+		found[e] = true
+	}
+	if !found[3] {
+		t.Fatalf("parallel detector missed planted event 3: %v", got)
+	}
+}
+
+func TestBuildParallelValidation(t *testing.T) {
+	if _, err := BuildParallel(8, nil, 0); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	out, err := BuildParallel(8, nil, 3)
+	if err != nil || out == nil || out.N() != 0 {
+		t.Errorf("empty input: %v %v", out, err)
+	}
+	bad := []Element{{1, 10}, {1, 5}}
+	if _, err := BuildParallel(8, bad, 2); err == nil {
+		t.Error("unsorted input accepted")
+	}
+}
+
+func TestBuildParallelSingleWorker(t *testing.T) {
+	elems := streamToElements(t, 53, 16, 500)
+	a, err := BuildParallel(16, elems, 1, WithPBE2(2), WithSketchDims(3, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != int64(len(elems)) {
+		t.Fatalf("N = %d, want %d", a.N(), len(elems))
+	}
+}
+
+func TestMergeAppendConfigMismatch(t *testing.T) {
+	a, _ := New(16, WithPBE2(2))
+	b, _ := New(16, WithPBE2(3))
+	if err := a.MergeAppend(b); err == nil {
+		t.Error("gamma mismatch accepted")
+	}
+	c, _ := New(16, WithPBE2(2), WithSeed(1))
+	d, _ := New(16, WithPBE2(2), WithSeed(2))
+	if err := c.MergeAppend(d); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	if err := a.MergeAppend(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestMergeAppendNoIndexDetectors(t *testing.T) {
+	opts := []Option{WithPBE2(2), WithoutEventIndex(), WithSketchDims(3, 16)}
+	a, _ := New(16, opts...)
+	b, _ := New(16, opts...)
+	for tm := int64(0); tm < 500; tm++ {
+		a.Append(uint64(tm%16), tm)
+	}
+	for tm := int64(500); tm < 1000; tm++ {
+		b.Append(uint64(tm%16), tm)
+	}
+	if err := a.MergeAppend(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 1000 || a.MaxTime() != 999 {
+		t.Fatalf("counters: N=%d maxT=%d", a.N(), a.MaxTime())
+	}
+	if f := a.CumulativeFrequency(3, 999); math.Abs(f-62.5) > 8 {
+		t.Fatalf("F(999) for event 3 = %v, want ≈62", f)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	elems := []Element{{1, 1}, {1, 2}, {1, 2}, {1, 2}, {1, 3}, {1, 4}}
+	parts := partition(elems, 3)
+	total := 0
+	var lastEnd int64 = -1
+	for _, p := range parts {
+		if len(p) == 0 {
+			t.Fatal("empty partition")
+		}
+		if p[0].Time <= lastEnd {
+			t.Fatalf("partition starts at %d, previous ended at %d (timestamp split)", p[0].Time, lastEnd)
+		}
+		lastEnd = p[len(p)-1].Time
+		total += len(p)
+	}
+	if total != len(elems) {
+		t.Fatalf("partitions cover %d of %d", total, len(elems))
+	}
+	if got := partition(nil, 4); got != nil {
+		t.Fatalf("partition(nil) = %v", got)
+	}
+	if got := partition(elems, 100); len(got) > len(elems) {
+		t.Fatal("more partitions than elements")
+	}
+}

@@ -1,0 +1,148 @@
+package histburst
+
+import (
+	"bufio"
+	"encoding"
+	"fmt"
+	"io"
+
+	"histburst/internal/binenc"
+	"histburst/internal/cmpbe"
+	"histburst/internal/dyadic"
+)
+
+// Serialized detector format: a fixed magic, the resolved configuration,
+// the ingest counters, and the summary blob (the dyadic tree, or the
+// standalone base level when the event index is disabled). Load rebuilds
+// the cell factory from the stored configuration, so no options are needed
+// at load time and a detector round-trips exactly.
+
+var detectorMagic = []byte{'H', 'B', 'D', 1}
+
+// Save writes the detector's complete state. The detector is Finish()ed as
+// a side effect (serializing an open PBE-2 window would otherwise drop it);
+// appending after Save (or after loading the result) continues normally.
+func (d *Detector) Save(w io.Writer) error {
+	d.Finish()
+	var enc binenc.Writer
+	enc.BytesBlob(detectorMagic)
+	enc.Uvarint(d.k)
+	c := d.cfg
+	enc.Int64(c.seed)
+	enc.Uvarint(uint64(c.d))
+	enc.Uvarint(uint64(c.w))
+	enc.Bool(c.usePBE1)
+	enc.Uvarint(uint64(c.bufferN))
+	enc.Uvarint(uint64(c.eta))
+	enc.Bool(c.pbe1CapMode)
+	enc.Varint(c.pbe1Cap)
+	enc.Float64(c.gamma)
+	enc.Bool(c.noIndex)
+	enc.Varint(d.n)
+	enc.Varint(d.minT)
+	enc.Varint(d.maxT)
+	enc.Varint(d.lastT)
+	enc.Bool(d.started)
+	enc.Varint(d.outOfOrder)
+
+	var blob []byte
+	var err error
+	if d.tree != nil {
+		blob, err = d.tree.MarshalBinary()
+	} else {
+		m, ok := d.base.(encoding.BinaryMarshaler)
+		if !ok {
+			return fmt.Errorf("histburst: base level %T is not serializable", d.base)
+		}
+		blob, err = m.MarshalBinary()
+	}
+	if err != nil {
+		return fmt.Errorf("histburst: %w", err)
+	}
+	enc.BytesBlob(blob)
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(enc.Bytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a detector written by Save. No options are needed: the
+// configuration is part of the serialized form.
+func Load(r io.Reader) (*Detector, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	dec := binenc.NewReader(data)
+	if string(dec.BytesBlob()) != string(detectorMagic) {
+		return nil, fmt.Errorf("histburst: bad magic (not a detector file)")
+	}
+	k := dec.Uvarint()
+	var c config
+	c.seed = dec.Int64()
+	c.d = int(dec.Uvarint())
+	c.w = int(dec.Uvarint())
+	c.usePBE1 = dec.Bool()
+	c.bufferN = int(dec.Uvarint())
+	c.eta = int(dec.Uvarint())
+	c.pbe1CapMode = dec.Bool()
+	c.pbe1Cap = dec.Varint()
+	c.gamma = dec.Float64()
+	c.noIndex = dec.Bool()
+	n := dec.Varint()
+	minT := dec.Varint()
+	maxT := dec.Varint()
+	lastT := dec.Varint()
+	started := dec.Bool()
+	outOfOrder := dec.Varint()
+	blob := dec.BytesBlob()
+	if err := dec.Close(); err != nil {
+		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	if k == 0 {
+		return nil, fmt.Errorf("histburst: corrupt detector file: empty id space")
+	}
+
+	var factory cmpbe.Factory
+	switch {
+	case c.usePBE1 && c.pbe1CapMode:
+		factory, err = cmpbe.PBE1ErrorCapFactory(c.bufferN, c.pbe1Cap)
+	case c.usePBE1:
+		factory, err = cmpbe.PBE1Factory(c.bufferN, c.eta)
+	default:
+		factory, err = cmpbe.PBE2Factory(c.gamma)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("histburst: corrupt detector file: %w", err)
+	}
+
+	det := &Detector{
+		k: k, cfg: c,
+		n: n, minT: minT, maxT: maxT, lastT: lastT, started: started, outOfOrder: outOfOrder,
+	}
+	if c.noIndex {
+		v, err := cmpbe.UnmarshalAny(blob, factory)
+		if err != nil {
+			return nil, fmt.Errorf("histburst: %w", err)
+		}
+		base, ok := v.(baseLevel)
+		if !ok {
+			return nil, fmt.Errorf("histburst: corrupt detector file: base type %T", v)
+		}
+		det.base = base
+		return det, nil
+	}
+	tree, err := dyadic.UnmarshalTree(blob, factory)
+	if err != nil {
+		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	base, ok := tree.Level(0).(baseLevel)
+	if !ok {
+		return nil, fmt.Errorf("histburst: corrupt detector file: level type %T", tree.Level(0))
+	}
+	det.tree = tree
+	det.base = base
+	return det, nil
+}

@@ -1,0 +1,162 @@
+package histburst
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDetectorSaveLoad(t *testing.T) {
+	data := testStream(21, 64, 3000)
+	for _, opts := range [][]Option{
+		{WithPBE2(2), WithSketchDims(4, 64)},
+		{WithPBE1(200, 20), WithSketchDims(3, 32)},
+		{WithPBE1ErrorCap(200, 400), WithSketchDims(3, 32)},
+		{WithPBE2(3), WithoutEventIndex()},
+		{WithErrorBounds(0.05, 0.2)},
+	} {
+		det, err := New(64, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, el := range data {
+			det.Append(el.Event, el.Time)
+		}
+		var buf bytes.Buffer
+		if err := det.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if got.N() != det.N() || got.MaxTime() != det.MaxTime() || got.K() != det.K() || got.Bytes() != det.Bytes() {
+			t.Fatalf("metadata mismatch after round trip")
+		}
+		for e := uint64(0); e < 64; e += 7 {
+			for q := int64(0); q <= det.MaxTime(); q += 257 {
+				a, err := det.Burstiness(e, q, 60)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _ := got.Burstiness(e, q, 60)
+				if a != b {
+					t.Fatalf("burstiness differs at e=%d t=%d: %v vs %v", e, q, a, b)
+				}
+			}
+		}
+		// Event queries survive (only when the index exists).
+		if _, err := det.BurstyEvents(1549, 100, 60); err == nil {
+			a, _ := det.BurstyEvents(1549, 100, 60)
+			b, err := got.BurstyEvents(1549, 100, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("BurstyEvents differ: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestDetectorLoadThenAppend(t *testing.T) {
+	det, _ := New(16, WithPBE2(2))
+	det.Append(3, 100)
+	det.Append(3, 200)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Append(3, 300)
+	got.Finish()
+	if got.N() != 3 {
+		t.Fatalf("N after resume = %d", got.N())
+	}
+	if f := got.CumulativeFrequency(3, 300); f != 3 {
+		t.Fatalf("F(300) = %v, want 3", f)
+	}
+	// Out-of-order clamping still tracks across the boundary.
+	got.Append(3, 50)
+	if got.OutOfOrder() != 1 {
+		t.Fatalf("OutOfOrder = %d", got.OutOfOrder())
+	}
+}
+
+func TestLoadedDetectorMergesWithFresh(t *testing.T) {
+	// Regression: WithErrorBounds must resolve into the config so a
+	// saved-then-loaded detector still merges with a fresh one built from
+	// the same options.
+	opts := []Option{WithErrorBounds(0.05, 0.2), WithPBE2(2)}
+	a, err := New(16, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Append(1, 100)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(16, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Append(2, 200)
+	if err := loaded.MergeAppend(b); err != nil {
+		t.Fatalf("loaded detector refused to merge with fresh twin: %v", err)
+	}
+	if loaded.N() != 2 {
+		t.Fatalf("N = %d", loaded.N())
+	}
+}
+
+func TestMinTimeTracking(t *testing.T) {
+	det, _ := New(8, WithPBE2(2), WithSketchDims(2, 8))
+	if det.MinTime() != 0 {
+		t.Fatalf("empty MinTime = %d", det.MinTime())
+	}
+	det.Append(1, 50)
+	det.Append(1, 100)
+	if det.MinTime() != 50 || det.MaxTime() != 100 {
+		t.Fatalf("MinTime=%d MaxTime=%d", det.MinTime(), det.MaxTime())
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinTime() != 50 {
+		t.Fatalf("MinTime after round trip = %d", got.MinTime())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{nil, []byte("not a detector"), {0x48, 0x42, 0x44, 0x01}}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncations of a valid file all fail.
+	det, _ := New(8, WithPBE2(2), WithSketchDims(2, 8))
+	det.Append(1, 10)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut += 13 {
+		if _, err := Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("cut=%d accepted", cut)
+		}
+	}
+}

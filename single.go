@@ -1,0 +1,174 @@
+package histburst
+
+import (
+	"bufio"
+	"encoding"
+	"fmt"
+	"io"
+
+	"histburst/internal/binenc"
+	"histburst/internal/pbe"
+	"histburst/internal/pbe1"
+	"histburst/internal/pbe2"
+)
+
+// Single summarizes one event's stream (the paper's Section III setting):
+// a sequence of timestamps, no event ids, no Count-Min sharding. Use it
+// when you track a known event — it is smaller and strictly more accurate
+// than a Detector, with the per-stream guarantees of the chosen estimator
+// (PBE-1: optimal never-overestimating staircase; PBE-2: F within [F−γ, F]
+// and burstiness within 4γ).
+type Single struct {
+	p        pbe.PBE
+	usePBE1  bool
+	bufferN  int
+	eta      int
+	capMode  bool
+	errorCap int64
+	gamma    float64
+}
+
+// NewSingle creates a single-event summary. It accepts the estimator
+// options (WithPBE1, WithPBE2); sketch- and index-related options are
+// meaningless here and are rejected so misconfiguration is loud.
+func NewSingle(opts ...Option) (*Single, error) {
+	c := config{seed: 1, d: 5, w: 272, gamma: 8}
+	marker := c
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.d != marker.d || c.w != marker.w || c.noIndex || c.seed != marker.seed {
+		return nil, fmt.Errorf("histburst: NewSingle accepts only WithPBE1/WithPBE2 options")
+	}
+	s := &Single{usePBE1: c.usePBE1, bufferN: c.bufferN, eta: c.eta,
+		capMode: c.pbe1CapMode, errorCap: c.pbe1Cap, gamma: c.gamma}
+	var err error
+	switch {
+	case c.usePBE1 && c.pbe1CapMode:
+		s.p, err = pbe1.NewWithErrorCap(c.bufferN, c.pbe1Cap)
+	case c.usePBE1:
+		s.p, err = pbe1.New(c.bufferN, c.eta)
+	default:
+		s.p, err = pbe2.New(c.gamma)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	return s, nil
+}
+
+// Append ingests one arrival at time t (non-decreasing; earlier timestamps
+// are clamped by the underlying estimator).
+func (s *Single) Append(t int64) { s.p.Append(t) }
+
+// Finish flushes internal buffers. Idempotent; Append may follow.
+func (s *Single) Finish() { s.p.Finish() }
+
+// N returns the number of arrivals ingested.
+func (s *Single) N() int64 { return s.p.Count() }
+
+// CumulativeFrequency returns F̃(t).
+func (s *Single) CumulativeFrequency(t int64) float64 { return s.p.Estimate(t) }
+
+// Burstiness answers the POINT QUERY for burst span tau > 0.
+func (s *Single) Burstiness(t, tau int64) (float64, error) {
+	if tau <= 0 {
+		return 0, fmt.Errorf("histburst: burst span must be positive, got %d", tau)
+	}
+	return pbe.Burstiness(s.p, t, tau), nil
+}
+
+// BurstyTimes answers the BURSTY TIME QUERY over [0, horizon].
+func (s *Single) BurstyTimes(theta float64, tau, horizon int64) ([]TimeRange, error) {
+	if tau <= 0 {
+		return nil, fmt.Errorf("histburst: burst span must be positive, got %d", tau)
+	}
+	internal := pbe.BurstyTimes(s.p, theta, tau, horizon)
+	out := make([]TimeRange, len(internal))
+	for i, r := range internal {
+		out[i] = TimeRange{Start: r.Start, End: r.End}
+	}
+	return out, nil
+}
+
+// Bytes returns the summary footprint.
+func (s *Single) Bytes() int { return s.p.Bytes() }
+
+// MergeAppend absorbs a summary built over a strictly later time range
+// with identical options.
+func (s *Single) MergeAppend(other *Single) error {
+	if other == nil {
+		return fmt.Errorf("histburst: cannot merge nil summary")
+	}
+	m, ok := s.p.(interface{ MergeAppend(pbe.PBE) error })
+	if !ok {
+		return fmt.Errorf("histburst: estimator %T is not mergeable", s.p)
+	}
+	return m.MergeAppend(other.p)
+}
+
+var singleMagic = []byte{'H', 'B', 'S', 1}
+
+// Save writes the summary's complete state (flushing it first).
+func (s *Single) Save(w io.Writer) error {
+	s.Finish()
+	m, ok := s.p.(encoding.BinaryMarshaler)
+	if !ok {
+		return fmt.Errorf("histburst: estimator %T is not serializable", s.p)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var enc binenc.Writer
+	enc.BytesBlob(singleMagic)
+	enc.Bool(s.usePBE1)
+	enc.Uvarint(uint64(s.bufferN))
+	enc.Uvarint(uint64(s.eta))
+	enc.Bool(s.capMode)
+	enc.Varint(s.errorCap)
+	enc.Float64(s.gamma)
+	enc.BytesBlob(blob)
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(enc.Bytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSingle reads a summary written by Single.Save.
+func LoadSingle(r io.Reader) (*Single, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	dec := binenc.NewReader(data)
+	if string(dec.BytesBlob()) != string(singleMagic) {
+		return nil, fmt.Errorf("histburst: bad magic (not a single-event summary)")
+	}
+	s := &Single{}
+	s.usePBE1 = dec.Bool()
+	s.bufferN = int(dec.Uvarint())
+	s.eta = int(dec.Uvarint())
+	s.capMode = dec.Bool()
+	s.errorCap = dec.Varint()
+	s.gamma = dec.Float64()
+	blob := dec.BytesBlob()
+	if err := dec.Close(); err != nil {
+		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	if s.usePBE1 {
+		var b pbe1.Builder
+		if err := b.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("histburst: %w", err)
+		}
+		s.p = &b
+	} else {
+		var b pbe2.Builder
+		if err := b.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("histburst: %w", err)
+		}
+		s.p = &b
+	}
+	return s, nil
+}
