@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-figures experiments fuzz clean
+.PHONY: all check build vet test race bench bench-figures experiments fuzz clean
 
 all: build vet test
+
+# Full pre-merge gate: compile, static checks, tests, race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -30,6 +33,7 @@ experiments:
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 20s ./internal/stream/
 	$(GO) test -fuzz FuzzLoad$$ -fuzztime 20s .
+	$(GO) test -fuzz FuzzDetectorLoad -fuzztime 20s .
 	$(GO) test -fuzz FuzzLoadSingle -fuzztime 20s .
 	$(GO) test -fuzz FuzzDetectorAppend -fuzztime 20s .
 

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+// writePartitionFile writes a dataset covering [start, end) with a burst on
+// event 3 in the middle when burst is set.
+func writePartitionFile(t *testing.T, path string, start, end int64, burst bool) {
+	t.Helper()
+	var s stream.Stream
+	for tm := start; tm < end; tm++ {
+		s = append(s, stream.Element{Event: uint64(tm % 8), Time: tm})
+		if burst && tm >= (start+end)/2 && tm < (start+end)/2+50 {
+			for j := 0; j < 6; j++ {
+				s = append(s, stream.Element{Event: 3, Time: tm})
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := stream.Write(f, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchiveWorkflow(t *testing.T) {
+	tmp := t.TempDir()
+	dir := filepath.Join(tmp, "arch")
+	out, err := os.CreateTemp(tmp, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	if err := run("init", []string{"-dir", dir}, out); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	p1 := filepath.Join(tmp, "p1.hbst")
+	p2 := filepath.Join(tmp, "p2.hbst")
+	writePartitionFile(t, p1, 0, 2000, false)
+	writePartitionFile(t, p2, 2000, 4000, true)
+	shared := []string{"-dir", dir, "-k", "8", "-gamma", "2", "-seed", "3"}
+	if err := run("seal", append([]string{"-in", p1, "-start", "0", "-end", "1999"}, shared...), out); err != nil {
+		t.Fatalf("seal 1: %v", err)
+	}
+	if err := run("seal", append([]string{"-in", p2, "-start", "2000", "-end", "3999"}, shared...), out); err != nil {
+		t.Fatalf("seal 2: %v", err)
+	}
+	if err := run("stats", []string{"-dir", dir}, out); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	// Query inside the second partition's burst.
+	if err := run("point", []string{"-dir", dir, "-e", "3", "-t", "3049", "-tau", "50"}, out); err != nil {
+		t.Fatalf("point: %v", err)
+	}
+	if err := run("events", []string{"-dir", dir, "-t", "3049", "-theta", "100", "-tau", "50"}, out); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	// Check the output mentions the bursty event.
+	raw, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, "partitions: 2") {
+		t.Fatalf("stats missing:\n%s", s)
+	}
+	if !strings.Contains(s, "event 3") {
+		t.Fatalf("bursty event not reported:\n%s", s)
+	}
+}
+
+func TestArchiveErrors(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run("init", []string{}, out); err == nil {
+		t.Error("init without -dir accepted")
+	}
+	if err := run("seal", []string{"-dir", "/no/such"}, out); err == nil {
+		t.Error("seal without -in accepted")
+	}
+	if err := run("bogus", nil, out); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run("point", []string{}, out); err == nil {
+		t.Error("point without -dir accepted")
+	}
+	if err := run("stats", []string{"-dir", t.TempDir()}, out); err == nil {
+		t.Error("stats on non-archive accepted")
+	}
+}

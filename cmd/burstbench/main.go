@@ -1,0 +1,71 @@
+// Command burstbench regenerates the paper's evaluation tables and figures
+// (Section VI) on synthetic workloads. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Usage:
+//
+//	burstbench -list
+//	burstbench -fig fig8
+//	burstbench -all -scale 0.05 -queries 500
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"histburst/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 0.02, "stream volume as a fraction of the paper's datasets (1.0 = full)")
+		queries = flag.Int("queries", 200, "random queries behind each accuracy number")
+		seed    = flag.Int64("seed", 1, "workload and query seed")
+		format  = flag.String("format", "text", "output format: text or json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.List() {
+			fmt.Printf("%-8s  %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	cfg := experiments.Config{Scale: *scale, Queries: *queries, Seed: *seed}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.List()
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		fmt.Fprintln(os.Stderr, "burstbench: pass -fig <id>, -all, or -list")
+		os.Exit(2)
+	}
+	var tables []experiments.Table
+	for _, id := range ids {
+		tbl, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "burstbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "json" {
+			tables = append(tables, tbl)
+			continue
+		}
+		fmt.Println(tbl.Format())
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "burstbench:", err)
+			os.Exit(1)
+		}
+	}
+}

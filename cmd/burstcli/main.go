@@ -1,0 +1,172 @@
+// Command burstcli builds a histburst detector over a serialized dataset
+// and answers one query from the command line.
+//
+// Usage:
+//
+//	burstcli -in data.hbst -point -e 3 -t 1700000 -tau 86400
+//	burstcli -in data.hbst -times -e 3 -theta 500 -tau 86400
+//	burstcli -in data.hbst -events -t 1700000 -theta 500 -tau 86400
+//	burstcli -in data.hbst -stats
+//
+// Building the sketch dominates the cost; -save persists it so later
+// invocations can -sketch it back without touching the raw data:
+//
+//	burstcli -in data.hbst -save data.hbsk -stats
+//	burstcli -sketch data.hbsk -events -t 1700000 -theta 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"histburst"
+	"histburst/internal/metrics"
+	"histburst/internal/stream"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input dataset file written by burstgen")
+		sketch = flag.String("sketch", "", "load a saved sketch instead of building from -in")
+		save   = flag.String("save", "", "after building, save the sketch to this file")
+		point  = flag.Bool("point", false, "POINT QUERY: burstiness of event -e at time -t")
+		times  = flag.Bool("times", false, "BURSTY TIME QUERY: when was event -e bursty above -theta")
+		evts   = flag.Bool("events", false, "BURSTY EVENT QUERY: which events were bursty at time -t above -theta")
+		stats  = flag.Bool("stats", false, "print dataset and sketch statistics")
+
+		e     = flag.Uint64("e", 0, "event id")
+		t     = flag.Int64("t", 0, "query time instant")
+		tau   = flag.Int64("tau", 86_400, "burst span τ")
+		theta = flag.Float64("theta", 100, "burstiness threshold θ")
+
+		gamma = flag.Float64("gamma", 8, "PBE-2 error cap γ for the sketch cells")
+		seed  = flag.Int64("seed", 1, "sketch hash seed")
+	)
+	flag.Parse()
+	if err := run(*in, *sketch, *save, *point, *times, *evts, *stats, *e, *t, *tau, *theta, *gamma, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "burstcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, sketchFile, saveFile string, point, times, evts, stats bool, e uint64, t, tau int64, theta, gamma float64, seed int64) error {
+	var det *histburst.Detector
+	var rawBytes int
+	var buildTime time.Duration
+	var distinct int
+
+	switch {
+	case sketchFile != "":
+		f, err := os.Open(sketchFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		det, err = histburst.Load(f)
+		if err != nil {
+			return err
+		}
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		data, err := stream.Read(f)
+		if err != nil {
+			return err
+		}
+		events := data.Events()
+		distinct = len(events)
+		rawBytes = 8 * len(data)
+		k := uint64(1)
+		for _, ev := range events {
+			if ev+1 > k {
+				k = ev + 1
+			}
+		}
+		det, err = histburst.New(k, histburst.WithPBE2(gamma), histburst.WithSeed(seed))
+		if err != nil {
+			return err
+		}
+		sw := metrics.NewStopwatch()
+		for _, el := range data {
+			det.Append(el.Event, el.Time)
+		}
+		det.Finish()
+		buildTime = sw.Elapsed()
+	default:
+		return fmt.Errorf("pass -in (dataset) or -sketch (saved sketch)")
+	}
+
+	if saveFile != "" {
+		f, err := os.Create(saveFile)
+		if err != nil {
+			return err
+		}
+		if err := det.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved sketch to %s (%s)\n", saveFile, metrics.HumanBytes(det.Bytes()))
+	}
+
+	switch {
+	case stats:
+		fmt.Printf("elements:       %d\n", det.N())
+		if distinct > 0 {
+			fmt.Printf("distinct events:%d (id space %d)\n", distinct, det.K())
+		} else {
+			fmt.Printf("id space:       %d\n", det.K())
+		}
+		fmt.Printf("time span:      [0, %d]\n", det.MaxTime())
+		if rawBytes > 0 {
+			fmt.Printf("raw size:       %s (8 B per element)\n", metrics.HumanBytes(rawBytes))
+		}
+		fmt.Printf("sketch size:    %s\n", metrics.HumanBytes(det.Bytes()))
+		if buildTime > 0 {
+			fmt.Printf("build time:     %v\n", buildTime)
+		}
+	case point:
+		b, err := det.Burstiness(e, t, tau)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("b_%d(%d) ≈ %.1f (τ=%d)\n", e, t, b, tau)
+	case times:
+		ranges, err := det.BurstyTimes(e, theta, tau)
+		if err != nil {
+			return err
+		}
+		if len(ranges) == 0 {
+			fmt.Printf("event %d never reaches burstiness %.0f (τ=%d)\n", e, theta, tau)
+			return nil
+		}
+		for _, r := range ranges {
+			fmt.Printf("[%d, %d)\n", r.Start, r.End)
+		}
+	case evts:
+		ids, err := det.BurstyEvents(t, theta, tau)
+		if err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			fmt.Printf("no event reaches burstiness %.0f at t=%d (τ=%d)\n", theta, t, tau)
+			return nil
+		}
+		for _, id := range ids {
+			b, _ := det.Burstiness(id, t, tau)
+			fmt.Printf("event %-8d b ≈ %.1f\n", id, b)
+		}
+	default:
+		if saveFile == "" {
+			return fmt.Errorf("pass one of -point, -times, -events, -stats (or -save)")
+		}
+	}
+	return nil
+}

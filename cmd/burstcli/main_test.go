@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+// writeDataset creates a small dataset file with a planted burst on event 0.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	var s stream.Stream
+	for tm := int64(0); tm < 5000; tm++ {
+		s = append(s, stream.Element{Event: 1, Time: tm})
+		if tm >= 3000 && tm < 3200 {
+			for j := 0; j < 5; j++ {
+				s = append(s, stream.Element{Event: 0, Time: tm})
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "data.hbst")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := stream.Write(f, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQueries(t *testing.T) {
+	in := writeDataset(t)
+	// Each query mode executes without error.
+	if err := run(in, "", "", true, false, false, false, 0, 3199, 200, 100, 2, 1); err != nil {
+		t.Fatalf("point: %v", err)
+	}
+	if err := run(in, "", "", false, true, false, false, 0, 0, 200, 300, 2, 1); err != nil {
+		t.Fatalf("times: %v", err)
+	}
+	if err := run(in, "", "", false, false, true, false, 0, 3199, 200, 300, 2, 1); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if err := run(in, "", "", false, false, false, true, 0, 0, 200, 0, 2, 1); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestRunSaveAndLoadSketch(t *testing.T) {
+	in := writeDataset(t)
+	sk := filepath.Join(t.TempDir(), "sk.hbsk")
+	if err := run(in, "", sk, false, false, false, false, 0, 0, 200, 0, 2, 1); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := os.Stat(sk); err != nil {
+		t.Fatalf("sketch file missing: %v", err)
+	}
+	// Query from the saved sketch without the dataset.
+	if err := run("", sk, "", true, false, false, false, 0, 3199, 200, 0, 2, 1); err != nil {
+		t.Fatalf("query from sketch: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "", true, false, false, false, 0, 0, 100, 0, 2, 1); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run("/no/such/file", "", "", true, false, false, false, 0, 0, 100, 0, 2, 1); err == nil {
+		t.Error("missing dataset file accepted")
+	}
+	in := writeDataset(t)
+	if err := run(in, "", "", false, false, false, false, 0, 0, 100, 0, 2, 1); err == nil {
+		t.Error("no query mode accepted")
+	}
+	if err := run(in, "", "", true, false, false, false, 0, 0, -5, 0, 2, 1); err == nil {
+		t.Error("negative tau accepted")
+	}
+}

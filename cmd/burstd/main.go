@@ -1,0 +1,136 @@
+// Command burstd serves historical burstiness queries over HTTP — the
+// repository's analogue of the estorm.org demo the paper references —
+// while continuing to ingest the live stream.
+//
+// It loads (or generates) a dataset, builds a histburst detector, and
+// exposes:
+//
+//	GET  /v1/burstiness?e=3&t=1700000&tau=86400
+//	GET  /v1/times?e=3&theta=500&tau=86400
+//	GET  /v1/events?t=1700000&theta=500&tau=86400
+//	GET  /v1/top?t=1700000&k=5&tau=86400
+//	GET  /v1/stats
+//	POST /v1/append          {"elements":[{"event":3,"time":1700000}, …]}
+//	GET  /healthz            liveness probe
+//	GET  /readyz             readiness probe (503 while starting or draining)
+//
+// All /v1 responses are JSON; GET / serves an embedded single-page timeline
+// UI (the estorm.org-style demo view).
+//
+// With -snapshots the server is crash-safe: it checkpoints the detector to
+// the snapshot directory at the -checkpoint cadence (atomic temp-file →
+// fsync → rename writes, -retain copies kept), takes a final snapshot on
+// graceful shutdown, and at startup recovers from the newest intact
+// snapshot, skipping past corrupt or truncated ones.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		sketch = flag.String("sketch", "", "saved sketch from burstcli -save (skips building)")
+		in     = flag.String("in", "", "dataset file from burstgen (default: generate a demo olympicrio stream)")
+		n      = flag.Int64("n", 200_000, "demo stream size when no -in is given")
+		k      = flag.Uint64("k", 0, "start with an empty detector over this event-id space (skips the demo stream)")
+		gamma  = flag.Float64("gamma", 8, "PBE-2 error cap γ")
+		seed   = flag.Int64("seed", 1, "workload / sketch seed")
+
+		snapDir    = flag.String("snapshots", "", "snapshot directory for checkpoints and crash recovery (empty = stateless)")
+		checkpoint = flag.Duration("checkpoint", time.Minute, "checkpoint cadence when -snapshots is set (0 = only on shutdown)")
+		retain     = flag.Int("retain", 5, "snapshots kept in the snapshot directory")
+		inflight   = flag.Int("max-inflight", 256, "concurrent /v1 requests before shedding with 503")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	opts := serverOpts{
+		Sketch: *sketch, In: *in, N: *n, K: *k, Gamma: *gamma, Seed: *seed,
+		SnapDir: *snapDir, Retain: *retain, MaxInflight: *inflight,
+	}
+	if err := run(*addr, opts, *checkpoint, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "burstd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, opts serverOpts, checkpoint, drain time.Duration) error {
+	srv, err := newServer(opts)
+	if err != nil {
+		return err
+	}
+	log.Printf("burstd: %d elements over [0, %d], sketch %d bytes, listening on %s",
+		srv.det.N(), srv.det.MaxTime(), srv.det.Bytes(), addr)
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic checkpoints; no-op checkpoints (nothing appended) are
+	// skipped inside.
+	if srv.snaps != nil && checkpoint > 0 {
+		go func() {
+			tick := time.NewTicker(checkpoint)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if name, err := srv.checkpoint(false); err != nil {
+						log.Printf("burstd: checkpoint failed: %v", err)
+					} else if name != "" {
+						log.Printf("burstd: checkpointed to %s", name)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("burstd: shutting down (drain %s)", drain)
+	srv.ready.Store(false) // readyz flips 503; new appends are refused
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("burstd: drain incomplete: %v", err)
+	}
+	if srv.snaps != nil {
+		name, err := srv.checkpoint(true)
+		if err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		log.Printf("burstd: final snapshot %s", name)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

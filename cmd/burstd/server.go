@@ -1,0 +1,414 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"histburst"
+	"histburst/internal/stream"
+	"histburst/internal/workload"
+)
+
+// serverOpts collects everything newServer needs; the zero value plus an
+// Addr is a stateless demo server, matching the old behavior.
+type serverOpts struct {
+	Sketch string  // saved sketch file (skips building)
+	In     string  // dataset file from burstgen
+	N      int64   // demo stream size when no -in is given
+	K      uint64  // when > 0: start empty with this event-id space
+	Gamma  float64 // PBE-2 error cap γ
+	Seed   int64   // workload / sketch seed
+
+	SnapDir     string // snapshot directory ("" = stateless)
+	Retain      int    // snapshots kept
+	MaxInflight int    // concurrent /v1 requests before shedding
+	Logf        func(format string, args ...any)
+}
+
+// server wraps the detector behind an RWMutex: query handlers share read
+// locks (detector queries are pure), /v1/append and checkpoints take the
+// write lock. Everything else is the operational shell — load shedding,
+// panic recovery, readiness, snapshots.
+type server struct {
+	mu  sync.RWMutex
+	det *histburst.Detector
+
+	snaps    *snapStore  // nil when persistence is disabled
+	dirty    atomic.Bool // appends since the last checkpoint
+	ready    atomic.Bool
+	inflight chan struct{}
+	logf     func(format string, args ...any)
+}
+
+func newServer(o serverOpts) (*server, error) {
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 256
+	}
+	s := &server{
+		inflight: make(chan struct{}, o.MaxInflight),
+		logf:     o.Logf,
+	}
+	if o.SnapDir != "" {
+		st, err := openSnapStore(o.SnapDir, o.Retain)
+		if err != nil {
+			return nil, fmt.Errorf("snapshots: %w", err)
+		}
+		s.snaps = st
+		det, name, ok, err := st.recover(s.logf)
+		if err != nil {
+			return nil, fmt.Errorf("snapshots: %w", err)
+		}
+		if ok {
+			s.logf("burstd: recovered from snapshot %s (%d elements)", name, det.N())
+			s.det = det
+		}
+	}
+	if s.det == nil {
+		det, err := buildDetector(o)
+		if err != nil {
+			return nil, err
+		}
+		s.det = det
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// buildDetector produces the initial detector when no snapshot exists: a
+// saved sketch, a dataset file, an empty detector (-k), or the demo stream.
+func buildDetector(o serverOpts) (*histburst.Detector, error) {
+	if o.Sketch != "" {
+		return histburst.LoadFile(o.Sketch)
+	}
+	if o.K > 0 {
+		return histburst.New(o.K, histburst.WithPBE2(o.Gamma), histburst.WithSeed(o.Seed))
+	}
+	var data stream.Stream
+	if o.In != "" {
+		f, err := os.Open(o.In)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		data, err = stream.Read(f)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		data, err = workload.Generate(workload.OlympicRioSpec(o.Seed, o.N))
+		if err != nil {
+			return nil, err
+		}
+	}
+	k := uint64(1)
+	for _, el := range data {
+		if el.Event+1 > k {
+			k = el.Event + 1
+		}
+	}
+	det, err := histburst.New(k, histburst.WithPBE2(o.Gamma), histburst.WithSeed(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, el := range data {
+		det.Append(el.Event, el.Time)
+	}
+	det.Finish()
+	return det, nil
+}
+
+// handler assembles the full middleware stack: panic recovery outermost,
+// then per-route registration. Query and ingest routes sit behind the
+// load-shedding semaphore; health probes never shed.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	limited := func(h http.HandlerFunc) http.Handler { return s.limit(h) }
+	mux.Handle("GET /v1/burstiness", limited(s.handleBurstiness))
+	mux.Handle("GET /v1/times", limited(s.handleTimes))
+	mux.Handle("GET /v1/events", limited(s.handleEvents))
+	mux.Handle("GET /v1/top", limited(s.handleTop))
+	mux.Handle("GET /v1/stats", limited(s.handleStats))
+	mux.Handle("POST /v1/append", limited(s.handleAppend))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /{$}", s.handleUI)
+	return s.recoverPanics(mux)
+}
+
+// routes is kept for compatibility with older tests/tools; it returns the
+// fully assembled handler.
+func (s *server) routes() http.Handler { return s.handler() }
+
+// recoverPanics turns a handler panic into a 500 instead of tearing down
+// the whole connection (and, under http.Serve, killing nothing else — but
+// the stack trace would be lost in the noise).
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.logf("burstd: panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limit sheds load once MaxInflight requests are already in flight,
+// answering 503 with a Retry-After hint instead of queueing unboundedly.
+func (s *server) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server overloaded"))
+		}
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("not ready"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// appendRequest is the /v1/append body: a batch of (event, time) elements.
+// Elements are applied in order under one lock acquisition; out-of-order
+// timestamps are clamped exactly as in direct ingestion.
+type appendRequest struct {
+	Elements []appendElement `json:"elements"`
+}
+
+type appendElement struct {
+	Event uint64 `json:"event"`
+	Time  int64  `json:"time"`
+}
+
+// maxAppendBody bounds an ingest request body; ~8 MB is far beyond any
+// sane batch and keeps a hostile client from ballooning the heap.
+const maxAppendBody = 8 << 20
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("shutting down"))
+		return
+	}
+	var req appendRequest
+	body := http.MaxBytesReader(w, r.Body, maxAppendBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Elements) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	s.mu.Lock()
+	for _, el := range req.Elements {
+		s.det.Append(el.Event, el.Time)
+	}
+	total, ooo := s.det.N(), s.det.OutOfOrder()
+	s.mu.Unlock()
+	s.dirty.Store(true)
+	writeJSON(w, map[string]any{
+		"appended": len(req.Elements), "elements": total, "outOfOrder": ooo,
+	})
+}
+
+// checkpoint serializes the detector (under the write lock — Save flushes
+// open windows) and writes it as the next snapshot outside the lock, so
+// disk latency never blocks queries. force writes even when no appends
+// arrived since the last checkpoint.
+func (s *server) checkpoint(force bool) (string, error) {
+	if s.snaps == nil {
+		return "", nil
+	}
+	if !s.dirty.Swap(false) && !force {
+		return "", nil
+	}
+	var buf bytes.Buffer
+	s.mu.Lock()
+	err := s.det.Save(&buf)
+	s.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	return s.snaps.write(buf.Bytes())
+}
+
+func (s *server) handleBurstiness(w http.ResponseWriter, r *http.Request) {
+	e, err1 := paramUint(r, "e")
+	t, err2 := paramInt(r, "t")
+	tau, err3 := paramIntDefault(r, "tau", 86_400)
+	if err := firstErr(err1, err2, err3); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	b, err := s.det.Burstiness(e, t, tau)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"event": e, "t": t, "tau": tau, "burstiness": b})
+}
+
+func (s *server) handleTimes(w http.ResponseWriter, r *http.Request) {
+	e, err1 := paramUint(r, "e")
+	theta, err2 := paramFloat(r, "theta")
+	tau, err3 := paramIntDefault(r, "tau", 86_400)
+	if err := firstErr(err1, err2, err3); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	ranges, err := s.det.BurstyTimes(e, theta, tau)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"event": e, "theta": theta, "tau": tau, "ranges": ranges})
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	t, err1 := paramInt(r, "t")
+	theta, err2 := paramFloat(r, "theta")
+	tau, err3 := paramIntDefault(r, "tau", 86_400)
+	if err := firstErr(err1, err2, err3); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	ids, err := s.det.BurstyEvents(t, theta, tau)
+	if err != nil {
+		s.mu.RUnlock()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	type hit struct {
+		Event      uint64  `json:"event"`
+		Burstiness float64 `json:"burstiness"`
+	}
+	hits := make([]hit, 0, len(ids))
+	for _, id := range ids {
+		b, err := s.det.Burstiness(id, t, tau)
+		if err != nil {
+			s.mu.RUnlock()
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("scoring event %d: %w", id, err))
+			return
+		}
+		hits = append(hits, hit{Event: id, Burstiness: b})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{"t": t, "theta": theta, "tau": tau, "events": hits})
+}
+
+func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+	t, err1 := paramInt(r, "t")
+	k, err2 := paramIntDefault(r, "k", 10)
+	tau, err3 := paramIntDefault(r, "tau", 86_400)
+	if err := firstErr(err1, err2, err3); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	top, err := s.det.TopBursty(t, int(k), tau)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"t": t, "k": k, "tau": tau, "events": top})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	stats := map[string]any{
+		"elements":   s.det.N(),
+		"eventSpace": s.det.K(),
+		"maxTime":    s.det.MaxTime(),
+		"bytes":      s.det.Bytes(),
+		"outOfOrder": s.det.OutOfOrder(),
+	}
+	s.mu.RUnlock()
+	writeJSON(w, stats)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("burstd: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func paramUint(r *http.Request, name string) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+func paramInt(r *http.Request, name string) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	return strconv.ParseInt(v, 10, 64)
+}
+
+func paramIntDefault(r *http.Request, name string, def int64) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(v, 10, 64)
+}
+
+func paramFloat(r *http.Request, name string) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	return strconv.ParseFloat(v, 64)
+}

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// liveServer builds an empty live-ingest server (no demo stream) with
+// snapshots in a temp dir and returns it plus its test HTTP frontend.
+func liveServer(t *testing.T, snapDir string) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(serverOpts{K: 64, Gamma: 2, Seed: 1, SnapDir: snapDir, Retain: 3, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postAppend(t *testing.T, url string, elements string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/append", "application/json",
+		bytes.NewBufferString(`{"elements":[`+elements+`]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode append response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	_, ts := liveServer(t, "")
+	code, out := postAppend(t, ts.URL, `{"event":3,"time":100},{"event":3,"time":200}`)
+	if code != 200 || out["appended"].(float64) != 2 || out["elements"].(float64) != 2 {
+		t.Fatalf("append: code=%d out=%v", code, out)
+	}
+	// The appended data is immediately queryable.
+	resp, err := http.Get(ts.URL + "/v1/burstiness?e=3&t=200&tau=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q map[string]any
+	json.NewDecoder(resp.Body).Decode(&q) //nolint:errcheck
+	resp.Body.Close()
+	if q["burstiness"].(float64) <= 0 {
+		t.Fatalf("appended burst invisible: %v", q)
+	}
+	// Malformed and empty bodies are 400s.
+	if code, _ := postAppend(t, ts.URL, ``); code != 400 {
+		t.Fatalf("empty batch: code=%d", code)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/append", "application/json", bytes.NewBufferString("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Fatalf("garbage body: code=%d", resp2.StatusCode)
+	}
+}
+
+// TestConcurrentAppendAndQuery hammers ingest and every query endpoint at
+// once; run under -race this is the server's central thread-safety proof.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	_, ts := liveServer(t, "")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				tm := int64(w*1000 + i*10)
+				code, _ := postAppend(t, ts.URL, fmt.Sprintf(`{"event":%d,"time":%d}`, w, tm))
+				if code != 200 {
+					t.Errorf("append code %d", code)
+					return
+				}
+			}
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			urls := []string{
+				"/v1/burstiness?e=1&t=500&tau=100",
+				"/v1/times?e=1&theta=1&tau=100",
+				"/v1/events?t=500&theta=1&tau=100",
+				"/v1/top?t=500&k=3&tau=100",
+				"/v1/stats",
+			}
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(ts.URL + urls[i%len(urls)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("%s: code %d", urls[i%len(urls)], resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCheckpointAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := liveServer(t, dir)
+	if code, _ := postAppend(t, ts.URL, `{"event":5,"time":100},{"event":5,"time":150}`); code != 200 {
+		t.Fatalf("append failed: %d", code)
+	}
+	name, err := srv.checkpoint(false)
+	if err != nil || name == "" {
+		t.Fatalf("checkpoint: name=%q err=%v", name, err)
+	}
+	// Nothing appended since: the next periodic checkpoint is skipped.
+	if name, err := srv.checkpoint(false); err != nil || name != "" {
+		t.Fatalf("no-op checkpoint wrote %q err=%v", name, err)
+	}
+	// A forced (shutdown) checkpoint always writes.
+	if name, err := srv.checkpoint(true); err != nil || name == "" {
+		t.Fatalf("forced checkpoint: name=%q err=%v", name, err)
+	}
+
+	// A fresh server over the same directory recovers the ingested data.
+	srv2, err := newServer(serverOpts{K: 64, Gamma: 2, Seed: 1, SnapDir: dir, Retain: 3, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.det.N() != 2 {
+		t.Fatalf("recovered N = %d, want 2", srv2.det.N())
+	}
+	b, err := srv2.det.Burstiness(5, 150, 100)
+	if err != nil || b <= 0 {
+		t.Fatalf("recovered burstiness = %v err=%v", b, err)
+	}
+}
+
+func TestSnapshotRetention(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := liveServer(t, dir)
+	for i := 0; i < 7; i++ {
+		if _, err := srv.checkpoint(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := srv.snaps.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("retained %d snapshots, want 3: %v", len(names), names)
+	}
+	// Newest-first ordering, and the sequence survives reopening.
+	if names[0] <= names[1] {
+		t.Fatalf("not newest-first: %v", names)
+	}
+	st, err := openSnapStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.seq != 7 {
+		t.Fatalf("reopened seq = %d, want 7", st.seq)
+	}
+}
+
+func TestReadyzAndShutdownRefusesAppends(t *testing.T) {
+	srv, ts := liveServer(t, "")
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: code %d", probe, resp.StatusCode)
+		}
+	}
+	srv.ready.Store(false) // draining
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("readyz while draining: code %d", resp.StatusCode)
+	}
+	if code, _ := postAppend(t, ts.URL, `{"event":1,"time":1}`); code != 503 {
+		t.Fatalf("append while draining: code %d", code)
+	}
+	// healthz stays 200: the process is alive, just not accepting work.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("healthz while draining: code %d", resp2.StatusCode)
+	}
+}
+
+func TestLoadSheddingReturns503(t *testing.T) {
+	srv := &server{inflight: make(chan struct{}, 1), logf: t.Logf}
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	h := srv.limit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-block
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	defer close(block)
+
+	go http.Get(ts.URL) //nolint:errcheck
+	<-entered           // the one slot is now held
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("second request: code %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After hint")
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv := &server{logf: t.Logf}
+	h := srv.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("code %d, want 500", resp.StatusCode)
+	}
+}

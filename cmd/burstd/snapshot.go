@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"histburst"
+)
+
+// A snapStore manages the snapshot directory: sequence-numbered detector
+// files written atomically, pruned to a retention count, and scanned
+// newest-first at startup so recovery always lands on the most recent
+// intact snapshot no matter where a crash interrupted a write.
+//
+// Layout: snap-<seq>.hbsk with a zero-padded 16-digit decimal sequence
+// number (lexical order == numeric order, so directory listings sort).
+// In-flight writes use snap-<seq>.hbsk.tmp-* names; leftovers from crashes
+// are swept on open.
+type snapStore struct {
+	dir    string
+	retain int
+	seq    uint64 // next sequence number to write
+}
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".hbsk"
+)
+
+func snapName(seq uint64) string { return fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix) }
+
+// parseSnapName extracts the sequence number from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	if len(digits) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// openSnapStore prepares dir (created if absent), sweeps temp files left by
+// crashed writes, and positions the sequence counter after the newest
+// existing snapshot — even a corrupt one, so a retried write never
+// overwrites the evidence.
+func openSnapStore(dir string, retain int) (*snapStore, error) {
+	if retain < 1 {
+		return nil, fmt.Errorf("snapshot retention must be at least 1, got %d", retain)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &snapStore{dir: dir, retain: retain}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.Contains(name, snapSuffix+".tmp-") {
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck
+			continue
+		}
+		if seq, ok := parseSnapName(name); ok && seq >= st.seq {
+			st.seq = seq + 1
+		}
+	}
+	return st, nil
+}
+
+// list returns the snapshot file names present, newest first.
+func (st *snapStore) list() ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSnapName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names, nil
+}
+
+// recover scans snapshots newest-first and returns the first one that
+// loads, skipping past corrupt or truncated files (each skip is reported
+// through logf). ok is false when no loadable snapshot exists.
+func (st *snapStore) recover(logf func(format string, args ...any)) (det *histburst.Detector, name string, ok bool, err error) {
+	names, err := st.list()
+	if err != nil {
+		return nil, "", false, err
+	}
+	for _, n := range names {
+		d, err := histburst.LoadFile(filepath.Join(st.dir, n))
+		if err != nil {
+			logf("burstd: skipping corrupt snapshot %s: %v", n, err)
+			continue
+		}
+		return d, n, true, nil
+	}
+	return nil, "", false, nil
+}
+
+// write persists one encoded detector as the next snapshot, atomically
+// (temp file in the same directory → fsync → rename), then prunes old
+// snapshots beyond the retention count. Pruning failures are non-fatal: an
+// extra old snapshot is clutter, not corruption.
+func (st *snapStore) write(data []byte) (string, error) {
+	name := snapName(st.seq)
+	path := filepath.Join(st.dir, name)
+	tmp, err := os.CreateTemp(st.dir, name+".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (string, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	if d, err := os.Open(st.dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+	st.seq++
+	st.prune()
+	return name, nil
+}
+
+// prune removes the oldest snapshots beyond the retention count.
+func (st *snapStore) prune() {
+	names, err := st.list()
+	if err != nil {
+		return
+	}
+	for _, n := range names[min(st.retain, len(names)):] {
+		os.Remove(filepath.Join(st.dir, n)) //nolint:errcheck
+	}
+}

@@ -1,0 +1,79 @@
+// Command burstgen generates the synthetic event-stream datasets used by
+// the experiments and serializes them in histburst's binary stream format.
+//
+// Usage:
+//
+//	burstgen -dataset olympicrio -n 500000 -seed 1 -out olympicrio.hbst
+//	burstgen -dataset uspolitics -n 500000 -out uspolitics.hbst
+//	burstgen -dataset soccer -n 100000 -out soccer.hbst    (single event)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"histburst/internal/stream"
+	"histburst/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "olympicrio", "dataset to generate: olympicrio, uspolitics, soccer, swimming")
+		n       = flag.Int64("n", 500_000, "target number of stream elements")
+		seed    = flag.Int64("seed", 1, "generator seed (same seed ⇒ identical dataset)")
+		out     = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if err := run(*dataset, *n, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "burstgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, n, seed int64, out string) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", n)
+	}
+	var s stream.Stream
+	switch dataset {
+	case "olympicrio":
+		var err error
+		s, err = workload.Generate(workload.OlympicRioSpec(seed, n))
+		if err != nil {
+			return err
+		}
+	case "uspolitics":
+		var err error
+		s, err = workload.Generate(workload.USPoliticsSpec(seed, n))
+		if err != nil {
+			return err
+		}
+	case "soccer":
+		p := workload.SoccerProfile(workload.SoccerID, n)
+		s = workload.SingleEvent(seed, p, workload.Month).ToStream(workload.SoccerID)
+	case "swimming":
+		p := workload.SwimmingProfile(workload.SwimmingID, n)
+		s = workload.SingleEvent(seed, p, workload.Month).ToStream(workload.SwimmingID)
+	default:
+		return fmt.Errorf("unknown dataset %q (want olympicrio, uspolitics, soccer or swimming)", dataset)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := stream.Write(f, s); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	lo, hi, _ := s.Span()
+	fmt.Printf("wrote %s: %d elements, %d events, time span [%d, %d]\n",
+		out, len(s), len(s.Events()), lo, hi)
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+func TestRunGeneratesAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, ds := range []string{"olympicrio", "uspolitics", "soccer", "swimming"} {
+		out := filepath.Join(dir, ds+".hbst")
+		if err := run(ds, 5000, 1, out); err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := stream.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: reading output: %v", ds, err)
+		}
+		if len(s) == 0 {
+			t.Fatalf("%s: empty stream", ds)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.hbst")
+	b := filepath.Join(dir, "b.hbst")
+	if err := run("soccer", 3000, 7, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("soccer", 3000, 7, b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different files")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("soccer", 100, 1, ""); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("soccer", 0, 1, "x"); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run("nope", 100, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("soccer", 100, 1, "/no/such/dir/file"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// A forwarder replays the mapped stream to a burstd /v1/append endpoint in
+// batches, retrying transient failures (connection errors, 503 shedding,
+// 429, 5xx) with jittered exponential backoff so a replay client rides out
+// server restarts instead of dying on the first refused connection.
+type forwarder struct {
+	url    string
+	client *http.Client
+	batch  []element
+	size   int
+
+	retries int           // attempts per batch before giving up
+	base    time.Duration // first backoff
+	cap     time.Duration // backoff ceiling
+
+	rng   *rand.Rand
+	sleep func(time.Duration) // injection point for tests
+
+	sent, posts, retried int64
+}
+
+type element struct {
+	Event uint64 `json:"event"`
+	Time  int64  `json:"time"`
+}
+
+func newForwarder(url string, batchSize int, client *http.Client) *forwarder {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &forwarder{
+		url:     url,
+		client:  client,
+		size:    batchSize,
+		retries: 8,
+		base:    100 * time.Millisecond,
+		cap:     5 * time.Second,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:   time.Sleep,
+	}
+}
+
+// add queues one element, flushing when the batch is full.
+func (f *forwarder) add(e uint64, t int64) error {
+	f.batch = append(f.batch, element{Event: e, Time: t})
+	if len(f.batch) >= f.size {
+		return f.flush()
+	}
+	return nil
+}
+
+// flush posts the queued batch, retrying transient failures with backoff.
+func (f *forwarder) flush() error {
+	if len(f.batch) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(map[string]any{"elements": f.batch})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < f.retries; attempt++ {
+		if attempt > 0 {
+			f.retried++
+			f.sleep(f.backoff(attempt))
+		}
+		retryable, err := f.post(body)
+		if err == nil {
+			f.sent += int64(len(f.batch))
+			f.posts++
+			f.batch = f.batch[:0]
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return fmt.Errorf("forward %d elements: %w", len(f.batch), lastErr)
+}
+
+// post performs one append attempt; retryable reports whether the failure
+// is worth another try (connection trouble or a server telling us to back
+// off) as opposed to a request the server will never accept.
+func (f *forwarder) post(body []byte) (retryable bool, err error) {
+	resp, err := f.client.Post(f.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return true, err // connection refused/reset, timeout, DNS — retry
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+	switch {
+	case resp.StatusCode < 300:
+		return false, nil
+	case resp.StatusCode == http.StatusServiceUnavailable,
+		resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode >= 500:
+		return true, fmt.Errorf("server busy: %s", resp.Status)
+	default:
+		return false, fmt.Errorf("rejected: %s", resp.Status)
+	}
+}
+
+// backoff returns the delay before the given retry attempt: exponential in
+// the attempt number, capped, with ±50% jitter so a fleet of replay
+// clients doesn't stampede a restarting server in lockstep.
+func (f *forwarder) backoff(attempt int) time.Duration {
+	d := f.base << (attempt - 1)
+	if d > f.cap || d <= 0 {
+		d = f.cap
+	}
+	half := d / 2
+	return half + time.Duration(f.rng.Int63n(int64(d)+1))
+}

@@ -38,6 +38,60 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
+// FuzzDetectorLoad targets the full detector decode path with both format
+// versions: valid HBD1 and HBD2 blobs, their truncations, and bit flips.
+// Load must never panic, never allocate unboundedly, and anything accepted
+// must survive query and re-save.
+func FuzzDetectorLoad(f *testing.F) {
+	for _, opts := range [][]Option{
+		{WithPBE2(2), WithSketchDims(2, 8)},
+		{WithPBE1(100, 10), WithSketchDims(2, 4)},
+		{WithPBE2(2), WithoutEventIndex()},
+	} {
+		det, err := New(8, opts...)
+		if err != nil {
+			f.Fatal(err)
+		}
+		det.Append(1, 10)
+		det.Append(3, 25)
+		det.Append(1, 40)
+		var v2 bytes.Buffer
+		if err := det.Save(&v2); err != nil {
+			f.Fatal(err)
+		}
+		v1 := saveHBD1(f, det)
+		f.Add(v2.Bytes())
+		f.Add(v1)
+		for _, cut := range []int{1, 5, 9, len(v1) / 2, len(v1) - 1} {
+			f.Add(v1[:cut])
+			f.Add(v2.Bytes()[:cut])
+		}
+		flipped := append([]byte(nil), v2.Bytes()...)
+		flipped[len(flipped)/2] ^= 0x10
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("HBD\x02 nearly"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := d.Burstiness(1, 30, 10); err != nil {
+			t.Fatalf("loaded detector cannot query: %v", err)
+		}
+		var out bytes.Buffer
+		if err := d.Save(&out); err != nil {
+			t.Fatalf("loaded detector cannot re-save: %v", err)
+		}
+		if _, err := Load(&out); err != nil {
+			t.Fatalf("re-saved detector does not load: %v", err)
+		}
+	})
+}
+
 // FuzzLoadSingle does the same for single-event summaries.
 func FuzzLoadSingle(f *testing.F) {
 	s, err := NewSingle(WithPBE2(2))

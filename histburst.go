@@ -29,6 +29,7 @@ package histburst
 
 import (
 	"fmt"
+	"math/bits"
 
 	"histburst/internal/cmpbe"
 	"histburst/internal/dyadic"
@@ -346,9 +347,11 @@ func (d *Detector) Bytes() int {
 }
 
 func roundPow2(k uint64) uint64 {
-	p := uint64(1)
-	for p < k {
-		p <<= 1
+	// Branch-free and safe for any input: the old doubling loop never
+	// terminated for k > 2⁶³ (reachable only from corrupt files, which
+	// Load now rejects, but an infinite loop is the wrong failure mode).
+	if k&(k-1) == 0 {
+		return k
 	}
-	return p
+	return 1 << (64 - bits.LeadingZeros64(k))
 }

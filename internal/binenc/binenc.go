@@ -30,6 +30,11 @@ func (w *Writer) Uint64(v uint64) {
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
 }
 
+// Uint32 appends a fixed 4-byte value.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
 // Int64 appends a fixed 8-byte signed value.
 func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
 
@@ -103,6 +108,20 @@ func (r *Reader) Uint64() uint64 {
 	}
 	v := binary.LittleEndian.Uint64(r.buf[r.off:])
 	r.off += 8
+	return v
+}
+
+// Uint32 reads a fixed 4-byte value.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail("uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
 	return v
 }
 
@@ -181,4 +200,28 @@ func (r *Reader) Len(max uint64) int {
 		return 0
 	}
 	return int(n)
+}
+
+// Remaining returns how many undecoded bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// SliceLen reads an element count for a slice whose elements each occupy at
+// least minElemBytes of the remaining input. Beyond the ceiling check of
+// Len, it rejects counts the remaining bytes cannot possibly satisfy, so a
+// short corrupt record cannot make the caller allocate a multi-GB slice
+// before the first element decode fails.
+func (r *Reader) SliceLen(max uint64, minElemBytes int) int {
+	n := r.Len(max)
+	if r.err != nil {
+		return 0
+	}
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if n > r.Remaining()/minElemBytes {
+		r.err = fmt.Errorf("%w: length %d exceeds %d remaining bytes (≥%d each)",
+			ErrCorrupt, n, r.Remaining(), minElemBytes)
+		return 0
+	}
+	return n
 }

@@ -130,3 +130,81 @@ func TestPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUint32RoundTrip(t *testing.T) {
+	var w Writer
+	w.Uint32(0)
+	w.Uint32(0xdeadbeef)
+	w.Uint32(math.MaxUint32)
+	r := NewReader(w.Bytes())
+	for _, want := range []uint32{0, 0xdeadbeef, math.MaxUint32} {
+		if got := r.Uint32(); got != want {
+			t.Errorf("Uint32 = %08x, want %08x", got, want)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated reads fail cleanly.
+	short := NewReader(w.Bytes()[:2])
+	short.Uint32()
+	if !errors.Is(short.Err(), ErrCorrupt) {
+		t.Fatalf("short Uint32 err = %v", short.Err())
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	var w Writer
+	w.Uint32(1)
+	w.BytesBlob([]byte("abc"))
+	r := NewReader(w.Bytes())
+	if got := r.Remaining(); got != 8 {
+		t.Fatalf("Remaining = %d, want 8", got)
+	}
+	r.Uint32()
+	if got := r.Remaining(); got != 4 {
+		t.Fatalf("Remaining after Uint32 = %d, want 4", got)
+	}
+	r.BytesBlob()
+	if got := r.Remaining(); got != 0 {
+		t.Fatalf("Remaining at end = %d", got)
+	}
+}
+
+func TestSliceLen(t *testing.T) {
+	// 3 elements of 2 bytes each actually present.
+	var w Writer
+	w.Uvarint(3)
+	w.Uint32(0)
+	w.Uint32(0) // 8 bytes of payload ≥ 3×2
+	r := NewReader(w.Bytes())
+	if got := r.SliceLen(100, 2); got != 3 || r.Err() != nil {
+		t.Fatalf("SliceLen = %d err=%v", got, r.Err())
+	}
+
+	// A count the remaining bytes cannot satisfy is rejected before any
+	// allocation-sized value escapes.
+	var w2 Writer
+	w2.Uvarint(1 << 30)
+	w2.Uint32(0)
+	r2 := NewReader(w2.Bytes())
+	if got := r2.SliceLen(1<<40, 2); got != 0 || !errors.Is(r2.Err(), ErrCorrupt) {
+		t.Fatalf("oversized SliceLen = %d err=%v", got, r2.Err())
+	}
+
+	// The ceiling still applies independently.
+	var w3 Writer
+	w3.Uvarint(50)
+	r3 := NewReader(append(w3.Bytes(), make([]byte, 200)...))
+	if got := r3.SliceLen(10, 1); got != 0 || !errors.Is(r3.Err(), ErrCorrupt) {
+		t.Fatalf("over-ceiling SliceLen = %d err=%v", got, r3.Err())
+	}
+
+	// minElemBytes below 1 is treated as 1.
+	var w4 Writer
+	w4.Uvarint(2)
+	r4 := NewReader(append(w4.Bytes(), 0, 0))
+	if got := r4.SliceLen(10, 0); got != 2 || r4.Err() != nil {
+		t.Fatalf("minElemBytes=0: %d err=%v", got, r4.Err())
+	}
+}

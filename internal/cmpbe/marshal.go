@@ -56,8 +56,15 @@ func UnmarshalSketch(data []byte, f Factory) (*Sketch, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	if d <= 0 || w <= 0 || d*w > maxCells {
+	// Check d and w individually before the product: both come from the
+	// wire, and a pair like 2³²×2³² would overflow d*w right past the cap.
+	if d <= 0 || w <= 0 || d > maxCells || w > maxCells || d*w > maxCells {
 		return nil, fmt.Errorf("cmpbe: implausible dimensions %d×%d", d, w)
+	}
+	// Every cell is at least a one-byte blob; a short record claiming many
+	// cells must not allocate them all just to fail on the first decode.
+	if d*w > r.Remaining() {
+		return nil, fmt.Errorf("cmpbe: %d cells exceed %d remaining bytes", d*w, r.Remaining())
 	}
 	s, err := New(d, w, seed, f)
 	if err != nil {
@@ -109,6 +116,9 @@ func UnmarshalDirect(data []byte, f Factory) (*Direct, error) {
 	}
 	if ids == 0 || ids > maxCells {
 		return nil, fmt.Errorf("cmpbe: implausible direct size %d", ids)
+	}
+	if ids > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("cmpbe: %d cells exceed %d remaining bytes", ids, r.Remaining())
 	}
 	d, err := NewDirect(ids, f)
 	if err != nil {

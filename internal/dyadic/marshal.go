@@ -48,7 +48,7 @@ func UnmarshalTree(data []byte, f cmpbe.Factory) (*Tree, error) {
 	k := r.Uvarint()
 	n := r.Varint()
 	maxT := r.Varint()
-	nLevels := r.Len(65)
+	nLevels := r.SliceLen(65, 1)
 	if err := r.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,138 @@
+// Package faultio provides fault-injecting io primitives for testing
+// crash-safety: writers and readers that fail, silently truncate, or flake
+// at controlled points, and a file layer that reproduces the on-disk state
+// a process crash would leave at any step of an atomic write sequence.
+//
+// Everything here is deterministic — the same parameters always inject the
+// same fault — so crash-recovery tests can sweep every byte and boundary
+// offset exhaustively instead of sampling.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrInjected is the error returned by every injected fault.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// FailingWriter passes writes through to W until N total bytes have been
+// accepted, then fails. The failing write first accepts the bytes that fit
+// under the budget (a short write with an error, like a filling disk).
+type FailingWriter struct {
+	W io.Writer
+	N int64 // bytes accepted before failing
+}
+
+func (w *FailingWriter) Write(p []byte) (int, error) {
+	if w.N <= 0 {
+		return 0, ErrInjected
+	}
+	if int64(len(p)) <= w.N {
+		n, err := w.W.Write(p)
+		w.N -= int64(n)
+		return n, err
+	}
+	n, err := w.W.Write(p[:w.N])
+	w.N -= int64(n)
+	if err == nil {
+		err = ErrInjected
+	}
+	return n, err
+}
+
+// TruncatingWriter accepts every write reporting full success but persists
+// only the first N bytes to W — the state an unsynced page cache leaves
+// after a power cut: the application saw no error, the tail is gone.
+type TruncatingWriter struct {
+	W io.Writer
+	N int64 // bytes actually persisted
+}
+
+func (w *TruncatingWriter) Write(p []byte) (int, error) {
+	keep := int64(len(p))
+	if keep > w.N {
+		keep = w.N
+	}
+	if keep > 0 {
+		n, err := w.W.Write(p[:keep])
+		w.N -= int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	return len(p), nil
+}
+
+// FailingReader passes reads through to R until N total bytes have been
+// delivered, then fails — a stream cut mid-transfer.
+type FailingReader struct {
+	R io.Reader
+	N int64 // bytes delivered before failing
+}
+
+func (r *FailingReader) Read(p []byte) (int, error) {
+	if r.N <= 0 {
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > r.N {
+		p = p[:r.N]
+	}
+	n, err := r.R.Read(p)
+	r.N -= int64(n)
+	return n, err
+}
+
+// FlakyWriter fails every FailEvery-th Write call (1-based) with
+// ErrInjected, accepting nothing from the failed call, and passes all
+// other calls through — transient faults a retrying caller should survive.
+type FlakyWriter struct {
+	W         io.Writer
+	FailEvery int
+	calls     int
+}
+
+func (w *FlakyWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if w.FailEvery > 0 && w.calls%w.FailEvery == 0 {
+		return 0, ErrInjected
+	}
+	return w.W.Write(p)
+}
+
+// CrashSteps returns how many distinct crash points an atomic write of a
+// len(data)-byte payload has: a crash after each prefix of the temp file
+// (including the empty one), plus one after the completed rename.
+func CrashSteps(data []byte) int { return len(data) + 2 }
+
+// CrashAtomicWrite reproduces, in dir, the exact on-disk state a process
+// crash would leave at the given step of an atomic write of data to
+// dir/base via the usual temp-file → fsync → rename sequence:
+//
+//	step 0 … len(data)   crashed mid-write: the temp file holds the first
+//	                     `step` bytes, base is untouched
+//	step len(data)+1     crashed after the rename: the write completed
+//
+// It returns the path of the file the crash left behind (the temp file, or
+// the final file for the last step). Recovery code under test should then
+// be pointed at dir.
+func CrashAtomicWrite(dir, base string, data []byte, step int) (string, error) {
+	if step < 0 || step > len(data)+1 {
+		return "", fmt.Errorf("faultio: step %d out of range [0, %d]", step, len(data)+1)
+	}
+	if step == len(data)+1 {
+		final := filepath.Join(dir, base)
+		if err := os.WriteFile(final, data, 0o644); err != nil {
+			return "", err
+		}
+		return final, nil
+	}
+	tmp := filepath.Join(dir, base+fmt.Sprintf(".tmp-crash%d", step))
+	if err := os.WriteFile(tmp, data[:step], 0o644); err != nil {
+		return "", err
+	}
+	return tmp, nil
+}

@@ -1,0 +1,101 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFailingWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FailingWriter{W: &buf, N: 5}
+	n, err := w.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// Budget has 2 left; this write is cut short and fails.
+	n, err = w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("persisted %q", buf.String())
+	}
+	// Exhausted: nothing more gets through.
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhausted write: n=%d err=%v", n, err)
+	}
+}
+
+func TestTruncatingWriterReportsSuccess(t *testing.T) {
+	var buf bytes.Buffer
+	w := &TruncatingWriter{W: &buf, N: 4}
+	for _, chunk := range []string{"ab", "cd", "ef"} {
+		n, err := w.Write([]byte(chunk))
+		if n != 2 || err != nil {
+			t.Fatalf("write %q: n=%d err=%v", chunk, n, err)
+		}
+	}
+	if buf.String() != "abcd" {
+		t.Fatalf("persisted %q, want only the first 4 bytes", buf.String())
+	}
+}
+
+func TestFailingReader(t *testing.T) {
+	r := &FailingReader{R: strings.NewReader("abcdefgh"), N: 5}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(got) != "abcde" {
+		t.Fatalf("read %q before the fault", got)
+	}
+}
+
+func TestFlakyWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FlakyWriter{W: &buf, FailEvery: 3}
+	var fails int
+	for i := 0; i < 9; i++ {
+		if _, err := w.Write([]byte("x")); errors.Is(err, ErrInjected) {
+			fails++
+		}
+	}
+	if fails != 3 || buf.Len() != 6 {
+		t.Fatalf("fails=%d persisted=%d", fails, buf.Len())
+	}
+}
+
+func TestCrashAtomicWriteStates(t *testing.T) {
+	data := []byte("payload-bytes")
+	for step := 0; step < CrashSteps(data); step++ {
+		dir := t.TempDir()
+		left, err := CrashAtomicWrite(dir, "snap.bin", data, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		final := filepath.Join(dir, "snap.bin")
+		if step == len(data)+1 {
+			got, err := os.ReadFile(final)
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("step %d: final file %q err %v", step, got, err)
+			}
+			continue
+		}
+		// Mid-write crash: final file absent, temp file holds the prefix.
+		if _, err := os.Stat(final); !os.IsNotExist(err) {
+			t.Fatalf("step %d: final file exists", step)
+		}
+		got, err := os.ReadFile(left)
+		if err != nil || !bytes.Equal(got, data[:step]) {
+			t.Fatalf("step %d: temp holds %q err %v", step, got, err)
+		}
+	}
+	if _, err := CrashAtomicWrite(t.TempDir(), "x", data, len(data)+2); err == nil {
+		t.Fatal("out-of-range step accepted")
+	}
+}

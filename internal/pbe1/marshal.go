@@ -112,7 +112,7 @@ func writePoints(w *binenc.Writer, pts []curve.Point) {
 
 // readPoints decodes a delta-encoded point list.
 func readPoints(r *binenc.Reader) ([]curve.Point, error) {
-	n := r.Len(maxPoints)
+	n := r.SliceLen(maxPoints, 2) // each point is two varints, ≥ 1 byte apiece
 	if n == 0 {
 		return nil, r.Err()
 	}

@@ -70,7 +70,7 @@ func (b *Builder) UnmarshalBinary(data []byte) error {
 	started := r.Bool()
 	done := r.Bool()
 	outOfOrder := r.Varint()
-	n := r.Len(maxSegments)
+	n := r.SliceLen(maxSegments, 18) // two f64 plus two varints per segment
 	segs := make([]Segment, n)
 	var prevStart int64
 	for i := range segs {

@@ -2,9 +2,14 @@ package histburst
 
 import (
 	"bufio"
+	"bytes"
 	"encoding"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"histburst/internal/binenc"
 	"histburst/internal/cmpbe"
@@ -12,12 +17,32 @@ import (
 )
 
 // Serialized detector format: a fixed magic, the resolved configuration,
-// the ingest counters, and the summary blob (the dyadic tree, or the
-// standalone base level when the event index is disabled). Load rebuilds
-// the cell factory from the stored configuration, so no options are needed
-// at load time and a detector round-trips exactly.
+// the ingest counters, the summary blob (the dyadic tree, or the standalone
+// base level when the event index is disabled), and — since format v2 — a
+// CRC32-C footer over everything before it, so torn writes and bit rot fail
+// loudly at load time instead of decoding into a subtly wrong detector.
+// Load rebuilds the cell factory from the stored configuration, so no
+// options are needed at load time and a detector round-trips exactly.
+// Save always writes v2 ("HBD2"); Load still accepts v1 ("HBD1", no
+// footer) files written by earlier versions.
 
-var detectorMagic = []byte{'H', 'B', 'D', 1}
+var (
+	detectorMagicV1 = []byte{'H', 'B', 'D', 1}
+	detectorMagicV2 = []byte{'H', 'B', 'D', 2}
+)
+
+// crcTable is the Castagnoli polynomial, the usual choice for storage
+// footers (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxEventSpace bounds the deserialized id-space size. Ids are folded into
+// the space by modulo, so anything larger is certainly corruption — and the
+// bound keeps K()'s power-of-two rounding away from uint64 overflow.
+const maxEventSpace = 1 << 48
+
+// maxSketchDim bounds each deserialized Count-Min dimension; the real cap
+// is the cell count downstream, this just rejects absurd configs early.
+const maxSketchDim = 1 << 24
 
 // Save writes the detector's complete state. The detector is Finish()ed as
 // a side effect (serializing an open PBE-2 window would otherwise drop it);
@@ -25,7 +50,7 @@ var detectorMagic = []byte{'H', 'B', 'D', 1}
 func (d *Detector) Save(w io.Writer) error {
 	d.Finish()
 	var enc binenc.Writer
-	enc.BytesBlob(detectorMagic)
+	enc.BytesBlob(detectorMagicV2)
 	enc.Uvarint(d.k)
 	c := d.cfg
 	enc.Int64(c.seed)
@@ -60,6 +85,7 @@ func (d *Detector) Save(w io.Writer) error {
 		return fmt.Errorf("histburst: %w", err)
 	}
 	enc.BytesBlob(blob)
+	enc.Uint32(crc32.Checksum(enc.Bytes(), crcTable))
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(enc.Bytes()); err != nil {
@@ -68,17 +94,103 @@ func (d *Detector) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// SaveFile writes the detector to path atomically: the encoded state goes
+// to a temporary file in the same directory, is fsynced, and only then
+// renamed over path. A crash at any point leaves either the previous file
+// or the complete new one — never a torn mix.
+func (d *Detector) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		return err
+	}
+	return writeFileAtomic(path, buf.Bytes())
+}
+
+// writeFileAtomic is the temp-file → fsync → rename sequence SaveFile
+// relies on. The temp file lives in the destination directory so the
+// rename cannot cross filesystems.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself. Best-effort: not every platform or
+	// filesystem supports fsync on a directory.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile reads a detector from a file written by SaveFile (or any saved
+// detector).
+func LoadFile(path string) (*Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	det, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return det, nil
+}
+
 // Load reads a detector written by Save. No options are needed: the
-// configuration is part of the serialized form.
+// configuration is part of the serialized form. Corrupt or truncated input
+// of any shape yields an error, never a panic, and cannot trigger
+// allocations beyond a small multiple of the input size.
 func Load(r io.Reader) (*Detector, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	dec := binenc.NewReader(data)
-	if string(dec.BytesBlob()) != string(detectorMagic) {
+	probe := binenc.NewReader(data)
+	payload := data
+	switch magic := probe.BytesBlob(); {
+	case bytes.Equal(magic, detectorMagicV2):
+		if len(data) < 4 {
+			return nil, fmt.Errorf("histburst: corrupt detector file: missing checksum footer")
+		}
+		body, footer := data[:len(data)-4], data[len(data)-4:]
+		want := binary.LittleEndian.Uint32(footer)
+		if got := crc32.Checksum(body, crcTable); got != want {
+			return nil, fmt.Errorf("histburst: corrupt detector file: checksum mismatch (%08x != %08x)", got, want)
+		}
+		payload = body
+	case bytes.Equal(magic, detectorMagicV1):
+		// v1: same layout, no footer.
+	default:
 		return nil, fmt.Errorf("histburst: bad magic (not a detector file)")
 	}
+	dec := binenc.NewReader(payload)
+	dec.BytesBlob() // magic, verified above
 	k := dec.Uvarint()
 	var c config
 	c.seed = dec.Int64()
@@ -103,6 +215,12 @@ func Load(r io.Reader) (*Detector, error) {
 	}
 	if k == 0 {
 		return nil, fmt.Errorf("histburst: corrupt detector file: empty id space")
+	}
+	if k > maxEventSpace {
+		return nil, fmt.Errorf("histburst: corrupt detector file: implausible id space %d", k)
+	}
+	if c.d <= 0 || c.w <= 0 || c.d > maxSketchDim || c.w > maxSketchDim {
+		return nil, fmt.Errorf("histburst: corrupt detector file: implausible sketch dimensions %d×%d", c.d, c.w)
 	}
 
 	var factory cmpbe.Factory
@@ -137,6 +255,9 @@ func Load(r io.Reader) (*Detector, error) {
 	tree, err := dyadic.UnmarshalTree(blob, factory)
 	if err != nil {
 		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	if tree.K() != roundPow2(k) {
+		return nil, fmt.Errorf("histburst: corrupt detector file: id space %d does not match index over %d", k, tree.K())
 	}
 	base, ok := tree.Level(0).(baseLevel)
 	if !ok {

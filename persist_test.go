@@ -2,8 +2,55 @@ package histburst
 
 import (
 	"bytes"
+	"encoding"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"histburst/internal/binenc"
+	"histburst/internal/faultio"
 )
+
+// saveHBD1 encodes a detector in the legacy v1 layout (same fields, v1
+// magic, no checksum footer) so back-compat loading stays covered after
+// Save moved to v2.
+func saveHBD1(t testing.TB, d *Detector) []byte {
+	t.Helper()
+	d.Finish()
+	var enc binenc.Writer
+	enc.BytesBlob(detectorMagicV1)
+	enc.Uvarint(d.k)
+	c := d.cfg
+	enc.Int64(c.seed)
+	enc.Uvarint(uint64(c.d))
+	enc.Uvarint(uint64(c.w))
+	enc.Bool(c.usePBE1)
+	enc.Uvarint(uint64(c.bufferN))
+	enc.Uvarint(uint64(c.eta))
+	enc.Bool(c.pbe1CapMode)
+	enc.Varint(c.pbe1Cap)
+	enc.Float64(c.gamma)
+	enc.Bool(c.noIndex)
+	enc.Varint(d.n)
+	enc.Varint(d.minT)
+	enc.Varint(d.maxT)
+	enc.Varint(d.lastT)
+	enc.Bool(d.started)
+	enc.Varint(d.outOfOrder)
+	var blob []byte
+	var err error
+	if d.tree != nil {
+		blob, err = d.tree.MarshalBinary()
+	} else {
+		blob, err = d.base.(encoding.BinaryMarshaler).MarshalBinary()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.BytesBlob(blob)
+	return enc.Bytes()
+}
 
 func TestDetectorSaveLoad(t *testing.T) {
 	data := testStream(21, 64, 3000)
@@ -136,6 +183,234 @@ func TestMinTimeTracking(t *testing.T) {
 	}
 	if got.MinTime() != 50 {
 		t.Fatalf("MinTime after round trip = %d", got.MinTime())
+	}
+}
+
+func TestLoadLegacyHBD1(t *testing.T) {
+	det, _ := New(64, WithPBE2(2), WithSketchDims(4, 64))
+	for _, el := range testStream(7, 64, 2000) {
+		det.Append(el.Event, el.Time)
+	}
+	legacy := saveHBD1(t, det)
+	got, err := Load(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if got.N() != det.N() || got.Bytes() != det.Bytes() {
+		t.Fatal("v1 round trip lost state")
+	}
+	for e := uint64(0); e < 64; e += 5 {
+		a, _ := det.Burstiness(e, 997, 60)
+		b, _ := got.Burstiness(e, 997, 60)
+		if a != b {
+			t.Fatalf("burstiness differs at e=%d", e)
+		}
+	}
+	// Re-saving a v1-loaded detector produces v2 with a valid footer.
+	var buf bytes.Buffer
+	if err := got.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes()[1:5], detectorMagicV2) {
+		t.Fatalf("re-save magic = %x", buf.Bytes()[:5])
+	}
+	if _, err := Load(&buf); err != nil {
+		t.Fatalf("re-saved v2 rejected: %v", err)
+	}
+}
+
+func TestChecksumCatchesEveryBitFlip(t *testing.T) {
+	det, _ := New(8, WithPBE2(2), WithSketchDims(2, 8))
+	det.Append(1, 10)
+	det.Append(3, 20)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := 0; i < len(raw); i++ {
+		for _, mask := range []byte{0x01, 0x80} {
+			flipped := append([]byte(nil), raw...)
+			flipped[i] ^= mask
+			if _, err := Load(bytes.NewReader(flipped)); err == nil {
+				t.Fatalf("bit flip at byte %d mask %02x accepted", i, mask)
+			}
+		}
+	}
+}
+
+func TestSaveFileLoadFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "det.hbsk")
+	det, _ := New(16, WithPBE2(2), WithSketchDims(2, 8))
+	det.Append(2, 100)
+	if err := det.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 1 {
+		t.Fatalf("N = %d", got.N())
+	}
+	// Overwriting is atomic too: the new state fully replaces the old.
+	det.Append(2, 200)
+	if err := det.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadFile(path)
+	if err != nil || got.N() != 2 {
+		t.Fatalf("after overwrite: N=%v err=%v", got.N(), err)
+	}
+	// No temp debris left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "det.hbsk" {
+		t.Fatalf("directory not clean: %v", entries)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.hbsk")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSavePropagatesWriteFaults(t *testing.T) {
+	det, _ := New(8, WithPBE2(2), WithSketchDims(2, 8))
+	det.Append(1, 10)
+	var full bytes.Buffer
+	if err := det.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{0, 1, int64(full.Len()) / 2, int64(full.Len()) - 1} {
+		var buf bytes.Buffer
+		err := det.Save(&faultio.FailingWriter{W: &buf, N: n})
+		if err == nil {
+			t.Fatalf("write failing after %d bytes reported success", n)
+		}
+	}
+	// A silently-truncating writer (lost page cache) yields bytes the
+	// checksum rejects at load.
+	var trunc bytes.Buffer
+	if err := det.Save(&faultio.TruncatingWriter{W: &trunc, N: int64(full.Len()) - 3}); err != nil {
+		t.Fatal(err) // the writer lies, Save cannot know
+	}
+	if _, err := Load(&trunc); err == nil {
+		t.Fatal("truncated-by-cache bytes accepted")
+	}
+}
+
+func TestLoadAfterReloadContinuesCorrectly(t *testing.T) {
+	// Save → Load → Append → query must match a detector that ingested
+	// the whole stream without the round trip.
+	data := testStream(13, 32, 4000)
+	half := len(data) / 2
+	oracle, _ := New(32, WithPBE2(2), WithSketchDims(3, 32))
+	first, _ := New(32, WithPBE2(2), WithSketchDims(3, 32))
+	for _, el := range data[:half] {
+		oracle.Append(el.Event, el.Time)
+		first.Append(el.Event, el.Time)
+	}
+	var buf bytes.Buffer
+	if err := first.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range data[half:] {
+		oracle.Append(el.Event, el.Time)
+		reloaded.Append(el.Event, el.Time)
+	}
+	oracle.Finish()
+	reloaded.Finish()
+	if oracle.N() != reloaded.N() || oracle.MaxTime() != reloaded.MaxTime() {
+		t.Fatalf("metadata diverged: N %d vs %d", oracle.N(), reloaded.N())
+	}
+	// PBE-2 summaries are deterministic, so estimates must agree exactly
+	// wherever the reload boundary did not change flush timing; allow the
+	// boundary itself to differ by at most one flushed window (γ).
+	for e := uint64(0); e < 32; e += 3 {
+		for q := int64(0); q <= oracle.MaxTime(); q += 331 {
+			a, _ := oracle.Burstiness(e, q, 120)
+			b, _ := reloaded.Burstiness(e, q, 120)
+			if diff := a - b; diff > 8 || diff < -8 {
+				t.Fatalf("burstiness diverged at e=%d t=%d: %v vs %v", e, q, a, b)
+			}
+		}
+	}
+}
+
+func TestMergeAppendErrorPaths(t *testing.T) {
+	base, _ := New(16, WithPBE2(2), WithSketchDims(2, 8))
+	base.Append(1, 100)
+
+	// Nil other.
+	if err := base.MergeAppend(nil); err == nil || !strings.Contains(err.Error(), "nil") {
+		t.Fatalf("nil other: %v", err)
+	}
+	// Config mismatch: different sketch dims.
+	other, _ := New(16, WithPBE2(2), WithSketchDims(4, 16))
+	if err := base.MergeAppend(other); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("dims mismatch: %v", err)
+	}
+	// Config mismatch: different estimator.
+	other2, _ := New(16, WithPBE1(100, 10), WithSketchDims(2, 8))
+	if err := base.MergeAppend(other2); err == nil {
+		t.Fatal("estimator mismatch accepted")
+	}
+	// Different id space.
+	other3, _ := New(64, WithPBE2(2), WithSketchDims(2, 8))
+	if err := base.MergeAppend(other3); err == nil {
+		t.Fatal("id-space mismatch accepted")
+	}
+	// Empty other is a clean no-op.
+	empty, _ := New(16, WithPBE2(2), WithSketchDims(2, 8))
+	if err := base.MergeAppend(empty); err != nil {
+		t.Fatalf("empty other: %v", err)
+	}
+	if base.N() != 1 {
+		t.Fatalf("N changed on empty merge: %d", base.N())
+	}
+	// The failed merges left the receiver usable.
+	base.Append(1, 200)
+	if b, err := base.Burstiness(1, 200, 100); err != nil || b <= 0 {
+		t.Fatalf("receiver broken after failed merges: b=%v err=%v", b, err)
+	}
+}
+
+func TestLoadRejectsImplausibleHeaders(t *testing.T) {
+	det, _ := New(8, WithPBE2(2), WithSketchDims(2, 8))
+	det.Append(1, 10)
+	legacy := saveHBD1(t, det) // no footer: header corruption reaches the checks
+
+	// Patch the k field (uvarint right after the 5-byte magic blob) to an
+	// absurd id space; v1 k=8 is one byte, so a 10-byte maximal uvarint
+	// needs a rebuild of the record instead. Simplest: flip noIndex off and
+	// rewrite k via re-encoding.
+	var enc binenc.Writer
+	enc.BytesBlob(detectorMagicV1)
+	enc.Uvarint(1 << 60) // k beyond maxEventSpace
+	enc.Int64(det.cfg.seed)
+	enc.Uvarint(uint64(det.cfg.d))
+	enc.Uvarint(uint64(det.cfg.w))
+	rest := legacy[5+1+8+1+1:] // magic, k, seed, d, w — all single-byte varints here
+	out := append(enc.Bytes(), rest...)
+	if _, err := Load(bytes.NewReader(out)); err == nil {
+		t.Fatal("implausible id space accepted")
+	}
+
+	// Absurd sketch dimensions.
+	var enc2 binenc.Writer
+	enc2.BytesBlob(detectorMagicV1)
+	enc2.Uvarint(det.k)
+	enc2.Int64(det.cfg.seed)
+	enc2.Uvarint(1 << 30)
+	enc2.Uvarint(uint64(det.cfg.w))
+	if _, err := Load(bytes.NewReader(append(enc2.Bytes(), rest...))); err == nil {
+		t.Fatal("implausible dimensions accepted")
 	}
 }
 
