@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-figures experiments fuzz clean
+.PHONY: all check build vet test race bench bench-smoke bench-json bench-figures experiments fuzz clean
 
 all: build vet test
 
-# Full pre-merge gate: compile, static checks, tests, race detector.
-check: build vet test race
+# Full pre-merge gate: compile, static checks, tests, race detector, and one
+# iteration of every benchmark so a broken benchmark can't rot unnoticed.
+check: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,20 @@ race:
 # Microbenchmarks plus one pass of every figure benchmark.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# One compile-and-run iteration of every benchmark; part of `check`.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Machine-readable query-path benchmark record (see DESIGN.md). The pinned
+# baseline is BenchmarkSketchBurstiness as measured immediately before the
+# query-path overhaul, so the recorded speedup tracks the real before/after
+# even though the naive in-tree path also got faster.
+bench-json:
+	$(GO) test -run NONE -bench 'SketchBurstiness|SketchEstimateF|SketchBurstyTimes|ViewBreakpoints|BurstyEvents' -benchmem -benchtime 2s ./internal/cmpbe/ ./internal/dyadic/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json \
+			-pin BenchmarkSketchBurstiness=480.3 \
+			-note "pinned baseline: BenchmarkSketchBurstiness pre-overhaul at 480.3 ns/op, 48 B/op, 1 alloc/op; BurstyEventsParallel uses GOMAXPROCS workers, so on a single-CPU host it degrades to the sequential walk and the pair shows ~1x"
 
 # Human-readable evaluation tables (paper Section VI).
 experiments:

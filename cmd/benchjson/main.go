@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` text output (on stdin) into a
+// machine-readable JSON record, deriving speedup ratios for benchmark pairs
+// that follow the repo's naming conventions: Foo vs FooNaive (an
+// unoptimized reference implementation kept alive for exactly this
+// comparison) and FooParallel vs FooSequential.
+//
+// Pinned baselines from before a change existed in the tree can be supplied
+// with -pin: `-pin BenchmarkSketchBurstiness=480.3` adds a speedup entry of
+// the measured benchmark against that fixed ns/op value.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH.json -pin Name=ns
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type speedup struct {
+	Name            string  `json:"name"`
+	Baseline        string  `json:"baseline"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type report struct {
+	GOOS       string        `json:"goos,omitempty"`
+	GOARCH     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Speedups   []speedup     `json:"speedups,omitempty"`
+	Notes      []string      `json:"notes,omitempty"`
+}
+
+// benchLine matches one result row; -benchmem columns are optional.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+type pinList map[string]float64
+
+func (p pinList) String() string { return fmt.Sprint(map[string]float64(p)) }
+
+func (p pinList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want Name=ns, got %q", s)
+	}
+	ns, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	p[name] = ns
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	pins := pinList{}
+	flag.Var(pins, "pin", "pinned baseline Name=ns_per_op (repeatable)")
+	note := flag.String("note", "", "free-form note to embed in the report")
+	flag.Parse()
+
+	var rep report
+	if *note != "" {
+		rep.Notes = append(rep.Notes, *note)
+	}
+	byName := map[string]*benchResult{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := benchResult{Name: m[1]}
+		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		byName[r.Name] = &rep.Benchmarks[len(rep.Benchmarks)-1]
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Benchmarks {
+		if base, ok := byName[r.Name+"Naive"]; ok {
+			rep.Speedups = append(rep.Speedups, mkSpeedup(r.Name, base.Name, r.NsPerOp, base.NsPerOp))
+		}
+		if strings.HasSuffix(r.Name, "Parallel") {
+			seq := strings.TrimSuffix(r.Name, "Parallel") + "Sequential"
+			if base, ok := byName[seq]; ok {
+				rep.Speedups = append(rep.Speedups, mkSpeedup(r.Name, base.Name, r.NsPerOp, base.NsPerOp))
+			}
+		}
+		if ns, ok := pins[r.Name]; ok {
+			rep.Speedups = append(rep.Speedups, mkSpeedup(r.Name, "pinned", r.NsPerOp, ns))
+		}
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func mkSpeedup(name, baseline string, ns, baseNs float64) speedup {
+	s := speedup{Name: name, Baseline: baseline, NsPerOp: ns, BaselineNsPerOp: baseNs}
+	if ns > 0 {
+		s.Speedup = baseNs / ns
+	}
+	return s
+}

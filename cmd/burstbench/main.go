@@ -14,21 +14,53 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"histburst/internal/experiments"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "experiment id to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		scale   = flag.Float64("scale", 0.02, "stream volume as a fraction of the paper's datasets (1.0 = full)")
-		queries = flag.Int("queries", 200, "random queries behind each accuracy number")
-		seed    = flag.Int64("seed", 1, "workload and query seed")
-		format  = flag.String("format", "text", "output format: text or json")
+		fig        = flag.String("fig", "", "experiment id to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		scale      = flag.Float64("scale", 0.02, "stream volume as a fraction of the paper's datasets (1.0 = full)")
+		queries    = flag.Int("queries", 200, "random queries behind each accuracy number")
+		seed       = flag.Int64("seed", 1, "workload and query seed")
+		format     = flag.String("format", "text", "output format: text or json")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "burstbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "burstbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "burstbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set before sampling
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "burstbench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.List() {

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+)
+
+// Batch point queries: POST /v1/query/batch evaluates many burstiness point
+// queries under ONE read-lock acquisition, fanning the evaluations across
+// cores. Detector queries are pure, so concurrent evaluation under the
+// shared read lock is safe; a large batch costs one lock round-trip and one
+// JSON body instead of thousands.
+
+// maxBatchQueries bounds one batch; beyond this a client should page.
+const maxBatchQueries = 10_000
+
+type batchQuery struct {
+	Event uint64 `json:"event"`
+	T     int64  `json:"t"`
+	Tau   int64  `json:"tau,omitempty"` // 0 = server default (86 400)
+}
+
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+}
+
+type batchResult struct {
+	Event      uint64  `json:"event"`
+	T          int64   `json:"t"`
+	Tau        int64   `json:"tau"`
+	Burstiness float64 `json:"burstiness"`
+}
+
+func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, maxAppendBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries))
+		return
+	}
+	// Validate the whole batch before touching the detector: a batch is
+	// all-or-nothing, never a mix of results and errors.
+	for i := range req.Queries {
+		q := &req.Queries[i]
+		if q.Tau == 0 {
+			q.Tau = 86_400
+		}
+		if q.Tau < 0 {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("query %d: burst span must be positive, got %d", i, q.Tau))
+			return
+		}
+	}
+	results := make([]batchResult, len(req.Queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	chunk := (len(req.Queries) + workers - 1) / workers
+	errs := make([]error, workers)
+	s.mu.RLock()
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > len(req.Queries) {
+			hi = len(req.Queries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				q := req.Queries[i]
+				b, err := s.det.Burstiness(q.Event, q.T, q.Tau)
+				if err != nil {
+					errs[wk] = fmt.Errorf("query %d: %w", i, err)
+					return
+				}
+				results[i] = batchResult{Event: q.Event, T: q.T, Tau: q.Tau, Burstiness: b}
+			}
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+	s.mu.RUnlock()
+	if err := firstErr(errs...); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]any{"results": results})
+}

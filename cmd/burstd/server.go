@@ -139,6 +139,7 @@ func (s *server) handler() http.Handler {
 	mux.Handle("GET /v1/events", limited(s.handleEvents))
 	mux.Handle("GET /v1/top", limited(s.handleTop))
 	mux.Handle("GET /v1/stats", limited(s.handleStats))
+	mux.Handle("POST /v1/query/batch", limited(s.handleQueryBatch))
 	mux.Handle("POST /v1/append", limited(s.handleAppend))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

@@ -30,6 +30,7 @@ package histburst
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 
 	"histburst/internal/cmpbe"
 	"histburst/internal/dyadic"
@@ -300,15 +301,25 @@ func (d *Detector) BurstyTimes(e uint64, theta float64, tau int64) ([]TimeRange,
 	return out, nil
 }
 
+// parallelSearchMinK is the id-space size from which BurstyEvents fans the
+// dyadic search across cores: smaller trees finish in microseconds and would
+// only pay goroutine overhead.
+const parallelSearchMinK = 1 << 12
+
 // BurstyEvents answers the BURSTY EVENT QUERY q(t, θ, τ): all event ids
 // whose estimated burstiness at time t reaches theta (> 0), found by the
-// pruned dyadic search — typically O(log K) point queries rather than K.
+// pruned dyadic search — typically O(log K) point queries rather than K. On
+// large id spaces the search runs across runtime.GOMAXPROCS(0) goroutines;
+// the result is identical to the sequential search.
 func (d *Detector) BurstyEvents(t int64, theta float64, tau int64) ([]uint64, error) {
 	if d.tree == nil {
 		return nil, fmt.Errorf("histburst: event index disabled (WithoutEventIndex)")
 	}
 	if tau <= 0 {
 		return nil, fmt.Errorf("histburst: burst span must be positive, got %d", tau)
+	}
+	if d.K() >= parallelSearchMinK {
+		return d.tree.BurstyEventsParallel(t, theta, tau, runtime.GOMAXPROCS(0), nil)
 	}
 	return d.tree.BurstyEvents(t, theta, tau, nil)
 }

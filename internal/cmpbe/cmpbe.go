@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"histburst/internal/hash"
 	"histburst/internal/pbe"
@@ -66,14 +67,28 @@ func PBE2Factory(gamma float64) (Factory, error) {
 	}, nil
 }
 
+// maxStackD is the largest row count whose per-query scratch (cell indices
+// and row estimates) fits in fixed stack arrays. Point queries on sketches
+// with d ≤ maxStackD perform zero heap allocations; wider sketches (δ <
+// e^-8 ≈ 3e-4 rows — tighter than any practical setting) fall back to heap
+// scratch and stay correct. Kept small because the arrays are zeroed on
+// every query.
+const maxStackD = 8
+
 // Sketch is a CM-PBE.
 type Sketch struct {
 	d, w  int
 	seed  int64
-	cells [][]pbe.PBE // d rows × w columns
+	cells [][]pbe.PBE // d rows × w columns; rows alias the flat backing array
+	flat  []pbe.PBE   // the d·w cells contiguously, row-major: one indexed load per probe
 	hf    hash.Family
 	n     int64 // total elements ingested
 	maxT  int64
+
+	// bytesMemo caches Bytes()+1 (0 = invalid). Bytes walks all d·w cells,
+	// which /v1/stats would otherwise pay per request; mutations invalidate.
+	// Atomic because queries sharing a read lock may race to fill it.
+	bytesMemo atomic.Int64
 }
 
 // New creates a CM-PBE with explicit dimensions, deterministically seeded.
@@ -88,14 +103,15 @@ func New(d, w int, seed int64, f Factory) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
+	flat := make([]pbe.PBE, d*w)
+	for i := range flat {
+		flat[i] = f()
+	}
 	cells := make([][]pbe.PBE, d)
 	for i := range cells {
-		cells[i] = make([]pbe.PBE, w)
-		for j := range cells[i] {
-			cells[i][j] = f()
-		}
+		cells[i] = flat[i*w : (i+1)*w : (i+1)*w]
 	}
-	return &Sketch{d: d, w: w, seed: seed, cells: cells, hf: hf}, nil
+	return &Sketch{d: d, w: w, seed: seed, cells: cells, flat: flat, hf: hf}, nil
 }
 
 // NewWithError creates a CM-PBE sized from the usual Count-Min parameters:
@@ -125,6 +141,11 @@ func (s *Sketch) Append(e uint64, t int64) {
 	if t > s.maxT {
 		s.maxT = t
 	}
+	// Invalidate the footprint memo; the load-first pattern keeps bulk
+	// ingest (memo already invalid) to one uncontended read per element.
+	if s.bytesMemo.Load() != 0 {
+		s.bytesMemo.Store(0)
+	}
 }
 
 // Finish flushes every cell. Idempotent.
@@ -134,6 +155,7 @@ func (s *Sketch) Finish() {
 			s.cells[i][j].Finish()
 		}
 	}
+	s.bytesMemo.Store(0) // flushing moves buffered points into summaries
 }
 
 // N returns the total number of elements ingested.
@@ -142,13 +164,43 @@ func (s *Sketch) N() int64 { return s.n }
 // MaxTime returns the largest timestamp seen.
 func (s *Sketch) MaxTime() int64 { return s.maxT }
 
-// EstimateF returns the median-of-rows estimate F̃_e(t).
+// EstimateF returns the median-of-rows estimate F̃_e(t). Zero heap
+// allocations for d ≤ maxStackD.
 func (s *Sketch) EstimateF(e uint64, t int64) float64 {
-	vals := make([]float64, s.d)
+	var buf [maxStackD]float64
+	var ibuf [maxStackD]int
+	vals := scratch(&buf, s.d)
+	idx := idxScratch(&ibuf, s.d)
+	s.hf.Indexes(e, idx)
+	flat, w := s.flat, s.w
 	for i := 0; i < s.d; i++ {
-		vals[i] = s.cells[i][s.hf.Hash(i, e)].Estimate(t)
+		vals[i] = flat[i*w+idx[i]].Estimate(t)
 	}
-	return median(vals)
+	return medianInPlace(vals)
+}
+
+// scratch returns a length-n float64 slice, backed by buf when it fits.
+func scratch(buf *[maxStackD]float64, n int) []float64 {
+	if n <= maxStackD {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// idxScratch returns a length-n int slice, backed by buf when it fits.
+func idxScratch(buf *[maxStackD]int, n int) []int {
+	if n <= maxStackD {
+		return buf[:n]
+	}
+	return make([]int, n)
+}
+
+// cellScratch returns a length-n cell slice, backed by buf when it fits.
+func cellScratch(buf *[maxStackD]pbe.PBE, n int) []pbe.PBE {
+	if n <= maxStackD {
+		return buf[:n]
+	}
+	return make([]pbe.PBE, n)
 }
 
 // EstimateFMin returns the min-of-rows estimate. Plain Count-Min uses the
@@ -167,22 +219,79 @@ func (s *Sketch) EstimateFMin(e uint64, t int64) float64 {
 
 // Burstiness answers the POINT QUERY q(e, t, τ): the median over rows of the
 // per-row burstiness estimate (each row evaluates equation (2) on its own
-// coherent curve).
+// coherent curve). Zero heap allocations for d ≤ maxStackD; cells providing
+// pbe.Estimator3 answer their three F̃ evaluations in one narrowed search.
 func (s *Sketch) Burstiness(e uint64, t, tau int64) float64 {
+	var buf [maxStackD]float64
+	var ibuf [maxStackD]int
+	vals := scratch(&buf, s.d)
+	idx := idxScratch(&ibuf, s.d)
+	s.hf.Indexes(e, idx)
+	t0, t1 := t-2*tau, t-tau
+	flat, w := s.flat, s.w
+	// Gather the row cells before evaluating: the d loads hit unrelated cache
+	// lines, and a dedicated loop lets their misses overlap instead of
+	// serializing behind each row's evaluation.
+	var cbuf [maxStackD]pbe.PBE
+	cs := cellScratch(&cbuf, s.d)
+	for i := 0; i < s.d; i++ {
+		cs[i] = flat[i*w+idx[i]]
+	}
+	if tau <= 0 {
+		for i, c := range cs {
+			vals[i] = pbe.Burstiness(c, t, tau)
+		}
+		return medianInPlace(vals)
+	}
+	for i, c := range cs {
+		// Concrete cases first: the direct calls skip the itab dispatch the
+		// interface assertion below would pay on every row.
+		switch cell := c.(type) {
+		case *pbe2.Builder:
+			f0, f1, f2 := cell.Estimate3(t0, t1, t)
+			vals[i] = f2 - 2*f1 + f0
+		case *pbe1.Builder:
+			f0, f1, f2 := cell.Estimate3(t0, t1, t)
+			vals[i] = f2 - 2*f1 + f0
+		case pbe.Estimator3:
+			f0, f1, f2 := cell.Estimate3(t0, t1, t)
+			vals[i] = f2 - 2*f1 + f0
+		default:
+			vals[i] = pbe.Burstiness(c, t, tau)
+		}
+	}
+	return medianInPlace(vals)
+}
+
+// burstinessNaive is the pre-overhaul point query (allocate, three
+// independent evaluations per row, sort-based median), kept as the reference
+// for equivalence tests and the recorded speedup benchmark.
+func (s *Sketch) burstinessNaive(e uint64, t, tau int64) float64 {
 	vals := make([]float64, s.d)
 	for i := 0; i < s.d; i++ {
 		c := s.cells[i][s.hf.Hash(i, e)]
-		vals[i] = pbe.Burstiness(c, t, tau)
+		vals[i] = c.Estimate(t) - 2*c.Estimate(t-tau) + c.Estimate(t-2*tau)
 	}
-	return median(vals)
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
 }
 
 // View returns a read-only per-event estimator whose Estimate is the
 // median-of-rows F̃_e and whose Breakpoints are the union of the event's d
 // cell breakpoints. It satisfies pbe.Estimator, so pbe.BurstyTimes answers
-// the BURSTY TIME QUERY over the sketch.
+// the BURSTY TIME QUERY over the sketch. The event's d cells are resolved
+// once here — not re-hashed per evaluation — and the view also provides
+// pbe.CursorProvider, so scans amortize every cell's segment lookup.
 func (s *Sketch) View(e uint64) pbe.Estimator {
-	return &view{s: s, e: e}
+	v := &view{cells: make([]pbe.PBE, s.d)}
+	for i := 0; i < s.d; i++ {
+		v.cells[i] = s.cells[i][s.hf.Hash(i, e)]
+	}
+	return v
 }
 
 // BurstyTimes answers the BURSTY TIME QUERY q(e, θ, τ) over the sketch.
@@ -194,49 +303,150 @@ func (s *Sketch) BurstyTimes(e uint64, theta float64, tau int64) []pbe.TimeRange
 	return pbe.BurstyTimes(s.View(e), theta, tau, s.maxT)
 }
 
-// Bytes returns the total footprint of all cells.
+// Bytes returns the total footprint of all cells, memoized until the next
+// mutation (Append, MergeAppend, Finish). Concurrent readers may race to
+// fill the memo; they compute the same value, and the atomic keeps the race
+// benign.
 func (s *Sketch) Bytes() int {
+	if v := s.bytesMemo.Load(); v > 0 {
+		return int(v - 1)
+	}
 	total := 0
 	for i := range s.cells {
 		for j := range s.cells[i] {
 			total += s.cells[i][j].Bytes()
 		}
 	}
+	s.bytesMemo.Store(int64(total) + 1)
 	return total
 }
 
 type view struct {
-	s *Sketch
-	e uint64
+	cells []pbe.PBE // the event's cell per row, resolved once
 }
 
-func (v *view) Estimate(t int64) float64 { return v.s.EstimateF(v.e, t) }
+var _ pbe.CursorProvider = (*view)(nil)
 
+func (v *view) Estimate(t int64) float64 {
+	var buf [maxStackD]float64
+	vals := scratch(&buf, len(v.cells))
+	for i, c := range v.cells {
+		vals[i] = c.Estimate(t)
+	}
+	return medianInPlace(vals)
+}
+
+// Breakpoints merges the d cells' already-sorted breakpoint slices by a
+// d-way merge with on-the-fly deduplication — no map, no sort.
 func (v *view) Breakpoints() []int64 {
-	set := make(map[int64]struct{})
-	for i := 0; i < v.s.d; i++ {
-		for _, b := range v.s.cells[i][v.s.hf.Hash(i, v.e)].Breakpoints() {
-			set[b] = struct{}{}
+	lists := make([][]int64, len(v.cells))
+	total := 0
+	for i, c := range v.cells {
+		lists[i] = c.Breakpoints()
+		total += len(lists[i])
+	}
+	out := make([]int64, 0, total)
+	for {
+		var best int64
+		found := false
+		for _, l := range lists {
+			if len(l) == 0 {
+				continue
+			}
+			if v := l[0]; !found || v < best {
+				best, found = v, true
+			}
+		}
+		if !found {
+			return out
+		}
+		out = append(out, best)
+		for i := range lists {
+			for len(lists[i]) > 0 && lists[i][0] == best {
+				lists[i] = lists[i][1:]
+			}
 		}
 	}
-	out := make([]int64, 0, len(set))
-	for b := range set {
-		out = append(out, b)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
-// median returns the median of vals (average of the two middle values for
-// even lengths), destroying the slice order.
-func median(vals []float64) float64 {
-	sort.Float64s(vals)
+// NewCursor returns a scan cursor holding one cursor per cell: each
+// evaluation takes the median of the d cell cursors, so an ascending sweep
+// costs amortized O(d) instead of O(d log S) per step.
+func (v *view) NewCursor() pbe.Cursor {
+	c := &viewCursor{cursors: make([]pbe.Cursor, len(v.cells)), vals: make([]float64, len(v.cells))}
+	for i, cell := range v.cells {
+		c.cursors[i] = pbe.CursorFor(cell)
+	}
+	return c
+}
+
+type viewCursor struct {
+	cursors []pbe.Cursor
+	vals    []float64
+}
+
+func (c *viewCursor) Estimate(t int64) float64 {
+	for i, cur := range c.cursors {
+		c.vals[i] = cur.Estimate(t)
+	}
+	return medianInPlace(c.vals)
+}
+
+// medianInPlace returns the median of vals (average of the two middle values
+// for even lengths) by insertion sort — allocation-free and faster than
+// sort.Float64s at sketch row counts. The default row count d=5 takes a
+// seven-comparison selection network instead.
+func medianInPlace(vals []float64) float64 {
 	n := len(vals)
 	if n == 0 {
 		return 0
+	}
+	if n == 5 {
+		return median5(vals[0], vals[1], vals[2], vals[3], vals[4])
+	}
+	for i := 1; i < n; i++ {
+		v := vals[i]
+		j := i - 1
+		for j >= 0 && vals[j] > v {
+			vals[j+1] = vals[j]
+			j--
+		}
+		vals[j+1] = v
 	}
 	if n%2 == 1 {
 		return vals[n/2]
 	}
 	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// median5 selects the median of five values in six comparisons. After
+// sorting the pairs (a,b) and (c,d) and swapping the pairs so a ≤ c, a is no
+// greater than b, c and d, so it cannot be the third smallest; the median is
+// then the second smallest of the remaining four.
+func median5(a, b, c, d, e float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if c > d {
+		c, d = d, c
+	}
+	if a > c {
+		c = a
+		b, d = d, b
+	}
+	if b > e {
+		b, e = e, b
+	}
+	// Second smallest of {b, c, d, e}, knowing b ≤ e and c ≤ d: drop the
+	// smaller of b and c, then take the minimum of what can still be second.
+	if b <= c {
+		if c <= e {
+			return c
+		}
+		return e
+	}
+	if b <= d {
+		return b
+	}
+	return d
 }

@@ -2,6 +2,7 @@ package cmpbe
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"histburst/internal/pbe"
 )
@@ -16,6 +17,9 @@ type Direct struct {
 	cells []pbe.PBE
 	n     int64
 	maxT  int64
+
+	// bytesMemo caches Bytes()+1 (0 = invalid); see Sketch.bytesMemo.
+	bytesMemo atomic.Int64
 }
 
 // NewDirect creates a direct summary over the id space [0, ids).
@@ -40,6 +44,9 @@ func (d *Direct) Append(e uint64, t int64) {
 	if t > d.maxT {
 		d.maxT = t
 	}
+	if d.bytesMemo.Load() != 0 {
+		d.bytesMemo.Store(0)
+	}
 }
 
 // Finish flushes every cell. Idempotent.
@@ -47,6 +54,7 @@ func (d *Direct) Finish() {
 	for _, c := range d.cells {
 		c.Finish()
 	}
+	d.bytesMemo.Store(0)
 }
 
 // N returns the number of elements ingested.
@@ -76,11 +84,16 @@ func (d *Direct) BurstyTimes(e uint64, theta float64, tau int64) []pbe.TimeRange
 	return pbe.BurstyTimes(d.View(e), theta, tau, d.maxT)
 }
 
-// Bytes returns the total footprint of all cells.
+// Bytes returns the total footprint of all cells, memoized until the next
+// mutation exactly as Sketch.Bytes is.
 func (d *Direct) Bytes() int {
+	if v := d.bytesMemo.Load(); v > 0 {
+		return int(v - 1)
+	}
 	total := 0
 	for _, c := range d.cells {
 		total += c.Bytes()
 	}
+	d.bytesMemo.Store(int64(total) + 1)
 	return total
 }

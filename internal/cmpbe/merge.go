@@ -42,6 +42,7 @@ func (s *Sketch) MergeAppend(other *Sketch) error {
 	if other.maxT > s.maxT {
 		s.maxT = other.maxT
 	}
+	s.bytesMemo.Store(0)
 	return nil
 }
 
@@ -67,5 +68,6 @@ func (d *Direct) MergeAppend(other *Direct) error {
 	if other.maxT > d.maxT {
 		d.maxT = other.maxT
 	}
+	d.bytesMemo.Store(0)
 	return nil
 }

@@ -1,0 +1,111 @@
+package dyadic
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BurstyEventsParallel answers the same BURSTY EVENT QUERY as BurstyEvents,
+// fanning the pruned top-down search across at most workers goroutines. The
+// result is byte-identical to the sequential search (ascending, same ids) and
+// stats, if non-nil, accumulates the identical totals: left subtrees are
+// handed to spawned workers with private output slices and counters, the
+// right subtree runs inline, and the pieces are concatenated left-then-right
+// once both finish — the sequential emission order by construction.
+//
+// Level summaries must be safe for concurrent reads; the cmpbe sketches are
+// (queries never mutate a finished or in-construction cell). Concurrency is
+// bounded by a token pool of workers−1 spawns; when no token is free the
+// search simply continues inline, so worst-case overhead is one channel poll
+// per expanded node. Spawning stops a few levels above the leaves — subtrees
+// there are too small to pay for a goroutine.
+func (t *Tree) BurstyEventsParallel(ts int64, theta float64, tau int64, workers int, stats *QueryStats) ([]uint64, error) {
+	if theta <= 0 {
+		return nil, fmt.Errorf("dyadic: theta must be positive, got %v", theta)
+	}
+	if workers <= 1 {
+		return t.BurstyEvents(ts, theta, tau, stats)
+	}
+	if stats == nil {
+		stats = &QueryStats{}
+	}
+	p := &parSearch{
+		t:      t,
+		ts:     ts,
+		theta:  theta,
+		tau:    tau,
+		tokens: make(chan struct{}, workers-1),
+		// Allow spawning in the top ~log2(workers)+2 expandable levels:
+		// enough fan-out to saturate the pool even when early subtrees prune.
+		minSpawnLevel: t.lgK - (bits.Len(uint(workers)) + 2),
+	}
+	for i := 0; i < workers-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	var out []uint64
+	p.recurse(t.lgK, 0, stats, &out)
+	return out, nil
+}
+
+// parSearch holds the query-invariant state of one parallel search.
+type parSearch struct {
+	t             *Tree
+	ts            int64
+	theta         float64
+	tau           int64
+	tokens        chan struct{} // each token licenses one live spawned subtree
+	minSpawnLevel int
+}
+
+// recurse mirrors Tree.recurse, optionally shipping the left child to another
+// goroutine. out and stats are owned by the calling goroutine.
+func (p *parSearch) recurse(lv int, agg uint64, stats *QueryStats, out *[]uint64) {
+	t := p.t
+	stats.NodesVisited++
+	if lv == 0 {
+		stats.PointQueries++
+		if t.levels[0].Burstiness(agg, p.ts, p.tau) >= p.theta {
+			*out = append(*out, agg)
+		}
+		return
+	}
+	bp := t.levels[lv].Burstiness(agg, p.ts, p.tau)
+	bl := t.levels[lv-1].Burstiness(agg<<1, p.ts, p.tau)
+	br := t.levels[lv-1].Burstiness(agg<<1|1, p.ts, p.tau)
+	stats.PointQueries += 3
+	if bp*bp-2*bl*br < p.theta*p.theta {
+		stats.Pruned++
+		return
+	}
+	if lv > p.minSpawnLevel {
+		select {
+		case <-p.tokens:
+			var leftOut []uint64
+			var leftStats QueryStats
+			done := make(chan struct{})
+			go func() {
+				p.recurse(lv-1, agg<<1, &leftStats, &leftOut)
+				p.tokens <- struct{}{} // free the token before the parent wakes
+				close(done)
+			}()
+			var rightOut []uint64
+			p.recurse(lv-1, agg<<1|1, stats, &rightOut)
+			<-done
+			stats.add(&leftStats)
+			*out = append(*out, leftOut...)
+			*out = append(*out, rightOut...)
+			return
+		default:
+			// Pool exhausted; fall through to the inline walk.
+		}
+	}
+	p.recurse(lv-1, agg<<1, stats, out)
+	p.recurse(lv-1, agg<<1|1, stats, out)
+}
+
+// add accumulates another search's counters.
+func (s *QueryStats) add(o *QueryStats) {
+	s.PointQueries += o.PointQueries
+	s.NodesVisited += o.NodesVisited
+	s.Pruned += o.Pruned
+}

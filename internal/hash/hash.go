@@ -23,6 +23,11 @@ const mersenne61 = (1 << 61) - 1
 type Func struct {
 	a, b uint64
 	w    uint64
+	// mHi:mLo is ⌊2^128/w⌋ + 1, the reciprocal that turns the final `mod w`
+	// into three multiplies instead of a hardware divide (Lemire & Kaser,
+	// "Faster remainders when the divisor is a constant"). Point queries pay
+	// this mod d times each.
+	mHi, mLo uint64
 }
 
 // Family is a set of d independent hash functions sharing a bucket count.
@@ -45,7 +50,8 @@ func NewFamily(d, w int, seed int64) (Family, error) {
 		// a in [1, p), b in [0, p).
 		a := uint64(rng.Int63n(mersenne61-1)) + 1
 		b := uint64(rng.Int63n(mersenne61))
-		fns[i] = Func{a: a, b: b, w: uint64(w)}
+		mHi, mLo := modReciprocal(uint64(w))
+		fns[i] = Func{a: a, b: b, w: uint64(w), mHi: mHi, mLo: mLo}
 	}
 	return Family{fns: fns}, nil
 }
@@ -66,6 +72,21 @@ func (f Family) Hash(i int, x uint64) int {
 	return f.fns[i].Apply(x)
 }
 
+// Indexes fills dst[i] with the i-th function applied to x, for all d
+// functions in one call: x is folded into the field once and the per-call
+// overhead of d separate Apply calls disappears. dst must have length ≥ d.
+func (f Family) Indexes(x uint64, dst []int) {
+	xm := modMersenne(x)
+	for i := range f.fns {
+		h := &f.fns[i]
+		v := mulModMersenne(h.a, xm) + h.b
+		if v >= mersenne61 {
+			v -= mersenne61
+		}
+		dst[i] = int(fastMod(v, h.w, h.mHi, h.mLo))
+	}
+}
+
 // Apply evaluates the hash function at x.
 func (h Func) Apply(x uint64) int {
 	// Fold x into the field first so the polynomial sees a value < p.
@@ -73,7 +94,33 @@ func (h Func) Apply(x uint64) int {
 	if v >= mersenne61 {
 		v -= mersenne61
 	}
-	return int(v % h.w)
+	return int(fastMod(v, h.w, h.mHi, h.mLo))
+}
+
+// modReciprocal returns ⌊2^128/w⌋ + 1 for w ≥ 2. With 128 reciprocal bits
+// the fast mod below is exact for every 64-bit operand and any such w.
+func modReciprocal(w uint64) (hi, lo uint64) {
+	if w <= 1 {
+		return 0, 0 // the zero reciprocal makes fastMod yield v mod 1 = 0
+	}
+	q1, r1 := bits.Div64(1, 0, w) // ⌊2^64/w⌋ and 2^64 mod w
+	q2, _ := bits.Div64(r1, 0, w) // ⌊r1·2^64/w⌋
+	var c uint64
+	lo, c = bits.Add64(q2, 1, 0)
+	hi = q1 + c
+	return hi, lo
+}
+
+// fastMod returns v mod w given m = mHi:mLo = ⌊2^128/w⌋ + 1: the low 128
+// bits of v·m are the fractional part of v/w scaled by 2^128, so multiplying
+// them back by w and keeping the top word recovers the remainder.
+func fastMod(v, w, mHi, mLo uint64) uint64 {
+	hi1, lo1 := bits.Mul64(v, mLo)
+	fracHi := v*mHi + hi1 // low 128 bits of v·m are fracHi:lo1
+	t1hi, t1lo := bits.Mul64(fracHi, w)
+	t2hi, _ := bits.Mul64(lo1, w)
+	_, carry := bits.Add64(t1lo, t2hi, 0)
+	return t1hi + carry
 }
 
 // modMersenne reduces x modulo 2^61 − 1 using the Mersenne identity

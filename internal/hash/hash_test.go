@@ -2,6 +2,7 @@ package hash
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -105,6 +106,34 @@ func TestPairwiseCollisionRate(t *testing.T) {
 	rate := float64(collisions) / float64(pairs)
 	if math.Abs(rate-1.0/w) > 3.0/w {
 		t.Errorf("collision rate %.5f, want about %.5f", rate, 1.0/w)
+	}
+}
+
+func TestFastModMatchesHardwareMod(t *testing.T) {
+	// The reciprocal mod must agree with % for every width the sketches can
+	// use and across the full operand range [0, p).
+	r := rand.New(rand.NewSource(8))
+	widths := []uint64{2, 3, 7, 37, 64, 100, 272, 1 << 16, 1<<31 - 1, 1 << 31, 1 << 40}
+	for _, w := range widths {
+		mHi, mLo := modReciprocal(w)
+		for i := 0; i < 5000; i++ {
+			v := uint64(r.Int63()) % mersenne61
+			if got, want := fastMod(v, w, mHi, mLo), v%w; got != want {
+				t.Fatalf("fastMod(%d, %d) = %d, want %d", v, w, got, want)
+			}
+		}
+		for _, v := range []uint64{0, 1, w - 1, w, w + 1, mersenne61 - 1} {
+			if got, want := fastMod(v, w, mHi, mLo), v%w; got != want {
+				t.Fatalf("fastMod(%d, %d) = %d, want %d", v, w, got, want)
+			}
+		}
+	}
+	// Width 1 is special-cased in Apply.
+	f, _ := NewFamily(2, 1, 5)
+	for x := uint64(0); x < 100; x++ {
+		if f.Hash(0, x) != 0 || f.Hash(1, x) != 0 {
+			t.Fatalf("w=1 must map everything to bucket 0")
+		}
 	}
 }
 

@@ -12,7 +12,7 @@
 // evaluated on the approximation (equation 2).
 package pbe
 
-import "sort"
+import "slices"
 
 // Estimator is the read side of a burstiness summary: anything that can
 // evaluate an approximate cumulative-frequency curve and enumerate the
@@ -55,7 +55,13 @@ type PBE interface {
 }
 
 // Burstiness evaluates b̃(t) for burst span τ on any PBE via equation (2).
+// Estimators implementing Estimator3 answer the three evaluations in one
+// narrowed pass; the result is identical either way.
 func Burstiness(p Estimator, t, tau int64) float64 {
+	if e3, ok := p.(Estimator3); ok && tau > 0 {
+		f0, f1, f2 := e3.Estimate3(t-2*tau, t-tau, t)
+		return f2 - 2*f1 + f0
+	}
 	return p.Estimate(t) - 2*p.Estimate(t-tau) + p.Estimate(t-2*tau)
 }
 
@@ -88,6 +94,15 @@ func BurstyTimes(p Estimator, theta float64, tau, horizon int64) []TimeRange {
 	if len(bps) == 0 {
 		return nil
 	}
+	// Three cursors, one per shifted term of equation (2): the scan sweeps t
+	// upward, so each cursor sees an (almost) ascending probe sequence and
+	// amortizes its segment lookup to O(1) per step. The crossing refinement
+	// probes backward inside one piece; cursors stay correct there, just not
+	// amortized.
+	c0, c1, c2 := CursorFor(p), CursorFor(p), CursorFor(p)
+	burst := func(t int64) float64 {
+		return c0.Estimate(t) - 2*c1.Estimate(t-tau) + c2.Estimate(t-2*tau)
+	}
 	var out []TimeRange
 	emit := func(start, end int64) {
 		if start >= end {
@@ -104,7 +119,7 @@ func BurstyTimes(p Estimator, theta float64, tau, horizon int64) []TimeRange {
 		if i+1 < len(bps) {
 			t1 = bps[i+1]
 		}
-		b0 := Burstiness(p, t0, tau)
+		b0 := burst(t0)
 		if t1 == t0+1 {
 			if b0 >= theta {
 				emit(t0, t1)
@@ -114,7 +129,7 @@ func BurstyTimes(p Estimator, theta float64, tau, horizon int64) []TimeRange {
 		// Within (t0, t1) the estimate of each of the three terms is linear
 		// (or constant), so b̃ is linear; evaluate at both ends and solve
 		// the crossing if they straddle θ.
-		bLast := Burstiness(p, t1-1, tau)
+		bLast := burst(t1 - 1)
 		switch {
 		case b0 >= theta && bLast >= theta:
 			emit(t0, t1)
@@ -127,7 +142,7 @@ func BurstyTimes(p Estimator, theta float64, tau, horizon int64) []TimeRange {
 			rising := bLast >= theta
 			for lo < hi {
 				mid := lo + (hi-lo)/2
-				bm := Burstiness(p, mid, tau)
+				bm := burst(mid)
 				if (bm >= theta) == rising {
 					hi = mid
 				} else {
@@ -146,23 +161,57 @@ func BurstyTimes(p Estimator, theta float64, tau, horizon int64) []TimeRange {
 
 // ShiftedBreakpoints returns the sorted distinct instants in [0, horizon]
 // where b̃ can change: each summary breakpoint shifted by 0, τ and 2τ,
-// plus 0.
+// plus 0. Breakpoints() is already sorted, so the three shifted copies are
+// three sorted streams; a 3-way merge with on-the-fly deduplication builds
+// the result without the map+sort round-trip the naive union needs.
 func ShiftedBreakpoints(p Estimator, tau, horizon int64) []int64 {
 	base := p.Breakpoints()
-	set := make(map[int64]struct{}, 3*len(base)+1)
-	set[0] = struct{}{}
-	for _, b := range base {
-		for _, d := range [3]int64{0, tau, 2 * tau} {
-			t := b + d
-			if t >= 0 && t <= horizon {
-				set[t] = struct{}{}
+	// The Estimator contract promises sorted breakpoints; guard against a
+	// non-conforming implementation rather than silently merging garbage.
+	for i := 1; i < len(base); i++ {
+		if base[i] < base[i-1] {
+			sorted := append([]int64(nil), base...)
+			slices.Sort(sorted)
+			base = sorted
+			break
+		}
+	}
+	shifts := [3]int64{0, tau, 2 * tau}
+	var idx [3]int
+	out := make([]int64, 0, 3*len(base)+1)
+	out = append(out, 0)
+	for {
+		var best int64
+		found := false
+		for s := range shifts {
+			// Values below 0 are skipped; once a value exceeds the horizon
+			// the rest of that (sorted) stream does too.
+			for idx[s] < len(base) && base[idx[s]]+shifts[s] < 0 {
+				idx[s]++
+			}
+			if idx[s] >= len(base) {
+				continue
+			}
+			v := base[idx[s]] + shifts[s]
+			if v > horizon {
+				idx[s] = len(base)
+				continue
+			}
+			if !found || v < best {
+				best, found = v, true
+			}
+		}
+		if !found {
+			break
+		}
+		if best != out[len(out)-1] {
+			out = append(out, best)
+		}
+		for s := range shifts {
+			for idx[s] < len(base) && base[idx[s]]+shifts[s] == best {
+				idx[s]++
 			}
 		}
 	}
-	out := make([]int64, 0, len(set))
-	for t := range set {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

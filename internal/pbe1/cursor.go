@@ -1,0 +1,111 @@
+package pbe1
+
+import "histburst/internal/pbe"
+
+// Fast-path query support: Estimate answers "the F of the last corner at or
+// before t", where the corners are the summary followed by the buffered
+// tail. The two regions concatenate into one virtually sorted point list —
+// the buffer strictly follows the summary in time except that, right after a
+// flush, the first buffered corner may share the summary's final timestamp
+// with a larger F. Taking the LAST index with T ≤ t resolves that seam to
+// the buffered (fresher) corner, exactly as Estimate's buffer-first branch
+// does, so all three entry points below agree with Estimate everywhere.
+
+var (
+	_ pbe.CursorProvider = (*Builder)(nil)
+	_ pbe.Estimator3     = (*Builder)(nil)
+)
+
+// numPoints returns the total corner count across summary and buffer.
+func (b *Builder) numPoints() int { return len(b.summary) + len(b.buf) }
+
+// pointTime returns the i-th corner's timestamp in the concatenated view.
+func (b *Builder) pointTime(i int) int64 {
+	if i < len(b.summary) {
+		return b.summary[i].T
+	}
+	return b.buf[i-len(b.summary)].T
+}
+
+// pointF returns the i-th corner's cumulative frequency.
+func (b *Builder) pointF(i int) int64 {
+	if i < len(b.summary) {
+		return b.summary[i].F
+	}
+	return b.buf[i-len(b.summary)].F
+}
+
+// Estimate3 evaluates F̃ at three ascending instants t0 ≤ t1 ≤ t2 in one
+// narrowed pass: the corner answering t2 bounds the search for t1, which
+// bounds the search for t0. Results are identical to three Estimate calls.
+func (b *Builder) Estimate3(t0, t1, t2 int64) (f0, f1, f2 float64) {
+	i2 := b.searchConcat(t2, b.numPoints())
+	i1 := b.searchConcat(t1, i2+1)
+	i0 := b.searchConcat(t0, i1+1)
+	return b.pointValue(i0), b.pointValue(i1), b.pointValue(i2)
+}
+
+// searchConcat returns the largest i < hi with pointTime(i) ≤ t, or -1, as a
+// direct binary search — the point-query hot loop cannot afford an indirect
+// callback per probe. The buffer follows the summary in time, so the probe
+// runs over exactly one region: the buffer when t reaches its first corner
+// (which also resolves the seam tie to the buffer, as Estimate does), the
+// summary otherwise.
+func (b *Builder) searchConcat(t int64, hi int) int {
+	ns := len(b.summary)
+	if buf := b.buf; len(buf) > 0 && t >= buf[0].T {
+		bh := hi - ns
+		if bh > len(buf) {
+			bh = len(buf)
+		}
+		lo := 0
+		for lo < bh {
+			mid := int(uint(lo+bh) >> 1)
+			if buf[mid].T <= t {
+				lo = mid + 1
+			} else {
+				bh = mid
+			}
+		}
+		return ns + lo - 1
+	}
+	if hi > ns {
+		hi = ns
+	}
+	lo := 0
+	sum := b.summary
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sum[mid].T <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// pointValue maps a corner search result to the estimate (-1 = before the
+// first corner, where F̃ is 0).
+func (b *Builder) pointValue(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return float64(b.pointF(i))
+}
+
+// Cursor is a stateful reader over the summary, amortizing ascending
+// evaluations to O(1) per step. Valid until the next Append/Finish.
+type Cursor struct {
+	b    *Builder
+	hint int
+}
+
+// NewCursor returns a scan cursor positioned before the first corner.
+func (b *Builder) NewCursor() pbe.Cursor { return &Cursor{b: b, hint: -1} }
+
+// Estimate returns F̃(t), identical to Builder.Estimate(t).
+func (c *Cursor) Estimate(t int64) float64 {
+	c.hint = pbe.AdvanceIndex(c.hint, c.b.numPoints(), t, c.b.pointTime)
+	return c.b.pointValue(c.hint)
+}

@@ -1,0 +1,291 @@
+package pbe2
+
+import (
+	"histburst/internal/geometry"
+	"histburst/internal/pbe"
+)
+
+// Fast-path query support. Estimate has two regimes: a "live head" (the
+// exact count at/past the frontier, the open feasible region's centroid
+// line, or a single uncommitted constraint) and the closed-segment list. The
+// head checks are O(1) already; the wins here are memoizing the segment
+// index across a scan (Cursor), narrowing the three point-query searches
+// against each other (Estimate3), and computing the open polygon's centroid
+// at most once per query instead of once per evaluation.
+
+var (
+	_ pbe.CursorProvider = (*Builder)(nil)
+	_ pbe.Estimator3     = (*Builder)(nil)
+)
+
+// segStart returns the i-th closed segment's start time.
+func (b *Builder) segStart(i int) int64 { return b.segs[i].Start }
+
+// centroidCache lazily computes the open region's centroid once. Queries
+// must not mutate the Builder (they run concurrently under read locks), so
+// the cache lives in the caller's frame or cursor instead.
+type centroidCache struct {
+	b    *Builder
+	c    geometry.Vec2
+	have bool
+}
+
+func (cc *centroidCache) get() geometry.Vec2 {
+	if !cc.have {
+		cc.c = cc.b.poly.Centroid()
+		cc.have = true
+	}
+	return cc.c
+}
+
+// liveHead answers t from the open (not yet segment-committed) state, if it
+// applies. Mirrors the head cases of Estimate exactly.
+func (b *Builder) liveHead(t int64, cc *centroidCache) (float64, bool) {
+	if !b.started {
+		return 0, false
+	}
+	if t >= b.lastT {
+		return float64(b.count), true
+	}
+	if b.polyOpen && t >= b.winStart {
+		c := cc.get()
+		return clampNonNegative(c.X*float64(t) + c.Y), true
+	}
+	if !b.polyOpen && len(b.pending) == 1 && t >= b.winStart {
+		return float64(b.pending[0].f), true
+	}
+	return 0, false
+}
+
+// segValue maps a segment index found for t (-1 = before the first segment)
+// to the estimate: the segment's line inside its span, the held final value
+// in the flat gap after it.
+func (b *Builder) segValue(i int, t int64) float64 {
+	if i < 0 {
+		return 0
+	}
+	s := b.segs[i]
+	if t <= s.End {
+		return clampNonNegative(s.Eval(t))
+	}
+	return clampNonNegative(s.Eval(s.End))
+}
+
+// Estimate3 evaluates F̃ at three ascending instants t0 ≤ t1 ≤ t2 in one
+// pass, narrowing each segment search by the previous (later-time) result.
+// Results are identical to three Estimate calls.
+//
+// Two observations cut most of the work. First, every live-head condition is
+// monotone in t, so when the latest instant falls through to the segment
+// list the earlier instants cannot hit the head and skip those checks
+// entirely — that common case runs as one straight-line function. Second,
+// the instants are τ apart while segments typically span much more, so the
+// earlier answers are usually in the same or the adjacent segment as the
+// previous one — probe there before binary-searching the narrowed range.
+func (b *Builder) Estimate3(t0, t1, t2 int64) (f0, f1, f2 float64) {
+	if t2 >= b.headLow {
+		return b.estimate3Head(t0, t1, t2)
+	}
+	i2 := b.searchFull(t2)
+	if i2 < 0 {
+		return 0, 0, 0 // t0 ≤ t1 ≤ t2 all precede the first segment
+	}
+	segs := b.segs
+	s2 := segs[i2]
+	f2 = segVal(s2, t2)
+	starts := b.starts
+	i1 := i2
+	if starts[i1] > t1 {
+		if i1--; i1 >= 0 && starts[i1] > t1 {
+			i1 = searchDown(starts, t1, i1)
+		}
+		if i1 < 0 {
+			return 0, 0, f2 // t0 ≤ t1, so both precede the first segment
+		}
+		s2 = segs[i1]
+	}
+	f1 = segVal(s2, t1) // s2 now holds segment i1
+	i0 := i1
+	if starts[i0] > t0 {
+		if i0--; i0 >= 0 && starts[i0] > t0 {
+			i0 = searchDown(starts, t0, i0)
+		}
+		if i0 < 0 {
+			return 0, f1, f2
+		}
+		s2 = segs[i0]
+	}
+	f0 = segVal(s2, t0)
+	return f0, f1, f2
+}
+
+// segVal evaluates a segment found for t (so t ≥ Start): the segment's line
+// inside its span, the held final value in the flat gap after it.
+func segVal(s Segment, t int64) float64 {
+	if t > s.End {
+		t = s.End
+	}
+	v := s.A*float64(t) + s.B
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// searchDown returns the largest i < hi with starts[i] <= t, or -1, for an
+// answer expected near hi (the previous instant's segment): an exponential
+// backoff brackets it in O(log distance) localized probes, then the plain
+// binary search finishes inside the bracket.
+func searchDown(starts []int64, t int64, hi int) int {
+	lo := 0
+	step := 1
+	for hi > 0 {
+		p := hi - step
+		if p < 0 {
+			p = 0
+		}
+		if starts[p] <= t {
+			lo = p + 1
+			break
+		}
+		hi = p
+		step <<= 1
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// estimate3Head is Estimate3 for the uncommon case where the latest instant
+// may hit the live head; the earlier instants may too, so each evaluation
+// re-checks until one falls through to the segments.
+func (b *Builder) estimate3Head(t0, t1, t2 int64) (f0, f1, f2 float64) {
+	cc := centroidCache{b: b}
+	f2, ok2 := b.liveHead(t2, &cc)
+	if !ok2 {
+		f2 = b.segValue(b.searchFull(t2), t2)
+	}
+	f1, ok1 := b.liveHead(t1, &cc)
+	if !ok1 {
+		f1 = b.segValue(b.searchFull(t1), t1)
+	}
+	f0, ok0 := b.liveHead(t0, &cc)
+	if !ok0 {
+		f0 = b.segValue(b.searchFull(t0), t0)
+	}
+	return f0, f1, f2
+}
+
+// searchFull returns the largest i with starts[i] <= t, or -1, over the
+// whole summary. Boundary cases resolve against the builder-resident bounds
+// without touching the array; steady streams produce segment starts that are
+// near-uniform in time, so for longer summaries an interpolated first guess
+// plus a doubling gallop brackets the answer in a couple of localized
+// probes. The bracket (and any irregular distribution) falls through to the
+// plain binary search.
+func (b *Builder) searchFull(t int64) int {
+	n := len(b.starts)
+	if n == 0 || t < b.firstStart {
+		return -1
+	}
+	if t >= b.lastStart {
+		return n - 1
+	}
+	starts := b.starts
+	if n < 16 {
+		// Tiny summaries: a predictable linear scan over at most two cache
+		// lines beats the mispredicting binary probes.
+		i := n - 1
+		for i >= 0 && starts[i] > t {
+			i--
+		}
+		return i
+	}
+	// firstStart <= t < lastStart, so the upper bound (first index with a
+	// start beyond t) lies in [1, n-1]. The float guess is a heuristic only;
+	// the gallop establishes the true bracket.
+	g := int(float64(t-b.firstStart) * b.invSpan)
+	if g < 1 {
+		g = 1
+	} else if g > n-2 {
+		g = n - 2
+	}
+	lo, hi := 0, n
+	if starts[g] <= t {
+		lo = g + 1
+		step := 1
+		for lo+step < hi {
+			if starts[lo+step-1] > t {
+				hi = lo + step - 1
+				break
+			}
+			lo += step
+			step <<= 1
+		}
+	} else {
+		hi = g
+		step := 1
+		for hi-step > 0 {
+			if starts[hi-step] <= t {
+				lo = hi - step + 1
+				break
+			}
+			hi -= step
+			step <<= 1
+		}
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// searchSegs returns the largest i < hi with starts[i] <= t, or -1, by plain
+// binary search over the packed starts array — the narrowed-range companion
+// of searchFull.
+func (b *Builder) searchSegs(t int64, hi int) int {
+	starts := b.starts
+	lo := 0
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// Cursor is a stateful reader over the summary, amortizing ascending
+// evaluations to O(1) per step. Valid until the next Append/Finish.
+type Cursor struct {
+	cc   centroidCache
+	hint int
+}
+
+// NewCursor returns a scan cursor positioned before the first segment.
+func (b *Builder) NewCursor() pbe.Cursor {
+	return &Cursor{cc: centroidCache{b: b}, hint: -1}
+}
+
+// Estimate returns F̃(t), identical to Builder.Estimate(t).
+func (c *Cursor) Estimate(t int64) float64 {
+	b := c.cc.b
+	if v, ok := b.liveHead(t, &c.cc); ok {
+		return v
+	}
+	c.hint = pbe.AdvanceIndex(c.hint, len(b.segs), t, b.segStart)
+	return b.segValue(c.hint, t)
+}

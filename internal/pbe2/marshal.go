@@ -96,6 +96,18 @@ func (b *Builder) UnmarshalBinary(data []byte) error {
 	nb.done = done
 	nb.outOfOrder = outOfOrder
 	nb.segs = segs
+	nb.starts = make([]int64, len(segs))
+	for i := range segs {
+		nb.starts[i] = segs[i].Start
+	}
+	if len(segs) > 0 {
+		nb.firstStart = nb.starts[0]
+		nb.lastStart = nb.starts[len(segs)-1]
+		if nb.lastStart > nb.firstStart {
+			nb.invSpan = float64(len(segs)-1) / float64(nb.lastStart-nb.firstStart)
+		}
+	}
+	nb.updateHeadLow()
 	*b = *nb
 	return nil
 }

@@ -36,7 +36,7 @@ func (b *Builder) MergeAppend(other pbe.PBE) error {
 	offset := float64(b.count)
 	for _, s := range o.segs {
 		s.B += offset
-		b.segs = append(b.segs, s)
+		b.appendSegment(s)
 	}
 	b.count += o.count
 	b.lastT = o.lastT
@@ -44,5 +44,6 @@ func (b *Builder) MergeAppend(other pbe.PBE) error {
 	b.started = b.started || o.started
 	b.done = true
 	b.outOfOrder += o.outOfOrder
+	b.updateHeadLow()
 	return nil
 }

@@ -42,6 +42,23 @@ type Builder struct {
 	maxVertices int // cap on feasible-polygon vertices (0 = unlimited)
 
 	segs []Segment
+	// starts mirrors segs[i].Start. Queries binary-search starts instead of
+	// segs: packing eight candidates per cache line instead of two makes the
+	// probe sequence markedly cheaper. firstStart/lastStart duplicate its
+	// ends so full-range searches resolve boundary cases without touching
+	// the array.
+	starts     []int64
+	firstStart int64
+	lastStart  int64
+	// invSpan is (len(starts)-1)/(lastStart-firstStart), the slope of the
+	// interpolation guess in searchFull, precomputed so the query path
+	// multiplies instead of divides.
+	invSpan float64
+	// headLow is the smallest t the live head can answer (MaxInt64 when
+	// nothing was appended): a query at or past it must consult the open
+	// state, one below it is answered by closed segments alone. Maintained on
+	// every mutation so the query path dispatches on a single comparison.
+	headLow int64
 
 	// Current feasible region and the constraint window it covers.
 	poly     geometry.Polygon
@@ -83,11 +100,28 @@ func New(gamma float64, opts ...Option) (*Builder, error) {
 	if gamma < 1 || math.IsNaN(gamma) || math.IsInf(gamma, 0) {
 		return nil, fmt.Errorf("pbe2: gamma must be at least 1, got %v", gamma)
 	}
-	b := &Builder{gamma: gamma}
+	b := &Builder{gamma: gamma, headLow: math.MaxInt64}
 	for _, o := range opts {
 		o(b)
 	}
 	return b, nil
+}
+
+// updateHeadLow recomputes the head dispatch bound; call after any mutation
+// of the open state. The live-head cases of Estimate are, in order: exact
+// count at t ≥ lastT, the open region's line at t ≥ winStart, a single
+// pending constraint at t ≥ winStart — and winStart ≤ lastT whenever the
+// builder is at rest, so the earliest head-answerable instant is winStart
+// when a window is open and lastT otherwise.
+func (b *Builder) updateHeadLow() {
+	switch {
+	case !b.started:
+		b.headLow = math.MaxInt64
+	case b.polyOpen || len(b.pending) == 1:
+		b.headLow = b.winStart
+	default:
+		b.headLow = b.lastT
+	}
 }
 
 // Gamma returns the configured error cap.
@@ -114,6 +148,7 @@ func (b *Builder) Append(t int64) {
 		// useful when it doesn't precede time zero's history — it's a
 		// virtual constraint on the same staircase, always valid.
 		b.feed(point{t: t - 1, f: 0})
+		b.updateHeadLow()
 		return
 	}
 	// Time advances (or we restart after Finish): seal the open corner.
@@ -121,6 +156,7 @@ func (b *Builder) Append(t int64) {
 	b.count++
 	b.lastT = t
 	b.done = false
+	b.updateHeadLow()
 }
 
 // sealCorner closes the corner at lastT with frequency count, feeds its
@@ -148,6 +184,7 @@ func (b *Builder) Finish() {
 	b.feed(point{t: b.lastT, f: b.count})
 	b.closeWindow()
 	b.done = true
+	b.updateHeadLow()
 }
 
 // feed adds one constraint point to the open feasible region, emitting a
@@ -228,6 +265,14 @@ func (b *Builder) emitPointSegment(p point) {
 
 func (b *Builder) appendSegment(s Segment) {
 	b.segs = append(b.segs, s)
+	b.starts = append(b.starts, s.Start)
+	if len(b.starts) == 1 {
+		b.firstStart = s.Start
+	}
+	b.lastStart = s.Start
+	if s.Start > b.firstStart {
+		b.invSpan = float64(len(b.starts)-1) / float64(s.Start-b.firstStart)
+	}
 }
 
 // seedConstraints returns the four half-planes of two constraint points.
@@ -270,16 +315,7 @@ func (b *Builder) Estimate(t int64) float64 {
 			return float64(b.pending[0].f)
 		}
 	}
-	i := sort.Search(len(b.segs), func(i int) bool { return b.segs[i].Start > t })
-	if i == 0 {
-		return 0
-	}
-	s := b.segs[i-1]
-	if t <= s.End {
-		return clampNonNegative(s.Eval(t))
-	}
-	// Gap between segments: the staircase was flat, hold the final value.
-	return clampNonNegative(s.Eval(s.End))
+	return b.segValue(b.searchFull(t), t)
 }
 
 func clampNonNegative(v float64) float64 {
