@@ -2,19 +2,26 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-smoke bench-json bench-figures experiments fuzz clean
+.PHONY: all check build vet test race lint bench bench-smoke bench-json bench-figures experiments fuzz clean
 
 all: build vet test
 
-# Full pre-merge gate: compile, static checks, tests, race detector, and one
-# iteration of every benchmark so a broken benchmark can't rot unnoticed.
-check: build vet test race bench-smoke
+# Full pre-merge gate: compile, static checks (vet plus the repo's own
+# analyzers), tests, race detector, and one iteration of every benchmark so a
+# broken benchmark can't rot unnoticed.
+check: build vet lint test race bench-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants go vet cannot see: decoder allocation safety,
+# dropped errors, lock discipline, noalloc hot paths, fastpath twins.
+# See docs/ANALYZERS.md.
+lint:
+	$(GO) run ./cmd/histlint ./...
 
 test:
 	$(GO) test ./...
@@ -44,13 +51,15 @@ bench-json:
 experiments:
 	$(GO) run ./cmd/burstbench -all -scale 0.02 -queries 300
 
-# Short fuzzing pass over every decoder.
+# Short fuzzing pass over every decoder. FUZZTIME is overridable so CI can
+# run a quicker smoke (make fuzz FUZZTIME=10s).
+FUZZTIME ?= 20s
 fuzz:
-	$(GO) test -fuzz FuzzRead -fuzztime 20s ./internal/stream/
-	$(GO) test -fuzz FuzzLoad$$ -fuzztime 20s .
-	$(GO) test -fuzz FuzzDetectorLoad -fuzztime 20s .
-	$(GO) test -fuzz FuzzLoadSingle -fuzztime 20s .
-	$(GO) test -fuzz FuzzDetectorAppend -fuzztime 20s .
+	$(GO) test -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -fuzz FuzzLoad$$ -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzDetectorLoad -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzLoadSingle -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzDetectorAppend -fuzztime $(FUZZTIME) .
 
 clean:
 	$(GO) clean ./...

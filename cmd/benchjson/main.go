@@ -99,11 +99,13 @@ func main() {
 			continue
 		}
 		r := benchResult{Name: m[1]}
-		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		// benchLine only matches decimal-digit groups, so the parses below can
+		// fail solely on >63-bit overflow, which no go test output produces.
+		r.Iters, _ = strconv.ParseInt(m[2], 10, 64) //histburst:allow errdrop -- regex guarantees decimal digits
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64) //histburst:allow errdrop -- regex guarantees a float literal
 		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)  //histburst:allow errdrop -- regex guarantees decimal digits
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64) //histburst:allow errdrop -- regex guarantees decimal digits
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 		byName[r.Name] = &rep.Benchmarks[len(rep.Benchmarks)-1]
@@ -133,7 +135,10 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {

@@ -169,7 +169,10 @@ func run(cmd string, args []string, out *os.File) error {
 			return nil
 		}
 		for _, id := range ids {
-			b, _ := det.Burstiness(id, *t, *tau)
+			b, err := det.Burstiness(id, *t, *tau)
+			if err != nil {
+				return fmt.Errorf("burstiness of event %d: %w", id, err)
+			}
 			fmt.Fprintf(out, "event %-8d b ≈ %.1f\n", id, b)
 		}
 		return nil

@@ -107,7 +107,7 @@ func run(in, sketchFile, saveFile string, point, times, evts, stats bool, e uint
 			return err
 		}
 		if err := det.Save(f); err != nil {
-			f.Close()
+			f.Close() //histburst:allow errdrop -- best-effort cleanup; the Save error takes precedence
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -160,7 +160,10 @@ func run(in, sketchFile, saveFile string, point, times, evts, stats bool, e uint
 			return nil
 		}
 		for _, id := range ids {
-			b, _ := det.Burstiness(id, t, tau)
+			b, err := det.Burstiness(id, t, tau)
+			if err != nil {
+				return fmt.Errorf("burstiness of event %d: %w", id, err)
+			}
 			fmt.Printf("event %-8d b ≈ %.1f\n", id, b)
 		}
 	default:

@@ -71,6 +71,7 @@ func run(addr string, opts serverOpts, checkpoint, drain time.Duration) error {
 		return err
 	}
 	log.Printf("burstd: %d elements over [0, %d], sketch %d bytes, listening on %s",
+		//histburst:allow lockguard -- startup log before ListenAndServe; no handler goroutine exists yet
 		srv.det.N(), srv.det.MaxTime(), srv.det.Bytes(), addr)
 
 	hs := &http.Server{

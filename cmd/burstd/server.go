@@ -38,7 +38,7 @@ type serverOpts struct {
 // panic recovery, readiness, snapshots.
 type server struct {
 	mu  sync.RWMutex
-	det *histburst.Detector
+	det *histburst.Detector // guarded by mu
 
 	snaps    *snapStore  // nil when persistence is disabled
 	dirty    atomic.Bool // appends since the last checkpoint
@@ -47,6 +47,10 @@ type server struct {
 	logf     func(format string, args ...any)
 }
 
+// newServer builds the server before any handler goroutine exists, so the
+// detector writes below run unlocked by construction.
+//
+//histburst:allow lockguard -- single-goroutine construction; no handler can run before ListenAndServe
 func newServer(o serverOpts) (*server, error) {
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -370,7 +374,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //histburst:allow errdrop -- already reporting an error; a failed write has no further recovery
 }
 
 func firstErr(errs ...error) error {

@@ -68,7 +68,7 @@ func openSnapStore(dir string, retain int) (*snapStore, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if strings.Contains(name, snapSuffix+".tmp-") {
-			os.Remove(filepath.Join(dir, name)) //nolint:errcheck
+			os.Remove(filepath.Join(dir, name)) //histburst:allow errdrop -- best-effort cleanup of a stale temp file
 			continue
 		}
 		if seq, ok := parseSnapName(name); ok && seq >= st.seq {
@@ -126,8 +126,8 @@ func (st *snapStore) write(data []byte) (string, error) {
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) (string, error) {
-		tmp.Close()
-		os.Remove(tmpName)
+		tmp.Close()        //histburst:allow errdrop -- best-effort cleanup; the write error takes precedence
+		os.Remove(tmpName) //histburst:allow errdrop -- best-effort cleanup; the write error takes precedence
 		return "", err
 	}
 	if _, err := tmp.Write(data); err != nil {
@@ -140,16 +140,16 @@ func (st *snapStore) write(data []byte) (string, error) {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		os.Remove(tmpName) //histburst:allow errdrop -- best-effort cleanup; the close error takes precedence
 		return "", err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+		os.Remove(tmpName) //histburst:allow errdrop -- best-effort cleanup; the rename error takes precedence
 		return "", err
 	}
 	if d, err := os.Open(st.dir); err == nil {
-		d.Sync() //nolint:errcheck
-		d.Close()
+		d.Sync()  //histburst:allow errdrop -- directory fsync is advisory; the data file is already synced
+		d.Close() //histburst:allow errdrop -- read-only directory handle
 	}
 	st.seq++
 	st.prune()
@@ -163,6 +163,6 @@ func (st *snapStore) prune() {
 		return
 	}
 	for _, n := range names[min(st.retain, len(names)):] {
-		os.Remove(filepath.Join(st.dir, n)) //nolint:errcheck
+		os.Remove(filepath.Join(st.dir, n)) //histburst:allow errdrop -- best-effort retention pruning; a survivor is retried next cycle
 	}
 }

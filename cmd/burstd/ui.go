@@ -13,7 +13,7 @@ import "net/http"
 // data view; bars carry native hover tooltips and click-to-select.
 func (s *server) handleUI(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	_, _ = w.Write([]byte(uiPage))
+	_, _ = w.Write([]byte(uiPage)) //histburst:allow errdrop -- client went away; nothing to do about a failed HTML write
 }
 
 const uiPage = `<!doctype html>

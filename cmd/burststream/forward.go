@@ -102,7 +102,7 @@ func (f *forwarder) post(body []byte) (retryable bool, err error) {
 		return true, err // connection refused/reset, timeout, DNS — retry
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //histburst:allow errdrop -- draining the body for connection reuse; the status code is the answer
 	switch {
 	case resp.StatusCode < 300:
 		return false, nil

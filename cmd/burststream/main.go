@@ -160,7 +160,7 @@ func process(r io.Reader, w io.Writer, k uint64, tau, report int64, top int, gam
 			return err
 		}
 		if err := det.Save(f); err != nil {
-			f.Close()
+			f.Close() //histburst:allow errdrop -- best-effort cleanup; the Save error takes precedence
 			return err
 		}
 		if err := f.Close(); err != nil {

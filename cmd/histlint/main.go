@@ -1,0 +1,110 @@
+// Command histlint runs histburst's repo-specific static-analysis suite
+// (internal/lint) over the module: invariants go vet cannot see, enforced by
+// tooling instead of reviewer memory. See docs/ANALYZERS.md.
+//
+// Usage:
+//
+//	histlint [-only a,b] [-skip a,b] [-list] [packages...]
+//
+// Packages default to ./... and accept the go tool's directory patterns.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"histburst/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to skip")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.Select(splitList(*only), splitList(*skip))
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	if len(dirs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	moduleRoot, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(moduleRoot)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pkgs []*lint.Package
+	loadFailed := false
+	for _, dir := range dirs {
+		p, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "histlint: %s: %v\n", dir, err)
+			loadFailed = true
+			continue
+		}
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "histlint: %s: %v\n", dir, terr)
+			loadFailed = true
+		}
+		pkgs = append(pkgs, p)
+	}
+	if loadFailed {
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "histlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "histlint:", err)
+	os.Exit(2)
+}

@@ -91,7 +91,7 @@ func main() {
 	}
 	fmt.Printf("\nbursting at %s (θ=20):\n", clock(at))
 	for _, e := range events {
-		b, _ := det.Burstiness(e, at, tau)
+		b, _ := det.Burstiness(e, at, tau) //histburst:allow errdrop -- same (t, tau) just validated by BurstyEvents above
 		fmt.Printf("  %-15s b ≈ %.0f\n", names[e], b)
 	}
 }

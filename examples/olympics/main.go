@@ -38,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bw, _ := det.Burstiness(workload.SwimmingID, day*workload.Day, tau)
+		bw, _ := det.Burstiness(workload.SwimmingID, day*workload.Day, tau) //histburst:allow errdrop -- same (t, tau) just validated for soccer above
 		fmt.Printf("%3d  %17.0f  %19.0f\n", day, bs, bw)
 	}
 
@@ -61,7 +61,7 @@ func main() {
 	}
 	fmt.Printf("\nbursting on the final's evening (θ = 1500):\n")
 	for _, e := range events {
-		b, _ := det.Burstiness(e, finalEvening, tau)
+		b, _ := det.Burstiness(e, finalEvening, tau) //histburst:allow errdrop -- same (t, tau) just validated by BurstyEvents above
 		name := fmt.Sprintf("event %d", e)
 		switch e {
 		case workload.SoccerID:

@@ -54,7 +54,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, _ := par.Burstiness(workload.SoccerID, at, tau)
+		b, _ := par.Burstiness(workload.SoccerID, at, tau) //histburst:allow errdrop -- same query just validated on the sequential detector
 		fmt.Printf("%3d  %20.0f  %18.0f\n", day, a, b)
 	}
 	fmt.Printf("\nsizes: sequential %d B, parallel %d B\n", seq.Bytes(), par.Bytes())

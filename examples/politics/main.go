@@ -46,7 +46,7 @@ func main() {
 				log.Fatal(err)
 			}
 			for _, e := range events {
-				b, _ := det.Burstiness(e, qt, tau)
+				b, _ := det.Burstiness(e, qt, tau) //histburst:allow errdrop -- same (t, tau) just validated by BurstyEvents above
 				if workload.USPoliticsCategory(e) == "Democrat" {
 					dem += b
 				} else {

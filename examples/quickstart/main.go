@@ -37,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	b2, _ := det.Burstiness(2, 1099, tau)
+	b2, _ := det.Burstiness(2, 1099, tau) //histburst:allow errdrop -- same (t, tau) just validated for event 7 above
 	fmt.Printf("burstiness at t=1099: earthquake ≈ %.0f, weather ≈ %.0f\n", b7, b2)
 
 	// BURSTY TIME QUERY: when did the earthquake burst?

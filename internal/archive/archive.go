@@ -130,16 +130,16 @@ func (a *Archive) Seal(det *histburst.Detector, start, end int64) error {
 		return err
 	}
 	if err := det.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		f.Close()      //histburst:allow errdrop -- best-effort cleanup; the Save error takes precedence
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the Save error takes precedence
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the close error takes precedence
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(a.dir, name)); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the rename error takes precedence
 		return err
 	}
 	a.m.Partitions = append(a.m.Partitions, partitionMeta{

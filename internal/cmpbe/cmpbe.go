@@ -37,7 +37,7 @@ func PBE1Factory(bufferN, eta int) (Factory, error) {
 		return nil, err
 	}
 	return func() pbe.PBE {
-		b, _ := pbe1.New(bufferN, eta)
+		b, _ := pbe1.New(bufferN, eta) //histburst:allow errdrop -- identical arguments validated by the probe call above
 		return b
 	}, nil
 }
@@ -50,7 +50,7 @@ func PBE1ErrorCapFactory(bufferN int, cap int64) (Factory, error) {
 		return nil, err
 	}
 	return func() pbe.PBE {
-		b, _ := pbe1.NewWithErrorCap(bufferN, cap)
+		b, _ := pbe1.NewWithErrorCap(bufferN, cap) //histburst:allow errdrop -- identical arguments validated by the probe call above
 		return b
 	}, nil
 }
@@ -62,7 +62,7 @@ func PBE2Factory(gamma float64) (Factory, error) {
 		return nil, err
 	}
 	return func() pbe.PBE {
-		b, _ := pbe2.New(gamma)
+		b, _ := pbe2.New(gamma) //histburst:allow errdrop -- identical arguments validated by the probe call above
 		return b
 	}, nil
 }
@@ -166,6 +166,8 @@ func (s *Sketch) MaxTime() int64 { return s.maxT }
 
 // EstimateF returns the median-of-rows estimate F̃_e(t). Zero heap
 // allocations for d ≤ maxStackD.
+//
+//histburst:noalloc
 func (s *Sketch) EstimateF(e uint64, t int64) float64 {
 	var buf [maxStackD]float64
 	var ibuf [maxStackD]int
@@ -221,6 +223,9 @@ func (s *Sketch) EstimateFMin(e uint64, t int64) float64 {
 // per-row burstiness estimate (each row evaluates equation (2) on its own
 // coherent curve). Zero heap allocations for d ≤ maxStackD; cells providing
 // pbe.Estimator3 answer their three F̃ evaluations in one narrowed search.
+//
+//histburst:noalloc
+//histburst:fastpath burstinessNaive
 func (s *Sketch) Burstiness(e uint64, t, tau int64) float64 {
 	var buf [maxStackD]float64
 	var ibuf [maxStackD]int
@@ -385,6 +390,7 @@ type viewCursor struct {
 	vals    []float64
 }
 
+//histburst:noalloc
 func (c *viewCursor) Estimate(t int64) float64 {
 	for i, cur := range c.cursors {
 		c.vals[i] = cur.Estimate(t)
@@ -396,6 +402,8 @@ func (c *viewCursor) Estimate(t int64) float64 {
 // for even lengths) by insertion sort — allocation-free and faster than
 // sort.Float64s at sketch row counts. The default row count d=5 takes a
 // seven-comparison selection network instead.
+//
+//histburst:noalloc
 func medianInPlace(vals []float64) float64 {
 	n := len(vals)
 	if n == 0 {
@@ -423,6 +431,8 @@ func medianInPlace(vals []float64) float64 {
 // sorting the pairs (a,b) and (c,d) and swapping the pairs so a ≤ c, a is no
 // greater than b, c and d, so it cannot be the third smallest; the median is
 // then the second smallest of the remaining four.
+//
+//histburst:noalloc
 func median5(a, b, c, d, e float64) float64 {
 	if a > b {
 		a, b = b, a

@@ -43,6 +43,8 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 
 // UnmarshalSketch decodes a sketch serialized by MarshalBinary. The factory
 // must produce the same cell type and parameters used at build time.
+//
+//histburst:decoder
 func UnmarshalSketch(data []byte, f Factory) (*Sketch, error) {
 	r := binenc.NewReader(data)
 	if string(r.BytesBlob()) != string(sketchMagic) {
@@ -103,6 +105,8 @@ func (d *Direct) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalDirect decodes a Direct summary serialized by MarshalBinary.
+//
+//histburst:decoder
 func UnmarshalDirect(data []byte, f Factory) (*Direct, error) {
 	r := binenc.NewReader(data)
 	if string(r.BytesBlob()) != string(directMagic) {

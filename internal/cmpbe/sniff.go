@@ -9,6 +9,8 @@ import (
 // UnmarshalAny decodes a serialized Sketch or Direct, dispatching on the
 // embedded magic. The concrete type is *Sketch or *Direct; callers (e.g.
 // the dyadic tree loader) assert to the interface they need.
+//
+//histburst:decoder
 func UnmarshalAny(data []byte, f Factory) (any, error) {
 	r := binenc.NewReader(data)
 	magic := string(r.BytesBlob())

@@ -40,6 +40,8 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 
 // UnmarshalTree decodes a tree serialized by MarshalBinary whose levels are
 // CM-PBE summaries built from the given cell factory.
+//
+//histburst:decoder
 func UnmarshalTree(data []byte, f cmpbe.Factory) (*Tree, error) {
 	r := binenc.NewReader(data)
 	if string(r.BytesBlob()) != string(treeMagic) {

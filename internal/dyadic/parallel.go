@@ -19,6 +19,8 @@ import (
 // search simply continues inline, so worst-case overhead is one channel poll
 // per expanded node. Spawning stops a few levels above the leaves — subtrees
 // there are too small to pay for a goroutine.
+//
+//histburst:fastpath BurstyEvents
 func (t *Tree) BurstyEventsParallel(ts int64, theta float64, tau int64, workers int, stats *QueryStats) ([]uint64, error) {
 	if theta <= 0 {
 		return nil, fmt.Errorf("dyadic: theta must be positive, got %v", theta)

@@ -84,7 +84,14 @@ func (s *Store) Curve(e uint64) curve.Staircase {
 		// most useful recovery.
 		sorted := append(stream.TimestampSeq(nil), ts...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		c, _ = curve.FromTimestamps(sorted)
+		c, err = curve.FromTimestamps(sorted)
+		if err != nil {
+			// FromTimestamps only rejects out-of-order input, which the sort
+			// just ruled out; reaching here means curve's contract changed
+			// under us and silently serving an empty staircase would corrupt
+			// every oracle comparison built on this store.
+			panic("exact: FromTimestamps failed on sorted input: " + err.Error())
+		}
 	}
 	s.curves[e] = c
 	return c

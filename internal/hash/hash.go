@@ -75,6 +75,9 @@ func (f Family) Hash(i int, x uint64) int {
 // Indexes fills dst[i] with the i-th function applied to x, for all d
 // functions in one call: x is folded into the field once and the per-call
 // overhead of d separate Apply calls disappears. dst must have length ≥ d.
+//
+//histburst:noalloc
+//histburst:fastpath Hash
 func (f Family) Indexes(x uint64, dst []int) {
 	xm := modMersenne(x)
 	for i := range f.fns {
@@ -88,6 +91,8 @@ func (f Family) Indexes(x uint64, dst []int) {
 }
 
 // Apply evaluates the hash function at x.
+//
+//histburst:noalloc
 func (h Func) Apply(x uint64) int {
 	// Fold x into the field first so the polynomial sees a value < p.
 	v := mulModMersenne(h.a, modMersenne(x)) + h.b
@@ -114,6 +119,8 @@ func modReciprocal(w uint64) (hi, lo uint64) {
 // fastMod returns v mod w given m = mHi:mLo = ⌊2^128/w⌋ + 1: the low 128
 // bits of v·m are the fractional part of v/w scaled by 2^128, so multiplying
 // them back by w and keeping the top word recovers the remainder.
+//
+//histburst:noalloc
 func fastMod(v, w, mHi, mLo uint64) uint64 {
 	hi1, lo1 := bits.Mul64(v, mLo)
 	fracHi := v*mHi + hi1 // low 128 bits of v·m are fracHi:lo1
@@ -125,6 +132,8 @@ func fastMod(v, w, mHi, mLo uint64) uint64 {
 
 // modMersenne reduces x modulo 2^61 − 1 using the Mersenne identity
 // x mod (2^k − 1) = (x >> k) + (x & (2^k − 1)), iterated.
+//
+//histburst:noalloc
 func modMersenne(x uint64) uint64 {
 	x = (x >> 61) + (x & mersenne61)
 	if x >= mersenne61 {
@@ -134,6 +143,8 @@ func modMersenne(x uint64) uint64 {
 }
 
 // mulModMersenne returns (a*b) mod (2^61 − 1) via 128-bit multiplication.
+//
+//histburst:noalloc
 func mulModMersenne(a, b uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)
 	// a,b < 2^61 so hi < 2^58. The product is hi·2^64 + lo.

@@ -161,3 +161,24 @@ func TestMersenneArithmetic(t *testing.T) {
 		t.Errorf("(p-1)^2 mod p = %d, want 1", got)
 	}
 }
+
+// TestIndexesMatchesHash is the equivalence test behind the
+// //histburst:fastpath annotation on Indexes: the batched row-index fill
+// must agree with the one-at-a-time Hash path for every row.
+func TestIndexesMatchesHash(t *testing.T) {
+	f, err := NewFamily(5, 1009, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	dst := make([]int, f.Len())
+	for trial := 0; trial < 2000; trial++ {
+		x := rng.Uint64()
+		f.Indexes(x, dst)
+		for i := range dst {
+			if want := f.Hash(i, x); dst[i] != want {
+				t.Fatalf("Indexes(%#x)[%d] = %d, Hash = %d", x, i, dst[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //histburst: annotation namespace (grammar in docs/ANALYZERS.md):
+//
+//	//histburst:noalloc                     — function must stay heap-allocation-free
+//	//histburst:decoder                     — function decodes untrusted input
+//	//histburst:fastpath <naiveName>        — function is the fast twin of <naiveName>
+//	//histburst:locked <mu> [<mu2> ...]     — caller must hold the named mutexes
+//	//histburst:allow <analyzer> -- <why>   — suppress one analyzer here, with a reason
+//
+// The first four attach to a function declaration's doc comment. allow may
+// also sit on (or immediately above) any offending line, or in a function
+// doc to suppress for the whole function.
+
+const annoPrefix = "//histburst:"
+
+// FuncAnno carries the annotations attached to one function declaration.
+type FuncAnno struct {
+	NoAlloc  bool
+	Decoder  bool
+	Fastpath string   // naive twin's function name
+	Locked   []string // mutex field names the caller must hold
+	Allow    map[string]bool
+}
+
+// Annotations indexes every //histburst: annotation in a package.
+type Annotations struct {
+	// Funcs maps annotated function declarations (including test files, for
+	// fixtures and naive twins) to their parsed annotations.
+	Funcs map[*ast.FuncDecl]*FuncAnno
+
+	// allowLines maps file → line → analyzers suppressed on that line.
+	allowLines map[string]map[int]map[string]bool
+	// allowRanges holds function-scoped suppressions.
+	allowRanges []allowRange
+
+	// Malformed collects annotation syntax errors; the driver reports them
+	// as findings so a typo cannot silently disable a check.
+	Malformed []Diagnostic
+}
+
+type allowRange struct {
+	file               string
+	startLine, endLine int
+	analyzers          map[string]bool
+}
+
+// Allowed reports whether a finding of the named analyzer at pos is
+// suppressed by an allow annotation — on the same line, on the line above,
+// or anywhere inside a function whose doc carries the allow.
+func (a *Annotations) Allowed(analyzer string, pos token.Position) bool {
+	if lines := a.allowLines[pos.Filename]; lines != nil {
+		if set := lines[pos.Line]; set != nil && (set[analyzer] || set["*"]) {
+			return true
+		}
+	}
+	for _, r := range a.allowRanges {
+		if r.file == pos.Filename && pos.Line >= r.startLine && pos.Line <= r.endLine &&
+			(r.analyzers[analyzer] || r.analyzers["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// knownAnalyzer reports whether name names a registered analyzer (or "*").
+func knownAnalyzer(name string) bool {
+	if name == "*" {
+		return true
+	}
+	for _, a := range All {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAnnotations scans every comment in the package (source and test
+// files) for the //histburst: namespace.
+func parseAnnotations(p *Package) *Annotations {
+	a := &Annotations{
+		Funcs:      make(map[*ast.FuncDecl]*FuncAnno),
+		allowLines: make(map[string]map[int]map[string]bool),
+	}
+	files := make([]*ast.File, 0, len(p.Syntax)+len(p.Tests))
+	files = append(files, p.Syntax...)
+	files = append(files, p.Tests...)
+
+	// Comments that are part of a function doc are handled with their
+	// function; everything else is scanned standalone.
+	inDoc := make(map[*ast.Comment]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				inDoc[c] = true
+			}
+			a.parseFuncDoc(p, fn)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if inDoc[c] {
+					continue
+				}
+				verb, rest, ok := splitAnno(c.Text)
+				if !ok {
+					continue
+				}
+				if verb != "allow" {
+					a.fail(p, c.Pos(), "//histburst:%s must be part of a function declaration's doc comment", verb)
+					continue
+				}
+				set, ok := a.parseAllow(p, c.Pos(), rest)
+				if !ok {
+					continue
+				}
+				a.recordAllowLine(p, c.Pos(), set)
+			}
+		}
+	}
+	return a
+}
+
+// parseFuncDoc extracts the annotations from one function's doc comment.
+func (a *Annotations) parseFuncDoc(p *Package, fn *ast.FuncDecl) {
+	anno := &FuncAnno{Allow: make(map[string]bool)}
+	found := false
+	for _, c := range fn.Doc.List {
+		verb, rest, ok := splitAnno(c.Text)
+		if !ok {
+			continue
+		}
+		found = true
+		switch verb {
+		case "noalloc":
+			if rest != "" {
+				a.fail(p, c.Pos(), "//histburst:noalloc takes no arguments")
+				continue
+			}
+			anno.NoAlloc = true
+		case "decoder":
+			if rest != "" {
+				a.fail(p, c.Pos(), "//histburst:decoder takes no arguments")
+				continue
+			}
+			anno.Decoder = true
+		case "fastpath":
+			name := strings.TrimSpace(rest)
+			if name == "" || len(strings.Fields(name)) != 1 {
+				a.fail(p, c.Pos(), "//histburst:fastpath wants exactly one naive twin name, got %q", rest)
+				continue
+			}
+			if name == fn.Name.Name {
+				a.fail(p, c.Pos(), "//histburst:fastpath twin must not be the function itself")
+				continue
+			}
+			anno.Fastpath = name
+		case "locked":
+			names := strings.Fields(rest)
+			if len(names) == 0 {
+				a.fail(p, c.Pos(), "//histburst:locked wants at least one mutex name")
+				continue
+			}
+			anno.Locked = append(anno.Locked, names...)
+		case "allow":
+			set, ok := a.parseAllow(p, c.Pos(), rest)
+			if !ok {
+				continue
+			}
+			for name := range set {
+				anno.Allow[name] = true
+			}
+			a.recordAllowLine(p, c.Pos(), set)
+		default:
+			a.fail(p, c.Pos(), "unknown annotation //histburst:%s", verb)
+		}
+	}
+	if found {
+		if len(anno.Allow) > 0 {
+			start, end := p.Fset.Position(fn.Pos()), p.Fset.Position(fn.End())
+			a.allowRanges = append(a.allowRanges, allowRange{
+				file: start.Filename, startLine: start.Line, endLine: end.Line, analyzers: anno.Allow,
+			})
+		}
+		a.Funcs[fn] = anno
+	}
+}
+
+// parseAllow parses "<analyzer> -- <reason>"; the reason is mandatory.
+func (a *Annotations) parseAllow(p *Package, pos token.Pos, rest string) (map[string]bool, bool) {
+	spec, reason, ok := strings.Cut(rest, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		a.fail(p, pos, `//histburst:allow needs a reason: "allow <analyzer> -- <why>"`)
+		return nil, false
+	}
+	names := strings.Fields(spec)
+	if len(names) == 0 {
+		a.fail(p, pos, "//histburst:allow names no analyzer")
+		return nil, false
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		if !knownAnalyzer(n) {
+			a.fail(p, pos, "//histburst:allow names unknown analyzer %q (have %v)", n, AnalyzerNames())
+			return nil, false
+		}
+		set[n] = true
+	}
+	return set, true
+}
+
+// recordAllowLine suppresses the named analyzers on the annotation's own
+// line and, for standalone comment lines, the line below it.
+func (a *Annotations) recordAllowLine(p *Package, pos token.Pos, analyzers map[string]bool) {
+	position := p.Fset.Position(pos)
+	lines := a.allowLines[position.Filename]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		a.allowLines[position.Filename] = lines
+	}
+	for _, line := range [2]int{position.Line, position.Line + 1} {
+		set := lines[line]
+		if set == nil {
+			set = make(map[string]bool)
+			lines[line] = set
+		}
+		for n := range analyzers {
+			set[n] = true
+		}
+	}
+}
+
+// fail records a malformed annotation as a diagnostic.
+func (a *Annotations) fail(p *Package, pos token.Pos, format string, args ...any) {
+	a.Malformed = append(a.Malformed, p.diag(pos, "annotation", format, args...))
+}
+
+// splitAnno splits a "//histburst:verb rest" comment; ok is false for any
+// other comment.
+func splitAnno(text string) (verb, rest string, ok bool) {
+	body, ok := strings.CutPrefix(text, annoPrefix)
+	if !ok {
+		return "", "", false
+	}
+	verb, rest, _ = strings.Cut(body, " ")
+	return strings.TrimSpace(verb), strings.TrimSpace(rest), true
+}

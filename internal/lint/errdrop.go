@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// ErrDrop flags silently discarded error returns in non-test code: blank
+// assignments of error values (`_ = f()`, `v, _ := g()`) and expression
+// statements whose call returns an error nobody reads. PR 1 existed because
+// a dropped Burstiness error was masking real failures; this keeps the tree
+// honest from now on.
+//
+// Deliberate exemptions, documented in docs/ANALYZERS.md:
+//   - test files never run through the analyzer (they assert what matters),
+//   - deferred and go calls (conventional best-effort cleanup),
+//   - the fmt print family (terminal writes; an error path there has no
+//     useful recovery in this codebase's tools).
+//
+// Anything else is either handled or carries //histburst:allow errdrop with
+// a reason.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no discarded error returns outside tests",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Syntax {
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// The deferred/spawned call's own result is unreadable by
+				// construction; its arguments are evaluated eagerly and are
+				// plain expressions, not dropped results.
+				return false
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if i, n := errResult(p, call); i >= 0 && !exemptCallee(p, call) {
+					what := "an error"
+					if n > 1 {
+						what = "result " + strconv.Itoa(i) + " (an error)"
+					}
+					out = append(out, p.diag(st.Pos(), "errdrop",
+						"call result discarded: %q returns %s that is never checked", p.render(call.Fun), what))
+				}
+				return true
+			case *ast.AssignStmt:
+				out = append(out, blankErrAssigns(p, st)...)
+				return true
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return out
+}
+
+// blankErrAssigns flags `_ = expr` and `a, _ := f()` where the discarded
+// value is an error.
+func blankErrAssigns(p *Package, st *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos ast.Node, src string) {
+		out = append(out, p.diag(pos.Pos(), "errdrop",
+			"error from %q discarded with blank identifier; handle it or annotate //histburst:allow errdrop -- <why>", src))
+	}
+	if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+		tuple, ok := p.Info.TypeOf(st.Rhs[0]).(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				report(lhs, p.render(st.Rhs[0]))
+			}
+		}
+		return out
+	}
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && isErrorType(p.Info.TypeOf(st.Rhs[i])) {
+				report(lhs, p.render(st.Rhs[i]))
+			}
+		}
+	}
+	return out
+}
+
+// errResult returns the index of the first error in the call's results and
+// the result count, or (-1, 0) when no error is returned.
+func errResult(p *Package, call *ast.CallExpr) (int, int) {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return -1, 0
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return i, tuple.Len()
+			}
+		}
+		return -1, 0
+	}
+	if isErrorType(t) {
+		return 0, 1
+	}
+	return -1, 0
+}
+
+// exemptCallee reports whether the called function's errors are
+// conventionally ignorable: the fmt print family, and the Write methods of
+// strings.Builder and bytes.Buffer, which document that they always return
+// a nil error.
+func exemptCallee(p *Package, call *ast.CallExpr) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// FastpathTwin keeps the PR 2 bargain honest: every optimized path was
+// allowed in only because a naive twin stayed in the tree and an equivalence
+// test pins them bit-identical. A function annotated
+// //histburst:fastpath <naiveName> must therefore have
+//
+//  1. a function or method named <naiveName> in the same package (test
+//     files count — some twins live next to their equivalence test), and
+//  2. at least one _test.go file in the package referencing BOTH names.
+//
+// Delete the naive twin or its test and the build starts failing the lint
+// gate, not just silently losing its safety net.
+var FastpathTwin = &Analyzer{
+	Name: "fastpath",
+	Doc:  "//histburst:fastpath annotations have a naive twin and an equivalence test",
+	Run:  runFastpathTwin,
+}
+
+func runFastpathTwin(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for fn, anno := range p.Annos.Funcs {
+		if anno.Fastpath == "" {
+			continue
+		}
+		fast, twin := fn.Name.Name, anno.Fastpath
+		if !hasFuncNamed(p, twin) {
+			out = append(out, p.diag(fn.Name.Pos(), "fastpath",
+				"fast path %s declares naive twin %q, but no function or method of that name exists in the package", fast, twin))
+			continue
+		}
+		if !anyTestReferencesBoth(p, fast, twin) {
+			out = append(out, p.diag(fn.Name.Pos(), "fastpath",
+				"fast path %s has naive twin %s but no _test.go file references both; add an equivalence test", fast, twin))
+		}
+	}
+	return out
+}
+
+// hasFuncNamed reports whether any function or method named name is declared
+// in the package's source or test files.
+func hasFuncNamed(p *Package, name string) bool {
+	files := append(append([]*ast.File{}, p.Syntax...), p.Tests...)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// anyTestReferencesBoth reports whether one test file mentions both
+// identifiers (plain or as a selector), excluding the declarations
+// themselves — a twin declared in a test file does not count as a
+// reference to it.
+func anyTestReferencesBoth(p *Package, fast, twin string) bool {
+	for _, f := range p.Tests {
+		if refersTo(f, fast) && refersTo(f, twin) {
+			return true
+		}
+	}
+	return false
+}
+
+func refersTo(f *ast.File, name string) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if fn, ok := n.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			// Walk the body but not the declaring name.
+			if fn.Body != nil {
+				ast.Inspect(fn.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+					return !found
+				})
+			}
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

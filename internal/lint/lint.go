@@ -1,0 +1,188 @@
+// Package lint is histburst's repo-specific static-analysis suite. It loads
+// every package in the module with go/parser and go/types (standard library
+// only — the module stays dependency-free) and runs analyzers that enforce
+// the invariants go vet cannot see:
+//
+//   - decodersafety: decode-path allocations must size through binenc.SliceLen
+//   - errdrop:       no silently discarded error returns outside tests
+//   - lockguard:     fields annotated "guarded by mu" are only touched under mu
+//   - noalloc:       functions annotated //histburst:noalloc stay free of
+//     heap-allocating constructs
+//   - fastpath:      every //histburst:fastpath annotation has a live naive
+//     twin and an equivalence test referencing both
+//
+// Annotations use the //histburst: comment namespace; see docs/ANALYZERS.md
+// for the grammar and suppression rules.
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding as file:line:col: analyzer: message — the
+// format printed by cmd/histlint and matched by the fixture tests.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// All lists every analyzer in the suite, in the order they run.
+var All = []*Analyzer{
+	DecoderSafety,
+	ErrDrop,
+	LockGuard,
+	NoAlloc,
+	FastpathTwin,
+}
+
+// AnalyzerNames returns the names of all registered analyzers.
+func AnalyzerNames() []string {
+	names := make([]string, len(All))
+	for i, a := range All {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Select resolves -only/-skip style analyzer filters against the registry.
+// Empty only means "all"; skip wins over only. Unknown names are an error so
+// a typo cannot silently disable a check.
+func Select(only, skip []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	for _, n := range append(append([]string{}, only...), skip...) {
+		if byName[n] == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have %v)", n, AnalyzerNames())
+		}
+	}
+	skipped := make(map[string]bool, len(skip))
+	for _, n := range skip {
+		skipped[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range All {
+		if skipped[a.Name] {
+			continue
+		}
+		if len(only) > 0 {
+			keep := false
+			for _, n := range only {
+				if n == a.Name {
+					keep = true
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages, filters out findings
+// suppressed by //histburst:allow annotations, folds in malformed-annotation
+// diagnostics, and returns everything sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		out = append(out, p.Annos.Malformed...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if p.Annos.Allowed(a.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// diag builds a Diagnostic at pos for the named analyzer.
+func (p *Package) diag(pos token.Pos, analyzer, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// render prints an expression compactly for diagnostics.
+func (p *Package) render(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// isBuiltin reports whether the call target is the named builtin (make, new,
+// append, len, cap, ...).
+func (p *Package) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// calleeFunc resolves the called *types.Func for a call expression, or nil
+// for builtins, conversions and calls through function-typed values.
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the predeclared error type.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one golden expectation: `// want "substring"`.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type expectation struct {
+	substr  string
+	matched bool
+}
+
+// TestFixtures runs each analyzer over its golden package under testdata/
+// and checks the produced diagnostics against the `// want` comments:
+// every finding must match an expectation on its exact line, and every
+// expectation must be hit. The "annotation" fixture runs the whole suite,
+// since malformed annotations are reported regardless of analyzer choice.
+func TestFixtures(t *testing.T) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		analyzers := All
+		if name != "annotation" {
+			a, ok := byName[name]
+			if !ok {
+				t.Fatalf("testdata/%s does not name an analyzer (have %v)", name, AnalyzerNames())
+			}
+			analyzers = []*Analyzer{a}
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", name)
+			wants := parseWants(t, dir)
+
+			loader, err := NewLoader(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("fixture does not type-check: %v", terr)
+			}
+
+			for _, d := range Run([]*Package{pkg}, analyzers) {
+				key := fileLine{filepath.Base(d.Pos.Filename), d.Pos.Line}
+				exps := wants[key]
+				found := false
+				for _, exp := range exps {
+					if !exp.matched && strings.Contains(d.Message, exp.substr) {
+						exp.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for key, exps := range wants {
+				for _, exp := range exps {
+					if !exp.matched {
+						t.Errorf("%s:%d: expected a diagnostic containing %q, got none",
+							key.file, key.line, exp.substr)
+					}
+				}
+			}
+		})
+	}
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// parseWants collects the `// want` expectations of every .go file in dir.
+func parseWants(t *testing.T, dir string) map[fileLine][]*expectation {
+	t.Helper()
+	wants := make(map[fileLine][]*expectation)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Base(f)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				key := fileLine{base, i + 1}
+				wants[key] = append(wants[key], &expectation{substr: m[1]})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", dir)
+	}
+	return wants
+}
+
+// TestSelect pins the -only/-skip contract: skip wins, unknown names error.
+func TestSelect(t *testing.T) {
+	all, err := Select(nil, nil)
+	if err != nil || len(all) != len(All) {
+		t.Fatalf("Select(nil, nil) = %d analyzers, err %v", len(all), err)
+	}
+	got, err := Select([]string{"errdrop", "noalloc"}, []string{"noalloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "errdrop" {
+		t.Fatalf("Select(only, skip) = %v", got)
+	}
+	if _, err := Select([]string{"nope"}, nil); err == nil {
+		t.Fatal("unknown -only name accepted")
+	}
+	if _, err := Select(nil, []string{"nope"}); err == nil {
+		t.Fatal("unknown -skip name accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus its parsed-only test
+// files and the //histburst: annotations found in either.
+type Package struct {
+	PkgPath string // import path ("histburst/internal/pbe1") or directory
+	Dir     string
+	Fset    *token.FileSet
+	Syntax  []*ast.File // non-test files, type-checked
+	Tests   []*ast.File // _test.go files (in-package and external), parsed only
+
+	TypesPkg   *types.Package
+	Info       *types.Info
+	TypeErrors []error
+
+	Annos *Annotations
+}
+
+// Loader parses and type-checks packages. Module-internal imports resolve
+// recursively through the loader itself (memoized); everything else — the
+// standard library — type-checks through go/importer's source importer, so
+// the whole pipeline needs nothing beyond GOROOT sources.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	std  types.Importer
+	memo map[string]*Package
+	cwd  string // for printing package-relative positions
+}
+
+// NewLoader creates a loader rooted at moduleDir. The module path is read
+// from go.mod; a missing go.mod leaves it empty, which disables
+// module-internal import resolution (fine for self-contained fixtures).
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:      fset,
+		ModuleDir: abs,
+		std:       importer.ForCompiler(fset, "source", nil),
+		memo:      make(map[string]*Package),
+	}
+	l.cwd, _ = os.Getwd() //histburst:allow errdrop -- cwd is cosmetic (relative paths); empty is a fine fallback
+	if data, err := os.ReadFile(filepath.Join(abs, "go.mod")); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+				l.ModulePath = strings.TrimSpace(rest)
+				break
+			}
+		}
+	}
+	return l, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths load from source
+// through the loader, everything else falls back to the stdlib importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.ModulePath != "" {
+		if rel, ok := l.importRel(path); ok {
+			p, err := l.LoadDir(filepath.Join(l.ModuleDir, rel))
+			if err != nil {
+				return nil, err
+			}
+			if p.TypesPkg == nil {
+				return nil, fmt.Errorf("package %s did not type-check", path)
+			}
+			return p.TypesPkg, nil
+		}
+	}
+	return l.std.Import(path)
+}
+
+// importRel maps a module-internal import path to a module-relative
+// directory.
+func (l *Loader) importRel(path string) (string, bool) {
+	if path == l.ModulePath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.FromSlash(rest), true
+	}
+	return "", false
+}
+
+// LoadDir loads the package in dir: parses every .go file (with comments),
+// type-checks the non-test files, and extracts annotations. Results are
+// memoized per directory.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	key, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.memo[key]; ok {
+		return p, nil
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+
+	p := &Package{Dir: dir, Fset: l.Fset, PkgPath: l.pkgPath(key)}
+	// Memoize before type-checking: an (invalid) import cycle then fails in
+	// the type checker instead of recursing forever.
+	l.memo[key] = p
+
+	// Parse with cwd-relative paths when possible so diagnostics print the
+	// same way regardless of whether the package was reached by pattern or
+	// by import.
+	displayDir := key
+	if l.cwd != "" {
+		if rel, err := filepath.Rel(l.cwd, key); err == nil && !strings.HasPrefix(rel, "..") {
+			displayDir = rel
+		}
+	}
+	for _, name := range names {
+		file, err := parser.ParseFile(l.Fset, filepath.Join(displayDir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			p.Tests = append(p.Tests, file)
+		} else {
+			p.Syntax = append(p.Syntax, file)
+		}
+	}
+	if len(p.Syntax) == 0 {
+		return nil, fmt.Errorf("%s: no non-test Go files", dir)
+	}
+
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even on errors; the
+	// errors are surfaced through TypeErrors.
+	p.TypesPkg, _ = conf.Check(p.PkgPath, l.Fset, p.Syntax, p.Info) //histburst:allow errdrop -- errors are collected via the Error callback into TypeErrors
+	p.Annos = parseAnnotations(p)
+	return p, nil
+}
+
+// pkgPath derives the import path for an absolute package directory, falling
+// back to the directory itself outside the module.
+func (l *Loader) pkgPath(absDir string) string {
+	if l.ModulePath == "" {
+		return absDir
+	}
+	rel, err := filepath.Rel(l.ModuleDir, absDir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return absDir
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// ExpandPatterns resolves package patterns ("./...", "dir/...", plain
+// directories) into package directories, skipping testdata, vendor, hidden
+// and underscore-prefixed directories exactly like the go tool.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, rec := strings.CutSuffix(pat, "...")
+		if !rec {
+			add(filepath.Clean(pat))
+			continue
+		}
+		root = filepath.Clean(strings.TrimSuffix(root, "/"))
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test .go
+// file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

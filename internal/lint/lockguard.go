@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// LockGuard enforces the RWMutex discipline on served state: a struct field
+// whose comment says "guarded by <mu>" may only be touched by code that
+// acquired <mu> first. The check is a lexical-dominance approximation — an
+// access is considered protected when a <mu>.Lock() or <mu>.RLock() call
+// appears earlier in the same function — which exactly matches the
+// lock-at-the-top, defer-or-explicit-unlock shape this codebase uses, while
+// still catching the real bug class: a handler or helper touching shared
+// state with no acquisition anywhere in sight.
+//
+// Functions that run before the value is shared (constructors) carry
+// //histburst:allow lockguard with a reason; functions whose CALLER holds
+// the lock are annotated //histburst:locked <mu> and checked at their call
+// sites by review, not by the tool.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated \"guarded by mu\" are only accessed under mu",
+	Run:  runLockGuard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func runLockGuard(p *Package) []Diagnostic {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Syntax {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, checkFuncLocks(p, fn, guards)...)
+		}
+	}
+	return out
+}
+
+// collectGuards maps each struct field object with a "guarded by <mu>"
+// comment to its mutex name.
+func collectGuards(p *Package) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range p.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				text := ""
+				if fld.Doc != nil {
+					text += fld.Doc.Text()
+				}
+				if fld.Comment != nil {
+					text += fld.Comment.Text()
+				}
+				m := guardedByRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := p.Info.Defs[name]; obj != nil {
+						guards[obj] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// checkFuncLocks verifies every guarded-field access in fn happens after a
+// matching Lock/RLock call (or under a //histburst:locked contract).
+func checkFuncLocks(p *Package, fn *ast.FuncDecl, guards map[types.Object]string) []Diagnostic {
+	anno := p.Annos.Funcs[fn]
+	held := func(mu string) bool {
+		if anno == nil {
+			return false
+		}
+		for _, name := range anno.Locked {
+			if name == mu {
+				return true
+			}
+		}
+		return false
+	}
+
+	// First pass: where does each mutex get acquired?
+	lockPos := make(map[string][]ast.Node)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if mu := receiverLeafName(sel.X); mu != "" {
+			lockPos[mu] = append(lockPos[mu], call)
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := p.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, guarded := guards[selection.Obj()]
+		if !guarded || held(mu) {
+			return true
+		}
+		protected := false
+		for _, lock := range lockPos[mu] {
+			if lock.Pos() < sel.Pos() {
+				protected = true
+				break
+			}
+		}
+		if !protected {
+			out = append(out, p.diag(sel.Pos(), "lockguard",
+				"access to %q (guarded by %s) without %s.Lock()/RLock() earlier in the function; hold the lock, or annotate //histburst:locked %s if the caller holds it",
+				p.render(sel), mu, mu, mu))
+		}
+		return true
+	})
+	return out
+}
+
+// receiverLeafName returns the last identifier of a receiver chain: "mu"
+// for s.mu, inner.mu, or a bare mu.
+func receiverLeafName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}

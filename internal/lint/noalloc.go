@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc pins the PR 2 zero-allocation claims at the source instead of only
+// via testing.AllocsPerRun: a function annotated //histburst:noalloc may not
+// contain constructs that allocate (or routinely escape to the heap):
+//
+//   - make / new / append
+//   - slice, map and function literals
+//   - conversions between string and []byte/[]rune, string concatenation
+//   - fmt calls
+//   - implicit interface conversions of concrete values (boxing) in calls,
+//     assignments and returns
+//   - go statements
+//
+// The check is local: callees are not followed, so a helper that allocates
+// must carry (or earn) its own annotation. Method calls through interfaces
+// and method values passed to func-typed parameters are allowed — the
+// compiler keeps non-escaping closures on the stack, and the AllocsPerRun
+// tests remain the ground truth for end-to-end claims.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//histburst:noalloc functions contain no heap-allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for fn, anno := range p.Annos.Funcs {
+		if !anno.NoAlloc || fn.Body == nil {
+			continue
+		}
+		out = append(out, checkNoAlloc(p, fn)...)
+	}
+	return out
+}
+
+func checkNoAlloc(p *Package, fn *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, p.diag(n.Pos(), "noalloc", "%s: "+format,
+			append([]any{fn.Name.Name + " is annotated //histburst:noalloc"}, args...)...))
+	}
+	sig, _ := p.Info.TypeOf(fn.Name).(*types.Signature)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			flag(x, "go statement spawns a goroutine (allocates)")
+		case *ast.FuncLit:
+			flag(x, "closure literal may capture by reference and escape")
+			return false // the closure's own body is the closure's problem
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(x)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					flag(x, "%s literal allocates", p.render(x.Type))
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" {
+				if t, ok := p.Info.TypeOf(x).(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					flag(x, "string concatenation allocates")
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil {
+				out = append(out, checkBoxing(p, fn, x.Results, resultTypes(sig), "returned")...)
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					if isBlank(x.Lhs[i]) {
+						continue
+					}
+					out = append(out, checkBoxing(p, fn,
+						x.Rhs[i:i+1], []types.Type{p.Info.TypeOf(x.Lhs[i])}, "assigned")...)
+				}
+			}
+		case *ast.CallExpr:
+			out = append(out, checkCall(p, fn, x, flag)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall flags allocating builtins, fmt calls, allocating conversions,
+// and interface boxing of arguments.
+func checkCall(p *Package, fn *ast.FuncDecl, call *ast.CallExpr, flag func(ast.Node, string, ...any)) []Diagnostic {
+	for _, b := range [3]string{"make", "new", "append"} {
+		if p.isBuiltin(call.Fun, b) {
+			flag(call, "calls %s (heap allocation)", b)
+			return nil
+		}
+	}
+	if callee := p.calleeFunc(call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		flag(call, "calls fmt.%s (allocates and boxes arguments)", callee.Name())
+		return nil
+	}
+	// Conversion?
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, p.Info.TypeOf(call.Args[0])
+		if isStringByteConversion(dst, src) {
+			flag(call, "conversion %s allocates a copy", p.render(call))
+		} else if types.IsInterface(dst) && isConcrete(src) {
+			flag(call, "conversion of concrete %s to interface boxes it on the heap", src)
+		}
+		return nil
+	}
+	// Ordinary call: box-check the arguments against the signature.
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	var out []Diagnostic
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // the slice is passed through as-is
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		out = append(out, checkBoxing(p, fn, []ast.Expr{arg}, []types.Type{pt}, "passed")...)
+	}
+	return out
+}
+
+// checkBoxing flags concrete values flowing into interface-typed slots.
+func checkBoxing(p *Package, fn *ast.FuncDecl, values []ast.Expr, targets []types.Type, verb string) []Diagnostic {
+	var out []Diagnostic
+	for i, v := range values {
+		if i >= len(targets) || targets[i] == nil || !types.IsInterface(targets[i]) {
+			continue
+		}
+		if src := p.Info.TypeOf(v); isConcrete(src) {
+			out = append(out, p.diag(v.Pos(), "noalloc",
+				"%s is annotated //histburst:noalloc: concrete %s %s as interface %s (boxing allocates)",
+				fn.Name.Name, src, verb, targets[i]))
+		}
+	}
+	return out
+}
+
+// resultTypes flattens a signature's result tuple.
+func resultTypes(sig *types.Signature) []types.Type {
+	res := sig.Results()
+	out := make([]types.Type, res.Len())
+	for i := range out {
+		out[i] = res.At(i).Type()
+	}
+	return out
+}
+
+// isConcrete reports whether t is a non-interface, non-untyped-nil type.
+func isConcrete(t types.Type) bool {
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// isStringByteConversion reports string<->[]byte/[]rune conversions, which
+// copy.
+func isStringByteConversion(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStr(src))
+}

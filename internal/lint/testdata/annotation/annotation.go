@@ -1,0 +1,35 @@
+// Package fixture is a histlint golden fixture for annotation syntax errors:
+// each want-comment asserts one "annotation" diagnostic.
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+// reasonless drops the mandatory reason.
+//
+//histburst:allow errdrop // want "needs a reason"
+func reasonless() {
+	mayFail() // want "never checked" (the malformed allow above suppresses nothing)
+}
+
+// typo uses a verb that does not exist.
+//
+//histburst:noallocs // want "unknown annotation"
+func typo() {}
+
+// misplaced puts a function-level verb on a statement.
+func misplaced() {
+	//histburst:noalloc // want "must be part of a function declaration's doc comment"
+	_ = len("x")
+}
+
+// unknownAnalyzer allows a check that is not registered.
+//
+//histburst:allow speed -- it feels fast // want "unknown analyzer"
+func unknownAnalyzer() {}
+
+// twoTwins names more than one naive twin.
+//
+//histburst:fastpath alpha beta // want "exactly one naive twin name"
+func twoTwins() {}

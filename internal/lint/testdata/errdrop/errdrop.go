@@ -1,0 +1,39 @@
+// Package fixture is a histlint golden fixture: each want-comment
+// asserts one errdrop diagnostic on its line.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error      { return errors.New("boom") }
+func value() (int, error) { return 0, errors.New("boom") }
+func closer() error       { return nil }
+func noError() int        { return 1 }
+
+func bad() {
+	mayFail()       // want "never checked"
+	_ = mayFail()   // want "discarded with blank identifier"
+	_, _ = value()  // want "discarded with blank identifier"
+	v, _ := value() // want "discarded with blank identifier"
+	_ = v
+}
+
+func suppressed() {
+	mayFail() //histburst:allow errdrop -- fixture demonstrates line-level suppression
+	//histburst:allow errdrop -- and the line-above form
+	mayFail()
+}
+
+func exempt(sb *strings.Builder) {
+	noError()                 // no error in the signature
+	defer mayFail()           // deferred cleanup is conventional
+	go mayFail()              // ditto for fire-and-forget goroutines
+	fmt.Println("terminal")   // fmt print family
+	sb.WriteString("builder") // strings.Builder documents a nil error
+	if err := closer(); err != nil {
+		fmt.Println("close failed:", err) // handled: not a drop
+	}
+}

@@ -1,0 +1,48 @@
+// Package fixture is a histlint golden fixture: each want-comment
+// asserts one fastpath diagnostic on its line.
+package fixture
+
+// sumFast has a naive twin and an equivalence test: no findings.
+//
+//histburst:fastpath sumNaive
+func sumFast(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func sumNaive(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// prodFast's twin exists but nothing tests them against each other.
+//
+//histburst:fastpath prodNaive
+func prodFast(xs []int) int { // want "no _test.go file references both"
+	total := 1
+	for _, x := range xs {
+		total *= x
+	}
+	return total
+}
+
+func prodNaive(xs []int) int {
+	total := 1
+	for i := 0; i < len(xs); i++ {
+		total *= xs[i]
+	}
+	return total
+}
+
+// ghostFast names a twin that does not exist at all.
+//
+//histburst:fastpath ghostNaive
+func ghostFast(xs []int) int { // want "no function or method of that name"
+	return len(xs)
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "testing"
+
+// TestSumEquivalence is the equivalence test the fastpath analyzer looks
+// for: it references both sumFast and its naive twin.
+func TestSumEquivalence(t *testing.T) {
+	xs := []int{3, 1, 4, 1, 5, 9}
+	if got, want := sumFast(xs), sumNaive(xs); got != want {
+		t.Fatalf("sumFast = %d, sumNaive = %d", got, want)
+	}
+}

@@ -1,0 +1,40 @@
+// Package fixture is a histlint golden fixture: each want-comment
+// asserts one lockguard diagnostic on its line.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+
+	unguarded int
+}
+
+func bad(c *counter) int {
+	return c.n // want "without mu.Lock"
+}
+
+func badWrite(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.unguarded++ // fine: no guard comment on the field
+}
+
+func good(c *counter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// lockedCaller documents that its caller already holds the mutex.
+//
+//histburst:locked mu
+func lockedCaller(c *counter) int {
+	return c.n
+}
+
+func suppressedInline(c *counter) int {
+	return c.n //histburst:allow lockguard -- fixture demonstrates inline suppression
+}

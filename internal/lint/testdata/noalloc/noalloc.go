@@ -1,0 +1,49 @@
+// Package fixture is a histlint golden fixture: each want-comment
+// asserts one noalloc diagnostic on its line.
+package fixture
+
+//histburst:noalloc
+func gather(xs []int) []int {
+	out := make([]int, 0, len(xs)) // want "calls make"
+	for _, x := range xs {
+		out = append(out, x) // want "calls append"
+	}
+	return out
+}
+
+//histburst:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//histburst:noalloc
+func boxes(v int) any {
+	return v // want "boxing allocates"
+}
+
+//histburst:noalloc
+func convert(s string) []byte {
+	return []byte(s) // want "allocates a copy"
+}
+
+//histburst:noalloc
+func escapes() func() int {
+	return func() int { return 1 } // want "closure literal"
+}
+
+//histburst:noalloc
+func clean(xs []int) int {
+	var buf [8]int
+	s := buf[:min(len(xs), len(buf))]
+	total := 0
+	for i := range s {
+		s[i] = xs[i]
+		total += s[i]
+	}
+	return total
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

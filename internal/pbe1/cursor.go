@@ -20,6 +20,8 @@ var (
 func (b *Builder) numPoints() int { return len(b.summary) + len(b.buf) }
 
 // pointTime returns the i-th corner's timestamp in the concatenated view.
+//
+//histburst:noalloc
 func (b *Builder) pointTime(i int) int64 {
 	if i < len(b.summary) {
 		return b.summary[i].T
@@ -28,6 +30,8 @@ func (b *Builder) pointTime(i int) int64 {
 }
 
 // pointF returns the i-th corner's cumulative frequency.
+//
+//histburst:noalloc
 func (b *Builder) pointF(i int) int64 {
 	if i < len(b.summary) {
 		return b.summary[i].F
@@ -38,6 +42,9 @@ func (b *Builder) pointF(i int) int64 {
 // Estimate3 evaluates F̃ at three ascending instants t0 ≤ t1 ≤ t2 in one
 // narrowed pass: the corner answering t2 bounds the search for t1, which
 // bounds the search for t0. Results are identical to three Estimate calls.
+//
+//histburst:noalloc
+//histburst:fastpath Estimate
 func (b *Builder) Estimate3(t0, t1, t2 int64) (f0, f1, f2 float64) {
 	i2 := b.searchConcat(t2, b.numPoints())
 	i1 := b.searchConcat(t1, i2+1)
@@ -51,6 +58,8 @@ func (b *Builder) Estimate3(t0, t1, t2 int64) (f0, f1, f2 float64) {
 // runs over exactly one region: the buffer when t reaches its first corner
 // (which also resolves the seam tie to the buffer, as Estimate does), the
 // summary otherwise.
+//
+//histburst:noalloc
 func (b *Builder) searchConcat(t int64, hi int) int {
 	ns := len(b.summary)
 	if buf := b.buf; len(buf) > 0 && t >= buf[0].T {
@@ -87,6 +96,8 @@ func (b *Builder) searchConcat(t int64, hi int) int {
 
 // pointValue maps a corner search result to the estimate (-1 = before the
 // first corner, where F̃ is 0).
+//
+//histburst:noalloc
 func (b *Builder) pointValue(i int) float64 {
 	if i < 0 {
 		return 0
@@ -105,6 +116,8 @@ type Cursor struct {
 func (b *Builder) NewCursor() pbe.Cursor { return &Cursor{b: b, hint: -1} }
 
 // Estimate returns F̃(t), identical to Builder.Estimate(t).
+//
+//histburst:noalloc
 func (c *Cursor) Estimate(t int64) float64 {
 	c.hint = pbe.AdvanceIndex(c.hint, c.b.numPoints(), t, c.b.pointTime)
 	return c.b.pointValue(c.hint)

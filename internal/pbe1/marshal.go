@@ -51,6 +51,8 @@ func (b *Builder) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
 // builder's state entirely.
+//
+//histburst:decoder
 func (b *Builder) UnmarshalBinary(data []byte) error {
 	r := binenc.NewReader(data)
 	if string(r.BytesBlob()) != string(pbe1Magic) {
@@ -111,6 +113,8 @@ func writePoints(w *binenc.Writer, pts []curve.Point) {
 }
 
 // readPoints decodes a delta-encoded point list.
+//
+//histburst:decoder
 func readPoints(r *binenc.Reader) ([]curve.Point, error) {
 	n := r.SliceLen(maxPoints, 2) // each point is two varints, ≥ 1 byte apiece
 	if n == 0 {

@@ -60,6 +60,8 @@ func (b *Builder) liveHead(t int64, cc *centroidCache) (float64, bool) {
 // segValue maps a segment index found for t (-1 = before the first segment)
 // to the estimate: the segment's line inside its span, the held final value
 // in the flat gap after it.
+//
+//histburst:noalloc
 func (b *Builder) segValue(i int, t int64) float64 {
 	if i < 0 {
 		return 0
@@ -82,6 +84,9 @@ func (b *Builder) segValue(i int, t int64) float64 {
 // the instants are τ apart while segments typically span much more, so the
 // earlier answers are usually in the same or the adjacent segment as the
 // previous one — probe there before binary-searching the narrowed range.
+//
+//histburst:noalloc
+//histburst:fastpath Estimate
 func (b *Builder) Estimate3(t0, t1, t2 int64) (f0, f1, f2 float64) {
 	if t2 >= b.headLow {
 		return b.estimate3Head(t0, t1, t2)
@@ -121,6 +126,8 @@ func (b *Builder) Estimate3(t0, t1, t2 int64) (f0, f1, f2 float64) {
 
 // segVal evaluates a segment found for t (so t ≥ Start): the segment's line
 // inside its span, the held final value in the flat gap after it.
+//
+//histburst:noalloc
 func segVal(s Segment, t int64) float64 {
 	if t > s.End {
 		t = s.End
@@ -136,6 +143,8 @@ func segVal(s Segment, t int64) float64 {
 // answer expected near hi (the previous instant's segment): an exponential
 // backoff brackets it in O(log distance) localized probes, then the plain
 // binary search finishes inside the bracket.
+//
+//histburst:noalloc
 func searchDown(starts []int64, t int64, hi int) int {
 	lo := 0
 	step := 1
@@ -165,6 +174,8 @@ func searchDown(starts []int64, t int64, hi int) int {
 // estimate3Head is Estimate3 for the uncommon case where the latest instant
 // may hit the live head; the earlier instants may too, so each evaluation
 // re-checks until one falls through to the segments.
+//
+//histburst:noalloc
 func (b *Builder) estimate3Head(t0, t1, t2 int64) (f0, f1, f2 float64) {
 	cc := centroidCache{b: b}
 	f2, ok2 := b.liveHead(t2, &cc)
@@ -189,6 +200,8 @@ func (b *Builder) estimate3Head(t0, t1, t2 int64) (f0, f1, f2 float64) {
 // plus a doubling gallop brackets the answer in a couple of localized
 // probes. The bracket (and any irregular distribution) falls through to the
 // plain binary search.
+//
+//histburst:noalloc
 func (b *Builder) searchFull(t int64) int {
 	n := len(b.starts)
 	if n == 0 || t < b.firstStart {
@@ -254,6 +267,8 @@ func (b *Builder) searchFull(t int64) int {
 // searchSegs returns the largest i < hi with starts[i] <= t, or -1, by plain
 // binary search over the packed starts array — the narrowed-range companion
 // of searchFull.
+//
+//histburst:noalloc
 func (b *Builder) searchSegs(t int64, hi int) int {
 	starts := b.starts
 	lo := 0

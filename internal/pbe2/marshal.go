@@ -57,6 +57,8 @@ func (b *Builder) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
 // builder's state entirely.
+//
+//histburst:decoder
 func (b *Builder) UnmarshalBinary(data []byte) error {
 	r := binenc.NewReader(data)
 	if string(r.BytesBlob()) != string(pbe2Magic) {

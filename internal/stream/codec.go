@@ -59,6 +59,8 @@ func Write(w io.Writer, s Stream) error {
 }
 
 // Read deserializes a stream previously written by Write.
+//
+//histburst:decoder
 func Read(r io.Reader) (Stream, error) {
 	br := bufio.NewReader(r)
 	var hdr [16]byte
@@ -77,7 +79,7 @@ func Read(r io.Reader) (Stream, error) {
 	if capHint > maxPrealloc {
 		capHint = maxPrealloc
 	}
-	s := make(Stream, 0, capHint)
+	s := make(Stream, 0, capHint) //histburst:allow decodersafety -- capacity hint clamped to maxPrealloc; growth is append-driven
 	prev := int64(0)
 	for i := uint64(0); i < count; i++ {
 		e, err := binary.ReadUvarint(br)

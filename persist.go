@@ -117,8 +117,8 @@ func writeFileAtomic(path string, data []byte) error {
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
+		f.Close()      //histburst:allow errdrop -- best-effort cleanup; the write error takes precedence
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the write error takes precedence
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
@@ -131,18 +131,18 @@ func writeFileAtomic(path string, data []byte) error {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the close error takes precedence
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the rename error takes precedence
 		return err
 	}
 	// Persist the rename itself. Best-effort: not every platform or
 	// filesystem supports fsync on a directory.
 	if d, err := os.Open(dir); err == nil {
-		d.Sync() //nolint:errcheck
-		d.Close()
+		d.Sync()  //histburst:allow errdrop -- directory fsync is advisory; the data file is already synced
+		d.Close() //histburst:allow errdrop -- read-only directory handle
 	}
 	return nil
 }
@@ -166,6 +166,8 @@ func LoadFile(path string) (*Detector, error) {
 // configuration is part of the serialized form. Corrupt or truncated input
 // of any shape yields an error, never a panic, and cannot trigger
 // allocations beyond a small multiple of the input size.
+//
+//histburst:decoder
 func Load(r io.Reader) (*Detector, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {

@@ -137,6 +137,8 @@ func (s *Single) Save(w io.Writer) error {
 }
 
 // LoadSingle reads a summary written by Single.Save.
+//
+//histburst:decoder
 func LoadSingle(r io.Reader) (*Single, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
