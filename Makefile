@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race lint bench bench-smoke bench-json bench-figures experiments fuzz clean
+.PHONY: all check build vet test race race-segstore lint bench bench-smoke bench-json bench-figures experiments fuzz clean
 
 all: build vet test
 
 # Full pre-merge gate: compile, static checks (vet plus the repo's own
 # analyzers), tests, race detector, and one iteration of every benchmark so a
 # broken benchmark can't rot unnoticed.
-check: build vet lint test race bench-smoke
+check: build vet lint test race race-segstore bench-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The segment store's concurrency tests are the repo's sharpest race bait
+# (append vs seal vs compaction vs lock-free snapshots); run them under the
+# race detector with a longer timeout and no result caching so `make check`
+# always exercises them fresh.
+race-segstore:
+	$(GO) test -race -count 1 -run 'TestConcurrent' ./internal/segstore/ ./cmd/burstd/
+
 # Microbenchmarks plus one pass of every figure benchmark.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
@@ -46,6 +53,9 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json \
 			-pin BenchmarkSketchBurstiness=480.3 \
 			-note "pinned baseline: BenchmarkSketchBurstiness pre-overhaul at 480.3 ns/op, 48 B/op, 1 alloc/op; BurstyEventsParallel uses GOMAXPROCS workers, so on a single-CPU host it degrades to the sequential walk and the pair shows ~1x"
+	$(GO) test -run NONE -bench Segstore -benchmem -benchtime 2s ./internal/segstore/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR4.json \
+			-note "segmented store: AppendSeal is live-ingest throughput with background sealing; CompactMerge is one 4x4096-element compaction; CrossSegmentPoint (16 segments) vs SingleSegmentPoint (1 segment) is the per-query cost of summing per-segment estimates before the median"
 
 # Human-readable evaluation tables (paper Section VI).
 experiments:
@@ -60,6 +70,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDetectorLoad -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzLoadSingle -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzDetectorAppend -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzManifestLoad -fuzztime $(FUZZTIME) ./internal/segstore/
 
 clean:
 	$(GO) clean ./...

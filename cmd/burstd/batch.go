@@ -9,10 +9,11 @@ import (
 )
 
 // Batch point queries: POST /v1/query/batch evaluates many burstiness point
-// queries under ONE read-lock acquisition, fanning the evaluations across
-// cores. Detector queries are pure, so concurrent evaluation under the
-// shared read lock is safe; a large batch costs one lock round-trip and one
-// JSON body instead of thousands.
+// queries against ONE store snapshot, fanning the evaluations across cores.
+// Snapshot queries are pure and lock-free (sealed segments are immutable;
+// the head synchronizes internally), so a large batch costs one atomic view
+// load and one JSON body instead of thousands, and the whole batch sees one
+// consistent generation even while ingest, sealing, and compaction continue.
 
 // maxBatchQueries bounds one batch; beyond this a client should page.
 const maxBatchQueries = 10_000
@@ -50,7 +51,7 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries))
 		return
 	}
-	// Validate the whole batch before touching the detector: a batch is
+	// Validate the whole batch before touching the store: a batch is
 	// all-or-nothing, never a mix of results and errors.
 	for i := range req.Queries {
 		q := &req.Queries[i]
@@ -63,6 +64,7 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	sn := s.store.Snapshot()
 	results := make([]batchResult, len(req.Queries))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(req.Queries) {
@@ -70,7 +72,6 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	chunk := (len(req.Queries) + workers - 1) / workers
 	errs := make([]error, workers)
-	s.mu.RLock()
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		lo := wk * chunk
@@ -86,7 +87,7 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				q := req.Queries[i]
-				b, err := s.det.Burstiness(q.Event, q.T, q.Tau)
+				b, err := sn.Burstiness(q.Event, q.T, q.Tau)
 				if err != nil {
 					errs[wk] = fmt.Errorf("query %d: %w", i, err)
 					return
@@ -96,7 +97,6 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}(wk, lo, hi)
 	}
 	wg.Wait()
-	s.mu.RUnlock()
 	if err := firstErr(errs...); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return

@@ -100,9 +100,10 @@ func TestRecoverySkipsBitFlippedSnapshot(t *testing.T) {
 	}
 }
 
-// TestNewServerRecoversThroughCrashDebris is the end-to-end version: a
-// directory holding a valid snapshot, a torn temp file, and a bit-flipped
-// newer snapshot must boot into the valid state.
+// TestNewServerRecoversThroughCrashDebris is the end-to-end migration
+// test: a directory holding a valid legacy snapshot, a torn temp file, and
+// a bit-flipped newer snapshot must boot into the valid state — and come up
+// as a segment store whose manifest serves subsequent boots.
 func TestNewServerRecoversThroughCrashDebris(t *testing.T) {
 	dir := t.TempDir()
 	st, err := openSnapStore(dir, 5)
@@ -129,12 +130,26 @@ func TestNewServerRecoversThroughCrashDebris(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv.det.N() != 4 {
-		t.Fatalf("booted with N=%d, want the intact snapshot's 4", srv.det.N())
+	if srv.store.N() != 4 {
+		t.Fatalf("booted with N=%d, want the intact snapshot's 4", srv.store.N())
 	}
-	// The interrupted temp file was swept; a later checkpoint continues the
-	// sequence past the corrupt file rather than overwriting it.
-	if srv.snaps.seq != 3 {
-		t.Fatalf("next seq = %d, want 3", srv.snaps.seq)
+	if got := len(srv.store.Segments()); got != 1 {
+		t.Fatalf("migration produced %d segments, want 1", got)
+	}
+	if err := srv.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The migration wrote a manifest: the next boot recovers from the store
+	// directly, legacy debris untouched.
+	srv2, err := newServer(serverOpts{SnapDir: dir, Retain: 5, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.store.N() != 4 {
+		t.Fatalf("second boot N=%d, want 4", srv2.store.N())
+	}
+	if err := srv2.store.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -17,11 +17,15 @@
 // All /v1 responses are JSON; GET / serves an embedded single-page timeline
 // UI (the estorm.org-style demo view).
 //
-// With -snapshots the server is crash-safe: it checkpoints the detector to
-// the snapshot directory at the -checkpoint cadence (atomic temp-file →
-// fsync → rename writes, -retain copies kept), takes a final snapshot on
-// graceful shutdown, and at startup recovers from the newest intact
-// snapshot, skipping past corrupt or truncated ones.
+// With -snapshots the server is crash-safe: the directory holds a segmented
+// timeline store — immutable sketch segment files named by a CRC-checked
+// manifest — and every checkpoint seals the in-memory head into it with an
+// atomic manifest rewrite (-checkpoint cadence, plus a final seal on
+// graceful shutdown). Startup recovers the manifest generation the last
+// completed write left behind; crash debris is swept. Directories written
+// by older versions (whole-detector snap-*.hbsk checkpoints) are migrated
+// on first boot: the newest intact legacy snapshot becomes the store's
+// first segment. GET /v1/segments exposes the live segment directory.
 package main
 
 import (
@@ -47,9 +51,11 @@ func main() {
 		gamma  = flag.Float64("gamma", 8, "PBE-2 error cap γ")
 		seed   = flag.Int64("seed", 1, "workload / sketch seed")
 
-		snapDir    = flag.String("snapshots", "", "snapshot directory for checkpoints and crash recovery (empty = stateless)")
+		snapDir    = flag.String("snapshots", "", "store directory for checkpoints and crash recovery (empty = stateless)")
 		checkpoint = flag.Duration("checkpoint", time.Minute, "checkpoint cadence when -snapshots is set (0 = only on shutdown)")
-		retain     = flag.Int("retain", 5, "snapshots kept in the snapshot directory")
+		retain     = flag.Int("retain", 5, "legacy snapshots kept during migration")
+		sealEvents = flag.Int64("seal-events", 0, "elements per head segment before sealing (0 = default, negative = seal only at checkpoints)")
+		fanout     = flag.Int("compact-fanout", 0, "segments merged per compaction (0 = default, negative = no compaction)")
 		inflight   = flag.Int("max-inflight", 256, "concurrent /v1 requests before shedding with 503")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	)
@@ -58,6 +64,7 @@ func main() {
 	opts := serverOpts{
 		Sketch: *sketch, In: *in, N: *n, K: *k, Gamma: *gamma, Seed: *seed,
 		SnapDir: *snapDir, Retain: *retain, MaxInflight: *inflight,
+		SealEvents: *sealEvents, Fanout: *fanout,
 	}
 	if err := run(*addr, opts, *checkpoint, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "burstd:", err)
@@ -70,9 +77,8 @@ func run(addr string, opts serverOpts, checkpoint, drain time.Duration) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("burstd: %d elements over [0, %d], sketch %d bytes, listening on %s",
-		//histburst:allow lockguard -- startup log before ListenAndServe; no handler goroutine exists yet
-		srv.det.N(), srv.det.MaxTime(), srv.det.Bytes(), addr)
+	log.Printf("burstd: %d elements over [0, %d], %d segments at generation %d, %d bytes, listening on %s",
+		srv.store.N(), srv.store.MaxTime(), len(srv.store.Segments()), srv.store.Generation(), srv.store.Bytes(), addr)
 
 	hs := &http.Server{
 		Addr:              addr,
@@ -88,7 +94,7 @@ func run(addr string, opts serverOpts, checkpoint, drain time.Duration) error {
 
 	// Periodic checkpoints; no-op checkpoints (nothing appended) are
 	// skipped inside.
-	if srv.snaps != nil && checkpoint > 0 {
+	if srv.store.Dir() != "" && checkpoint > 0 {
 		go func() {
 			tick := time.NewTicker(checkpoint)
 			defer tick.Stop()
@@ -123,12 +129,14 @@ func run(addr string, opts serverOpts, checkpoint, drain time.Duration) error {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("burstd: drain incomplete: %v", err)
 	}
-	if srv.snaps != nil {
-		name, err := srv.checkpoint(true)
-		if err != nil {
-			return fmt.Errorf("final snapshot: %w", err)
-		}
-		log.Printf("burstd: final snapshot %s", name)
+	// Close seals the entire head and waits for the background workers —
+	// the final checkpoint. For a stateless server this just stops the
+	// store's goroutines.
+	if err := srv.store.Close(); err != nil {
+		return fmt.Errorf("final checkpoint: %w", err)
+	}
+	if srv.store.Dir() != "" {
+		log.Printf("burstd: final seal at generation %d", srv.store.Generation())
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

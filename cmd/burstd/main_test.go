@@ -169,8 +169,8 @@ func TestServerFromSketchFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv.det.N() != 2 {
-		t.Fatalf("N = %d", srv.det.N())
+	if srv.store.N() != 2 {
+		t.Fatalf("N = %d", srv.store.N())
 	}
 }
 
@@ -188,8 +188,8 @@ func TestServerFromDatasetFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv.det.N() != 2 {
-		t.Fatalf("N = %d", srv.det.N())
+	if srv.store.N() != 2 {
+		t.Fatalf("N = %d", srv.store.N())
 	}
 	if _, err := newServer(serverOpts{In: "/no/such/file", Gamma: 8, Seed: 1, Logf: t.Logf}); err == nil {
 		t.Fatal("missing file accepted")

@@ -1,17 +1,18 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
-	"sync"
 	"sync/atomic"
 
 	"histburst"
+	"histburst/internal/segstore"
 	"histburst/internal/stream"
 	"histburst/internal/workload"
 )
@@ -26,31 +27,34 @@ type serverOpts struct {
 	Gamma  float64 // PBE-2 error cap γ
 	Seed   int64   // workload / sketch seed
 
-	SnapDir     string // snapshot directory ("" = stateless)
-	Retain      int    // snapshots kept
+	SnapDir     string // store directory ("" = stateless)
+	Retain      int    // legacy snapshots kept (migration only)
+	SealEvents  int64  // head seal threshold (0 = store default)
+	Fanout      int    // compaction fanout (0 = store default)
 	MaxInflight int    // concurrent /v1 requests before shedding
 	Logf        func(format string, args ...any)
 }
 
-// server wraps the detector behind an RWMutex: query handlers share read
-// locks (detector queries are pure), /v1/append and checkpoints take the
-// write lock. Everything else is the operational shell — load shedding,
-// panic recovery, readiness, snapshots.
+// server fronts a segmented timeline store. Query handlers take a snapshot
+// — one atomic pointer load — and run lock-free against it; ingest appends
+// into the store's head, and checkpoints defer to the store's own
+// manifest-backed durability. The whole-detector snapshot path of earlier
+// versions survives only as a read-only migration source: a directory whose
+// newest artifact is a legacy snap-*.hbsk file is loaded once, bootstrapped
+// into the store as its first segment, and served from the manifest from
+// then on.
 type server struct {
-	mu  sync.RWMutex
-	det *histburst.Detector // guarded by mu
+	store *segstore.Store
 
-	snaps    *snapStore  // nil when persistence is disabled
 	dirty    atomic.Bool // appends since the last checkpoint
 	ready    atomic.Bool
 	inflight chan struct{}
 	logf     func(format string, args ...any)
 }
 
-// newServer builds the server before any handler goroutine exists, so the
-// detector writes below run unlocked by construction.
-//
-//histburst:allow lockguard -- single-goroutine construction; no handler can run before ListenAndServe
+// newServer builds the server: recover from a manifest if one exists,
+// otherwise migrate a legacy snapshot or build the initial detector, then
+// bootstrap the store from it.
 func newServer(o serverOpts) (*server, error) {
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -62,40 +66,79 @@ func newServer(o serverOpts) (*server, error) {
 		inflight: make(chan struct{}, o.MaxInflight),
 		logf:     o.Logf,
 	}
+
+	lifecycle := segstore.Config{SealEvents: o.SealEvents, CompactFanout: o.Fanout}
+	if o.SnapDir != "" {
+		if _, err := os.Stat(filepath.Join(o.SnapDir, segstore.ManifestName)); err == nil {
+			st, err := segstore.Open(o.SnapDir, lifecycle)
+			if err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			s.store = st
+			s.logf("burstd: recovered store generation %d (%d elements, %d segments)",
+				st.Generation(), st.N(), len(st.Segments()))
+			s.ready.Store(true)
+			return s, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+
+	// No manifest: find the seed detector — a legacy snapshot (migration),
+	// a saved sketch, a dataset/demo stream, or nothing (-k empty start).
+	det, err := seedDetector(o)
+	if err != nil {
+		return nil, err
+	}
+	cfg := lifecycle
+	if det != nil {
+		p, ok := det.Params()
+		if !ok {
+			return nil, fmt.Errorf("burstd: the segment store serves PBE-2 sketches only; rebuild the input with burstcli -pbe2")
+		}
+		cfg.K, cfg.Gamma, cfg.Seed = p.K, p.Gamma, p.Seed
+		cfg.D, cfg.W, cfg.NoIndex = p.D, p.W, p.NoIndex
+	} else {
+		cfg.K, cfg.Gamma, cfg.Seed = o.K, o.Gamma, o.Seed
+	}
+	st, err := segstore.Open(o.SnapDir, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if det != nil && det.N() > 0 {
+		if err := st.Bootstrap(det); err != nil {
+			return nil, fmt.Errorf("bootstrap: %w", err)
+		}
+	}
+	s.store = st
+	s.ready.Store(true)
+	return s, nil
+}
+
+// seedDetector produces the detector the store is bootstrapped from, or nil
+// for an empty (-k) start. Precedence: legacy snapshot (the directory's
+// prior life under the whole-detector checkpoint scheme), saved sketch,
+// dataset file, demo stream.
+func seedDetector(o serverOpts) (*histburst.Detector, error) {
 	if o.SnapDir != "" {
 		st, err := openSnapStore(o.SnapDir, o.Retain)
 		if err != nil {
 			return nil, fmt.Errorf("snapshots: %w", err)
 		}
-		s.snaps = st
-		det, name, ok, err := st.recover(s.logf)
+		det, name, ok, err := st.recover(o.Logf)
 		if err != nil {
 			return nil, fmt.Errorf("snapshots: %w", err)
 		}
 		if ok {
-			s.logf("burstd: recovered from snapshot %s (%d elements)", name, det.N())
-			s.det = det
+			o.Logf("burstd: migrating legacy snapshot %s (%d elements) into the segment store", name, det.N())
+			return det, nil
 		}
 	}
-	if s.det == nil {
-		det, err := buildDetector(o)
-		if err != nil {
-			return nil, err
-		}
-		s.det = det
-	}
-	s.ready.Store(true)
-	return s, nil
-}
-
-// buildDetector produces the initial detector when no snapshot exists: a
-// saved sketch, a dataset file, an empty detector (-k), or the demo stream.
-func buildDetector(o serverOpts) (*histburst.Detector, error) {
 	if o.Sketch != "" {
 		return histburst.LoadFile(o.Sketch)
 	}
 	if o.K > 0 {
-		return histburst.New(o.K, histburst.WithPBE2(o.Gamma), histburst.WithSeed(o.Seed))
+		return nil, nil
 	}
 	var data stream.Stream
 	if o.In != "" {
@@ -143,6 +186,7 @@ func (s *server) handler() http.Handler {
 	mux.Handle("GET /v1/events", limited(s.handleEvents))
 	mux.Handle("GET /v1/top", limited(s.handleTop))
 	mux.Handle("GET /v1/stats", limited(s.handleStats))
+	mux.Handle("GET /v1/segments", limited(s.handleSegments))
 	mux.Handle("POST /v1/query/batch", limited(s.handleQueryBatch))
 	mux.Handle("POST /v1/append", limited(s.handleAppend))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -200,8 +244,9 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // appendRequest is the /v1/append body: a batch of (event, time) elements.
-// Elements are applied in order under one lock acquisition; out-of-order
-// timestamps are clamped exactly as in direct ingestion.
+// Elements are applied in order; the store refuses timestamps behind its
+// frontier (unlike the old clamping detector), so each rejected element is
+// counted and skipped rather than failing the batch.
 type appendRequest struct {
 	Elements []appendElement `json:"elements"`
 }
@@ -231,37 +276,48 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
-	s.mu.Lock()
+	appended := 0
+	rejected := 0
 	for _, el := range req.Elements {
-		s.det.Append(el.Event, el.Time)
+		switch err := s.store.Append(el.Event, el.Time); {
+		case err == nil:
+			appended++
+		case errors.Is(err, stream.ErrOutOfOrder):
+			rejected++
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
-	total, ooo := s.det.N(), s.det.OutOfOrder()
-	s.mu.Unlock()
-	s.dirty.Store(true)
+	if appended > 0 {
+		s.dirty.Store(true)
+	}
 	writeJSON(w, map[string]any{
-		"appended": len(req.Elements), "elements": total, "outOfOrder": ooo,
+		"appended": appended, "rejected": rejected,
+		"elements": s.store.N(), "outOfOrder": s.store.Rejected(),
 	})
 }
 
-// checkpoint serializes the detector (under the write lock — Save flushes
-// open windows) and writes it as the next snapshot outside the lock, so
-// disk latency never blocks queries. force writes even when no appends
-// arrived since the last checkpoint.
+// checkpoint makes everything ingested so far durable by sealing the head
+// into the manifest-referenced segment directory — the store's replacement
+// for the deprecated whole-detector snapshot write. Periodic calls (force
+// false) skip when nothing was appended since the last one and leave the
+// frontier timestamp's elements in memory so sealed boundaries stay
+// compactable; force seals the entire head (shutdown). The returned name
+// describes what became durable ("" for a skipped no-op).
 func (s *server) checkpoint(force bool) (string, error) {
-	if s.snaps == nil {
-		return "", nil
-	}
 	if !s.dirty.Swap(false) && !force {
 		return "", nil
 	}
-	var buf bytes.Buffer
-	s.mu.Lock()
-	err := s.det.Save(&buf)
-	s.mu.Unlock()
-	if err != nil {
+	before := s.store.Generation()
+	if err := s.store.Checkpoint(force); err != nil {
 		return "", err
 	}
-	return s.snaps.write(buf.Bytes())
+	after := s.store.Generation()
+	if after == before {
+		return "", nil
+	}
+	return fmt.Sprintf("generation %d", after), nil
 }
 
 func (s *server) handleBurstiness(w http.ResponseWriter, r *http.Request) {
@@ -272,9 +328,7 @@ func (s *server) handleBurstiness(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	b, err := s.det.Burstiness(e, t, tau)
-	s.mu.RUnlock()
+	b, err := s.store.Burstiness(e, t, tau)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -290,9 +344,7 @@ func (s *server) handleTimes(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	ranges, err := s.det.BurstyTimes(e, theta, tau)
-	s.mu.RUnlock()
+	ranges, err := s.store.BurstyTimes(e, theta, tau)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -308,10 +360,13 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	ids, err := s.det.BurstyEvents(t, theta, tau)
+	if theta <= 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("threshold must be positive, got %v", theta))
+		return
+	}
+	sn := s.store.Snapshot()
+	ids, err := sn.BurstyEvents(t, theta, tau)
 	if err != nil {
-		s.mu.RUnlock()
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -321,15 +376,13 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	hits := make([]hit, 0, len(ids))
 	for _, id := range ids {
-		b, err := s.det.Burstiness(id, t, tau)
+		b, err := sn.Burstiness(id, t, tau)
 		if err != nil {
-			s.mu.RUnlock()
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("scoring event %d: %w", id, err))
 			return
 		}
 		hits = append(hits, hit{Event: id, Burstiness: b})
 	}
-	s.mu.RUnlock()
 	writeJSON(w, map[string]any{"t": t, "theta": theta, "tau": tau, "events": hits})
 }
 
@@ -341,9 +394,11 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	top, err := s.det.TopBursty(t, int(k), tau)
-	s.mu.RUnlock()
+	if k <= 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be positive, got %d", k))
+		return
+	}
+	top, err := s.store.TopBursty(t, int(k), tau)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -352,16 +407,29 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	stats := map[string]any{
-		"elements":   s.det.N(),
-		"eventSpace": s.det.K(),
-		"maxTime":    s.det.MaxTime(),
-		"bytes":      s.det.Bytes(),
-		"outOfOrder": s.det.OutOfOrder(),
-	}
-	s.mu.RUnlock()
-	writeJSON(w, stats)
+	sn := s.store.Snapshot()
+	writeJSON(w, map[string]any{
+		"elements":   sn.N(),
+		"eventSpace": s.store.K(),
+		"maxTime":    sn.MaxTime(),
+		"bytes":      sn.Bytes(),
+		"outOfOrder": s.store.Rejected(),
+		"generation": sn.Generation(),
+		"segments":   len(sn.Segments()),
+		"head":       sn.Head(),
+	})
+}
+
+// handleSegments serves the segment directory: one record per sealed
+// segment in time order, plus the in-memory head — the introspection view
+// of the store's lifecycle.
+func (s *server) handleSegments(w http.ResponseWriter, r *http.Request) {
+	sn := s.store.Snapshot()
+	writeJSON(w, map[string]any{
+		"generation": sn.Generation(),
+		"segments":   sn.Segments(),
+		"head":       sn.Head(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -44,8 +44,9 @@ func TestAppendEndpoint(t *testing.T) {
 	if code != 200 || out["appended"].(float64) != 2 || out["elements"].(float64) != 2 {
 		t.Fatalf("append: code=%d out=%v", code, out)
 	}
-	// The appended data is immediately queryable.
-	resp, err := http.Get(ts.URL + "/v1/burstiness?e=3&t=200&tau=100")
+	// The appended data is immediately queryable — and exactly, since it is
+	// still head-resident: b(200) = F(200) − 2F(150) + F(100) = 2 − 2 + 1.
+	resp, err := http.Get(ts.URL + "/v1/burstiness?e=3&t=200&tau=50")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,29 +133,40 @@ func TestCheckpointAndRecovery(t *testing.T) {
 		t.Fatalf("forced checkpoint: name=%q err=%v", name, err)
 	}
 
-	// A fresh server over the same directory recovers the ingested data.
+	// A fresh server over the same directory recovers the ingested data
+	// from the store manifest.
 	srv2, err := newServer(serverOpts{K: 64, Gamma: 2, Seed: 1, SnapDir: dir, Retain: 3, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv2.det.N() != 2 {
-		t.Fatalf("recovered N = %d, want 2", srv2.det.N())
+	if srv2.store.N() != 2 {
+		t.Fatalf("recovered N = %d, want 2", srv2.store.N())
 	}
-	b, err := srv2.det.Burstiness(5, 150, 100)
+	b, err := srv2.store.Burstiness(5, 150, 100)
 	if err != nil || b <= 0 {
 		t.Fatalf("recovered burstiness = %v err=%v", b, err)
 	}
+	if err := srv2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
+// TestSnapshotRetention covers the legacy snapshot layer that survives only
+// as the migration source: retention and newest-first ordering still hold
+// for directories written by older versions.
 func TestSnapshotRetention(t *testing.T) {
 	dir := t.TempDir()
-	srv, _ := liveServer(t, dir)
+	st, err := openSnapStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snap := buildSnapshotBytes(t, 2)
 	for i := 0; i < 7; i++ {
-		if _, err := srv.checkpoint(true); err != nil {
+		if _, err := st.write(snap); err != nil {
 			t.Fatal(err)
 		}
 	}
-	names, err := srv.snaps.list()
+	names, err := st.list()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +177,12 @@ func TestSnapshotRetention(t *testing.T) {
 	if names[0] <= names[1] {
 		t.Fatalf("not newest-first: %v", names)
 	}
-	st, err := openSnapStore(dir, 3)
+	st2, err := openSnapStore(dir, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.seq != 7 {
-		t.Fatalf("reopened seq = %d, want 7", st.seq)
+	if st2.seq != 7 {
+		t.Fatalf("reopened seq = %d, want 7", st2.seq)
 	}
 }
 

@@ -152,6 +152,7 @@ type baseLevel interface {
 	EstimateF(e uint64, t int64) float64
 	Burstiness(e uint64, t, tau int64) float64
 	BurstyTimes(e uint64, theta float64, tau int64) []pbe.TimeRange
+	EventCells(e uint64) []pbe.PBE
 	Bytes() int
 }
 
@@ -224,6 +225,46 @@ func New(k uint64, opts ...Option) (*Detector, error) {
 // K returns the detector's (rounded) event-id space size.
 func (d *Detector) K() uint64 { return roundPow2(d.k) }
 
+// SketchParams is the exported, replica-complete description of a PBE-2
+// detector's configuration: two detectors built from equal SketchParams are
+// deterministic replicas whose time-disjoint partitions MergeAppend cleanly.
+// The segmented timeline store persists these in its manifest so recovered
+// segments are guaranteed config-compatible with future seals.
+type SketchParams struct {
+	K       uint64  // event-id space (pre-rounding)
+	Seed    int64   // hash seed
+	D, W    int     // Count-Min rows × cells
+	Gamma   float64 // PBE-2 error cap
+	NoIndex bool    // dyadic bursty-event index disabled
+}
+
+// Params returns the detector's sketch parameters. ok is false when the
+// configuration is not expressible as SketchParams — PBE-1 detectors, whose
+// per-partition buffering makes segment-boundary estimate combination lossy
+// (a PBE-1 tail estimate is not the exact count the combination relies on).
+func (d *Detector) Params() (p SketchParams, ok bool) {
+	c := d.cfg
+	if c.usePBE1 || c.pbe1CapMode || c.bufferN != 0 || c.eta != 0 || c.pbe1Cap != 0 {
+		return SketchParams{}, false
+	}
+	return SketchParams{K: d.k, Seed: c.seed, D: c.d, W: c.w, Gamma: c.gamma, NoIndex: c.noIndex}, true
+}
+
+// NewFromParams builds an empty detector from exported parameters; the
+// result is config-compatible (MergeAppend, segment combination) with every
+// detector whose Params compare equal. D and W of zero select the library
+// default layout.
+func NewFromParams(p SketchParams) (*Detector, error) {
+	opts := []Option{WithSeed(p.Seed), WithPBE2(p.Gamma)}
+	if p.D != 0 || p.W != 0 {
+		opts = append(opts, WithSketchDims(p.D, p.W))
+	}
+	if p.NoIndex {
+		opts = append(opts, WithoutEventIndex())
+	}
+	return New(p.K, opts...)
+}
+
 // Append ingests one element. Elements must arrive in non-decreasing time
 // order; a timestamp below the frontier is clamped to it and counted in
 // OutOfOrder. Event ids at or above K are folded into the space by modulo.
@@ -275,6 +316,16 @@ func (d *Detector) OutOfOrder() int64 { return d.outOfOrder }
 // was mentioned up to and including time t.
 func (d *Detector) CumulativeFrequency(e uint64, t int64) float64 {
 	return d.base.EstimateF(e%d.K(), t)
+}
+
+// EventCells returns the base-level summary cells event e maps to, one per
+// sketch row (a single collision-free cell for small id spaces). This is the
+// segment-boundary plumbing used by the segmented timeline store
+// (internal/segstore) to combine cumulative estimates of time-partitioned
+// detectors row by row before the median; the cells alias the detector's
+// internal state and must be treated as read-only.
+func (d *Detector) EventCells(e uint64) []pbe.PBE {
+	return d.base.EventCells(e % d.K())
 }
 
 // Burstiness answers the POINT QUERY q(e, t, τ): the estimated acceleration

@@ -4,12 +4,20 @@
 // independently, sealed as its own partition, and queries run over any
 // union of partitions without ever touching raw data again.
 //
-// An archive is a directory containing a JSON manifest and one detector
-// file per partition. Partitions must abut in time order (strictly
-// increasing, non-overlapping spans) and share the exact detector
-// configuration so they merge losslessly (histburst.Detector.MergeAppend).
-// Opening an archive loads and merges all partitions into a single
-// queryable detector; partitions can also be loaded individually.
+// An archive is a directory containing a manifest and one detector file
+// per partition. The manifest is the same CRC-checked binary record the
+// segmented timeline store writes (segstore.Manifest), so the two storage
+// layers share one decoder, one fuzz target, and one corruption story.
+// Archives written by older versions carried a JSON manifest instead;
+// Open still reads those and the next Seal rewrites them in the binary
+// format.
+//
+// Partitions must abut in time order (strictly increasing, non-overlapping
+// spans) and share the exact sketch configuration so they merge losslessly
+// (histburst.Detector.MergeAppend); the manifest pins that configuration
+// and Seal enforces it. Opening an archive loads and merges all partitions
+// into a single queryable detector; partitions can also be loaded
+// individually.
 package archive
 
 import (
@@ -21,32 +29,35 @@ import (
 	"sort"
 
 	"histburst"
+	"histburst/internal/segstore"
 )
 
-// manifestName is the archive's index file.
-const manifestName = "manifest.json"
+// legacyManifestName is the JSON index older archives carried; it is read
+// for migration only, never written.
+const legacyManifestName = "manifest.json"
 
-// partitionMeta describes one sealed partition.
-type partitionMeta struct {
-	// File is the partition's detector file name within the archive dir.
-	File string `json:"file"`
-	// Start and End delimit the partition's time span [Start, End].
-	Start int64 `json:"start"`
-	End   int64 `json:"end"`
-	// Elements is the partition's ingested element count.
-	Elements int64 `json:"elements"`
+// legacyPartitionMeta mirrors one partition entry of the legacy JSON
+// manifest.
+type legacyPartitionMeta struct {
+	File     string `json:"file"`
+	Start    int64  `json:"start"`
+	End      int64  `json:"end"`
+	Elements int64  `json:"elements"`
 }
 
-// manifest is the archive's on-disk index.
-type manifest struct {
-	Version    int             `json:"version"`
-	Partitions []partitionMeta `json:"partitions"`
+// legacyManifest mirrors the legacy JSON index.
+type legacyManifest struct {
+	Version    int                   `json:"version"`
+	Partitions []legacyPartitionMeta `json:"partitions"`
 }
 
 // Archive is an open archive directory.
 type Archive struct {
 	dir string
-	m   manifest
+	m   segstore.Manifest
+	// legacy marks an archive opened from a JSON manifest; the first Seal
+	// rewrites it in the binary format and drops the JSON file.
+	legacy bool
 }
 
 // ErrOverlap reports a partition that does not start after the previous
@@ -59,63 +70,114 @@ func Create(dir string) (*Archive, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	path := filepath.Join(dir, manifestName)
-	if _, err := os.Stat(path); err == nil {
-		return nil, fmt.Errorf("archive: %s already exists", path)
+	for _, name := range []string{segstore.ManifestName, legacyManifestName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return nil, fmt.Errorf("archive: %s already exists", filepath.Join(dir, name))
+		}
 	}
-	a := &Archive{dir: dir, m: manifest{Version: 1}}
+	a := &Archive{dir: dir}
 	if err := a.writeManifest(); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
-// Open opens an existing archive directory.
+// Open opens an existing archive directory, migrating legacy JSON
+// manifests in memory (the directory is not modified until the next Seal).
 func Open(dir string) (*Archive, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	m, err := segstore.LoadManifest(filepath.Join(dir, segstore.ManifestName))
+	if err == nil {
+		return &Archive{dir: dir, m: *m}, nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	return openLegacy(dir)
+}
+
+// openLegacy reads a JSON manifest written by an older version. The sketch
+// configuration was not recorded there, so it is recovered from the first
+// partition file.
+func openLegacy(dir string) (*Archive, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, legacyManifestName))
 	if err != nil {
 		return nil, err
 	}
-	var m manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
+	var lm legacyManifest
+	if err := json.Unmarshal(raw, &lm); err != nil {
 		return nil, fmt.Errorf("archive: corrupt manifest: %w", err)
 	}
-	if m.Version != 1 {
-		return nil, fmt.Errorf("archive: unsupported manifest version %d", m.Version)
+	if lm.Version != 1 {
+		return nil, fmt.Errorf("archive: unsupported manifest version %d", lm.Version)
 	}
-	if !sort.SliceIsSorted(m.Partitions, func(i, j int) bool {
-		return m.Partitions[i].Start < m.Partitions[j].Start
+	if !sort.SliceIsSorted(lm.Partitions, func(i, j int) bool {
+		return lm.Partitions[i].Start < lm.Partitions[j].Start
 	}) {
 		return nil, fmt.Errorf("archive: corrupt manifest: partitions out of order")
 	}
-	return &Archive{dir: dir, m: m}, nil
+	a := &Archive{dir: dir, legacy: true}
+	a.m.NextID = uint64(len(lm.Partitions))
+	for i, p := range lm.Partitions {
+		// The legacy index carried no ingest bounds; the declared span is
+		// the only (and sufficient) ordering witness.
+		a.m.Segments = append(a.m.Segments, segstore.SegmentMeta{
+			ID: uint64(i), File: p.File,
+			Start: p.Start, End: p.End, MinT: p.Start, MaxT: p.End,
+			Elements: p.Elements,
+		})
+	}
+	if len(a.m.Segments) > 0 {
+		det, err := a.LoadPartition(0)
+		if err != nil {
+			return nil, fmt.Errorf("archive: migrating legacy manifest: %w", err)
+		}
+		if p, ok := det.Params(); ok {
+			a.m.Params = p
+		} else {
+			return nil, fmt.Errorf("archive: legacy partition %s is not a PBE-2 sketch", lm.Partitions[0].File)
+		}
+	}
+	return a, nil
 }
 
 // Partitions returns the number of sealed partitions.
-func (a *Archive) Partitions() int { return len(a.m.Partitions) }
+func (a *Archive) Partitions() int { return len(a.m.Segments) }
 
 // Span returns the archive's overall time span; ok is false when empty.
 func (a *Archive) Span() (start, end int64, ok bool) {
-	if len(a.m.Partitions) == 0 {
+	if len(a.m.Segments) == 0 {
 		return 0, 0, false
 	}
-	return a.m.Partitions[0].Start, a.m.Partitions[len(a.m.Partitions)-1].End, true
+	return a.m.Segments[0].Start, a.m.Segments[len(a.m.Segments)-1].End, true
 }
+
+// Generation returns the manifest generation (rewrite count).
+func (a *Archive) Generation() uint64 { return a.m.Generation }
 
 // Seal appends a finished detector as the next partition covering
 // [start, end]. The span must begin after the previous partition's end,
-// and the detector's data must lie within the span. The detector is
-// Finish()ed and written atomically (temp file + rename).
+// the detector's data must lie within the span, and the detector must be a
+// PBE-2 sketch matching the configuration the manifest pins (the first
+// Seal pins it). The detector is Finish()ed and written atomically.
 func (a *Archive) Seal(det *histburst.Detector, start, end int64) error {
 	if det == nil {
 		return fmt.Errorf("archive: nil detector")
 	}
+	p, ok := det.Params()
+	if !ok {
+		return fmt.Errorf("archive: partitions must be PBE-2 sketches (rebuild without PBE-1)")
+	}
+	if a.m.Params == (histburst.SketchParams{}) {
+		a.m.Params = p
+	} else if p != a.m.Params {
+		return fmt.Errorf("archive: sketch config %+v does not match the archive's %+v", p, a.m.Params)
+	}
 	if start > end {
 		return fmt.Errorf("archive: inverted span [%d, %d]", start, end)
 	}
-	if n := len(a.m.Partitions); n > 0 && start <= a.m.Partitions[n-1].End {
+	if n := len(a.m.Segments); n > 0 && start <= a.m.Segments[n-1].End {
 		return fmt.Errorf("%w: span starts at %d, previous ends at %d",
-			ErrOverlap, start, a.m.Partitions[n-1].End)
+			ErrOverlap, start, a.m.Segments[n-1].End)
 	}
 	if det.N() > 0 && det.MaxTime() > end {
 		return fmt.Errorf("archive: detector data (max t=%d) exceeds span end %d", det.MaxTime(), end)
@@ -124,31 +186,24 @@ func (a *Archive) Seal(det *histburst.Detector, start, end int64) error {
 		return fmt.Errorf("archive: detector data (min t=%d) precedes span start %d", det.MinTime(), start)
 	}
 	name := fmt.Sprintf("part-%020d.hbsk", start)
-	tmp := filepath.Join(a.dir, name+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
+	if err := det.SaveFile(filepath.Join(a.dir, name)); err != nil {
 		return err
 	}
-	if err := det.Save(f); err != nil {
-		f.Close()      //histburst:allow errdrop -- best-effort cleanup; the Save error takes precedence
-		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the Save error takes precedence
-		return err
+	minT, maxT := start, end
+	if det.N() > 0 {
+		minT, maxT = det.MinTime(), det.MaxTime()
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the close error takes precedence
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(a.dir, name)); err != nil {
-		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the rename error takes precedence
-		return err
-	}
-	a.m.Partitions = append(a.m.Partitions, partitionMeta{
-		File: name, Start: start, End: end, Elements: det.N(),
+	a.m.Segments = append(a.m.Segments, segstore.SegmentMeta{
+		ID: a.m.NextID, File: name,
+		Start: start, End: end, MinT: minT, MaxT: maxT,
+		Elements: det.N(),
 	})
+	a.m.NextID++
 	if err := a.writeManifest(); err != nil {
 		// Roll back the in-memory state; the orphan file is harmless and
 		// will be overwritten by a retried Seal.
-		a.m.Partitions = a.m.Partitions[:len(a.m.Partitions)-1]
+		a.m.Segments = a.m.Segments[:len(a.m.Segments)-1]
+		a.m.NextID--
 		return err
 	}
 	return nil
@@ -156,10 +211,10 @@ func (a *Archive) Seal(det *histburst.Detector, start, end int64) error {
 
 // LoadPartition loads one partition's detector by index.
 func (a *Archive) LoadPartition(i int) (*histburst.Detector, error) {
-	if i < 0 || i >= len(a.m.Partitions) {
-		return nil, fmt.Errorf("archive: partition %d out of range [0, %d)", i, len(a.m.Partitions))
+	if i < 0 || i >= len(a.m.Segments) {
+		return nil, fmt.Errorf("archive: partition %d out of range [0, %d)", i, len(a.m.Segments))
 	}
-	f, err := os.Open(filepath.Join(a.dir, a.m.Partitions[i].File))
+	f, err := os.Open(filepath.Join(a.dir, a.m.Segments[i].File))
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +231,7 @@ func (a *Archive) LoadRange(from, to int64) (*histburst.Detector, error) {
 		return nil, fmt.Errorf("archive: inverted range [%d, %d]", from, to)
 	}
 	var merged *histburst.Detector
-	for i, p := range a.m.Partitions {
+	for i, p := range a.m.Segments {
 		if p.End < from || p.Start > to {
 			continue
 		}
@@ -207,15 +262,18 @@ func (a *Archive) LoadAll() (*histburst.Detector, error) {
 	return a.LoadRange(s, e)
 }
 
-// writeManifest persists the manifest atomically.
+// writeManifest persists the manifest atomically in the shared binary
+// format, bumping the generation; a migrated legacy JSON index is removed
+// once its binary replacement is durable.
 func (a *Archive) writeManifest() error {
-	raw, err := json.MarshalIndent(a.m, "", "  ")
-	if err != nil {
+	a.m.Generation++
+	if err := segstore.WriteManifest(filepath.Join(a.dir, segstore.ManifestName), &a.m); err != nil {
+		a.m.Generation--
 		return err
 	}
-	tmp := filepath.Join(a.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return err
+	if a.legacy {
+		os.Remove(filepath.Join(a.dir, legacyManifestName)) //histburst:allow errdrop -- best-effort cleanup; the binary manifest is already durable
+		a.legacy = false
 	}
-	return os.Rename(tmp, filepath.Join(a.dir, manifestName))
+	return nil
 }

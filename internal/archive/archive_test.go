@@ -1,7 +1,9 @@
 package archive
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -9,6 +11,7 @@ import (
 
 	"histburst"
 	"histburst/internal/exact"
+	"histburst/internal/segstore"
 )
 
 var detOpts = []histburst.Option{
@@ -247,17 +250,153 @@ func TestLoadPartition(t *testing.T) {
 }
 
 func TestOpenRejectsCorruptManifest(t *testing.T) {
+	// Legacy JSON manifests: garbage and unknown versions are rejected.
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, legacyManifestName), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir); err == nil {
-		t.Fatal("corrupt manifest accepted")
+		t.Fatal("corrupt legacy manifest accepted")
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"version":9}`), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, legacyManifestName), []byte(`{"version":9}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir); err == nil {
-		t.Fatal("unknown version accepted")
+		t.Fatal("unknown legacy version accepted")
+	}
+
+	// Binary manifests: a flipped bit fails the CRC and Open fails loudly
+	// instead of falling back to (absent) legacy state.
+	dir2 := filepath.Join(t.TempDir(), "arch")
+	a, err := Create(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Seal(buildPartition(t, 0, 100, false, nil), 0, 99); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir2, segstore.ManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir2); err == nil {
+		t.Fatal("corrupt binary manifest accepted")
+	}
+}
+
+// TestLegacyJSONManifestMigration opens an archive laid out by an older
+// version (JSON index, no recorded sketch config) and checks that queries
+// work immediately and that the first Seal rewrites the directory onto the
+// binary manifest.
+func TestLegacyJSONManifestMigration(t *testing.T) {
+	dir := t.TempDir()
+	// Lay out two partitions by hand, exactly as the old writer did.
+	var parts []map[string]any
+	for _, span := range [][2]int64{{0, 1000}, {1000, 2000}} {
+		det := buildPartition(t, span[0], span[1], false, nil)
+		name := fmt.Sprintf("part-%020d.hbsk", span[0])
+		if err := det.SaveFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, map[string]any{
+			"file": name, "start": span[0], "end": span[1] - 1, "elements": det.N(),
+		})
+	}
+	raw, err := json.Marshal(map[string]any{"version": 1, "partitions": parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, legacyManifestName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Partitions() != 2 {
+		t.Fatalf("Partitions = %d, want 2", a.Partitions())
+	}
+	// The sketch config was recovered from the first partition file.
+	wantParams := histburst.SketchParams{K: 16, Seed: 7, D: 3, W: 32, Gamma: 2}
+	if a.m.Params != wantParams {
+		t.Fatalf("migrated params = %+v, want %+v", a.m.Params, wantParams)
+	}
+	if det, err := a.LoadAll(); err != nil || det.N() != 2000 {
+		t.Fatalf("LoadAll after migration: N=%v err=%v", det, err)
+	}
+	// Open alone does not touch the directory.
+	if _, err := os.Stat(filepath.Join(dir, segstore.ManifestName)); !os.IsNotExist(err) {
+		t.Fatalf("Open wrote a binary manifest: %v", err)
+	}
+
+	// The next Seal converts the directory: binary manifest in, JSON out.
+	if err := a.Seal(buildPartition(t, 2000, 2500, false, nil), 2000, 2499); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segstore.ManifestName)); err != nil {
+		t.Fatalf("no binary manifest after seal: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyManifestName)); !os.IsNotExist(err) {
+		t.Fatalf("legacy manifest survived conversion: %v", err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Partitions() != 3 {
+		t.Fatalf("reopened Partitions = %d, want 3", b.Partitions())
+	}
+	if det, err := b.LoadAll(); err != nil || det.N() != 2500 {
+		t.Fatalf("LoadAll after conversion: err=%v", err)
+	}
+}
+
+// TestSealPinsSketchConfig: the first partition pins the sketch
+// configuration in the manifest; later partitions must match it exactly
+// or MergeAppend could not combine them.
+func TestSealPinsSketchConfig(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	a, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Seal(buildPartition(t, 0, 100, false, nil), 0, 99); err != nil {
+		t.Fatal(err)
+	}
+	// A different seed makes the sketches incompatible.
+	other, err := histburst.New(16, histburst.WithPBE2(2), histburst.WithSketchDims(3, 32), histburst.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Append(1, 200)
+	if err := a.Seal(other, 200, 299); err == nil {
+		t.Fatal("mismatched sketch config accepted")
+	}
+	// PBE-1 detectors cannot be archived (no Params, no manifest entry).
+	pbe1, err := histburst.New(16, histburst.WithPBE1(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbe1.Append(1, 200)
+	if err := a.Seal(pbe1, 200, 299); err == nil {
+		t.Fatal("PBE-1 partition accepted")
+	}
+	// The pin persists across reopen.
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Seal(other, 200, 299); err == nil {
+		t.Fatal("mismatched sketch config accepted after reopen")
+	}
+	good := buildPartition(t, 200, 300, false, nil)
+	if err := b.Seal(good, 200, 299); err != nil {
+		t.Fatal(err)
 	}
 }

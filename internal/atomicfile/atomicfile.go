@@ -1,0 +1,58 @@
+// Package atomicfile provides the one durable-write primitive every
+// persistent artifact in histburst relies on: temp file in the destination
+// directory → write → fsync → rename, so a crash at any instant leaves
+// either the previous file or the complete new one on disk — never a torn
+// mix. Detector snapshots (persist), burstd checkpoints, and the segmented
+// timeline store's manifest and segment files all funnel through it.
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically. The temp file lives in the
+// destination directory so the final rename cannot cross filesystems, and
+// the directory itself is fsynced afterwards (best effort — not every
+// platform or filesystem supports it) so the rename is durable too.
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()      //histburst:allow errdrop -- best-effort cleanup; the write error takes precedence
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the write error takes precedence
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the close error takes precedence
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the rename error takes precedence
+		return err
+	}
+	SyncDir(dir)
+	return nil
+}
+
+// SyncDir fsyncs a directory so a preceding rename or remove in it is
+// durable. Best effort: directory fsync is advisory on some platforms.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()  //histburst:allow errdrop -- directory fsync is advisory; data files are synced individually
+		d.Close() //histburst:allow errdrop -- read-only directory handle
+	}
+}

@@ -205,6 +205,19 @@ func cellScratch(buf *[maxStackD]pbe.PBE, n int) []pbe.PBE {
 	return make([]pbe.PBE, n)
 }
 
+// EventCells returns the d cells event e maps to, one per row — the
+// segment-boundary plumbing the segmented timeline store (internal/segstore)
+// uses to combine per-row cumulative estimates across time-partitioned
+// sketches before taking the median. The cells are live references into the
+// sketch; callers must treat them as read-only.
+func (s *Sketch) EventCells(e uint64) []pbe.PBE {
+	cells := make([]pbe.PBE, s.d)
+	for i := 0; i < s.d; i++ {
+		cells[i] = s.cells[i][s.hf.Hash(i, e)]
+	}
+	return cells
+}
+
 // EstimateFMin returns the min-of-rows estimate. Plain Count-Min uses the
 // minimum because its per-cell error is one-sided; CM-PBE's is two-sided, so
 // the median is the right estimator (Section IV). The minimum is exposed for

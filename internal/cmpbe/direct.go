@@ -79,6 +79,14 @@ func (d *Direct) View(e uint64) pbe.Estimator {
 	return d.cells[e%uint64(len(d.cells))]
 }
 
+// EventCells returns e's single dedicated cell — the Direct analogue of
+// Sketch.EventCells (a collision-free summary is a one-row sketch for the
+// purposes of cross-segment combination). The cell is a live reference;
+// callers must treat it as read-only.
+func (d *Direct) EventCells(e uint64) []pbe.PBE {
+	return []pbe.PBE{d.cells[e%uint64(len(d.cells))]}
+}
+
 // BurstyTimes answers the BURSTY TIME QUERY for e.
 func (d *Direct) BurstyTimes(e uint64, theta float64, tau int64) []pbe.TimeRange {
 	return pbe.BurstyTimes(d.View(e), theta, tau, d.maxT)

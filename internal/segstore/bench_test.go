@@ -1,0 +1,115 @@
+package segstore
+
+import (
+	"testing"
+)
+
+// benchStore builds a volatile store holding nSegs sealed segments of
+// segElems elements each (compaction off, so the layout is deterministic).
+func benchStore(b *testing.B, nSegs int, segElems int) *Store {
+	b.Helper()
+	cfg := testConfig(-1)
+	cfg.K = 1 << 10
+	cfg.CompactFanout = -1
+	s, err := Open("", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := int64(0)
+	for g := 0; g < nSegs; g++ {
+		for i := 0; i < segElems; i++ {
+			if err := s.Append(uint64(i)%cfg.K, t); err != nil {
+				b.Fatal(err)
+			}
+			t++
+		}
+		if err := s.Checkpoint(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkSegstoreAppendSeal measures live-ingest throughput with sealing
+// in the loop: every 4096th append freezes the head and hands it to the
+// background sealer.
+func BenchmarkSegstoreAppendSeal(b *testing.B) {
+	cfg := testConfig(4096)
+	cfg.K = 1 << 10
+	cfg.CompactFanout = -1
+	s, err := Open("", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(uint64(i)&1023, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(false); err != nil { // include the pending seals
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSegstoreCompactMerge measures compaction throughput: cloning and
+// MergeAppend-ing a run of 4 sealed segments of 4096 elements each into one.
+func BenchmarkSegstoreCompactMerge(b *testing.B) {
+	s := benchStore(b, 4, 4096)
+	defer s.Close() //histburst:allow errdrop -- benchmark teardown
+	run := s.view.Load().segs
+	if len(run) != 4 {
+		b.Fatalf("fixture has %d segments", len(run))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, err := s.mergeRun(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if merged.meta.Elements != 4*4096 {
+			b.Fatalf("merged %d elements", merged.meta.Elements)
+		}
+	}
+}
+
+// BenchmarkSegstoreCrossSegmentPoint measures point-query latency over a
+// store split into 16 sealed segments — the cost of summing per-segment
+// estimates at the three instants of eq. (2) before the median.
+func BenchmarkSegstoreCrossSegmentPoint(b *testing.B) {
+	s := benchStore(b, 16, 1024)
+	defer s.Close() //histburst:allow errdrop -- benchmark teardown
+	sn := s.Snapshot()
+	horizon := sn.MaxTime()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := int64(i) % horizon
+		if _, err := sn.Burstiness(uint64(i)&1023, t, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegstoreSingleSegmentPoint is the single-segment reference for
+// the cross-segment point query: same element count, one segment.
+func BenchmarkSegstoreSingleSegmentPoint(b *testing.B) {
+	s := benchStore(b, 1, 16*1024)
+	defer s.Close() //histburst:allow errdrop -- benchmark teardown
+	sn := s.Snapshot()
+	horizon := sn.MaxTime()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := int64(i) % horizon
+		if _, err := sn.Burstiness(uint64(i)&1023, t, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

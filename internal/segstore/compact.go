@@ -1,0 +1,212 @@
+package segstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"histburst/internal/atomicfile"
+)
+
+// Compaction keeps the segment count logarithmic in the stream length:
+// every seal produces a level-0 segment of ~SealEvents elements, and
+// whenever fanout adjacent segments share a size class the compactor
+// merges them — clones of the inputs, MergeAppend in time order — into one
+// segment a class up. The swap is a generation bump: new file fsynced,
+// manifest rewritten atomically, view republished, and only then are the
+// tombstoned input files deleted. A crash anywhere in that sequence leaves
+// either the old generation (new file swept as an orphan at open) or the
+// new one (old files swept), never a mix.
+//
+// Runs whose inputs share a boundary timestamp cannot merge (a forced
+// whole-head seal can produce equal boundaries; detector MergeAppend
+// requires strictly increasing ones). Such runs are remembered and skipped
+// — their segments stay live and queryable, merely unmerged.
+
+// compactLoop runs on its own goroutine, draining candidates after every
+// nudge until none remain.
+func (s *Store) compactLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.compactNudge:
+		}
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			progressed, err := s.compactOnce()
+			if err != nil {
+				s.mu.Lock()
+				if s.bgErr == nil {
+					s.bgErr = fmt.Errorf("segstore: compaction: %w", err)
+				}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			if !progressed {
+				break
+			}
+		}
+	}
+}
+
+// compactOnce merges one eligible run, if any. progressed reports whether
+// another scan might find more work (a merge happened, or a run was newly
+// marked unmergeable).
+func (s *Store) compactOnce() (progressed bool, err error) {
+	v := s.view.Load()
+	run := s.pickRun(v.segs)
+	if run == nil {
+		return false, nil
+	}
+	merged, err := s.mergeRun(run)
+	if err != nil {
+		// Unmergeable boundary: remember the run so the scan moves on.
+		// This is a policy outcome, not a failure.
+		s.noMerge[runKey(run)] = true
+		return true, nil
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, nil
+	}
+	lo := s.findRunLocked(run)
+	if lo < 0 {
+		// The composition changed under us (cannot happen with a single
+		// compactor, but stay defensive); drop the work.
+		s.mu.Unlock()
+		return true, nil
+	}
+	merged.meta.ID = s.nextID
+	s.nextID++
+	if s.dir != "" {
+		merged.meta.File = segFileName(merged.meta.ID)
+		path := filepath.Join(s.dir, merged.meta.File)
+		// The write happens under mu: it orders the file ahead of the
+		// manifest that references it, and compaction is rare enough that
+		// stalling other composition changes for one segment write is the
+		// simplicity worth having.
+		if err := merged.det.SaveFile(path); err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+	}
+	s.segs = append(s.segs[:lo:lo], append([]*Segment{merged}, s.segs[lo+len(run):]...)...)
+	s.gen++
+	if err := s.writeManifestLocked(); err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	s.publishLocked(nil)
+	s.mu.Unlock()
+
+	// Old generation files are tombstones now: the manifest no longer
+	// references them, so deleting is safe, and a crash before deletion
+	// just leaves orphans for the next open's sweep.
+	if s.dir != "" {
+		for _, g := range run {
+			os.Remove(filepath.Join(s.dir, g.meta.File)) //histburst:allow errdrop -- tombstoned input; the open-time sweep collects survivors
+		}
+		atomicfile.SyncDir(s.dir)
+	}
+	return true, nil
+}
+
+// pickRun returns the oldest run of fanout adjacent segments sharing a size
+// class, skipping runs already known unmergeable. Operates on an immutable
+// view slice, so no lock is needed.
+func (s *Store) pickRun(segs []*Segment) []*Segment {
+	n := int(s.fanout)
+	if n < 2 || len(segs) < n {
+		return nil
+	}
+	for lo := 0; lo+n <= len(segs); lo++ {
+		lvl := segs[lo].level(s.seals.events, s.fanout)
+		ok := true
+		for i := 1; i < n; i++ {
+			if segs[lo+i].level(s.seals.events, s.fanout) != lvl {
+				ok = false
+				break
+			}
+		}
+		if ok && !s.noMerge[runKey(segs[lo:lo+n])] {
+			return segs[lo : lo+n]
+		}
+	}
+	return nil
+}
+
+// runKey identifies a run by its segment IDs. IDs are never reused, so a
+// key marked unmergeable stays meaningful across composition changes.
+func runKey(run []*Segment) string {
+	var b strings.Builder
+	for i, g := range run {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		b.WriteString(strconv.FormatUint(g.meta.ID, 10))
+	}
+	return b.String()
+}
+
+// findRunLocked locates run (by ID) as a contiguous slice of s.segs,
+// returning its start index or -1.
+//
+//histburst:locked mu
+func (s *Store) findRunLocked(run []*Segment) int {
+	for lo := 0; lo+len(run) <= len(s.segs); lo++ {
+		match := true
+		for i := range run {
+			if s.segs[lo+i].meta.ID != run[i].meta.ID {
+				match = false
+				break
+			}
+		}
+		if match {
+			return lo
+		}
+	}
+	return -1
+}
+
+// mergeRun builds the replacement segment from clones of the run's
+// detectors — MergeAppend mutates both operands, and the originals must
+// keep serving queries untouched until the swap.
+func (s *Store) mergeRun(run []*Segment) (*Segment, error) {
+	out, err := run[0].det.Clone()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range run[1:] {
+		next, err := g.det.Clone()
+		if err != nil {
+			return nil, err
+		}
+		if err := out.MergeAppend(next); err != nil {
+			return nil, err
+		}
+	}
+	first, last := run[0].meta, run[len(run)-1].meta
+	elements := int64(0)
+	for _, g := range run {
+		elements += g.meta.Elements
+	}
+	return &Segment{
+		meta: SegmentMeta{
+			Start: first.Start, End: last.End,
+			MinT: first.MinT, MaxT: last.MaxT,
+			Elements: elements, Compacted: true,
+		},
+		det: out,
+	}, nil
+}

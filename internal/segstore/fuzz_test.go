@@ -1,0 +1,63 @@
+package segstore
+
+import (
+	"bytes"
+	"testing"
+
+	"histburst"
+)
+
+// FuzzManifestLoad targets the manifest decode path the same way
+// FuzzDetectorLoad targets the detector's: valid blobs, their truncations,
+// and bit flips. DecodeManifest must never panic, never allocate
+// unboundedly, and anything it accepts must survive an encode/decode
+// round-trip unchanged.
+func FuzzManifestLoad(f *testing.F) {
+	params := histburst.SketchParams{K: 64, Seed: 7, D: 3, W: 32, Gamma: 2}
+	for _, m := range []*Manifest{
+		{NextID: 1, Params: params},
+		{Generation: 9, NextID: 4, Params: params, Segments: []SegmentMeta{
+			{ID: 0, File: segFileName(0), Start: -10, End: 5, MinT: -10, MaxT: 5, Elements: 12},
+			{ID: 3, File: segFileName(3), Start: 5, End: 40, MinT: 5, MaxT: 40, Elements: 90, Compacted: true},
+		}},
+		{Generation: 1, NextID: 2, Params: histburst.SketchParams{K: 1 << 20, Seed: -3, D: 5, W: 272, Gamma: 8, NoIndex: true},
+			Segments: []SegmentMeta{
+				{ID: 1, File: "", Start: 0, End: 0, MinT: 0, MaxT: 0, Elements: 1},
+			}},
+	} {
+		data := m.Encode()
+		f.Add(data)
+		for _, cut := range []int{1, 4, 8, len(data) / 2, len(data) - 1} {
+			if cut < len(data) {
+				f.Add(data[:cut])
+			}
+		}
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/2] ^= 0x20
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("HBM\x01 nearly"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeManifest(m.Encode())
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-decode: %v", err)
+		}
+		if re.Generation != m.Generation || re.NextID != m.NextID || re.Params != m.Params ||
+			len(re.Segments) != len(m.Segments) {
+			t.Fatalf("round-trip changed the manifest: %+v vs %+v", m, re)
+		}
+		for i := range m.Segments {
+			if re.Segments[i] != m.Segments[i] {
+				t.Fatalf("round-trip changed segment %d: %+v vs %+v", i, m.Segments[i], re.Segments[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package segstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+
+	"histburst"
+	"histburst/internal/atomicfile"
+	"histburst/internal/binenc"
+)
+
+// The manifest is the store's segment directory: one CRC-checked binenc
+// record naming every live segment file, in the style of the HBD2 detector
+// format. It is the single point of atomicity for the whole store — a seal
+// or compaction becomes visible exactly when the rewritten manifest lands
+// via rename, so a crash at any byte offset of any write leaves the
+// previous generation fully intact (its manifest references only files that
+// were fsynced before the manifest was). Files not referenced by the
+// manifest are swept at open.
+
+// ManifestName is the manifest's file name within a store directory.
+const ManifestName = "MANIFEST.hbm"
+
+// manifestMagic identifies manifest format v1 ("HBM1").
+var manifestMagic = []byte{'H', 'B', 'M', 1}
+
+// crcTable is the Castagnoli polynomial, matching the detector footer.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decoder bounds: a manifest beyond these is certainly corrupt.
+const (
+	maxManifestSegments = 1 << 20
+	maxFileNameLen      = 255
+	maxEventSpace       = 1 << 48
+	maxSketchDim        = 1 << 24
+)
+
+// SegmentMeta describes one sealed segment in a manifest.
+type SegmentMeta struct {
+	// ID is the segment's store-unique identifier (monotonic issue order).
+	ID uint64
+	// File is the segment's detector file base name within the store
+	// directory (empty for volatile stores).
+	File string
+	// Start and End delimit the semantic time span [Start, End] the segment
+	// is responsible for; the store uses the data bounds, the archive layer
+	// uses caller-declared spans.
+	Start, End int64
+	// MinT and MaxT bound the timestamps actually ingested.
+	MinT, MaxT int64
+	// Elements is the segment's ingested element count.
+	Elements int64
+	// Compacted marks segments produced by merging smaller ones.
+	Compacted bool
+}
+
+// Manifest is the decoded segment directory. It is exported so sibling
+// storage layers (internal/archive) persist the identical format.
+type Manifest struct {
+	// Generation counts manifest rewrites; every seal or compaction swap
+	// increments it, so "old generation intact" is checkable after a crash.
+	Generation uint64
+	// NextID is the next segment ID to issue.
+	NextID uint64
+	// Params pins the sketch configuration every segment file must match.
+	Params histburst.SketchParams
+	// Segments lists the live segments in ascending time order.
+	Segments []SegmentMeta
+}
+
+// Encode serializes the manifest with its CRC32-C footer.
+func (m *Manifest) Encode() []byte {
+	var enc binenc.Writer
+	enc.BytesBlob(manifestMagic)
+	enc.Uvarint(m.Generation)
+	enc.Uvarint(m.NextID)
+	p := m.Params
+	enc.Uvarint(p.K)
+	enc.Int64(p.Seed)
+	enc.Uvarint(uint64(p.D))
+	enc.Uvarint(uint64(p.W))
+	enc.Float64(p.Gamma)
+	enc.Bool(p.NoIndex)
+	enc.Uvarint(uint64(len(m.Segments)))
+	for _, g := range m.Segments {
+		enc.Uvarint(g.ID)
+		enc.BytesBlob([]byte(g.File))
+		enc.Varint(g.Start)
+		enc.Varint(g.End)
+		enc.Varint(g.MinT)
+		enc.Varint(g.MaxT)
+		enc.Varint(g.Elements)
+		enc.Bool(g.Compacted)
+	}
+	enc.Uint32(crc32.Checksum(enc.Bytes(), crcTable))
+	return enc.Bytes()
+}
+
+// minSegmentMetaBytes is the least a SegmentMeta can occupy on the wire:
+// one byte each for ID, the File length prefix, the five varints, and the
+// Compacted flag.
+const minSegmentMetaBytes = 8
+
+// DecodeManifest parses a manifest record. Corrupt or truncated input of
+// any shape yields an error, never a panic, and cannot trigger allocations
+// beyond a small multiple of the input size.
+//
+//histburst:decoder
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("segstore: corrupt manifest: missing checksum footer")
+	}
+	body, footer := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(footer)
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("segstore: corrupt manifest: checksum mismatch (%08x != %08x)", got, want)
+	}
+	dec := binenc.NewReader(body)
+	if !bytes.Equal(dec.BytesBlob(), manifestMagic) {
+		return nil, fmt.Errorf("segstore: bad magic (not a manifest)")
+	}
+	var m Manifest
+	m.Generation = dec.Uvarint()
+	m.NextID = dec.Uvarint()
+	m.Params.K = dec.Uvarint()
+	m.Params.Seed = dec.Int64()
+	m.Params.D = int(dec.Uvarint())
+	m.Params.W = int(dec.Uvarint())
+	m.Params.Gamma = dec.Float64()
+	m.Params.NoIndex = dec.Bool()
+	n := dec.SliceLen(maxManifestSegments, minSegmentMetaBytes)
+	m.Segments = make([]SegmentMeta, n)
+	for i := range m.Segments {
+		g := &m.Segments[i]
+		g.ID = dec.Uvarint()
+		name := dec.BytesBlob()
+		if len(name) > maxFileNameLen {
+			return nil, fmt.Errorf("segstore: corrupt manifest: segment file name of %d bytes", len(name))
+		}
+		g.File = string(name)
+		g.Start = dec.Varint()
+		g.End = dec.Varint()
+		g.MinT = dec.Varint()
+		g.MaxT = dec.Varint()
+		g.Elements = dec.Varint()
+		g.Compacted = dec.Bool()
+	}
+	if err := dec.Close(); err != nil {
+		return nil, fmt.Errorf("segstore: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// validate rejects decoded manifests that are structurally impossible —
+// defense in depth behind the CRC, and the path-traversal guard for file
+// names that get joined onto the store directory.
+func (m *Manifest) validate() error {
+	p := m.Params
+	// A manifest with no segments may leave the params unset: the archive
+	// layer creates its directory before the first partition pins them.
+	if p != (histburst.SketchParams{}) || len(m.Segments) > 0 {
+		if p.K == 0 || p.K > maxEventSpace {
+			return fmt.Errorf("segstore: corrupt manifest: implausible id space %d", p.K)
+		}
+		if p.D <= 0 || p.W <= 0 || p.D > maxSketchDim || p.W > maxSketchDim {
+			return fmt.Errorf("segstore: corrupt manifest: implausible sketch dimensions %d×%d", p.D, p.W)
+		}
+	}
+	for i, g := range m.Segments {
+		if g.File != "" && !validSegmentFileName(g.File) {
+			return fmt.Errorf("segstore: corrupt manifest: unsafe segment file name %q", g.File)
+		}
+		if g.Start > g.End || g.MinT > g.MaxT || g.Elements < 0 {
+			return fmt.Errorf("segstore: corrupt manifest: segment %d spans are inverted", g.ID)
+		}
+		if g.ID >= m.NextID {
+			return fmt.Errorf("segstore: corrupt manifest: segment ID %d at or past next ID %d", g.ID, m.NextID)
+		}
+		if i > 0 && g.MinT < m.Segments[i-1].MaxT {
+			return fmt.Errorf("segstore: corrupt manifest: segment %d out of time order", g.ID)
+		}
+	}
+	return nil
+}
+
+// validSegmentFileName accepts only clean base names: a manifest must never
+// be able to point loads (or the orphan sweep) outside the store directory.
+func validSegmentFileName(name string) bool {
+	return name != "" && name != "." && name != ".." &&
+		!strings.ContainsAny(name, "/\\")
+}
+
+// WriteManifest persists the manifest to path atomically (temp file →
+// fsync → rename), so a crash leaves either the previous manifest or the
+// complete new one.
+func WriteManifest(path string, m *Manifest) error {
+	return atomicfile.WriteFile(path, m.Encode())
+}
+
+// LoadManifest reads and decodes a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,541 @@
+package segstore
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"histburst"
+	"histburst/internal/pbe"
+)
+
+// Query combination (the three instants of eq. (2), across segments):
+// cumulative frequencies of time-disjoint stream slices add, so for every
+// sketch row r the store's curve is the sum of the per-segment cell curves
+// F̃ᵣ(t) = Σ_s F̃ᵣ,ₛ(t) — all segments share (d, w, seed), so row r maps
+// event e to the same hash lane everywhere. The median is taken once, over
+// the summed rows, and the head's exact counts are added after it (an exact
+// term would only be distorted by passing through the median). For a
+// single-segment store this collapses to exactly the monolithic detector's
+// estimate; across segments it matches a MergeAppend-merged detector except
+// inside inter-segment gaps, where each summand holds its own tail value
+// instead of the merged segment's line — a difference bounded by the same γ
+// guarantee (both readings are valid PBE-2 curves for the same staircase).
+
+// Snapshot is one immutable generation of the store, answering every query
+// type. All methods are safe for concurrent use; sealed segments are
+// immutable, and the head (still live — a snapshot pins the composition,
+// not the head's growth) synchronizes internally.
+type Snapshot struct {
+	v       *storeView
+	kfold   uint64
+	noIndex bool
+}
+
+// Snapshot returns the current generation for querying. Queries on one
+// snapshot never observe seals or compaction swaps that happen after it was
+// taken.
+func (s *Store) Snapshot() *Snapshot {
+	return &Snapshot{v: s.view.Load(), kfold: s.kfold, noIndex: s.noIndex}
+}
+
+// Generation returns the manifest generation this snapshot pins.
+func (sn *Snapshot) Generation() uint64 { return sn.v.gen }
+
+// heads returns the frozen heads plus the live head, oldest first.
+func (sn *Snapshot) heads() []*memHead {
+	out := make([]*memHead, 0, len(sn.v.frozen)+1)
+	out = append(out, sn.v.frozen...)
+	return append(out, sn.v.head)
+}
+
+// maxRows mirrors cmpbe's stack bound for the default sketch layouts.
+const maxRows = 8
+
+// rowSums evaluates Σ_s F̃ᵣ,ₛ(t) for every row r into vals, returning the
+// row count (0 when the snapshot has no sealed segments).
+func (sn *Snapshot) rowSums(e uint64, t int64, vals *[maxRows]float64) int {
+	segs := sn.v.segs
+	if len(segs) == 0 {
+		return 0
+	}
+	d := 0
+	for si, g := range segs {
+		cells := g.det.EventCells(e)
+		if si == 0 {
+			d = len(cells)
+			for i := 0; i < d && i < maxRows; i++ {
+				vals[i] = 0
+			}
+		}
+		for i, c := range cells {
+			if i < maxRows {
+				vals[i] += c.Estimate(t)
+			}
+		}
+	}
+	if d > maxRows {
+		d = maxRows
+	}
+	return d
+}
+
+// CumulativeFrequency returns the estimate F̃_e(t) over the whole history
+// held by the snapshot.
+func (sn *Snapshot) CumulativeFrequency(e uint64, t int64) float64 {
+	e %= sn.kfold
+	var buf [maxRows]float64
+	est := 0.0
+	if d := sn.rowSums(e, t, &buf); d > 0 {
+		est = medianInPlace(buf[:d])
+	}
+	for _, h := range sn.heads() {
+		est += h.countAtOrBefore(e, t)
+	}
+	return est
+}
+
+// Burstiness answers the POINT QUERY q(e, t, τ). Like the monolithic
+// sketch, each row evaluates equation (2) on its own coherent (summed)
+// curve and the median is taken over the per-row burstiness values; the
+// head's exact burstiness is added after.
+func (sn *Snapshot) Burstiness(e uint64, t, tau int64) (float64, error) {
+	if tau <= 0 {
+		return 0, fmt.Errorf("segstore: burst span must be positive, got %d", tau)
+	}
+	return sn.burstiness(e%sn.kfold, t, tau), nil
+}
+
+// burstiness is the fold-free core shared with the candidate rescoring
+// paths (whose ids are already folded).
+func (sn *Snapshot) burstiness(e uint64, t, tau int64) float64 {
+	var rows [maxRows]float64
+	b := 0.0
+	segs := sn.v.segs
+	if len(segs) > 0 {
+		d := 0
+		for si, g := range segs {
+			cells := g.det.EventCells(e)
+			if si == 0 {
+				d = len(cells)
+				if d > maxRows {
+					d = maxRows
+				}
+				for i := 0; i < d; i++ {
+					rows[i] = 0
+				}
+			}
+			for i, c := range cells {
+				if i < d {
+					rows[i] += pbe.Burstiness(c, t, tau)
+				}
+			}
+		}
+		b = medianInPlace(rows[:d])
+	}
+	for _, h := range sn.heads() {
+		b += h.burstiness(e, t, tau)
+	}
+	return b
+}
+
+// crossView is the per-event pbe.Estimator over the whole snapshot: the
+// cross-segment cumulative estimate, plus breakpoints at every instant any
+// component's curve changes shape. Feeding it to pbe.BurstyTimes answers
+// the BURSTY TIME QUERY with the same contract as the monolithic sketch
+// (candidate instants evaluated exactly; between breakpoints the median may
+// switch rows, so crossing refinement is heuristic there).
+type crossView struct {
+	sn *Snapshot
+	e  uint64
+}
+
+func (v *crossView) Estimate(t int64) float64 {
+	return v.sn.CumulativeFrequency(v.e, t)
+}
+
+func (v *crossView) Breakpoints() []int64 {
+	var lists [][]int64
+	for _, g := range v.sn.v.segs {
+		for _, c := range g.det.EventCells(v.e) {
+			lists = append(lists, c.Breakpoints())
+		}
+		// The segment boundary itself: past MaxT every cell's estimate
+		// holds its exact count, a shape change the cells of *other*
+		// segments do not know about.
+		lists = append(lists, []int64{g.meta.MaxT})
+	}
+	for _, h := range v.sn.heads() {
+		if ts := h.arrivals(v.e); len(ts) > 0 {
+			lists = append(lists, ts)
+		}
+	}
+	return mergeSorted(lists)
+}
+
+// BurstyTimes answers the BURSTY TIME QUERY q(e, θ, τ): the maximal time
+// ranges within [0, MaxTime] where the estimated burstiness reaches theta.
+func (sn *Snapshot) BurstyTimes(e uint64, theta float64, tau int64) ([]histburst.TimeRange, error) {
+	if tau <= 0 {
+		return nil, fmt.Errorf("segstore: burst span must be positive, got %d", tau)
+	}
+	v := &crossView{sn: sn, e: e % sn.kfold}
+	internal := pbe.BurstyTimes(v, theta, tau, sn.MaxTime())
+	out := make([]histburst.TimeRange, len(internal))
+	for i, r := range internal {
+		out[i] = histburst.TimeRange{Start: r.Start, End: r.End}
+	}
+	return out, nil
+}
+
+// BurstyEvents answers the BURSTY EVENT QUERY q(t, θ, τ) across segments.
+// Candidate generation is per component: a burstiness of θ summed over m
+// active components needs at least θ/m from one of them, so each active
+// segment's dyadic index is searched at threshold θ/m and every head event
+// with an arrival inside (t−2τ, t] is added (the head is exact, its
+// threshold check happens at rescoring). Candidates are then rescored with
+// the cross-segment point query and filtered at θ. Segments are searched in
+// parallel — the per-segment searches are themselves the paper's pruned
+// dyadic walks.
+func (sn *Snapshot) BurstyEvents(t int64, theta float64, tau int64) ([]uint64, error) {
+	if sn.noIndex {
+		return nil, fmt.Errorf("segstore: event index disabled (NoIndex)")
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("segstore: burst span must be positive, got %d", tau)
+	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("segstore: threshold must be positive, got %v", theta)
+	}
+	candidates, err := sn.burstyCandidates(t, theta, tau)
+	if err != nil {
+		return nil, err
+	}
+	out := candidates[:0]
+	for _, e := range candidates {
+		if sn.burstiness(e, t, tau) >= theta {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// burstyCandidates returns the deduplicated candidate ids for the bursty
+// event search: per-active-segment dyadic searches at θ/m plus the heads'
+// window events.
+func (sn *Snapshot) burstyCandidates(t int64, theta float64, tau int64) ([]uint64, error) {
+	lo, hi := t-2*tau+1, t
+	var active []*Segment
+	for _, g := range sn.v.segs {
+		if g.meta.MinT <= hi && g.meta.MaxT >= lo {
+			active = append(active, g)
+		}
+	}
+	var activeHeads []*memHead
+	for _, h := range sn.heads() {
+		if h.activeIn(lo, hi) {
+			activeHeads = append(activeHeads, h)
+		}
+	}
+	m := len(active) + len(activeHeads)
+	if m == 0 {
+		return nil, nil
+	}
+	perComponent := theta / float64(m)
+
+	ids := make([][]uint64, len(active))
+	errs := make([]error, len(active))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	for i, g := range active {
+		wg.Add(1)
+		go func(i int, g *Segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ids[i], errs[i] = g.det.BurstyEvents(t, perComponent, tau)
+		}(i, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	seen := make(map[uint64]struct{})
+	var out []uint64
+	add := func(e uint64) {
+		if _, ok := seen[e]; !ok {
+			seen[e] = struct{}{}
+			out = append(out, e)
+		}
+	}
+	for _, list := range ids {
+		for _, e := range list {
+			add(e)
+		}
+	}
+	for _, h := range activeHeads {
+		for _, e := range h.eventsInWindow(lo, hi) {
+			add(e)
+		}
+	}
+	return out, nil
+}
+
+// TopBursty returns up to k events with the largest cross-segment
+// burstiness at time t, descending. Candidates are the union of each active
+// segment's best-first top-k and the heads' window events, rescored with
+// the cross-segment point query — per-segment ranks can disagree with the
+// combined rank, so the widened candidate pool is re-ranked globally.
+func (sn *Snapshot) TopBursty(t int64, k int, tau int64) ([]histburst.EventBurstiness, error) {
+	if sn.noIndex {
+		return nil, fmt.Errorf("segstore: event index disabled (NoIndex)")
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("segstore: burst span must be positive, got %d", tau)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	lo, hi := t-2*tau+1, t
+	seen := make(map[uint64]struct{})
+	var candidates []uint64
+	for _, g := range sn.v.segs {
+		if g.meta.MinT > hi || g.meta.MaxT < lo {
+			continue
+		}
+		top, err := g.det.TopBursty(t, k, tau)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range top {
+			if _, ok := seen[s.Event]; !ok {
+				seen[s.Event] = struct{}{}
+				candidates = append(candidates, s.Event)
+			}
+		}
+	}
+	for _, h := range sn.heads() {
+		if !h.activeIn(lo, hi) {
+			continue
+		}
+		for _, e := range h.eventsInWindow(lo, hi) {
+			if _, ok := seen[e]; !ok {
+				seen[e] = struct{}{}
+				candidates = append(candidates, e)
+			}
+		}
+	}
+	scored := make([]histburst.EventBurstiness, 0, len(candidates))
+	for _, e := range candidates {
+		scored = append(scored, histburst.EventBurstiness{Event: e, Burstiness: sn.burstiness(e, t, tau)})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Burstiness != scored[j].Burstiness {
+			return scored[i].Burstiness > scored[j].Burstiness
+		}
+		return scored[i].Event < scored[j].Event
+	})
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored, nil
+}
+
+// N returns the number of elements held (sealed plus in-memory).
+func (sn *Snapshot) N() int64 {
+	n := int64(0)
+	for _, g := range sn.v.segs {
+		n += g.meta.Elements
+	}
+	for _, h := range sn.heads() {
+		hn, _, _, _ := h.snapshot()
+		n += hn
+	}
+	return n
+}
+
+// MaxTime returns the largest timestamp held (zero when empty).
+func (sn *Snapshot) MaxTime() int64 {
+	maxT := int64(0)
+	if n := len(sn.v.segs); n > 0 {
+		maxT = sn.v.segs[n-1].meta.MaxT
+	}
+	for _, h := range sn.heads() {
+		if hn, _, hmax, _ := h.snapshot(); hn > 0 && hmax > maxT {
+			maxT = hmax
+		}
+	}
+	return maxT
+}
+
+// MinTime returns the smallest timestamp held (zero when empty).
+func (sn *Snapshot) MinTime() int64 {
+	if len(sn.v.segs) > 0 {
+		return sn.v.segs[0].meta.MinT
+	}
+	for _, h := range sn.heads() {
+		if hn, hmin, _, _ := h.snapshot(); hn > 0 {
+			return hmin
+		}
+	}
+	return 0
+}
+
+// Bytes returns the approximate summary footprint: sealed sketch bytes plus
+// the head element logs.
+func (sn *Snapshot) Bytes() int {
+	total := 0
+	for _, g := range sn.v.segs {
+		total += g.det.Bytes()
+	}
+	for _, h := range sn.heads() {
+		total += h.bytes()
+	}
+	return total
+}
+
+// Segments returns the sealed segments' introspection records in time
+// order.
+func (sn *Snapshot) Segments() []SegmentInfo {
+	out := make([]SegmentInfo, len(sn.v.segs))
+	for i, g := range sn.v.segs {
+		out[i] = SegmentInfo{
+			ID: g.meta.ID, Start: g.meta.Start, End: g.meta.End,
+			Elements: g.meta.Elements, Bytes: g.det.Bytes(),
+			File: g.meta.File, Compacted: g.meta.Compacted,
+		}
+	}
+	return out
+}
+
+// HeadStats describes the in-memory portion of a snapshot.
+type HeadStats struct {
+	Elements int64 `json:"elements"`
+	MinT     int64 `json:"minT"`
+	MaxT     int64 `json:"maxT"`
+	Frozen   int   `json:"frozen"` // heads frozen but not yet sealed
+}
+
+// Head returns the snapshot's in-memory stats.
+func (sn *Snapshot) Head() HeadStats {
+	hs := HeadStats{Frozen: len(sn.v.frozen)}
+	for _, h := range sn.heads() {
+		n, minT, maxT, started := h.snapshot()
+		if !started {
+			continue
+		}
+		hs.Elements += n
+		if hs.MinT == 0 || minT < hs.MinT {
+			hs.MinT = minT
+		}
+		if maxT > hs.MaxT {
+			hs.MaxT = maxT
+		}
+	}
+	return hs
+}
+
+// Store-level conveniences: each takes a fresh snapshot.
+
+// CumulativeFrequency returns F̃_e(t) over the current generation.
+func (s *Store) CumulativeFrequency(e uint64, t int64) float64 {
+	return s.Snapshot().CumulativeFrequency(e, t)
+}
+
+// Burstiness answers the POINT QUERY over the current generation.
+func (s *Store) Burstiness(e uint64, t, tau int64) (float64, error) {
+	return s.Snapshot().Burstiness(e, t, tau)
+}
+
+// BurstyTimes answers the BURSTY TIME QUERY over the current generation.
+func (s *Store) BurstyTimes(e uint64, theta float64, tau int64) ([]histburst.TimeRange, error) {
+	return s.Snapshot().BurstyTimes(e, theta, tau)
+}
+
+// BurstyEvents answers the BURSTY EVENT QUERY over the current generation.
+func (s *Store) BurstyEvents(t int64, theta float64, tau int64) ([]uint64, error) {
+	return s.Snapshot().BurstyEvents(t, theta, tau)
+}
+
+// TopBursty ranks the burstiest events over the current generation.
+func (s *Store) TopBursty(t int64, k int, tau int64) ([]histburst.EventBurstiness, error) {
+	return s.Snapshot().TopBursty(t, k, tau)
+}
+
+// N returns the number of elements held.
+func (s *Store) N() int64 { return s.Snapshot().N() }
+
+// MaxTime returns the largest timestamp held.
+func (s *Store) MaxTime() int64 { return s.Snapshot().MaxTime() }
+
+// Bytes returns the approximate summary footprint.
+func (s *Store) Bytes() int { return s.Snapshot().Bytes() }
+
+// Generation returns the current manifest generation.
+func (s *Store) Generation() uint64 { return s.Snapshot().Generation() }
+
+// Segments returns the current segment directory.
+func (s *Store) Segments() []SegmentInfo { return s.Snapshot().Segments() }
+
+// medianInPlace returns the median of vals (average of the two middle
+// values for even lengths), sorting in place — row counts are tiny.
+func medianInPlace(vals []float64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	for i := 1; i < n; i++ {
+		v := vals[i]
+		j := i - 1
+		for j >= 0 && vals[j] > v {
+			vals[j+1] = vals[j]
+			j--
+		}
+		vals[j+1] = v
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// mergeSorted merges sorted int64 lists into one sorted deduplicated list.
+func mergeSorted(lists [][]int64) []int64 {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]int64, 0, total)
+	idx := make([]int, len(lists))
+	for {
+		var best int64
+		found := false
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if v := l[idx[i]]; !found || v < best {
+				best, found = v, true
+			}
+		}
+		if !found {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1] != best {
+			out = append(out, best)
+		}
+		for i, l := range lists {
+			for idx[i] < len(l) && l[idx[i]] == best {
+				idx[i]++
+			}
+		}
+	}
+}

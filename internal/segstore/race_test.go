@@ -1,0 +1,139 @@
+package segstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentAppendSealCompactQuery drives every moving part of the
+// store at once — one appender forcing frequent seals and compactions,
+// several query goroutines hammering snapshots of all four query types —
+// and is meant to run under the race detector (make check wires it into
+// the -race pass). Correctness assertions are deliberately coarse: the
+// point is that nothing races, deadlocks, or goes backwards.
+func TestConcurrentAppendSealCompactQuery(t *testing.T) {
+	cfg := testConfig(32)
+	cfg.CompactFanout = 2
+	s := mustOpen(t, t.TempDir(), cfg)
+
+	const total = 4000
+	var appended atomic.Int64
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < total; i++ {
+			if err := s.Append(uint64(i%16), int64(i/2)); err != nil {
+				t.Errorf("append #%d: %v", i, err)
+				return
+			}
+			appended.Add(1)
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lastN int64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				sn := s.Snapshot()
+				n := sn.N()
+				if n < lastN {
+					t.Errorf("N went backwards: %d after %d", n, lastN)
+					return
+				}
+				lastN = n
+				horizon := sn.MaxTime()
+				_ = sn.CumulativeFrequency(uint64(w), horizon)
+				if _, err := sn.Burstiness(uint64(w), horizon, 10); err != nil {
+					t.Errorf("burstiness: %v", err)
+					return
+				}
+				switch w % 4 {
+				case 0:
+					if _, err := sn.BurstyEvents(horizon, 5, 10); err != nil {
+						t.Errorf("bursty events: %v", err)
+						return
+					}
+				case 1:
+					if _, err := sn.TopBursty(horizon, 3, 10); err != nil {
+						t.Errorf("top bursty: %v", err)
+						return
+					}
+				case 2:
+					_ = sn.Segments()
+					_ = sn.Bytes()
+				case 3:
+					if _, err := sn.BurstyTimes(uint64(w), 5, 10); err != nil {
+						t.Errorf("bursty times: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("background error: %v", err)
+	}
+	if got := s.N(); got != appended.Load() {
+		t.Fatalf("N = %d after close, appended %d", got, appended.Load())
+	}
+}
+
+// TestConcurrentCheckpointers exercises Checkpoint racing Append and other
+// Checkpoint calls — the burstd checkpoint ticker against live ingest.
+func TestConcurrentCheckpointers(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testConfig(64))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			if err := s.Append(uint64(i%8), int64(i)); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := s.Checkpoint(false); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.N(); got != 2000 {
+		t.Fatalf("N = %d, want 2000", got)
+	}
+}

@@ -1,0 +1,218 @@
+package segstore
+
+import (
+	"fmt"
+	"sync"
+
+	"histburst"
+	"histburst/internal/stream"
+)
+
+// A Segment is one immutable time slice of the history: a finished PBE-2
+// detector covering [MinT, MaxT], plus the manifest metadata describing it.
+// Segments are never mutated after publication — compaction builds a new
+// Segment from clones and swaps it in — so queries read them without locks.
+type Segment struct {
+	meta SegmentMeta
+	det  *histburst.Detector // immutable after publication; queried read-only
+}
+
+// level returns the segment's size class for tiered compaction: 0 for
+// freshly sealed segments, climbing by one for every factor of fanout in
+// element count. Compaction merges runs of equal-level neighbors, so the
+// merged result lands one class up and each element is rewritten
+// O(log_fanout(N/SealEvents)) times overall.
+func (g *Segment) level(sealEvents int64, fanout int64) int {
+	lvl := 0
+	threshold := sealEvents * fanout
+	for threshold > 0 && g.meta.Elements >= threshold && lvl < 62 {
+		lvl++
+		threshold *= fanout
+	}
+	return lvl
+}
+
+// SegmentInfo is the exported introspection record for one segment
+// (the /v1/segments endpoint serves these).
+type SegmentInfo struct {
+	ID        uint64 `json:"id"`
+	Start     int64  `json:"start"`
+	End       int64  `json:"end"`
+	Elements  int64  `json:"elements"`
+	Bytes     int    `json:"bytes"`
+	File      string `json:"file,omitempty"`
+	Compacted bool   `json:"compacted"`
+}
+
+// A memHead is the mutable in-memory head segment: live appends land here
+// as exact curves (a plain element log plus per-event timestamp sequences),
+// which is cheap to query exactly and cheap to discard once sealed into a
+// sketch. A head freezes exactly once — freeze flips the flag under the
+// lock, after which the element log is immutable and the sealer may read it
+// without locking.
+type memHead struct {
+	mu sync.RWMutex
+
+	// frozen, elems, byEvent, started, minT, maxT and n are guarded by mu.
+	frozen  bool
+	started bool
+	minT    int64
+	maxT    int64
+	n       int64
+	elems   stream.Stream
+	byEvent map[uint64]stream.TimestampSeq
+
+	// floor is the store's time frontier when this head was created —
+	// appends strictly below it are out of order. Immutable after creation.
+	floor int64
+	// sealID is the segment ID reserved at freeze time; set before the head
+	// enters the frozen queue and immutable afterwards.
+	sealID uint64
+}
+
+func newMemHead(floor int64) *memHead {
+	return &memHead{floor: floor, byEvent: make(map[uint64]stream.TimestampSeq)}
+}
+
+// sealLimits carries the head-size thresholds append checks against.
+type sealLimits struct {
+	events int64 // freeze once the head holds this many elements (0 = off)
+	span   int64 // freeze once maxT−minT reaches this (0 = off)
+}
+
+// append ingests one element. needFreeze is true when the head declined the
+// element because it must be frozen first — the head is already frozen, or
+// it is full and t advances past maxT (the boundary where sealing keeps
+// segment time ranges strictly increasing); the caller freezes and retries
+// on the fresh head. A timestamp below the store frontier is rejected.
+func (h *memHead) append(e uint64, t int64, lim sealLimits) (needFreeze bool, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.frozen {
+		return true, nil
+	}
+	if t < h.floor || (h.started && t < h.maxT) {
+		frontier := h.floor
+		if h.started {
+			frontier = h.maxT
+		}
+		return false, fmt.Errorf("%w: append at %d behind frontier %d", stream.ErrOutOfOrder, t, frontier)
+	}
+	if h.started && t > h.maxT &&
+		((lim.events > 0 && h.n >= lim.events) || (lim.span > 0 && h.maxT-h.minT >= lim.span)) {
+		return true, nil
+	}
+	if !h.started {
+		h.minT = t
+		h.started = true
+	}
+	h.maxT = t
+	h.n++
+	h.elems = append(h.elems, stream.Element{Event: e, Time: t})
+	h.byEvent[e] = append(h.byEvent[e], t)
+	return false, nil
+}
+
+// freeze marks the head immutable. When keepTail is true the elements at
+// the final timestamp are split off and returned instead of frozen, so the
+// sealed slice ends strictly before the store frontier and the next segment
+// merges cleanly (MergeAppend requires strictly increasing boundaries); the
+// split is skipped when every element shares one timestamp. The returned
+// tail is in append order and owned by the caller.
+func (h *memHead) freeze(keepTail bool) (tail stream.Stream) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.frozen {
+		return nil
+	}
+	if keepTail && h.n > 0 && h.minT < h.maxT {
+		cut := len(h.elems)
+		for cut > 0 && h.elems[cut-1].Time == h.maxT {
+			cut--
+		}
+		tail = append(stream.Stream(nil), h.elems[cut:]...)
+		h.elems = h.elems[:cut]
+		for _, el := range tail {
+			ts := h.byEvent[el.Event]
+			h.byEvent[el.Event] = ts[:len(ts)-1]
+		}
+		h.n = int64(cut)
+		h.maxT = h.elems[cut-1].Time
+	}
+	h.frozen = true
+	return tail
+}
+
+// sealedData returns the frozen head's element log and bounds for the
+// sealer. The log is returned by reference: a frozen head is immutable, so
+// the sealer may iterate it after the lock is released.
+func (h *memHead) sealedData() (elems stream.Stream, n, minT, maxT int64) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.elems, h.n, h.minT, h.maxT
+}
+
+// snapshot returns the head's counters in one consistent read.
+func (h *memHead) snapshot() (n, minT, maxT int64, started bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.n, h.minT, h.maxT, h.started
+}
+
+// countAtOrBefore returns the exact cumulative frequency F_e(t) of the
+// head's slice of the stream.
+func (h *memHead) countAtOrBefore(e uint64, t int64) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return float64(h.byEvent[e].CountAtOrBefore(t))
+}
+
+// burstiness returns the head's exact contribution to b_e(t): cumulative
+// frequencies of time-disjoint slices add, so equation (2) distributes over
+// the slices term by term.
+func (h *memHead) burstiness(e uint64, t, tau int64) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ts := h.byEvent[e]
+	return float64(ts.CountAtOrBefore(t) - 2*ts.CountAtOrBefore(t-tau) + ts.CountAtOrBefore(t-2*tau))
+}
+
+// arrivals returns a copy of e's timestamps in the head.
+func (h *memHead) arrivals(e uint64) stream.TimestampSeq {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ts := h.byEvent[e]
+	if len(ts) == 0 {
+		return nil
+	}
+	return append(stream.TimestampSeq(nil), ts...)
+}
+
+// eventsInWindow returns the ids with at least one arrival in [lo, hi] —
+// the head's candidate set for the bursty-event search.
+func (h *memHead) eventsInWindow(lo, hi int64) []uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []uint64
+	for e, ts := range h.byEvent {
+		if ts.CountIn(lo, hi) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// activeIn reports whether the head holds any arrival in [lo, hi].
+func (h *memHead) activeIn(lo, hi int64) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.started && h.minT <= hi && h.maxT >= lo
+}
+
+// bytes estimates the head's heap footprint: 16 bytes per element in the
+// log plus 8 in its event sequence.
+func (h *memHead) bytes() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return int(h.n) * 24
+}

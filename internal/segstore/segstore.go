@@ -1,0 +1,595 @@
+// Package segstore is the segmented timeline store: the storage layer
+// between the sketches and the serving layer. It partitions the event
+// timeline into segments — a mutable in-memory head absorbing live appends
+// as exact curves, sealed at a configurable size/age threshold into
+// immutable PBE-2 sketch segments, with an LSM-style background compactor
+// merging runs of small sealed segments through the detector MergeAppend
+// machinery. Queries combine per-segment cumulative estimates at the three
+// instants of b(t) = F(t) − 2F(t−τ) + F(t−2τ): time-disjoint slices of a
+// stream have additive cumulative frequencies, so each sketch row sums
+// across segments before the median, and the head's exact counts are added
+// on top.
+//
+// Concurrency model: every mutation of the store's composition (freeze,
+// seal publication, compaction swap) happens under one mutex and ends by
+// publishing a fresh immutable view through an atomic pointer — a
+// generation swap. Queries load the view once and run lock-free against it
+// (sealed segments are immutable; the head has its own short-lived RWMutex).
+// A CRC-checked binenc manifest persists the segment directory; it is
+// rewritten atomically on every generation, so a crash at any offset during
+// seal or compaction recovers to the previous generation.
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"histburst"
+	"histburst/internal/stream"
+)
+
+// Defaults for the store's tuning knobs.
+const (
+	DefaultSealEvents    = 1 << 16
+	DefaultCompactFanout = 4
+)
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("segstore: store is closed")
+
+// Config configures a store. Sketch parameters (K, Gamma, Seed, D, W,
+// NoIndex) follow histburst.New semantics; they are ignored in favor of the
+// manifest when an existing store is opened (a conflicting non-zero value
+// is an error). The remaining knobs shape the segment lifecycle.
+type Config struct {
+	K       uint64  // event-id space (required unless a manifest exists)
+	Gamma   float64 // PBE-2 error cap (default 8)
+	Seed    int64   // hash seed (default 1)
+	D, W    int     // Count-Min layout (0 = library default)
+	NoIndex bool    // disable the dyadic bursty-event index
+
+	// SealEvents freezes the head once it holds this many elements
+	// (default DefaultSealEvents; negative disables size-based sealing).
+	SealEvents int64
+	// SealSpan freezes the head once its time span maxT−minT reaches this
+	// (0 = disabled). "Age" is measured in event time, the only clock the
+	// store has.
+	SealSpan int64
+	// CompactFanout is how many adjacent same-class segments one compaction
+	// merges (default DefaultCompactFanout; below 2 disables compaction).
+	CompactFanout int
+}
+
+// storeView is one immutable generation of the store's composition.
+// Replaced wholesale under Store.mu; read via Store.view without locks.
+type storeView struct {
+	gen    uint64
+	segs   []*Segment // ascending time order; elements immutable
+	frozen []*memHead // freeze order; awaiting the sealer
+	head   *memHead
+}
+
+// Store is a segmented timeline store. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir     string // "" = volatile (no files, no manifest)
+	params  histburst.SketchParams
+	kfold   uint64 // event ids are folded modulo this (detector K())
+	seals   sealLimits
+	fanout  int64 // < 2 disables compaction
+	noIndex bool
+
+	// mu serializes composition changes: freezing the head, publishing
+	// seals and compaction swaps, manifest writes, and ID issue.
+	mu sync.Mutex
+	// cond signals frozen-queue transitions (sealer wakes on freeze;
+	// Checkpoint waits for the queue to drain). Associated with mu.
+	cond *sync.Cond
+
+	// gen, nextID, segs, frozen, closed and bgErr are guarded by mu.
+	gen    uint64
+	nextID uint64
+	segs   []*Segment
+	frozen []*memHead
+	closed bool
+	bgErr  error // first background seal/compaction failure, sticky
+
+	view     atomic.Pointer[storeView]
+	rejected atomic.Int64 // out-of-order appends refused
+
+	compactNudge chan struct{}
+	stop         chan struct{}
+	wg           sync.WaitGroup
+
+	// noMerge records runs whose MergeAppend failed (equal boundary
+	// timestamps from a forced seal); touched only by the compactor
+	// goroutine.
+	noMerge map[string]bool
+}
+
+// Open opens (or creates) a store in dir. An empty dir makes the store
+// volatile: fully functional, nothing persisted. If dir holds a manifest,
+// the segment directory is recovered from it — every referenced segment
+// file is loaded and verified, and unreferenced segment or temp files
+// (debris of a crashed seal or compaction) are swept.
+func Open(dir string, cfg Config) (*Store, error) {
+	s := &Store{
+		dir:          dir,
+		compactNudge: make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		noMerge:      make(map[string]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	s.seals.events = cfg.SealEvents
+	if s.seals.events == 0 {
+		s.seals.events = DefaultSealEvents
+	} else if s.seals.events < 0 {
+		s.seals.events = 0
+	}
+	s.seals.span = cfg.SealSpan
+	s.fanout = int64(cfg.CompactFanout)
+	if cfg.CompactFanout == 0 {
+		s.fanout = DefaultCompactFanout
+	}
+
+	params := histburst.SketchParams{
+		K: cfg.K, Seed: cfg.Seed, D: cfg.D, W: cfg.W, Gamma: cfg.Gamma, NoIndex: cfg.NoIndex,
+	}
+	if params.Seed == 0 {
+		params.Seed = 1
+	}
+	if params.Gamma == 0 {
+		params.Gamma = 8
+	}
+
+	var man *Manifest
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		var err error
+		man, err = LoadManifest(filepath.Join(dir, ManifestName))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	if man != nil {
+		if err := checkConfigAgainstManifest(params, man.Params); err != nil {
+			return nil, err
+		}
+		params = man.Params
+		s.gen = man.Generation //histburst:allow lockguard -- Open constructs the store before it is shared
+		s.nextID = man.NextID
+	}
+	if params.K == 0 {
+		return nil, fmt.Errorf("segstore: config K is required for a new store")
+	}
+	// The template validates the resolved parameters once and pins the id
+	// folding every head and segment must agree on.
+	template, err := histburst.NewFromParams(params)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: %w", err)
+	}
+	if p, ok := template.Params(); ok {
+		params = p // resolved D/W for defaulted layouts
+	}
+	s.params = params
+	s.kfold = template.K()
+	s.noIndex = params.NoIndex
+
+	frontier := int64(0)
+	if man != nil {
+		for _, meta := range man.Segments {
+			seg, err := s.loadSegment(meta)
+			if err != nil {
+				return nil, err
+			}
+			s.segs = append(s.segs, seg)
+			frontier = meta.MaxT
+		}
+		if err := s.sweepOrphans(man); err != nil {
+			return nil, err
+		}
+	}
+	s.publishLocked(newMemHead(frontier)) //histburst:allow lockguard -- single-goroutine construction; no other goroutine exists yet
+
+	s.wg.Add(1)
+	go s.sealLoop()
+	if s.fanout >= 2 {
+		s.wg.Add(1)
+		go s.compactLoop()
+		s.nudgeCompactor()
+	}
+	return s, nil
+}
+
+// checkConfigAgainstManifest rejects explicit config values that conflict
+// with an existing store; zero values defer to the manifest.
+func checkConfigAgainstManifest(cfg, man histburst.SketchParams) error {
+	conflict := func(what string, got, want any) error {
+		return fmt.Errorf("segstore: config %s %v conflicts with existing store (%v)", what, got, want)
+	}
+	if cfg.K != 0 && cfg.K != man.K {
+		return conflict("K", cfg.K, man.K)
+	}
+	if cfg.Seed != 1 && cfg.Seed != man.Seed {
+		return conflict("Seed", cfg.Seed, man.Seed)
+	}
+	if cfg.Gamma != 8 && cfg.Gamma != man.Gamma {
+		return conflict("Gamma", cfg.Gamma, man.Gamma)
+	}
+	if cfg.D != 0 && cfg.D != man.D {
+		return conflict("D", cfg.D, man.D)
+	}
+	if cfg.W != 0 && cfg.W != man.W {
+		return conflict("W", cfg.W, man.W)
+	}
+	if cfg.NoIndex != man.NoIndex {
+		return conflict("NoIndex", cfg.NoIndex, man.NoIndex)
+	}
+	return nil
+}
+
+// loadSegment loads and verifies one manifest-referenced segment file.
+// Referenced files were fsynced before the manifest named them, so a load
+// failure here is real damage, not a crash artifact — fail loudly.
+func (s *Store) loadSegment(meta SegmentMeta) (*Segment, error) {
+	det, err := histburst.LoadFile(filepath.Join(s.dir, meta.File))
+	if err != nil {
+		return nil, fmt.Errorf("segstore: segment %d: %w", meta.ID, err)
+	}
+	p, ok := det.Params()
+	if !ok || p != s.params {
+		return nil, fmt.Errorf("segstore: segment %d: sketch parameters do not match manifest", meta.ID)
+	}
+	if det.N() != meta.Elements {
+		return nil, fmt.Errorf("segstore: segment %d: %d elements, manifest says %d",
+			meta.ID, det.N(), meta.Elements)
+	}
+	return &Segment{meta: meta, det: det}, nil
+}
+
+// sweepOrphans removes segment and temp files the manifest does not
+// reference — debris of seals or compactions that crashed before (or
+// deletions that crashed after) their manifest write. Only files this
+// package creates are touched; anything else in the directory (legacy
+// snapshots, user files) is left alone.
+func (s *Store) sweepOrphans(man *Manifest) error {
+	live := make(map[string]bool, len(man.Segments))
+	for _, g := range man.Segments {
+		live[g.File] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.Contains(name, ".tmp-") &&
+			(strings.HasPrefix(name, segFilePrefix) || strings.HasPrefix(name, ManifestName)):
+			os.Remove(filepath.Join(s.dir, name)) //histburst:allow errdrop -- best-effort sweep of crash debris; a survivor is harmless
+		case strings.HasPrefix(name, segFilePrefix) && strings.HasSuffix(name, segFileSuffix) && !live[name]:
+			os.Remove(filepath.Join(s.dir, name)) //histburst:allow errdrop -- best-effort sweep of crash debris; a survivor is harmless
+		}
+	}
+	return nil
+}
+
+const (
+	segFilePrefix = "seg-"
+	segFileSuffix = ".hbsk"
+)
+
+func segFileName(id uint64) string { return fmt.Sprintf("%s%016d%s", segFilePrefix, id, segFileSuffix) }
+
+// Append ingests one element. Elements must arrive in non-decreasing time
+// order store-wide; a timestamp behind the frontier is rejected with an
+// error wrapping stream.ErrOutOfOrder and counted in Rejected. Event ids at
+// or above K are folded into the space by modulo, exactly as the monolithic
+// detector folds them.
+func (s *Store) Append(e uint64, t int64) error {
+	e %= s.kfold
+	for {
+		v := s.view.Load()
+		needFreeze, err := v.head.append(e, t, s.seals)
+		if err != nil {
+			s.rejected.Add(1)
+			return err
+		}
+		if !needFreeze {
+			return nil
+		}
+		if err := s.freezeHead(v, false); err != nil {
+			return err
+		}
+	}
+}
+
+// AppendStream bulk-ingests a time-sorted element slice.
+func (s *Store) AppendStream(elems stream.Stream) error {
+	for _, el := range elems {
+		if err := s.Append(el.Event, el.Time); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freezeHead retires the head of view v: the head is marked immutable and
+// queued for the background sealer, and a fresh head is published. With
+// keepTail set, elements at the final timestamp move to the fresh head so
+// the sealed boundary stays strictly increasing (see memHead.freeze).
+func (s *Store) freezeHead(v *storeView, keepTail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cur := s.view.Load()
+	if cur.head != v.head {
+		return nil // lost the race; the caller retries on the fresh view
+	}
+	h := cur.head
+	tail := h.freeze(keepTail)
+	n, _, maxT, started := h.snapshot()
+	frontier := h.floor
+	if started {
+		frontier = maxT
+	}
+	next := newMemHead(frontier)
+	for _, el := range tail {
+		if _, err := next.append(el.Event, el.Time, sealLimits{}); err != nil {
+			return fmt.Errorf("segstore: re-appending split tail: %w", err)
+		}
+	}
+	if n > 0 {
+		h.sealID = s.nextID
+		s.nextID++
+		s.frozen = append(s.frozen, h)
+		s.cond.Broadcast()
+	}
+	s.publishLocked(next)
+	return nil
+}
+
+// publishLocked swaps in a fresh view built from the current composition.
+//
+//histburst:locked mu
+func (s *Store) publishLocked(head *memHead) {
+	if head == nil {
+		head = s.view.Load().head
+	}
+	s.view.Store(&storeView{
+		gen:    s.gen,
+		segs:   append([]*Segment(nil), s.segs...),
+		frozen: append([]*memHead(nil), s.frozen...),
+		head:   head,
+	})
+}
+
+// sealLoop drains the frozen-head queue in freeze order, building one
+// sketch segment per head. Keeping a single sealer preserves time order in
+// segs without any sorting.
+func (s *Store) sealLoop() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.frozen) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.frozen) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		h := s.frozen[0]
+		s.mu.Unlock()
+
+		seg, err := s.buildSegment(h)
+		s.mu.Lock()
+		if err == nil {
+			s.segs = append(s.segs, seg)
+			s.frozen = s.frozen[1:]
+			s.gen++
+			err = s.writeManifestLocked()
+			s.publishLocked(nil)
+		}
+		if err != nil && s.bgErr == nil {
+			s.bgErr = fmt.Errorf("segstore: seal: %w", err)
+		}
+		failed := err != nil
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if failed {
+			// The queue is left intact so the data stays queryable; the
+			// store is wedged for durability until the error is observed.
+			return
+		}
+		s.nudgeCompactor()
+	}
+}
+
+// buildSegment summarizes a frozen head into an immutable sketch segment
+// and persists its detector file. The head is immutable here, so this runs
+// without holding any store lock.
+func (s *Store) buildSegment(h *memHead) (*Segment, error) {
+	elems, n, minT, maxT := h.sealedData()
+	det, err := histburst.NewFromParams(s.params)
+	if err != nil {
+		return nil, err
+	}
+	for _, el := range elems {
+		det.Append(el.Event, el.Time)
+	}
+	det.Finish()
+	meta := SegmentMeta{
+		ID: h.sealID, Start: minT, End: maxT, MinT: minT, MaxT: maxT, Elements: n,
+	}
+	if s.dir != "" {
+		meta.File = segFileName(meta.ID)
+		if err := det.SaveFile(filepath.Join(s.dir, meta.File)); err != nil {
+			return nil, err
+		}
+	}
+	return &Segment{meta: meta, det: det}, nil
+}
+
+// writeManifestLocked persists the current segment directory. Volatile
+// stores skip it.
+//
+//histburst:locked mu
+func (s *Store) writeManifestLocked() error {
+	if s.dir == "" {
+		return nil
+	}
+	m := &Manifest{Generation: s.gen, NextID: s.nextID, Params: s.params}
+	m.Segments = make([]SegmentMeta, len(s.segs))
+	for i, g := range s.segs {
+		m.Segments[i] = g.meta
+	}
+	return WriteManifest(filepath.Join(s.dir, ManifestName), m)
+}
+
+// Checkpoint freezes the head and blocks until every frozen head is sealed
+// and the manifest is durable — the store's answer to the old
+// whole-detector snapshot. In the default split mode, elements at the
+// frontier timestamp stay in the new head (keeping sealed boundaries
+// strictly increasing and therefore compactable); they are covered by the
+// next checkpoint. With all set, the entire head is sealed — the right mode
+// for shutdown, after which no element can straddle the boundary.
+func (s *Store) Checkpoint(all bool) error {
+	v := s.view.Load()
+	if n, _, _, _ := v.head.snapshot(); n > 0 {
+		if err := s.freezeHead(v, !all); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.frozen) > 0 && s.bgErr == nil {
+		s.cond.Wait()
+	}
+	return s.bgErr
+}
+
+// Bootstrap installs an existing detector as the store's first sealed
+// segment — the migration path from whole-detector snapshots. The store
+// must be empty; the detector must be PBE-2 and, when the store was opened
+// from a manifest, parameter-identical to it. On a fresh store the
+// detector's parameters are checked against the resolved config the same
+// way. An empty detector is a no-op.
+func (s *Store) Bootstrap(det *histburst.Detector) error {
+	if det == nil {
+		return fmt.Errorf("segstore: nil detector")
+	}
+	p, ok := det.Params()
+	if !ok {
+		return fmt.Errorf("segstore: only PBE-2 detectors can back a segment store")
+	}
+	if p != s.params {
+		return fmt.Errorf("segstore: detector parameters %+v do not match store %+v", p, s.params)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	v := s.view.Load()
+	n, _, _, _ := v.head.snapshot()
+	if len(s.segs) > 0 || len(s.frozen) > 0 || n > 0 {
+		return fmt.Errorf("segstore: store is not empty")
+	}
+	if det.N() == 0 {
+		return nil
+	}
+	det.Finish()
+	meta := SegmentMeta{
+		ID:   s.nextID,
+		Start: det.MinTime(), End: det.MaxTime(),
+		MinT: det.MinTime(), MaxT: det.MaxTime(),
+		Elements: det.N(),
+	}
+	if s.dir != "" {
+		meta.File = segFileName(meta.ID)
+		if err := det.SaveFile(filepath.Join(s.dir, meta.File)); err != nil {
+			return err
+		}
+	}
+	s.nextID++
+	s.segs = append(s.segs, &Segment{meta: meta, det: det})
+	s.gen++
+	if err := s.writeManifestLocked(); err != nil {
+		return err
+	}
+	s.publishLocked(newMemHead(meta.MaxT))
+	return nil
+}
+
+// Close seals everything (full checkpoint), stops the background workers,
+// and marks the store unusable. Idempotent; the first error wins.
+func (s *Store) Close() error {
+	err := s.Checkpoint(true)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return err
+	}
+	s.closed = true
+	// Freeze the live head so late Appends bounce into freezeHead, which
+	// reports ErrClosed, instead of landing in a dead head. An append that
+	// raced in between the final checkpoint and here still gets sealed: the
+	// sealer drains the frozen queue before honoring closed.
+	h := s.view.Load().head
+	h.freeze(false)
+	if n, _, _, _ := h.snapshot(); n > 0 {
+		h.sealID = s.nextID
+		s.nextID++
+		s.frozen = append(s.frozen, h)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	if err == nil {
+		s.mu.Lock()
+		err = s.bgErr
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// nudgeCompactor wakes the compactor without blocking.
+func (s *Store) nudgeCompactor() {
+	if s.fanout < 2 {
+		return
+	}
+	select {
+	case s.compactNudge <- struct{}{}:
+	default:
+	}
+}
+
+// Rejected returns how many out-of-order appends were refused.
+func (s *Store) Rejected() int64 { return s.rejected.Load() }
+
+// K returns the store's (rounded) event-id space size.
+func (s *Store) K() uint64 { return s.kfold }
+
+// Params returns the store's resolved sketch parameters.
+func (s *Store) Params() histburst.SketchParams { return s.params }
+
+// Err returns the first background seal/compaction failure, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bgErr
+}
+
+// Dir returns the store directory ("" for volatile stores).
+func (s *Store) Dir() string { return s.dir }

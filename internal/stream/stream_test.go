@@ -174,3 +174,38 @@ func TestToStream(t *testing.T) {
 		t.Fatalf("ToStream = %v, want %v", s, want)
 	}
 }
+
+func TestMergeDuplicateTimestampsAcrossShards(t *testing.T) {
+	// A seal point may split a run of equal timestamps across shards (the
+	// segment store's head split keeps the frontier run together, but
+	// external shard producers need not). Merge must keep ties in shard
+	// order — earlier shard first — so the result is deterministic and a
+	// re-merge of re-split shards is the identity.
+	a := Stream{{1, 1}, {2, 5}, {3, 5}}
+	b := Stream{{4, 5}, {5, 5}, {6, 7}}
+	m := Merge(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged stream invalid: %v", err)
+	}
+	wantEvents := []uint64{1, 2, 3, 4, 5, 6}
+	if len(m) != len(wantEvents) {
+		t.Fatalf("merged length = %d, want %d", len(m), len(wantEvents))
+	}
+	for i, e := range wantEvents {
+		if m[i].Event != e {
+			t.Fatalf("tie order broken at %d: got %v", i, m)
+		}
+	}
+	// Swapping the shards swaps the tie order — shard order, not id order.
+	m2 := Merge(b, a)
+	if m2[1].Event != 4 {
+		t.Fatalf("swapped shards kept old tie order: %v", m2)
+	}
+	// Degenerate inputs: no shards, and all-empty shards.
+	if m := Merge(); len(m) != 0 {
+		t.Fatalf("Merge() = %v", m)
+	}
+	if m := Merge(Stream{}, nil, Stream{}); len(m) != 0 {
+		t.Fatalf("Merge of empties = %v", m)
+	}
+}

@@ -9,8 +9,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
+	"histburst/internal/atomicfile"
 	"histburst/internal/binenc"
 	"histburst/internal/cmpbe"
 	"histburst/internal/dyadic"
@@ -103,48 +103,19 @@ func (d *Detector) SaveFile(path string) error {
 	if err := d.Save(&buf); err != nil {
 		return err
 	}
-	return writeFileAtomic(path, buf.Bytes())
+	return atomicfile.WriteFile(path, buf.Bytes())
 }
 
-// writeFileAtomic is the temp-file → fsync → rename sequence SaveFile
-// relies on. The temp file lives in the destination directory so the
-// rename cannot cross filesystems.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
+// Clone returns an independent deep copy of the detector via a Save/Load
+// round-trip; the receiver is Finish()ed as a side effect (see Save). The
+// segmented timeline store uses this to hand compaction workers private
+// copies, since MergeAppend mutates both of its operands.
+func (d *Detector) Clone() (*Detector, error) {
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		return nil, err
 	}
-	tmp := f.Name()
-	fail := func(err error) error {
-		f.Close()      //histburst:allow errdrop -- best-effort cleanup; the write error takes precedence
-		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the write error takes precedence
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		return fail(err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Chmod(0o644); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the close error takes precedence
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp) //histburst:allow errdrop -- best-effort cleanup; the rename error takes precedence
-		return err
-	}
-	// Persist the rename itself. Best-effort: not every platform or
-	// filesystem supports fsync on a directory.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()  //histburst:allow errdrop -- directory fsync is advisory; the data file is already synced
-		d.Close() //histburst:allow errdrop -- read-only directory handle
-	}
-	return nil
+	return Load(&buf)
 }
 
 // LoadFile reads a detector from a file written by SaveFile (or any saved
