@@ -8,9 +8,17 @@
 // with -pin: `-pin BenchmarkSketchBurstiness=480.3` adds a speedup entry of
 // the measured benchmark against that fixed ns/op value.
 //
+// A committed record from an earlier run can be supplied with -baseline
+// FILE: every measured benchmark also present in the record gains a
+// baseline_diffs entry (ns/op, B/op and allocs/op side by side), and the
+// exit status turns non-zero when any common benchmark's ns/op regressed by
+// more than -max-regress percent — the regression gate `make bench-smoke`
+// runs in CI.
+//
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json -pin Name=ns
+//	go test -bench . -benchmem ./... | benchjson -baseline BENCH_PR4.json -max-regress 25 -o /dev/null
 package main
 
 import (
@@ -40,13 +48,28 @@ type speedup struct {
 	Speedup         float64 `json:"speedup"`
 }
 
+// baselineDiff compares one benchmark against the same benchmark in a
+// committed record. Speedup > 1 means the measured run is faster.
+type baselineDiff struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BaselineNs     float64 `json:"baseline_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	BaselineBytes  int64   `json:"baseline_bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BaselineAllocs int64   `json:"baseline_allocs_per_op"`
+}
+
 type report struct {
-	GOOS       string        `json:"goos,omitempty"`
-	GOARCH     string        `json:"goarch,omitempty"`
-	CPU        string        `json:"cpu,omitempty"`
-	Benchmarks []benchResult `json:"benchmarks"`
-	Speedups   []speedup     `json:"speedups,omitempty"`
-	Notes      []string      `json:"notes,omitempty"`
+	GOOS          string         `json:"goos,omitempty"`
+	GOARCH        string         `json:"goarch,omitempty"`
+	CPU           string         `json:"cpu,omitempty"`
+	Benchmarks    []benchResult  `json:"benchmarks"`
+	Speedups      []speedup      `json:"speedups,omitempty"`
+	BaselineFile  string         `json:"baseline_file,omitempty"`
+	BaselineDiffs []baselineDiff `json:"baseline_diffs,omitempty"`
+	Notes         []string       `json:"notes,omitempty"`
 }
 
 // benchLine matches one result row; -benchmem columns are optional.
@@ -75,6 +98,8 @@ func main() {
 	pins := pinList{}
 	flag.Var(pins, "pin", "pinned baseline Name=ns_per_op (repeatable)")
 	note := flag.String("note", "", "free-form note to embed in the report")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json record to diff against")
+	maxRegress := flag.Float64("max-regress", 0, "fail when a benchmark's ns/op exceeds its -baseline entry by more than this percent (0 = report only)")
 	flag.Parse()
 
 	var rep report
@@ -128,6 +153,35 @@ func main() {
 			rep.Speedups = append(rep.Speedups, mkSpeedup(r.Name, "pinned", r.NsPerOp, ns))
 		}
 	}
+	regressed := false
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.BaselineFile = *baseline
+		for _, r := range rep.Benchmarks {
+			b, ok := base[r.Name]
+			if !ok {
+				continue // new benchmark, nothing to diff against
+			}
+			d := baselineDiff{
+				Name: r.Name, NsPerOp: r.NsPerOp, BaselineNs: b.NsPerOp,
+				BytesPerOp: r.BytesPerOp, BaselineBytes: b.BytesPerOp,
+				AllocsPerOp: r.AllocsPerOp, BaselineAllocs: b.AllocsPerOp,
+			}
+			if r.NsPerOp > 0 {
+				d.Speedup = b.NsPerOp / r.NsPerOp
+			}
+			rep.BaselineDiffs = append(rep.BaselineDiffs, d)
+			if *maxRegress > 0 && b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+*maxRegress/100) {
+				regressed = true
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f ns/op vs baseline %.1f ns/op (+%.0f%%, limit %.0f%%)\n",
+					r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), *maxRegress)
+			}
+		}
+	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -139,12 +193,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// loadBaseline reads a committed benchjson record and indexes it by name.
+func loadBaseline(path string) (map[string]benchResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	base := make(map[string]benchResult, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		base[b.Name] = b
+	}
+	return base, nil
 }
 
 func mkSpeedup(name, baseline string, ns, baseNs float64) speedup {

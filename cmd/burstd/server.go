@@ -44,7 +44,8 @@ type serverOpts struct {
 // into the store as its first segment, and served from the manifest from
 // then on.
 type server struct {
-	store *segstore.Store
+	store  *segstore.Store
+	stager *segstore.Stager // sharded ingest front end for /v1/append
 
 	dirty    atomic.Bool // appends since the last checkpoint
 	ready    atomic.Bool
@@ -75,6 +76,7 @@ func newServer(o serverOpts) (*server, error) {
 				return nil, fmt.Errorf("store: %w", err)
 			}
 			s.store = st
+			s.stager = segstore.NewStager(st)
 			s.logf("burstd: recovered store generation %d (%d elements, %d segments)",
 				st.Generation(), st.N(), len(st.Segments()))
 			s.ready.Store(true)
@@ -111,6 +113,7 @@ func newServer(o serverOpts) (*server, error) {
 		}
 	}
 	s.store = st
+	s.stager = segstore.NewStager(st)
 	s.ready.Store(true)
 	return s, nil
 }
@@ -276,24 +279,23 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
-	appended := 0
-	rejected := 0
-	for _, el := range req.Elements {
-		switch err := s.store.Append(el.Event, el.Time); {
-		case err == nil:
-			appended++
-		case errors.Is(err, stream.ErrOutOfOrder):
-			rejected++
-		default:
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
+	elems := make(stream.Stream, len(req.Elements))
+	for i, el := range req.Elements {
+		elems[i] = stream.Element{Event: el.Event, Time: el.Time}
 	}
-	if appended > 0 {
+	// The stager shards staging across CPUs and group-commits staged batches
+	// into the head in timestamp order, so concurrent ingest requests no
+	// longer serialize on one head mutex per element.
+	res := s.stager.Append(elems)
+	if res.Err != nil {
+		httpError(w, http.StatusInternalServerError, res.Err)
+		return
+	}
+	if res.Appended > 0 {
 		s.dirty.Store(true)
 	}
 	writeJSON(w, map[string]any{
-		"appended": appended, "rejected": rejected,
+		"appended": res.Appended, "rejected": res.Rejected,
 		"elements": s.store.N(), "outOfOrder": s.store.Rejected(),
 	})
 }

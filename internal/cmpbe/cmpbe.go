@@ -218,6 +218,19 @@ func (s *Sketch) EventCells(e uint64) []pbe.PBE {
 	return cells
 }
 
+// AppendEventCells appends e's d cells to buf and returns it — the
+// buffer-reusing variant of EventCells for the cross-segment point path,
+// which walks every segment's cells per query and would otherwise allocate
+// a fresh slice per segment.
+//
+//histburst:fastpath EventCells
+func (s *Sketch) AppendEventCells(e uint64, buf []pbe.PBE) []pbe.PBE {
+	for i := 0; i < s.d; i++ {
+		buf = append(buf, s.cells[i][s.hf.Hash(i, e)])
+	}
+	return buf
+}
+
 // EstimateFMin returns the min-of-rows estimate. Plain Count-Min uses the
 // minimum because its per-cell error is one-sided; CM-PBE's is two-sided, so
 // the median is the right estimator (Section IV). The minimum is exposed for

@@ -87,6 +87,14 @@ func (d *Direct) EventCells(e uint64) []pbe.PBE {
 	return []pbe.PBE{d.cells[e%uint64(len(d.cells))]}
 }
 
+// AppendEventCells appends e's single cell to buf and returns it — the
+// buffer-reusing variant of EventCells.
+//
+//histburst:fastpath EventCells
+func (d *Direct) AppendEventCells(e uint64, buf []pbe.PBE) []pbe.PBE {
+	return append(buf, d.cells[e%uint64(len(d.cells))])
+}
+
 // BurstyTimes answers the BURSTY TIME QUERY for e.
 func (d *Direct) BurstyTimes(e uint64, theta float64, tau int64) []pbe.TimeRange {
 	return pbe.BurstyTimes(d.View(e), theta, tau, d.maxT)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"histburst/internal/pbe"
+	"histburst/internal/pbe2"
 )
 
 // mergeAppender is the per-cell merge capability (implemented by both PBE
@@ -44,6 +45,110 @@ func (s *Sketch) MergeAppend(other *Sketch) error {
 	}
 	s.bytesMemo.Store(0)
 	return nil
+}
+
+// MergeSketches builds a fresh sketch equivalent to MergeAppend-ing each of
+// parts[1:] onto a clone of parts[0], without materializing clones: every
+// cell is assembled straight from the source cells' packed segment arrays by
+// pbe2.MergeFinished, and all d·w result builders live in one arena
+// allocation. Only PBE-2 cells are stream-mergeable (PBE-1's buffering makes
+// packed-array concatenation inapplicable); sources must be finished and are
+// never mutated. Cell arithmetic is bit-identical to the MergeAppend chain.
+//
+//histburst:fastpath MergeAppend
+func MergeSketches(parts []*Sketch) (*Sketch, error) {
+	if len(parts) == 0 || parts[0] == nil {
+		return nil, fmt.Errorf("cmpbe: merge of zero sketches")
+	}
+	first := parts[0]
+	for _, p := range parts[1:] {
+		if p == nil {
+			return nil, fmt.Errorf("cmpbe: cannot merge nil sketch")
+		}
+		if first.d != p.d || first.w != p.w {
+			return nil, fmt.Errorf("cmpbe: dimension mismatch (%d×%d vs %d×%d)", first.d, first.w, p.d, p.w)
+		}
+		if first.seed != p.seed {
+			return nil, fmt.Errorf("cmpbe: seed mismatch (%d vs %d)", first.seed, p.seed)
+		}
+	}
+	arrays := make([][]pbe.PBE, len(parts))
+	var n, maxT int64 = first.n, first.maxT
+	arrays[0] = first.flat
+	for i, p := range parts[1:] {
+		arrays[i+1] = p.flat
+		n += p.n
+		if p.maxT > maxT {
+			maxT = p.maxT
+		}
+	}
+	flat, err := mergeCellArrays(arrays)
+	if err != nil {
+		return nil, err
+	}
+	out := &Sketch{d: first.d, w: first.w, seed: first.seed, flat: flat, hf: first.hf, n: n, maxT: maxT}
+	out.cells = make([][]pbe.PBE, out.d)
+	for i := range out.cells {
+		out.cells[i] = flat[i*out.w : (i+1)*out.w : (i+1)*out.w]
+	}
+	return out, nil
+}
+
+// MergeDirects is MergeSketches for collision-free summaries.
+//
+//histburst:fastpath MergeAppend
+func MergeDirects(parts []*Direct) (*Direct, error) {
+	if len(parts) == 0 || parts[0] == nil {
+		return nil, fmt.Errorf("cmpbe: merge of zero summaries")
+	}
+	first := parts[0]
+	for _, p := range parts[1:] {
+		if p == nil {
+			return nil, fmt.Errorf("cmpbe: cannot merge nil summary")
+		}
+		if len(first.cells) != len(p.cells) {
+			return nil, fmt.Errorf("cmpbe: id space mismatch (%d vs %d)", len(first.cells), len(p.cells))
+		}
+	}
+	arrays := make([][]pbe.PBE, len(parts))
+	var n, maxT int64 = first.n, first.maxT
+	arrays[0] = first.cells
+	for i, p := range parts[1:] {
+		arrays[i+1] = p.cells
+		n += p.n
+		if p.maxT > maxT {
+			maxT = p.maxT
+		}
+	}
+	cells, err := mergeCellArrays(arrays)
+	if err != nil {
+		return nil, err
+	}
+	return &Direct{cells: cells, n: n, maxT: maxT}, nil
+}
+
+// mergeCellArrays merges cell i of every source array into slot i of a fresh
+// cell array. All result builders are laid out in one arena allocation; each
+// cell's segment storage is sized exactly once by pbe2.MergeFinishedInto.
+func mergeCellArrays(arrays [][]pbe.PBE) ([]pbe.PBE, error) {
+	cellCount := len(arrays[0])
+	out := make([]pbe.PBE, cellCount)
+	arena := make([]pbe2.Builder, cellCount)
+	srcs := make([]*pbe2.Builder, len(arrays))
+	for c := 0; c < cellCount; c++ {
+		for k, a := range arrays {
+			b, ok := a[c].(*pbe2.Builder)
+			if !ok {
+				return nil, fmt.Errorf("cmpbe: cell type %T is not stream-mergeable", a[c])
+			}
+			srcs[k] = b
+		}
+		if err := pbe2.MergeFinishedInto(&arena[c], srcs); err != nil {
+			return nil, fmt.Errorf("cmpbe: cell %d: %w", c, err)
+		}
+		out[c] = &arena[c]
+	}
+	return out, nil
 }
 
 // MergeAppend absorbs a Direct summary built over a strictly later time

@@ -29,6 +29,71 @@ func (t *Tree) MergeAppend(other *Tree) error {
 	return nil
 }
 
+// MergeTrees builds a fresh tree equivalent to MergeAppend-ing each of
+// parts[1:] onto a clone of parts[0]: every level merges all its
+// counterparts in one pass through cmpbe's streaming cell mergers, with no
+// intermediate clones. Sources must hold finished (sealed) summaries and are
+// never mutated; results are bit-identical to the MergeAppend chain.
+//
+//histburst:fastpath MergeAppend
+func MergeTrees(parts []*Tree) (*Tree, error) {
+	if len(parts) == 0 || parts[0] == nil {
+		return nil, fmt.Errorf("dyadic: merge of zero trees")
+	}
+	first := parts[0]
+	var n, maxT int64 = first.n, first.maxT
+	for _, p := range parts[1:] {
+		if p == nil {
+			return nil, fmt.Errorf("dyadic: cannot merge nil tree")
+		}
+		if first.k != p.k || len(first.levels) != len(p.levels) {
+			return nil, fmt.Errorf("dyadic: shape mismatch (k=%d/%d, levels=%d/%d)",
+				first.k, p.k, len(first.levels), len(p.levels))
+		}
+		n += p.n
+		if p.maxT > maxT {
+			maxT = p.maxT
+		}
+	}
+	levels := make([]Level, len(first.levels))
+	for i := range levels {
+		merged, err := mergeLevels(parts, i)
+		if err != nil {
+			return nil, fmt.Errorf("dyadic: level %d: %w", i, err)
+		}
+		levels[i] = merged
+	}
+	return &Tree{k: first.k, lgK: first.lgK, levels: levels, n: n, maxT: maxT}, nil
+}
+
+// mergeLevels streams level i of every tree into one merged level summary.
+func mergeLevels(parts []*Tree, i int) (Level, error) {
+	switch parts[0].levels[i].(type) {
+	case *cmpbe.Sketch:
+		srcs := make([]*cmpbe.Sketch, len(parts))
+		for k, p := range parts {
+			s, ok := p.levels[i].(*cmpbe.Sketch)
+			if !ok {
+				return nil, fmt.Errorf("level type mismatch: %T vs %T", parts[0].levels[i], p.levels[i])
+			}
+			srcs[k] = s
+		}
+		return cmpbe.MergeSketches(srcs)
+	case *cmpbe.Direct:
+		srcs := make([]*cmpbe.Direct, len(parts))
+		for k, p := range parts {
+			s, ok := p.levels[i].(*cmpbe.Direct)
+			if !ok {
+				return nil, fmt.Errorf("level type mismatch: %T vs %T", parts[0].levels[i], p.levels[i])
+			}
+			srcs[k] = s
+		}
+		return cmpbe.MergeDirects(srcs)
+	default:
+		return nil, fmt.Errorf("level type %T is not stream-mergeable", parts[0].levels[i])
+	}
+}
+
 func mergeLevel(dst, src Level) error {
 	switch d := dst.(type) {
 	case *cmpbe.Sketch:

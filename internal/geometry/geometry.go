@@ -126,6 +126,74 @@ func (p Polygon) Clip(h HalfPlane) Polygon {
 	return Polygon{vs: dedupe(out)}
 }
 
+// ClipInto is Clip writing its result into buf's storage instead of
+// allocating. buf is truncated, grown as needed, and left holding the result
+// so its capacity carries over to the next call; the returned polygon
+// aliases *buf. The caller must ensure p does not alias *buf and must treat
+// the previous contents of *buf as dead. Output is bit-identical to Clip.
+//
+//histburst:fastpath Clip
+func (p Polygon) ClipInto(h HalfPlane, buf *[]Vec2) Polygon {
+	n := len(p.vs)
+	if n == 0 {
+		return Polygon{}
+	}
+	out := (*buf)[:0]
+	// Each vertex's slack is computed once and carried to the next edge
+	// (Clip evaluates it twice, as edge head and as edge tail); the dedupe
+	// pass is fused into the emit so the output is written exactly once.
+	d0 := h.eval(p.vs[0])
+	in0 := d0 >= -Eps
+	d1, curIn := d0, in0
+	for i := 0; i < n; i++ {
+		j := i + 1
+		var d2 float64
+		var nextIn bool
+		if j < n {
+			d2 = h.eval(p.vs[j])
+			nextIn = d2 >= -Eps
+		} else {
+			j = 0
+			d2, nextIn = d0, in0
+		}
+		cur := p.vs[i]
+		if curIn {
+			// appendDeduped, inlined by hand: the compare + append is too
+			// large for the inliner but far cheaper than a call per emit.
+			if k := len(out); k == 0 ||
+				!(math.Abs(cur.X-out[k-1].X) < Eps && math.Abs(cur.Y-out[k-1].Y) < Eps) {
+				out = append(out, cur)
+			}
+		}
+		if curIn != nextIn {
+			// Edge crosses the boundary; find the crossing by linear
+			// interpolation on the slack, which is affine along the edge.
+			t := d1 / (d1 - d2)
+			if t < 0 {
+				t = 0
+			} else if t > 1 {
+				t = 1
+			}
+			x := cur.Add(p.vs[j].Sub(cur).Scale(t))
+			if k := len(out); k == 0 ||
+				!(math.Abs(x.X-out[k-1].X) < Eps && math.Abs(x.Y-out[k-1].Y) < Eps) {
+				out = append(out, x)
+			}
+		}
+		d1, curIn = d2, nextIn
+	}
+	for len(out) > 1 {
+		d := out[0].Sub(out[len(out)-1])
+		if math.Abs(d.X) < Eps && math.Abs(d.Y) < Eps {
+			out = out[:len(out)-1]
+			continue
+		}
+		break
+	}
+	*buf = out
+	return Polygon{vs: out}
+}
+
 // dedupe removes consecutive (and wrap-around) vertices closer than Eps,
 // which clipping can produce when the boundary passes through a vertex.
 func dedupe(vs []Vec2) []Vec2 {
@@ -250,6 +318,80 @@ func BoundedIntersection(hs [4]HalfPlane) (Polygon, bool) {
 		return Polygon{vs: hull}, len(hull) > 0
 	}
 	return Polygon{vs: hull}, true
+}
+
+// BoundedIntersectionInto is BoundedIntersection writing the hull into buf's
+// storage instead of allocating. The four seed half-planes yield at most six
+// pairwise boundary intersections, so every intermediate of the monotone
+// chain fits in fixed stack arrays; only the final vertex list touches *buf.
+// Same aliasing contract as ClipInto; output is bit-identical to
+// BoundedIntersection.
+//
+//histburst:fastpath BoundedIntersection
+func BoundedIntersectionInto(hs [4]HalfPlane, buf *[]Vec2) (Polygon, bool) {
+	var pts [6]Vec2
+	n := 0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			p, ok := LineIntersection(hs[i], hs[j])
+			if !ok {
+				continue
+			}
+			inside := true
+			for k := 0; k < 4; k++ {
+				if !hs[k].Contains(p) {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				pts[n] = p
+				n++
+			}
+		}
+	}
+	hull := hullInto(pts[:n], (*buf)[:0])
+	*buf = hull
+	if len(hull) < 3 {
+		return Polygon{vs: hull}, len(hull) > 0
+	}
+	return Polygon{vs: hull}, true
+}
+
+// hullInto runs the monotone chain of ConvexHull for at most six points,
+// using stack scratch for the sort and the two chains, and appends the hull
+// into out. Arithmetic and vertex order match ConvexHull exactly.
+func hullInto(pts []Vec2, out []Vec2) []Vec2 {
+	if len(pts) <= 2 {
+		return dedupe(append(out, pts...))
+	}
+	var sortBuf [6]Vec2
+	sorted := sortBuf[:0]
+	sorted = append(sorted, pts...)
+	// Sort by (X, Y).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && less(sorted[j], sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var lowerBuf, upperBuf [7]Vec2
+	lower, upper := lowerBuf[:0], upperBuf[:0]
+	for _, p := range sorted {
+		for len(lower) >= 2 && lower[len(lower)-1].Sub(lower[len(lower)-2]).Cross(p.Sub(lower[len(lower)-2])) <= Eps {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		p := sorted[i]
+		for len(upper) >= 2 && upper[len(upper)-1].Sub(upper[len(upper)-2]).Cross(p.Sub(upper[len(upper)-2])) <= Eps {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	out = append(out, lower[:len(lower)-1]...)
+	out = append(out, upper[:len(upper)-1]...)
+	return dedupe(out)
 }
 
 // ConvexHull returns the convex hull of the points in CCW order (Andrew's

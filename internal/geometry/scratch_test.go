@@ -1,0 +1,98 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randPoly builds a random convex polygon by clipping the unit square a few
+// times (possibly down to a degenerate or empty region).
+func randPoly(r *rand.Rand) Polygon {
+	p := square()
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		p = p.Clip(HalfPlane{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()})
+	}
+	return p
+}
+
+func samePolygon(a, b Polygon) bool {
+	if len(a.vs) != len(b.vs) {
+		return false
+	}
+	for i := range a.vs {
+		if a.vs[i] != b.vs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClipIntoMatchesClip(t *testing.T) {
+	var buf []Vec2
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPoly(r)
+		for i := 0; i < 8; i++ {
+			h := HalfPlane{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+			want := p.Clip(h)
+			got := p.ClipInto(h, &buf)
+			if !samePolygon(got, want) {
+				t.Logf("clip mismatch: got %v want %v", got.vs, want.vs)
+				return false
+			}
+			p = want // keep clipping the shrinking region, reusing buf
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedIntersectionIntoMatches(t *testing.T) {
+	var buf []Vec2
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Seed constraints like PBE-2's: two constraint points at distinct
+		// instants, each contributing an upper and a lower half-plane.
+		t1 := float64(r.Intn(100))
+		t2 := t1 + 1 + float64(r.Intn(100))
+		f1 := float64(r.Intn(50))
+		f2 := f1 + float64(r.Intn(50))
+		gamma := 1 + r.Float64()*8
+		hs := [4]HalfPlane{
+			{A: t1, B: 1, C: f1},
+			{A: -t1, B: -1, C: gamma - f1},
+			{A: t2, B: 1, C: f2},
+			{A: -t2, B: -1, C: gamma - f2},
+		}
+		want, okW := BoundedIntersection(hs)
+		got, okG := BoundedIntersectionInto(hs, &buf)
+		if okW != okG || !samePolygon(got, want) {
+			t.Logf("seed intersection mismatch: got %v (%v) want %v (%v)", got.vs, okG, want.vs, okW)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedIntersectionIntoDegenerate(t *testing.T) {
+	// Parallel seed constraints: unbounded/degenerate regions must report
+	// the same ok and vertices as the allocating path.
+	hs := [4]HalfPlane{
+		{A: 1, B: 1, C: 1},
+		{A: 1, B: 1, C: 2},
+		{A: 1, B: 1, C: 3},
+		{A: 1, B: 1, C: 4},
+	}
+	var buf []Vec2
+	want, okW := BoundedIntersection(hs)
+	got, okG := BoundedIntersectionInto(hs, &buf)
+	if okW != okG || !samePolygon(got, want) {
+		t.Fatalf("degenerate mismatch: got %v (%v) want %v (%v)", got.vs, okG, want.vs, okW)
+	}
+}

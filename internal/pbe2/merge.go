@@ -47,3 +47,80 @@ func (b *Builder) MergeAppend(other pbe.PBE) error {
 	b.updateHeadLow()
 	return nil
 }
+
+// MergeFinished builds a fresh summary equivalent to MergeAppend-ing each of
+// parts[1:] onto a clone of parts[0], in order, without materializing any
+// intermediate clones: the segment and start arrays are allocated once at
+// their final size and filled straight from the sources' packed arrays. The
+// per-segment arithmetic (one B += float64(receiver count) lift) is the same
+// single float64 addition MergeAppend performs, so the result is
+// bit-identical to the sequential clone+MergeAppend chain.
+//
+// Sources must already be finished (sealed summaries always are); they are
+// never mutated.
+//
+//histburst:fastpath MergeAppend
+func MergeFinished(parts []*Builder) (*Builder, error) {
+	out := new(Builder)
+	if err := MergeFinishedInto(out, parts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergeFinishedInto is MergeFinished writing into a caller-provided zero
+// Builder, so batch mergers (one per sketch cell) can lay the result structs
+// out in a single arena allocation instead of one heap object each.
+func MergeFinishedInto(out *Builder, parts []*Builder) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("pbe2: merge of zero summaries")
+	}
+	total := 0
+	for i, p := range parts {
+		if p.started && !p.done {
+			return fmt.Errorf("pbe2: merge source %d not finished", i)
+		}
+		if p.gamma != parts[0].gamma {
+			return fmt.Errorf("pbe2: gamma mismatch (%v vs %v)", parts[0].gamma, p.gamma)
+		}
+		total += len(p.segs)
+	}
+	first := parts[0]
+	*out = Builder{
+		gamma:       first.gamma,
+		maxVertices: first.maxVertices,
+		segs:        make([]Segment, 0, total),
+		starts:      make([]int64, 0, total),
+		count:       first.count,
+		lastT:       first.lastT,
+		prevF:       first.prevF,
+		started:     first.started,
+		done:        first.done,
+		outOfOrder:  first.outOfOrder,
+	}
+	for _, s := range first.segs {
+		out.appendSegment(s)
+	}
+	for _, p := range parts[1:] {
+		if p.count == 0 {
+			continue
+		}
+		if out.started && len(p.segs) > 0 && p.segs[0].Start < out.lastT {
+			return fmt.Errorf("pbe2: time ranges overlap (receiver ends at %d, other starts at %d)",
+				out.lastT, p.segs[0].Start)
+		}
+		offset := float64(out.count)
+		for _, s := range p.segs {
+			s.B += offset
+			out.appendSegment(s)
+		}
+		out.count += p.count
+		out.lastT = p.lastT
+		out.prevF = out.count
+		out.started = out.started || p.started
+		out.done = true
+		out.outOfOrder += p.outOfOrder
+	}
+	out.updateHeadLow()
+	return nil
+}

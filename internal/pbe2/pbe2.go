@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"histburst/internal/geometry"
 )
@@ -60,7 +61,11 @@ type Builder struct {
 	// every mutation so the query path dispatches on a single comparison.
 	headLow int64
 
-	// Current feasible region and the constraint window it covers.
+	// Current feasible region and the constraint window it covers. poly
+	// aliases scr.bufs[scr.cur] while a region is open; the scratch is
+	// pooled and released when Finish seals the summary, so resting
+	// (sealed) builders carry no clip arena.
+	scr      *clipScratch
 	poly     geometry.Polygon
 	polyOpen bool
 	winStart int64   // first constrained time of the open window
@@ -81,6 +86,42 @@ type Builder struct {
 type point struct {
 	t int64
 	f int64
+}
+
+// clipScratch is the per-builder vertex arena for allocation-free region
+// maintenance: two ping-pong polygon buffers plus the intermediate of the
+// double clip. Holding the region in bufs[cur] while clipping h1 into tmp
+// and h2 into bufs[1−cur] keeps the pre-clip region intact, because an empty
+// result must fall back to it (closeWindow emits from the last feasible
+// region).
+type clipScratch struct {
+	bufs [2][]geometry.Vec2
+	tmp  []geometry.Vec2
+	cur  int
+}
+
+// clipScratchPool recycles arenas across builders: segment builds and
+// compaction runs churn through many short-lived builders, and the buffers
+// reach steady-state capacity after a handful of clips.
+var clipScratchPool = sync.Pool{New: func() any { return new(clipScratch) }}
+
+// scratch returns the builder's clip arena, acquiring one lazily. Acquisition
+// happens only on the mutation path (feed), never on queries.
+func (b *Builder) scratch() *clipScratch {
+	if b.scr == nil {
+		b.scr = clipScratchPool.Get().(*clipScratch)
+	}
+	return b.scr
+}
+
+// releaseScratch returns the arena to the pool once no open region can
+// reference it. Append reacquires lazily if the stream resumes after Finish.
+func (b *Builder) releaseScratch() {
+	if b.scr != nil {
+		s := b.scr
+		b.scr = nil
+		clipScratchPool.Put(s)
+	}
 }
 
 // Option configures a Builder.
@@ -185,6 +226,7 @@ func (b *Builder) Finish() {
 	b.closeWindow()
 	b.done = true
 	b.updateHeadLow()
+	b.releaseScratch()
 }
 
 // feed adds one constraint point to the open feasible region, emitting a
@@ -205,7 +247,8 @@ func (b *Builder) feed(p point) {
 			b.pending[0] = p
 			return
 		}
-		poly, ok := geometry.BoundedIntersection(seedConstraints(first, p, b.gamma))
+		scr := b.scratch()
+		poly, ok := geometry.BoundedIntersectionInto(seedConstraints(first, p, b.gamma), &scr.bufs[scr.cur])
 		if !ok || poly.Empty() {
 			// The two points alone are infeasible for one line — possible
 			// only when the rise between them exceeds any γ-line's reach;
@@ -224,15 +267,17 @@ func (b *Builder) feed(p point) {
 		return
 	}
 	h1, h2 := pointConstraints(p, b.gamma)
-	next := b.poly.Clip(h1).Clip(h2)
+	scr := b.scratch()
+	next := b.poly.ClipInto(h1, &scr.tmp).ClipInto(h2, &scr.bufs[1-scr.cur])
 	if next.Empty() {
-		// Close the segment over the window that was still feasible, then
-		// start a new window at p.
+		// Close the segment over the window that was still feasible (it is
+		// untouched in bufs[cur]), then start a new window at p.
 		b.closeWindow()
 		b.pending = append(b.pending[:0], p)
 		b.winStart = p.t
 		return
 	}
+	scr.cur = 1 - scr.cur
 	b.poly = next
 	b.winEnd = p.t
 	if b.maxVertices > 0 && b.poly.Len() > b.maxVertices {

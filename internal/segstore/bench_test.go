@@ -2,6 +2,8 @@ package segstore
 
 import (
 	"testing"
+
+	"histburst/internal/stream"
 )
 
 // benchStore builds a volatile store holding nSegs sealed segments of
@@ -30,10 +32,46 @@ func benchStore(b *testing.B, nSegs int, segElems int) *Store {
 	return s
 }
 
-// BenchmarkSegstoreAppendSeal measures live-ingest throughput with sealing
-// in the loop: every 4096th append freezes the head and hands it to the
-// background sealer.
+// BenchmarkSegstoreAppendSeal measures ingest throughput on the batch path
+// — 512-element AppendBatch calls, the shape burstd's sharded stager feeds
+// the store — with sealing in the loop: every 4096th element freezes the
+// head and hands it to the background sealer. Reported per element.
 func BenchmarkSegstoreAppendSeal(b *testing.B) {
+	cfg := testConfig(4096)
+	cfg.K = 1 << 10
+	cfg.CompactFanout = -1
+	s, err := Open("", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchLen = 512
+	batch := make(stream.Stream, batchLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchLen {
+		n := batchLen
+		if i+n > b.N {
+			n = b.N - i
+		}
+		for j := 0; j < n; j++ {
+			batch[j] = stream.Element{Event: uint64(i+j) & 1023, Time: int64(i + j)}
+		}
+		if _, _, err := s.AppendBatch(batch[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(false); err != nil { // include the pending seals
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSegstoreAppendSealElement is the per-element reference: one
+// head-lock round trip per Append.
+func BenchmarkSegstoreAppendSealElement(b *testing.B) {
 	cfg := testConfig(4096)
 	cfg.K = 1 << 10
 	cfg.CompactFanout = -1

@@ -6,15 +6,18 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
+	"histburst"
 	"histburst/internal/atomicfile"
 )
 
 // Compaction keeps the segment count logarithmic in the stream length:
 // every seal produces a level-0 segment of ~SealEvents elements, and
 // whenever fanout adjacent segments share a size class the compactor
-// merges them — clones of the inputs, MergeAppend in time order — into one
-// segment a class up. The swap is a generation bump: new file fsynced,
+// merges them — the streaming kernel reads the finished inputs in time
+// order without cloning them — into one segment a class up. The swap is a
+// generation bump: new file fsynced,
 // manifest rewritten atomically, view republished, and only then are the
 // tombstoned input files deleted. A crash anywhere in that sequence leaves
 // either the old generation (new file swept as an orphan at open) or the
@@ -58,34 +61,62 @@ func (s *Store) compactLoop() {
 	}
 }
 
-// compactOnce merges one eligible run, if any. progressed reports whether
-// another scan might find more work (a merge happened, or a run was newly
-// marked unmergeable).
+// compactOnce merges every currently eligible run. Runs over disjoint
+// segments are independent — the merge kernel only reads its own finished
+// sources — so their merges execute concurrently, and only the swaps
+// serialize on mu. progressed reports whether another scan might find more
+// work (a merge happened, or a run was newly marked unmergeable).
 func (s *Store) compactOnce() (progressed bool, err error) {
 	v := s.view.Load()
-	run := s.pickRun(v.segs)
-	if run == nil {
+	runs := s.pickRuns(v.segs)
+	if len(runs) == 0 {
 		return false, nil
 	}
-	merged, err := s.mergeRun(run)
-	if err != nil {
-		// Unmergeable boundary: remember the run so the scan moves on.
-		// This is a policy outcome, not a failure.
-		s.noMerge[runKey(run)] = true
-		return true, nil
+	merged := make([]*Segment, len(runs))
+	merr := make([]error, len(runs))
+	if len(runs) == 1 {
+		merged[0], merr[0] = s.mergeRun(runs[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := range runs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				merged[i], merr[i] = s.mergeRun(runs[i])
+			}(i)
+		}
+		wg.Wait()
 	}
+	for i, run := range runs {
+		if merr[i] != nil {
+			// Unmergeable boundary: remember the run so the scan moves on.
+			// This is a policy outcome, not a failure.
+			s.noMerge[runKey(run)] = true
+			progressed = true
+			continue
+		}
+		if err := s.swapRun(run, merged[i]); err != nil {
+			return progressed, err
+		}
+		progressed = true
+	}
+	return progressed, nil
+}
 
+// swapRun publishes merged in place of run: ID assignment, segment file and
+// manifest writes, view republish, then tombstone deletion.
+func (s *Store) swapRun(run []*Segment, merged *Segment) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return false, nil
+		return nil
 	}
 	lo := s.findRunLocked(run)
 	if lo < 0 {
 		// The composition changed under us (cannot happen with a single
 		// compactor, but stay defensive); drop the work.
 		s.mu.Unlock()
-		return true, nil
+		return nil
 	}
 	merged.meta.ID = s.nextID
 	s.nextID++
@@ -98,14 +129,14 @@ func (s *Store) compactOnce() (progressed bool, err error) {
 		// simplicity worth having.
 		if err := merged.det.SaveFile(path); err != nil {
 			s.mu.Unlock()
-			return false, err
+			return err
 		}
 	}
 	s.segs = append(s.segs[:lo:lo], append([]*Segment{merged}, s.segs[lo+len(run):]...)...)
 	s.gen++
 	if err := s.writeManifestLocked(); err != nil {
 		s.mu.Unlock()
-		return false, err
+		return err
 	}
 	s.publishLocked(nil)
 	s.mu.Unlock()
@@ -119,17 +150,19 @@ func (s *Store) compactOnce() (progressed bool, err error) {
 		}
 		atomicfile.SyncDir(s.dir)
 	}
-	return true, nil
+	return nil
 }
 
-// pickRun returns the oldest run of fanout adjacent segments sharing a size
-// class, skipping runs already known unmergeable. Operates on an immutable
-// view slice, so no lock is needed.
-func (s *Store) pickRun(segs []*Segment) []*Segment {
+// pickRuns returns every disjoint run of fanout adjacent segments sharing a
+// size class, oldest first, skipping runs already known unmergeable. The
+// runs never overlap — the scan resumes past each pick — so their merges are
+// independent. Operates on an immutable view slice, so no lock is needed.
+func (s *Store) pickRuns(segs []*Segment) [][]*Segment {
 	n := int(s.fanout)
 	if n < 2 || len(segs) < n {
 		return nil
 	}
+	var runs [][]*Segment
 	for lo := 0; lo+n <= len(segs); lo++ {
 		lvl := segs[lo].level(s.seals.events, s.fanout)
 		ok := true
@@ -140,10 +173,11 @@ func (s *Store) pickRun(segs []*Segment) []*Segment {
 			}
 		}
 		if ok && !s.noMerge[runKey(segs[lo:lo+n])] {
-			return segs[lo : lo+n]
+			runs = append(runs, segs[lo:lo+n])
+			lo += n - 1
 		}
 	}
-	return nil
+	return runs
 }
 
 // runKey identifies a run by its segment IDs. IDs are never reused, so a
@@ -179,10 +213,27 @@ func (s *Store) findRunLocked(run []*Segment) int {
 	return -1
 }
 
-// mergeRun builds the replacement segment from clones of the run's
-// detectors — MergeAppend mutates both operands, and the originals must
-// keep serving queries untouched until the swap.
+// mergeRun builds the replacement segment with the streaming merge kernel:
+// MergeDetectors reads the finished sources' packed arrays directly and
+// never mutates them, so — unlike the MergeAppend chain — no clones are
+// materialized and the originals keep serving queries throughout.
+//
+//histburst:fastpath mergeRunNaive
 func (s *Store) mergeRun(run []*Segment) (*Segment, error) {
+	dets := make([]*histburst.Detector, len(run))
+	for i, g := range run {
+		dets[i] = g.det
+	}
+	out, err := histburst.MergeDetectors(dets)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{meta: runMeta(run), det: out}, nil
+}
+
+// mergeRunNaive is the retained naive twin: clone every input — MergeAppend
+// mutates both operands — and chain MergeAppend in time order.
+func (s *Store) mergeRunNaive(run []*Segment) (*Segment, error) {
 	out, err := run[0].det.Clone()
 	if err != nil {
 		return nil, err
@@ -196,17 +247,20 @@ func (s *Store) mergeRun(run []*Segment) (*Segment, error) {
 			return nil, err
 		}
 	}
+	return &Segment{meta: runMeta(run), det: out}, nil
+}
+
+// runMeta derives the merged segment's manifest record from the run it
+// replaces.
+func runMeta(run []*Segment) SegmentMeta {
 	first, last := run[0].meta, run[len(run)-1].meta
 	elements := int64(0)
 	for _, g := range run {
 		elements += g.meta.Elements
 	}
-	return &Segment{
-		meta: SegmentMeta{
-			Start: first.Start, End: last.End,
-			MinT: first.MinT, MaxT: last.MaxT,
-			Elements: elements, Compacted: true,
-		},
-		det: out,
-	}, nil
+	return SegmentMeta{
+		Start: first.Start, End: last.End,
+		MinT: first.MinT, MaxT: last.MaxT,
+		Elements: elements, Compacted: true,
+	}
 }

@@ -1,0 +1,183 @@
+package segstore
+
+import (
+	"errors"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+// The ingest/compaction fast paths from the throughput overhaul, pinned to
+// their naive twins: AppendBatch (one head lock per batch) must leave the
+// store query-identical to per-element Append, and the streaming mergeRun
+// must produce the same segment as the Clone+MergeAppend chain.
+
+// withDisorder injects out-of-order elements (timestamps behind the running
+// maximum) at a deterministic cadence so both ingest paths must reject the
+// same set.
+func withDisorder(elems stream.Stream) stream.Stream {
+	out := make(stream.Stream, 0, len(elems)+len(elems)/40)
+	maxT := int64(0)
+	for i, el := range elems {
+		out = append(out, el)
+		if el.Time > maxT {
+			maxT = el.Time
+		}
+		if i%40 == 17 && maxT > 3 {
+			out = append(out, stream.Element{Event: el.Event, Time: maxT - 3})
+		}
+	}
+	return out
+}
+
+func TestAppendBatchMatchesAppend(t *testing.T) {
+	elems := withDisorder(genStream(900, 32, 1500, 71))
+	cfg := testConfig(64)
+	cfg.CompactFanout = -1
+
+	seq := mustOpen(t, "", cfg)
+	defer mustClose(t, seq)
+	seqRejected := int64(0)
+	for _, el := range elems {
+		if err := seq.Append(el.Event, el.Time); err != nil {
+			if !errors.Is(err, stream.ErrOutOfOrder) {
+				t.Fatal(err)
+			}
+			seqRejected++
+		}
+	}
+	if err := seq.Checkpoint(true); err != nil {
+		t.Fatal(err)
+	}
+
+	bat := mustOpen(t, "", cfg)
+	defer mustClose(t, bat)
+	var appended, rejected int64
+	for lo := 0; lo < len(elems); lo += 97 { // uneven chunks straddle seal boundaries
+		hi := lo + 97
+		if hi > len(elems) {
+			hi = len(elems)
+		}
+		a, r, err := bat.AppendBatch(elems[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		appended += a
+		rejected += r
+	}
+	if err := bat.Checkpoint(true); err != nil {
+		t.Fatal(err)
+	}
+
+	if rejected != seqRejected || bat.Rejected() != seq.Rejected() {
+		t.Fatalf("rejection counts: batch %d (store %d), sequential %d (store %d)",
+			rejected, bat.Rejected(), seqRejected, seq.Rejected())
+	}
+	if appended+rejected != int64(len(elems)) {
+		t.Fatalf("batch consumed %d elements of %d", appended+rejected, len(elems))
+	}
+	sSegs, bSegs := seq.Segments(), bat.Segments()
+	if len(sSegs) != len(bSegs) {
+		t.Fatalf("segment counts differ: sequential %d, batch %d", len(sSegs), len(bSegs))
+	}
+	for i := range sSegs {
+		if sSegs[i].Start != bSegs[i].Start || sSegs[i].End != bSegs[i].End ||
+			sSegs[i].Elements != bSegs[i].Elements {
+			t.Fatalf("segment %d differs: sequential %+v, batch %+v", i, sSegs[i], bSegs[i])
+		}
+	}
+	for e := uint64(0); e < 32; e++ {
+		for q := int64(-5); q <= seq.MaxTime()+5; q += 41 {
+			if a, b := seq.CumulativeFrequency(e, q), bat.CumulativeFrequency(e, q); a != b {
+				t.Fatalf("F(%d,%d): sequential %v, batch %v", e, q, a, b)
+			}
+			a, err := seq.Burstiness(e, q, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := bat.Burstiness(e, q, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("b(%d,%d): sequential %v, batch %v", e, q, a, b)
+			}
+		}
+	}
+}
+
+// TestAppendStreamStopsAtFirstDisorder pins the batch-path AppendStream to
+// the old per-element semantics: error at the first out-of-order element,
+// everything before it ingested.
+func TestAppendStreamStopsAtFirstDisorder(t *testing.T) {
+	cfg := testConfig(-1)
+	cfg.CompactFanout = -1
+	s := mustOpen(t, "", cfg)
+	defer mustClose(t, s)
+	elems := stream.Stream{
+		{Event: 1, Time: 10}, {Event: 2, Time: 20}, {Event: 3, Time: 15}, {Event: 4, Time: 30},
+	}
+	err := s.AppendStream(elems)
+	if !errors.Is(err, stream.ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+	if n := s.N(); n != 2 {
+		t.Fatalf("ingested %d elements before the disorder, want 2", n)
+	}
+	if s.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Rejected())
+	}
+}
+
+// TestMergeRunMatchesNaive pins the streaming segment merge bit-identical to
+// the retained Clone+MergeAppend twin.
+func TestMergeRunMatchesNaive(t *testing.T) {
+	elems := genStream(800, 32, 1500, 83)
+	cfg := testConfig(64)
+	cfg.CompactFanout = -1 // keep the sealed run intact for us to merge
+	_, s := buildPair(t, elems, cfg, true)
+	defer mustClose(t, s)
+
+	run := s.view.Load().segs
+	if len(run) < 4 {
+		t.Fatalf("want ≥4 segments to merge, got %d", len(run))
+	}
+	fast, err := s.mergeRun(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := s.mergeRunNaive(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.meta != naive.meta {
+		t.Fatalf("meta differs: %+v vs %+v", fast.meta, naive.meta)
+	}
+	if fast.det.N() != naive.det.N() || fast.det.MaxTime() != naive.det.MaxTime() {
+		t.Fatalf("counters: N %d/%d", fast.det.N(), naive.det.N())
+	}
+	for e := uint64(0); e < 32; e++ {
+		for q := int64(0); q <= fast.det.MaxTime()+5; q += 37 {
+			if a, b := fast.det.CumulativeFrequency(e, q), naive.det.CumulativeFrequency(e, q); a != b {
+				t.Fatalf("F(%d,%d): streaming %v, naive %v", e, q, a, b)
+			}
+			a, err := fast.det.Burstiness(e, q, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := naive.det.Burstiness(e, q, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("b(%d,%d): streaming %v, naive %v", e, q, a, b)
+			}
+		}
+	}
+	// The run sources must be untouched — they serve queries during the merge.
+	for i, g := range run {
+		if g.meta != s.view.Load().segs[i].meta {
+			t.Fatalf("segment %d mutated by merge", i)
+		}
+	}
+}

@@ -53,28 +53,74 @@ func (sn *Snapshot) heads() []*memHead {
 // maxRows mirrors cmpbe's stack bound for the default sketch layouts.
 const maxRows = 8
 
-// rowSums evaluates Σ_s F̃ᵣ,ₛ(t) for every row r into vals, returning the
-// row count (0 when the snapshot has no sealed segments).
-func (sn *Snapshot) rowSums(e uint64, t int64, vals *[maxRows]float64) int {
+// queryScratch is the reusable state behind the zero-alloc point path: the
+// EventCells buffer every segment's cells append into, and the
+// segment-boundary memo. A Snapshot is shared by concurrent readers
+// (burstd's batch handler fans one snapshot across workers), so the scratch
+// cannot hang off the snapshot itself — it is pooled and held for exactly
+// one query.
+type queryScratch struct {
+	cells []pbe.PBE
+
+	// Boundary memo: queries at one instant against one generation recur
+	// (candidate rescoring, batch workloads), so the binary search for the
+	// first segment past t is cached. memoIdx < 0 means empty.
+	memoGen uint64
+	memoT   int64
+	memoIdx int
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return &queryScratch{memoIdx: -1} }}
+
+// segsThrough returns the prefix of the snapshot's segments that can
+// contribute at instant t: a segment whose MinT exceeds t holds no element
+// at or before t, so every cell estimate — and therefore every burstiness
+// term — is exactly zero there and the suffix can be skipped bit-identically.
+func (sn *Snapshot) segsThrough(t int64, scr *queryScratch) []*Segment {
 	segs := sn.v.segs
+	n := len(segs)
+	if n == 0 || segs[n-1].meta.MinT <= t {
+		return segs // the common case: t at or past the last boundary
+	}
+	if scr.memoIdx >= 0 && scr.memoGen == sn.v.gen && scr.memoT == t {
+		return segs[:scr.memoIdx]
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if segs[mid].meta.MinT <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	scr.memoGen, scr.memoT, scr.memoIdx = sn.v.gen, t, lo
+	return segs[:lo]
+}
+
+// rowSums evaluates Σ_s F̃ᵣ,ₛ(t) for every row r into vals, returning the
+// row count (0 when no sealed segment reaches back to t).
+func (sn *Snapshot) rowSums(e uint64, t int64, vals *[maxRows]float64, scr *queryScratch) int {
+	segs := sn.segsThrough(t, scr)
 	if len(segs) == 0 {
 		return 0
 	}
 	d := 0
 	for si, g := range segs {
-		cells := g.det.EventCells(e)
+		scr.cells = g.det.AppendEventCells(e, scr.cells[:0])
 		if si == 0 {
-			d = len(cells)
+			d = len(scr.cells)
 			for i := 0; i < d && i < maxRows; i++ {
 				vals[i] = 0
 			}
 		}
-		for i, c := range cells {
+		for i, c := range scr.cells {
 			if i < maxRows {
 				vals[i] += c.Estimate(t)
 			}
 		}
 	}
+	scr.cells = scr.cells[:0]
 	if d > maxRows {
 		d = maxRows
 	}
@@ -85,15 +131,17 @@ func (sn *Snapshot) rowSums(e uint64, t int64, vals *[maxRows]float64) int {
 // held by the snapshot.
 func (sn *Snapshot) CumulativeFrequency(e uint64, t int64) float64 {
 	e %= sn.kfold
+	scr := queryScratchPool.Get().(*queryScratch)
 	var buf [maxRows]float64
 	est := 0.0
-	if d := sn.rowSums(e, t, &buf); d > 0 {
+	if d := sn.rowSums(e, t, &buf, scr); d > 0 {
 		est = medianInPlace(buf[:d])
 	}
-	for _, h := range sn.heads() {
+	queryScratchPool.Put(scr)
+	for _, h := range sn.v.frozen {
 		est += h.countAtOrBefore(e, t)
 	}
-	return est
+	return est + sn.v.head.countAtOrBefore(e, t)
 }
 
 // Burstiness answers the POINT QUERY q(e, t, τ). Like the monolithic
@@ -108,8 +156,48 @@ func (sn *Snapshot) Burstiness(e uint64, t, tau int64) (float64, error) {
 }
 
 // burstiness is the fold-free core shared with the candidate rescoring
-// paths (whose ids are already folded).
+// paths (whose ids are already folded). Row scratch lives on the stack and
+// cell scratch in a pooled buffer, so the cross-segment point query
+// performs no per-query allocation.
+//
+//histburst:fastpath burstinessNaive
 func (sn *Snapshot) burstiness(e uint64, t, tau int64) float64 {
+	scr := queryScratchPool.Get().(*queryScratch)
+	var rows [maxRows]float64
+	b := 0.0
+	segs := sn.segsThrough(t, scr)
+	if len(segs) > 0 {
+		d := 0
+		for si, g := range segs {
+			scr.cells = g.det.AppendEventCells(e, scr.cells[:0])
+			if si == 0 {
+				d = len(scr.cells)
+				if d > maxRows {
+					d = maxRows
+				}
+				for i := 0; i < d; i++ {
+					rows[i] = 0
+				}
+			}
+			for i, c := range scr.cells {
+				if i < d {
+					rows[i] += pbe.Burstiness(c, t, tau)
+				}
+			}
+		}
+		scr.cells = scr.cells[:0]
+		b = medianInPlace(rows[:d])
+	}
+	queryScratchPool.Put(scr)
+	for _, h := range sn.v.frozen {
+		b += h.burstiness(e, t, tau)
+	}
+	return b + sn.v.head.burstiness(e, t, tau)
+}
+
+// burstinessNaive is the retained naive twin of the point query: fresh
+// EventCells slices per segment, every segment visited, heads materialized.
+func (sn *Snapshot) burstinessNaive(e uint64, t, tau int64) float64 {
 	var rows [maxRows]float64
 	b := 0.0
 	segs := sn.v.segs

@@ -1,0 +1,95 @@
+package segstore
+
+import (
+	"errors"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+// TestBurstinessFastpathMatchesNaive pins the pooled-scratch burstiness fast
+// path bit-identical to burstinessNaive over a store with sealed segments, a
+// live head, and queries on both sides of every segment boundary. The fast
+// path skips segments wholly after t and reuses a row-sum scratch; skipped
+// segments contribute exactly 0.0 to every term, so the sums must match to
+// the last bit.
+func TestBurstinessFastpathMatchesNaive(t *testing.T) {
+	elems := genStream(4000, 64, 2000, 11)
+	cfg := testConfig(512)
+	_, s := buildPair(t, elems, cfg, false) // live head stays behind the sealed segments
+	defer mustClose(t, s)
+	sn := s.Snapshot()
+	if len(sn.Segments()) < 2 {
+		t.Fatalf("fixture sealed %d segments, want >= 2", len(sn.Segments()))
+	}
+	for e := uint64(0); e < 8; e++ {
+		for _, tau := range []int64{16, 64} {
+			for q := int64(-5); q <= sn.MaxTime()+10; q += 37 {
+				fast := sn.burstiness(e, q, tau)
+				naive := sn.burstinessNaive(e, q, tau)
+				if fast != naive {
+					t.Fatalf("burstiness(e=%d, t=%d, tau=%d): fast %v != naive %v", e, q, tau, fast, naive)
+				}
+			}
+		}
+	}
+}
+
+// TestMemHeadAppendBatchMatchesAppend drives the same element sequence —
+// including out-of-order stragglers and unfolded event ids — through
+// memHead.appendBatch and through per-element memHead.append, and requires
+// identical head state: counters, bounds, and every event's timestamp
+// sequence.
+func TestMemHeadAppendBatchMatchesAppend(t *testing.T) {
+	const kfold = 64
+	elems := genStream(3000, 3*kfold, 1500, 17)
+	for i := 40; i < len(elems); i += 40 { // stragglers behind the frontier
+		elems[i].Time = elems[i-1].Time - 3
+	}
+	lim := sealLimits{} // no freeze thresholds: the whole stream lands in one head
+
+	hb := newMemHead(0)
+	consumed, accepted, rejected, needFreeze, err := hb.appendBatch(elems, kfold, lim, false)
+	if err != nil || needFreeze || consumed != len(elems) {
+		t.Fatalf("appendBatch: consumed=%d needFreeze=%v err=%v", consumed, needFreeze, err)
+	}
+
+	ha := newMemHead(0)
+	var wantAccepted, wantRejected int64
+	for _, el := range elems {
+		nf, err := ha.append(el.Event%kfold, el.Time, lim)
+		if nf {
+			t.Fatal("per-element append asked for a freeze with limits off")
+		}
+		if err != nil {
+			if !errors.Is(err, stream.ErrOutOfOrder) {
+				t.Fatalf("append: %v", err)
+			}
+			wantRejected++
+			continue
+		}
+		wantAccepted++
+	}
+
+	if accepted != wantAccepted || rejected != wantRejected {
+		t.Fatalf("batch counted %d/%d accepted/rejected, per-element %d/%d",
+			accepted, rejected, wantAccepted, wantRejected)
+	}
+	an, aMin, aMax, _ := ha.snapshot()
+	bn, bMin, bMax, _ := hb.snapshot()
+	if an != bn || aMin != bMin || aMax != bMax {
+		t.Fatalf("head counters differ: (%d,%d,%d) vs (%d,%d,%d)", an, aMin, aMax, bn, bMin, bMax)
+	}
+	for e := uint64(0); e < kfold; e++ {
+		sa := ha.byEvent[e].materialize()
+		sb := hb.byEvent[e].materialize()
+		if len(sa) != len(sb) {
+			t.Fatalf("event %d: %d timestamps per-element, %d batch", e, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("event %d timestamp %d: %d != %d", e, i, sa[i], sb[i])
+			}
+		}
+	}
+}

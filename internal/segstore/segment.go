@@ -50,17 +50,32 @@ type SegmentInfo struct {
 // sketch. A head freezes exactly once — freeze flips the flag under the
 // lock, after which the element log is immutable and the sealer may read it
 // without locking.
+//
+// Per-event timestamps live in chunked slabs: each event's sequence is a
+// list of fixed-size chunks carved from head-owned slab allocations, so a
+// busy head performs one slab allocation per headSlabSize timestamps instead
+// of one grow-and-copy per event per doubling. Closed chunks are always full
+// (headChunk entries), which lets the count queries skip straight to the one
+// boundary chunk by arithmetic.
 type memHead struct {
 	mu sync.RWMutex
 
-	// frozen, elems, byEvent, started, minT, maxT and n are guarded by mu.
+	// frozen, elems, byEvent, slab/slabOff/seqArena, started, minT, maxT
+	// and n are guarded by mu.
 	frozen  bool
 	started bool
 	minT    int64
 	maxT    int64
 	n       int64
 	elems   stream.Stream
-	byEvent map[uint64]stream.TimestampSeq
+	byEvent map[uint64]*eventSeq
+
+	// slab is the current timestamp arena; chunks are carved off at slabOff.
+	slab    []int64
+	slabOff int
+	// seqArena batches eventSeq headers the same way, one allocation per
+	// seqArenaSize first-seen events.
+	seqArena []eventSeq
 
 	// floor is the store's time frontier when this head was created —
 	// appends strictly below it are out of order. Immutable after creation.
@@ -70,8 +85,126 @@ type memHead struct {
 	sealID uint64
 }
 
+const (
+	// headChunk is the per-event chunk size: small enough that a long tail
+	// of rare events wastes at most one part-filled chunk each, large enough
+	// that hot events append through pointer-free chunk memory.
+	headChunk = 32
+	// headSlabSize is the number of timestamps per slab allocation.
+	headSlabSize = 4096
+	// seqArenaSize is the number of eventSeq headers per arena allocation.
+	seqArenaSize = 64
+)
+
+// eventSeq is one event's timestamp sequence inside the head: zero or more
+// full closed chunks plus the open chunk being filled. Timestamps are
+// appended in non-decreasing order, so every chunk is sorted and chunk time
+// ranges ascend.
+type eventSeq struct {
+	chunks [][]int64
+	open   []int64
+	n      int64
+}
+
+// countAtOrBefore returns how many timestamps are ≤ t: binary search for the
+// boundary chunk (closed chunks are always full, so the chunks before it
+// contribute len·headChunk by arithmetic), then binary search inside it.
+func (q *eventSeq) countAtOrBefore(t int64) int64 {
+	if q == nil || q.n == 0 {
+		return 0
+	}
+	lo, hi := 0, len(q.chunks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.chunks[mid][headChunk-1] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cnt := int64(lo) * headChunk
+	tail := q.open
+	if lo < len(q.chunks) {
+		tail = q.chunks[lo]
+	}
+	a, b := 0, len(tail)
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if tail[mid] <= t {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return cnt + int64(a)
+}
+
+// countIn returns how many timestamps land in [lo, hi].
+func (q *eventSeq) countIn(lo, hi int64) int64 {
+	if q == nil || q.n == 0 || hi < lo {
+		return 0
+	}
+	return q.countAtOrBefore(hi) - q.countAtOrBefore(lo-1)
+}
+
+// popLast removes the most recent timestamp (the freeze tail split walks
+// backwards through the log).
+func (q *eventSeq) popLast() {
+	if len(q.open) == 0 && len(q.chunks) > 0 {
+		q.open = q.chunks[len(q.chunks)-1]
+		q.chunks = q.chunks[:len(q.chunks)-1]
+	}
+	q.open = q.open[:len(q.open)-1]
+	q.n--
+}
+
+// materialize returns the sequence as one contiguous sorted slice.
+func (q *eventSeq) materialize() stream.TimestampSeq {
+	if q == nil || q.n == 0 {
+		return nil
+	}
+	out := make(stream.TimestampSeq, 0, q.n)
+	for _, c := range q.chunks {
+		out = append(out, c...)
+	}
+	return append(out, q.open...)
+}
+
+// appendTS appends one timestamp to q, carving a fresh chunk from the head's
+// slab when the open one fills.
+func (h *memHead) appendTS(q *eventSeq, t int64) {
+	if len(q.open) == cap(q.open) {
+		if cap(q.open) > 0 {
+			q.chunks = append(q.chunks, q.open)
+		}
+		if h.slabOff+headChunk > len(h.slab) {
+			h.slab = make([]int64, headSlabSize)
+			h.slabOff = 0
+		}
+		q.open = h.slab[h.slabOff:h.slabOff : h.slabOff+headChunk]
+		h.slabOff += headChunk
+	}
+	q.open = append(q.open, t)
+	q.n++
+}
+
+// seqFor returns e's sequence, creating it from the header arena on first
+// sight.
+func (h *memHead) seqFor(e uint64) *eventSeq {
+	if q, ok := h.byEvent[e]; ok {
+		return q
+	}
+	if len(h.seqArena) == 0 {
+		h.seqArena = make([]eventSeq, seqArenaSize)
+	}
+	q := &h.seqArena[0]
+	h.seqArena = h.seqArena[1:]
+	h.byEvent[e] = q
+	return q
+}
+
 func newMemHead(floor int64) *memHead {
-	return &memHead{floor: floor, byEvent: make(map[uint64]stream.TimestampSeq)}
+	return &memHead{floor: floor, byEvent: make(map[uint64]*eventSeq)}
 }
 
 // sealLimits carries the head-size thresholds append checks against.
@@ -109,8 +242,56 @@ func (h *memHead) append(e uint64, t int64, lim sealLimits) (needFreeze bool, er
 	h.maxT = t
 	h.n++
 	h.elems = append(h.elems, stream.Element{Event: e, Time: t})
-	h.byEvent[e] = append(h.byEvent[e], t)
+	h.appendTS(h.seqFor(e), t)
 	return false, nil
+}
+
+// appendBatch ingests a batch of elements under a single lock acquisition,
+// validating ordering once per element against the running frontier instead
+// of paying a lock round-trip each. It stops early when the head must be
+// frozen — consumed reports how many leading elements were handled
+// (accepted+rejected) so the caller can freeze and retry the remainder on
+// the fresh head. With stopOnReject set the first out-of-order element
+// aborts the batch with an error (Append/AppendStream semantics); otherwise
+// rejects are counted and skipped.
+//
+//histburst:fastpath append
+func (h *memHead) appendBatch(elems stream.Stream, kfold uint64, lim sealLimits, stopOnReject bool) (consumed int, accepted, rejected int64, needFreeze bool, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, el := range elems {
+		if h.frozen {
+			return i, accepted, rejected, true, nil
+		}
+		t := el.Time
+		if t < h.floor || (h.started && t < h.maxT) {
+			if stopOnReject {
+				frontier := h.floor
+				if h.started {
+					frontier = h.maxT
+				}
+				return i, accepted, rejected + 1, false,
+					fmt.Errorf("%w: append at %d behind frontier %d", stream.ErrOutOfOrder, t, frontier)
+			}
+			rejected++
+			continue
+		}
+		if h.started && t > h.maxT &&
+			((lim.events > 0 && h.n >= lim.events) || (lim.span > 0 && h.maxT-h.minT >= lim.span)) {
+			return i, accepted, rejected, true, nil
+		}
+		if !h.started {
+			h.minT = t
+			h.started = true
+		}
+		e := el.Event % kfold
+		h.maxT = t
+		h.n++
+		h.elems = append(h.elems, stream.Element{Event: e, Time: t})
+		h.appendTS(h.seqFor(e), t)
+		accepted++
+	}
+	return len(elems), accepted, rejected, false, nil
 }
 
 // freeze marks the head immutable. When keepTail is true the elements at
@@ -133,8 +314,7 @@ func (h *memHead) freeze(keepTail bool) (tail stream.Stream) {
 		tail = append(stream.Stream(nil), h.elems[cut:]...)
 		h.elems = h.elems[:cut]
 		for _, el := range tail {
-			ts := h.byEvent[el.Event]
-			h.byEvent[el.Event] = ts[:len(ts)-1]
+			h.byEvent[el.Event].popLast()
 		}
 		h.n = int64(cut)
 		h.maxT = h.elems[cut-1].Time
@@ -164,7 +344,7 @@ func (h *memHead) snapshot() (n, minT, maxT int64, started bool) {
 func (h *memHead) countAtOrBefore(e uint64, t int64) float64 {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return float64(h.byEvent[e].CountAtOrBefore(t))
+	return float64(h.byEvent[e].countAtOrBefore(t))
 }
 
 // burstiness returns the head's exact contribution to b_e(t): cumulative
@@ -174,18 +354,14 @@ func (h *memHead) burstiness(e uint64, t, tau int64) float64 {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	ts := h.byEvent[e]
-	return float64(ts.CountAtOrBefore(t) - 2*ts.CountAtOrBefore(t-tau) + ts.CountAtOrBefore(t-2*tau))
+	return float64(ts.countAtOrBefore(t) - 2*ts.countAtOrBefore(t-tau) + ts.countAtOrBefore(t-2*tau))
 }
 
 // arrivals returns a copy of e's timestamps in the head.
 func (h *memHead) arrivals(e uint64) stream.TimestampSeq {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	ts := h.byEvent[e]
-	if len(ts) == 0 {
-		return nil
-	}
-	return append(stream.TimestampSeq(nil), ts...)
+	return h.byEvent[e].materialize()
 }
 
 // eventsInWindow returns the ids with at least one arrival in [lo, hi] —
@@ -195,7 +371,7 @@ func (h *memHead) eventsInWindow(lo, hi int64) []uint64 {
 	defer h.mu.RUnlock()
 	var out []uint64
 	for e, ts := range h.byEvent {
-		if ts.CountIn(lo, hi) > 0 {
+		if ts.countIn(lo, hi) > 0 {
 			out = append(out, e)
 		}
 	}

@@ -312,14 +312,71 @@ func (s *Store) Append(e uint64, t int64) error {
 	}
 }
 
-// AppendStream bulk-ingests a time-sorted element slice.
+// AppendBatch bulk-ingests a time-sorted batch, taking the head lock once
+// per batch (plus once per seal boundary crossed) instead of once per
+// element. Elements behind the frontier are counted in rejected and skipped
+// rather than erroring, matching how per-element callers treat ErrOutOfOrder
+// as a per-element outcome; because the batch is sorted, the rejected set is
+// exactly the elements below the frontier observed at entry. Equivalent,
+// query-wise, to calling Append element by element.
+//
+//histburst:fastpath Append
+func (s *Store) AppendBatch(elems stream.Stream) (appended, rejected int64, err error) {
+	i := 0
+	for i < len(elems) {
+		v := s.view.Load()
+		consumed, acc, rej, needFreeze, _ := v.head.appendBatch(elems[i:], s.kfold, s.seals, false) //histburst:allow errdrop -- stopOnReject=false never errors; disorder is counted in rej
+		appended += acc
+		rejected += rej
+		i += consumed
+		if needFreeze {
+			if err := s.freezeHead(v, false); err != nil {
+				if rejected > 0 {
+					s.rejected.Add(rejected)
+				}
+				return appended, rejected, err
+			}
+		}
+	}
+	if rejected > 0 {
+		s.rejected.Add(rejected)
+	}
+	return appended, rejected, nil
+}
+
+// AppendStream bulk-ingests a time-sorted element slice through the batch
+// path, stopping with an error at the first out-of-order element.
 func (s *Store) AppendStream(elems stream.Stream) error {
-	for _, el := range elems {
-		if err := s.Append(el.Event, el.Time); err != nil {
+	i := 0
+	for i < len(elems) {
+		v := s.view.Load()
+		consumed, _, rej, needFreeze, err := v.head.appendBatch(elems[i:], s.kfold, s.seals, true)
+		if rej > 0 {
+			s.rejected.Add(rej)
+		}
+		if err != nil {
 			return err
+		}
+		i += consumed
+		if needFreeze {
+			if err := s.freezeHead(v, false); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// Frontier returns the store's current time frontier: the newest accepted
+// timestamp, or the recovery floor before any element arrives. An element
+// strictly below it will be rejected as out of order.
+func (s *Store) Frontier() int64 {
+	v := s.view.Load()
+	_, _, maxT, started := v.head.snapshot()
+	if started {
+		return maxT
+	}
+	return v.head.floor
 }
 
 // freezeHead retires the head of view v: the head is marked immutable and
@@ -374,9 +431,12 @@ func (s *Store) publishLocked(head *memHead) {
 	})
 }
 
-// sealLoop drains the frozen-head queue in freeze order, building one
-// sketch segment per head. Keeping a single sealer preserves time order in
-// segs without any sorting.
+// sealLoop drains the frozen-head queue, building sketch segments. When the
+// queue backs up — fast ingest freezing heads faster than one goroutine can
+// summarize them — the whole backlog is built concurrently, one goroutine
+// per head, and published as one generation bump in freeze order, so segs
+// stays time-sorted without any sorting and the manifest is written once
+// per batch instead of once per head.
 func (s *Store) sealLoop() {
 	defer s.wg.Done()
 	for {
@@ -388,16 +448,43 @@ func (s *Store) sealLoop() {
 			s.mu.Unlock()
 			return
 		}
-		h := s.frozen[0]
+		batch := append([]*memHead(nil), s.frozen...)
 		s.mu.Unlock()
 
-		seg, err := s.buildSegment(h)
+		built := make([]*Segment, len(batch))
+		errs := make([]error, len(batch))
+		if len(batch) == 1 {
+			built[0], errs[0] = s.buildSegment(batch[0])
+		} else {
+			var wg sync.WaitGroup
+			for i := range batch {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					built[i], errs[i] = s.buildSegment(batch[i])
+				}(i)
+			}
+			wg.Wait()
+		}
+		// Publish the longest successful prefix; a failure mid-batch keeps
+		// every later head frozen and queryable behind it.
+		ok := 0
+		for ok < len(batch) && errs[ok] == nil {
+			ok++
+		}
+		var err error
+		if ok < len(batch) {
+			err = errs[ok]
+		}
+
 		s.mu.Lock()
-		if err == nil {
-			s.segs = append(s.segs, seg)
-			s.frozen = s.frozen[1:]
+		if ok > 0 {
+			s.segs = append(s.segs, built[:ok]...)
+			s.frozen = s.frozen[ok:]
 			s.gen++
-			err = s.writeManifestLocked()
+			if merr := s.writeManifestLocked(); merr != nil && err == nil {
+				err = merr
+			}
 			s.publishLocked(nil)
 		}
 		if err != nil && s.bgErr == nil {

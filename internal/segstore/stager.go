@@ -1,0 +1,165 @@
+package segstore
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"histburst/internal/stream"
+)
+
+// A Stager is the sharded ingest front end for concurrent writers. Writers
+// stage sorted batches into per-CPU shards — a short lock on one shard each
+// — and batches are sequenced into the store's head in timestamp order by a
+// group commit: the first writer to take the sequencer lock drains every
+// shard, merges the staged batches into one time-sorted stream, and pushes
+// it through Store.AppendBatch in a single head-lock acquisition. Writers
+// that arrive while a commit is in flight pile up in the shards and ride
+// the next commit, so concurrent HTTP ingest no longer serializes on one
+// head mutex per element; under no contention a writer commits its own
+// batch immediately and pays one extra mutex, not a context switch.
+//
+// There is no background goroutine: whoever stages a batch drives it to
+// completion, so a Stager needs no lifecycle management beyond its Store's.
+//
+// Sequencing protocol (documented in DESIGN.md): batches are ordered by
+// their staging sequence number, their elements merged stably by timestamp,
+// and an element is rejected exactly when its timestamp is behind the store
+// frontier observed at the start of its group commit. Because the merged
+// stream is sorted, the rejected elements are precisely that prefix — which
+// is what lets the commit attribute per-writer rejection counts without
+// tracking individual elements. The attribution assumes the Stager is the
+// store's only writer (burstd's arrangement).
+type Stager struct {
+	store  *Store
+	shards []ingestShard
+	rr     atomic.Uint64 // round-robin shard pick
+	seq    atomic.Uint64 // staging sequence numbers
+	seqMu  sync.Mutex    // held by the committing writer
+
+	// commitLog, when set, observes every group commit (the merged stream
+	// and the frontier it was admitted against) — the equivalence tests
+	// replay it through a sequential single-writer store.
+	commitLog func(merged stream.Stream, frontier int64)
+}
+
+type ingestShard struct {
+	mu      sync.Mutex
+	pending []*stagedBatch
+}
+
+type stagedBatch struct {
+	seq   uint64
+	elems stream.Stream
+	res   BatchResult
+	done  chan struct{}
+}
+
+// BatchResult reports one staged batch's outcome.
+type BatchResult struct {
+	Appended int64
+	Rejected int64
+	Err      error
+}
+
+// NewStager builds a stager with one staging shard per GOMAXPROCS.
+func NewStager(s *Store) *Stager {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return &Stager{store: s, shards: make([]ingestShard, n)}
+}
+
+// Append stages elems and returns once a group commit has sequenced the
+// batch into the store. The slice is sorted in place (the caller hands over
+// ownership) and unsorted input is therefore admitted in timestamp order
+// rather than arrival order.
+func (st *Stager) Append(elems stream.Stream) BatchResult {
+	if len(elems) == 0 {
+		return BatchResult{}
+	}
+	sort.SliceStable(elems, func(i, j int) bool { return elems[i].Time < elems[j].Time })
+	b := &stagedBatch{
+		seq:   st.seq.Add(1),
+		elems: elems,
+		done:  make(chan struct{}),
+	}
+	sh := &st.shards[st.rr.Add(1)%uint64(len(st.shards))]
+	sh.mu.Lock()
+	sh.pending = append(sh.pending, b)
+	sh.mu.Unlock()
+
+	st.seqMu.Lock()
+	select {
+	case <-b.done:
+		// A concurrent writer's commit already carried this batch.
+		st.seqMu.Unlock()
+		return b.res
+	default:
+	}
+	st.commitStagedLocked()
+	st.seqMu.Unlock()
+	// Our own commit pass drained every shard, ours included.
+	<-b.done
+	return b.res
+}
+
+// commitStagedLocked drains all shards and sequences the staged batches
+// into the store as one sorted stream. Caller holds seqMu.
+func (st *Stager) commitStagedLocked() {
+	var batches []*stagedBatch
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		batches = append(batches, sh.pending...)
+		sh.pending = sh.pending[:0]
+		sh.mu.Unlock()
+	}
+	if len(batches) == 0 {
+		return
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i].seq < batches[j].seq })
+	total := 0
+	for _, b := range batches {
+		total += len(b.elems)
+	}
+	merged := make(stream.Stream, 0, total)
+	for _, b := range batches {
+		merged = append(merged, b.elems...)
+	}
+	// Batches are individually sorted; a stable sort of the concatenation
+	// keeps staging order on timestamp ties.
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Time < merged[j].Time })
+
+	frontier := st.store.Frontier()
+	if st.commitLog != nil {
+		st.commitLog(merged, frontier)
+	}
+	_, _, err := st.store.AppendBatch(merged)
+	for _, b := range batches {
+		if err != nil {
+			b.res = BatchResult{Err: err}
+		} else {
+			rej := countBefore(b.elems, frontier)
+			b.res = BatchResult{Appended: int64(len(b.elems)) - rej, Rejected: rej}
+		}
+		close(b.done)
+	}
+}
+
+// countBefore returns how many leading elements of a sorted batch fall
+// strictly behind the frontier — exactly the ones the commit rejected.
+func countBefore(elems stream.Stream, frontier int64) int64 {
+	lo, hi := 0, len(elems)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if elems[mid].Time < frontier {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}

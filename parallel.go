@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"histburst/internal/cmpbe"
+	"histburst/internal/dyadic"
 )
 
 // Element is one stream entry for bulk ingestion: an event id and its
@@ -54,6 +55,107 @@ func (d *Detector) MergeAppend(other *Detector) error {
 	d.started = d.started || other.started
 	d.outOfOrder += other.outOfOrder
 	return nil
+}
+
+// MergeDetectors builds a fresh detector equivalent to MergeAppend-ing each
+// of parts[1:] onto a clone of parts[0] in time order, without materializing
+// any intermediate clones: every sketch cell of the result is assembled
+// straight from the source cells' packed segment arrays, bit-identical to
+// the clone+MergeAppend chain. All detectors must share their configuration,
+// hold PBE-2 cells, and be finished (sealed summaries always are); sources
+// are never mutated, so they may keep serving queries during the merge.
+//
+//histburst:fastpath MergeAppend
+func MergeDetectors(parts []*Detector) (*Detector, error) {
+	if len(parts) == 0 || parts[0] == nil {
+		return nil, fmt.Errorf("histburst: merge of zero detectors")
+	}
+	first := parts[0]
+	for _, p := range parts[1:] {
+		if p == nil {
+			return nil, fmt.Errorf("histburst: cannot merge nil detector")
+		}
+		if first.cfg != p.cfg || first.K() != p.K() {
+			return nil, fmt.Errorf("histburst: configuration mismatch; partitions must share all options")
+		}
+	}
+	out := &Detector{
+		k: first.k, cfg: first.cfg,
+		n: first.n, minT: first.minT, maxT: first.maxT, lastT: first.lastT,
+		started: first.started, outOfOrder: first.outOfOrder,
+	}
+	live := make([]*Detector, 0, len(parts))
+	live = append(live, first)
+	for _, p := range parts[1:] {
+		if p.n == 0 {
+			continue // contributes nothing, exactly as MergeAppend skips it
+		}
+		if !out.started && p.started {
+			out.minT = p.minT
+		}
+		live = append(live, p)
+		out.n += p.n
+		if p.maxT > out.maxT {
+			out.maxT = p.maxT
+		}
+		if p.lastT > out.lastT {
+			out.lastT = p.lastT
+		}
+		out.started = out.started || p.started
+		out.outOfOrder += p.outOfOrder
+	}
+	if first.tree != nil {
+		trees := make([]*dyadic.Tree, len(live))
+		for i, p := range live {
+			trees[i] = p.tree
+		}
+		tree, err := dyadic.MergeTrees(trees)
+		if err != nil {
+			return nil, fmt.Errorf("histburst: %w", err)
+		}
+		base, ok := tree.Level(0).(baseLevel)
+		if !ok {
+			return nil, fmt.Errorf("histburst: internal error: level type %T lacks query methods", tree.Level(0))
+		}
+		out.tree = tree
+		out.base = base
+		return out, nil
+	}
+	base, err := mergeBaseMany(live)
+	if err != nil {
+		return nil, fmt.Errorf("histburst: %w", err)
+	}
+	out.base = base
+	return out, nil
+}
+
+// mergeBaseMany streams the standalone (index-free) base levels of the
+// detectors into one merged summary.
+func mergeBaseMany(parts []*Detector) (baseLevel, error) {
+	switch parts[0].base.(type) {
+	case *cmpbe.Sketch:
+		srcs := make([]*cmpbe.Sketch, len(parts))
+		for i, p := range parts {
+			s, ok := p.base.(*cmpbe.Sketch)
+			if !ok {
+				return nil, fmt.Errorf("base type mismatch: %T vs %T", parts[0].base, p.base)
+			}
+			srcs[i] = s
+		}
+		return cmpbe.MergeSketches(srcs)
+	case *cmpbe.Direct:
+		srcs := make([]*cmpbe.Direct, len(parts))
+		for i, p := range parts {
+			s, ok := p.base.(*cmpbe.Direct)
+			if !ok {
+				return nil, fmt.Errorf("base type mismatch: %T vs %T", parts[0].base, p.base)
+			}
+			srcs[i] = s
+		}
+		return cmpbe.MergeDirects(srcs)
+	default:
+		return nil, fmt.Errorf("base type %T is not stream-mergeable", parts[0].base)
+	}
 }
 
 // BuildParallel constructs a Detector over a time-sorted bulk load by

