@@ -26,6 +26,14 @@
 // by older versions (whole-detector snap-*.hbsk checkpoints) are migrated
 // on first boot: the newest intact legacy snapshot becomes the store's
 // first segment. GET /v1/segments exposes the live segment directory.
+//
+// Between checkpoints, acknowledged appends are protected by a write-ahead
+// log (-wal-sync selects the fsync policy; see the README durability
+// table), a background scrubber re-verifies segment files and quarantines
+// damaged ones (-scrub-interval), and a persistent disk fault flips the
+// server read-only — appends answer 503 + Retry-After while queries keep
+// serving — until the disk recovers. /healthz and /readyz report WAL lag,
+// quarantine count, and the degraded state as JSON.
 package main
 
 import (
@@ -39,6 +47,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"histburst/internal/segstore"
 )
 
 func main() {
@@ -58,13 +68,24 @@ func main() {
 		fanout     = flag.Int("compact-fanout", 0, "segments merged per compaction (0 = default, negative = no compaction)")
 		inflight   = flag.Int("max-inflight", 256, "concurrent /v1 requests before shedding with 503")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+
+		walSync       = flag.String("wal-sync", "always", "write-ahead log fsync policy: always (fsync per commit), interval (background cadence), off (page cache only)")
+		walSyncEvery  = flag.Duration("wal-sync-interval", segstore.DefaultWALSyncEvery, "fsync cadence under -wal-sync=interval")
+		scrubInterval = flag.Duration("scrub-interval", time.Minute, "segment scrub cadence (negative = disabled)")
 	)
 	flag.Parse()
+
+	walPolicy, err := segstore.ParseWALSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "burstd:", err)
+		os.Exit(2)
+	}
 
 	opts := serverOpts{
 		Sketch: *sketch, In: *in, N: *n, K: *k, Gamma: *gamma, Seed: *seed,
 		SnapDir: *snapDir, Retain: *retain, MaxInflight: *inflight,
 		SealEvents: *sealEvents, Fanout: *fanout,
+		WALSync: walPolicy, WALSyncEvery: *walSyncEvery, ScrubInterval: *scrubInterval,
 	}
 	if err := run(*addr, opts, *checkpoint, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "burstd:", err)

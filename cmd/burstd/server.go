@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"histburst"
 	"histburst/internal/segstore"
@@ -32,7 +34,12 @@ type serverOpts struct {
 	SealEvents  int64  // head seal threshold (0 = store default)
 	Fanout      int    // compaction fanout (0 = store default)
 	MaxInflight int    // concurrent /v1 requests before shedding
-	Logf        func(format string, args ...any)
+
+	WALSync       segstore.WALSyncPolicy // when the WAL fsyncs
+	WALSyncEvery  time.Duration          // fsync cadence under the interval policy
+	ScrubInterval time.Duration          // segment scrub cadence (0 = store default)
+
+	Logf func(format string, args ...any)
 }
 
 // server fronts a segmented timeline store. Query handlers take a snapshot
@@ -47,10 +54,21 @@ type server struct {
 	store  *segstore.Store
 	stager *segstore.Stager // sharded ingest front end for /v1/append
 
-	dirty    atomic.Bool // appends since the last checkpoint
-	ready    atomic.Bool
-	inflight chan struct{}
-	logf     func(format string, args ...any)
+	// append is the ingest seam: stager.Append in production, swappable in
+	// tests to inject disk faults into the degraded-mode machinery.
+	append func(stream.Stream) segstore.BatchResult
+
+	dirty atomic.Bool // appends since the last checkpoint
+	ready atomic.Bool
+	// readOnly flips when the write path hits a persistent disk fault
+	// (ENOSPC/EIO survived the retry budget): appends answer 503 +
+	// Retry-After while queries keep serving, and a background prober
+	// flips it back once the WAL syncs again.
+	readOnly   atomic.Bool
+	probing    atomic.Bool   // one prober at a time
+	probeEvery time.Duration // prober cadence (tests shrink it)
+	inflight   chan struct{}
+	logf       func(format string, args ...any)
 }
 
 // newServer builds the server: recover from a manifest if one exists,
@@ -64,11 +82,16 @@ func newServer(o serverOpts) (*server, error) {
 		o.MaxInflight = 256
 	}
 	s := &server{
-		inflight: make(chan struct{}, o.MaxInflight),
-		logf:     o.Logf,
+		inflight:   make(chan struct{}, o.MaxInflight),
+		probeEvery: time.Second,
+		logf:       o.Logf,
 	}
 
-	lifecycle := segstore.Config{SealEvents: o.SealEvents, CompactFanout: o.Fanout}
+	lifecycle := segstore.Config{
+		SealEvents: o.SealEvents, CompactFanout: o.Fanout,
+		WALSync: o.WALSync, WALSyncEvery: o.WALSyncEvery,
+		ScrubInterval: o.ScrubInterval, Logf: o.Logf,
+	}
 	if o.SnapDir != "" {
 		if _, err := os.Stat(filepath.Join(o.SnapDir, segstore.ManifestName)); err == nil {
 			st, err := segstore.Open(o.SnapDir, lifecycle)
@@ -77,6 +100,11 @@ func newServer(o serverOpts) (*server, error) {
 			}
 			s.store = st
 			s.stager = segstore.NewStager(st)
+			s.append = s.stager.Append
+			if h := st.Health(); h.Quarantined > 0 {
+				s.logf("burstd: %d segments in quarantine (%d elements of history missing)",
+					h.Quarantined, h.QuarantinedElements)
+			}
 			s.logf("burstd: recovered store generation %d (%d elements, %d segments)",
 				st.Generation(), st.N(), len(st.Segments()))
 			s.ready.Store(true)
@@ -114,6 +142,7 @@ func newServer(o serverOpts) (*server, error) {
 	}
 	s.store = st
 	s.stager = segstore.NewStager(st)
+	s.append = s.stager.Append
 	s.ready.Store(true)
 	return s, nil
 }
@@ -232,18 +261,51 @@ func (s *server) limit(next http.Handler) http.Handler {
 	})
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+// healthBody is the shared health surface of /healthz and /readyz: store
+// self-diagnosis (WAL lag, quarantine count, scrub state) plus the serving
+// flags.
+func (s *server) healthBody(status string) map[string]any {
+	h := s.store.Health()
+	return map[string]any{
+		"status":   status,
+		"ready":    s.ready.Load(),
+		"readOnly": s.readOnly.Load(),
+		"store":    h,
+	}
 }
 
-func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("not ready"))
-		return
+// handleHealthz is the liveness probe: always 200 while the process serves
+// (queries keep working even degraded), with the health detail in the body.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.readOnly.Load() || s.store.Health().Quarantined > 0 {
+		status = "degraded"
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ready")
+	writeJSON(w, s.healthBody(status))
+}
+
+// handleReadyz is the readiness probe. 503 while starting or draining (as
+// before) and also while the store cannot accept writes — read-only after
+// a disk fault, or wedged on a sticky background error — so load balancers
+// stop routing ingest here. The body always carries the full health detail
+// (quarantine count, WAL lag) either way.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case !s.ready.Load():
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(s.healthBody("not ready")) //histburst:allow errdrop -- probe response; nothing to recover
+	case s.readOnly.Load():
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(s.healthBody("read-only")) //histburst:allow errdrop -- probe response; nothing to recover
+	case s.store.Err() != nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(s.healthBody("store error")) //histburst:allow errdrop -- probe response; nothing to recover
+	default:
+		writeJSON(w, s.healthBody("ready"))
+	}
 }
 
 // appendRequest is the /v1/append body: a batch of (event, time) elements.
@@ -283,11 +345,22 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	for i, el := range req.Elements {
 		elems[i] = stream.Element{Event: el.Event, Time: el.Time}
 	}
+	if s.readOnly.Load() {
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("store is read-only after a disk fault; queries keep serving"))
+		return
+	}
 	// The stager shards staging across CPUs and group-commits staged batches
 	// into the head in timestamp order, so concurrent ingest requests no
 	// longer serialize on one head mutex per element.
-	res := s.stager.Append(elems)
+	res := s.appendWithRetry(elems)
 	if res.Err != nil {
+		if isDiskFault(res.Err) {
+			s.enterReadOnly(res.Err)
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("store is read-only after a disk fault: %w", res.Err))
+			return
+		}
 		httpError(w, http.StatusInternalServerError, res.Err)
 		return
 	}
@@ -298,6 +371,59 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		"appended": res.Appended, "rejected": res.Rejected,
 		"elements": s.store.N(), "outOfOrder": s.store.Rejected(),
 	})
+}
+
+// appendWithRetry drives one batch through the ingest seam, retrying disk
+// faults with capped exponential backoff — a filling disk is often a
+// transient (log rotation racing a cleanup); only a fault that survives
+// the whole budget degrades the server.
+func (s *server) appendWithRetry(elems stream.Stream) segstore.BatchResult {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		res := s.append(elems)
+		if res.Err == nil || !isDiskFault(res.Err) || attempt == 3 {
+			return res
+		}
+		s.logf("burstd: append hit a disk fault (attempt %d, retrying in %s): %v", attempt+1, backoff, res.Err)
+		time.Sleep(backoff)
+		backoff *= 4
+	}
+}
+
+// isDiskFault reports whether err is the kind of environmental disk
+// failure degraded mode exists for — out of space or I/O error — as
+// opposed to a logic error that retrying cannot help.
+func isDiskFault(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EIO)
+}
+
+// enterReadOnly flips the server read-only and starts the recovery prober:
+// a goroutine that periodically asks the store to sync its WAL, and
+// restores write service on the first success. Queries are untouched.
+func (s *server) enterReadOnly(cause error) {
+	if s.readOnly.Swap(true) {
+		return // already degraded; the running prober owns recovery
+	}
+	s.logf("burstd: entering read-only mode (appends 503, queries serving): %v", cause)
+	if s.probing.Swap(true) {
+		return
+	}
+	go func() {
+		defer s.probing.Store(false)
+		tick := time.NewTicker(s.probeEvery)
+		defer tick.Stop()
+		for range tick.C {
+			if !s.ready.Load() {
+				return // draining; stay read-only to the end
+			}
+			if err := s.store.SyncWAL(); err != nil {
+				continue
+			}
+			s.readOnly.Store(false)
+			s.logf("burstd: disk recovered; leaving read-only mode")
+			return
+		}
+	}()
 }
 
 // checkpoint makes everything ingested so far durable by sealing the head
@@ -330,12 +456,24 @@ func (s *server) handleBurstiness(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	b, err := s.store.Burstiness(e, t, tau)
+	sn := s.store.Snapshot()
+	b, err := sn.Burstiness(e, t, tau)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]any{"event": e, "t": t, "tau": tau, "burstiness": b})
+	writeJSON(w, addEnvelope(map[string]any{"event": e, "t": t, "tau": tau, "burstiness": b}, sn, t))
+}
+
+// addEnvelope attaches the widened error envelope to a query response when
+// the history at t is degraded (quarantined spans below t): the answer
+// still stands over the surviving history, and the caller sees what is
+// missing instead of mistaking it for the whole.
+func addEnvelope(resp map[string]any, sn *segstore.Snapshot, t int64) map[string]any {
+	if env := sn.Envelope(t); env.Degraded {
+		resp["envelope"] = env
+	}
+	return resp
 }
 
 func (s *server) handleTimes(w http.ResponseWriter, r *http.Request) {
@@ -346,12 +484,13 @@ func (s *server) handleTimes(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ranges, err := s.store.BurstyTimes(e, theta, tau)
+	sn := s.store.Snapshot()
+	ranges, err := sn.BurstyTimes(e, theta, tau)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]any{"event": e, "theta": theta, "tau": tau, "ranges": ranges})
+	writeJSON(w, addEnvelope(map[string]any{"event": e, "theta": theta, "tau": tau, "ranges": ranges}, sn, sn.MaxTime()))
 }
 
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -385,7 +524,7 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		hits = append(hits, hit{Event: id, Burstiness: b})
 	}
-	writeJSON(w, map[string]any{"t": t, "theta": theta, "tau": tau, "events": hits})
+	writeJSON(w, addEnvelope(map[string]any{"t": t, "theta": theta, "tau": tau, "events": hits}, sn, t))
 }
 
 func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -400,37 +539,48 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be positive, got %d", k))
 		return
 	}
-	top, err := s.store.TopBursty(t, int(k), tau)
+	sn := s.store.Snapshot()
+	top, err := sn.TopBursty(t, int(k), tau)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]any{"t": t, "k": k, "tau": tau, "events": top})
+	writeJSON(w, addEnvelope(map[string]any{"t": t, "k": k, "tau": tau, "events": top}, sn, t))
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sn := s.store.Snapshot()
+	h := s.store.Health()
 	writeJSON(w, map[string]any{
-		"elements":   sn.N(),
-		"eventSpace": s.store.K(),
-		"maxTime":    sn.MaxTime(),
-		"bytes":      sn.Bytes(),
-		"outOfOrder": s.store.Rejected(),
-		"generation": sn.Generation(),
-		"segments":   len(sn.Segments()),
-		"head":       sn.Head(),
+		"elements":    sn.N(),
+		"eventSpace":  s.store.K(),
+		"maxTime":     sn.MaxTime(),
+		"bytes":       sn.Bytes(),
+		"outOfOrder":  s.store.Rejected(),
+		"generation":  sn.Generation(),
+		"segments":    len(sn.Segments()),
+		"quarantined": h.Quarantined,
+		"wal":         h.WAL,
+		"readOnly":    s.readOnly.Load(),
+		"head":        sn.Head(),
 	})
 }
 
 // handleSegments serves the segment directory: one record per sealed
-// segment in time order, plus the in-memory head — the introspection view
-// of the store's lifecycle.
+// segment in time order, the quarantined segments (history removed from
+// service for damage), and the in-memory head — the introspection view of
+// the store's lifecycle and health.
 func (s *server) handleSegments(w http.ResponseWriter, r *http.Request) {
 	sn := s.store.Snapshot()
+	h := s.store.Health()
 	writeJSON(w, map[string]any{
-		"generation": sn.Generation(),
-		"segments":   sn.Segments(),
-		"head":       sn.Head(),
+		"generation":  sn.Generation(),
+		"segments":    sn.Segments(),
+		"quarantined": sn.Quarantined(),
+		"wal":         h.WAL,
+		"readOnly":    s.readOnly.Load(),
+		"envelope":    sn.Envelope(sn.MaxTime()),
+		"head":        sn.Head(),
 	})
 }
 

@@ -136,3 +136,23 @@ func CrashAtomicWrite(dir, base string, data []byte, step int) (string, error) {
 	}
 	return tmp, nil
 }
+
+// CrashPrefixSteps returns how many distinct crash points an append-only
+// write of a len(data)-byte file has: a crash after each prefix, including
+// the empty file and the complete one. Unlike CrashSteps there is no
+// rename step — an append-only log is its own final file at every prefix.
+func CrashPrefixSteps(data []byte) int { return len(data) + 1 }
+
+// CrashAppendWrite reproduces, in dir, the on-disk state a crash leaves at
+// the given step of building an append-only file (a WAL): dir/base holds
+// exactly the first `step` bytes of data. It returns the file's path.
+func CrashAppendWrite(dir, base string, data []byte, step int) (string, error) {
+	if step < 0 || step > len(data) {
+		return "", fmt.Errorf("faultio: step %d out of range [0, %d]", step, len(data))
+	}
+	path := filepath.Join(dir, base)
+	if err := os.WriteFile(path, data[:step], 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

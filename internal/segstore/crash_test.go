@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"histburst/internal/faultio"
 )
@@ -200,15 +201,19 @@ func TestCorruptManifestFailsLoudly(t *testing.T) {
 	}
 }
 
-func TestCorruptSegmentFileFailsLoudly(t *testing.T) {
+func TestCorruptSegmentFileQuarantinedAtOpen(t *testing.T) {
 	// A manifest-referenced segment file was fsynced before the manifest
-	// named it; damage there is real loss, not a crash artifact.
-	dir, _, _, _, _, _ := buildCrashFixture(t)
+	// named it; damage there is real loss, not a crash artifact. The store
+	// opens anyway: the damaged segment is quarantined (manifest rewritten,
+	// file moved to quarantine/), the survivors keep serving, and the error
+	// envelope reports the missing span.
+	dir, oldN, _, _, _, _ := buildCrashFixture(t)
 	man, err := LoadManifest(filepath.Join(dir, ManifestName))
 	if err != nil {
 		t.Fatal(err)
 	}
-	segPath := filepath.Join(dir, man.Segments[0].File)
+	segName := man.Segments[0].File
+	segPath := filepath.Join(dir, segName)
 	data, err := os.ReadFile(segPath)
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +222,175 @@ func TestCorruptSegmentFileFailsLoudly(t *testing.T) {
 	if err := os.WriteFile(segPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, Config{}); err == nil {
-		t.Fatal("Open accepted a corrupt segment file")
+
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("Open refused a store with a damaged segment: %v", err)
+	}
+	if got := len(s.Segments()); got != 0 {
+		t.Fatalf("%d live segments, want 0 (damaged one quarantined)", got)
+	}
+	h := s.Health()
+	if h.Quarantined != 1 || h.QuarantinedElements != oldN {
+		t.Fatalf("health reports %d quarantined / %d elements, want 1 / %d",
+			h.Quarantined, h.QuarantinedElements, oldN)
+	}
+	sn := s.Snapshot()
+	if got := len(sn.Quarantined()); got != 1 {
+		t.Fatalf("snapshot reports %d quarantined segments, want 1", got)
+	}
+	env := sn.Envelope(1 << 30)
+	if !env.Degraded || env.MissingElements != oldN || len(env.Missing) != 1 {
+		t.Fatalf("envelope = %+v, want degraded with %d missing elements", env, oldN)
+	}
+	// The frontier still covers the quarantined span: those times are gone,
+	// not reopenable.
+	if err := s.Append(1, 0); err == nil {
+		t.Fatal("append inside the quarantined span was accepted")
+	}
+	if err := s.Append(1, 1<<20); err != nil {
+		t.Fatalf("append past the quarantined span: %v", err)
+	}
+	mustClose(t, s)
+
+	// The evidence moved into quarantine/, out of the live directory.
+	if _, err := os.Stat(segPath); !os.IsNotExist(err) {
+		t.Fatal("damaged segment file still in the store root")
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, segName)); err != nil {
+		t.Fatalf("damaged segment file not in quarantine/: %v", err)
+	}
+
+	// The quarantine persists across reopen (manifest carries it).
+	s2 := mustOpen(t, dir, Config{})
+	if h := s2.Health(); h.Quarantined != 1 || h.QuarantinedElements != oldN {
+		t.Fatalf("reopen lost the quarantine record: %+v", h)
+	}
+	mustClose(t, s2)
+}
+
+// buildCompactionCrashFixture creates a store directory holding two sealed
+// same-class segments ("old" generation) plus the bytes the compaction
+// swap would write: the merged segment file and the manifest naming it.
+func buildCompactionCrashFixture(t *testing.T) (dir string, n int64, mergedName string, mergedData, manData []byte) {
+	t.Helper()
+	cfg := testConfig(8)
+	cfg.CompactFanout = -1 // keep the two seals intact in the fixture
+	dir = t.TempDir()
+	s := mustOpen(t, dir, cfg)
+	appendN(t, s, 16, 4, 0, 1) // two level-0 seals of 8
+	if err := s.Checkpoint(true); err != nil {
+		t.Fatal(err)
+	}
+	n = s.N()
+	mustClose(t, s)
+	if got := len(mustReopenSegments(t, dir)); got != 2 {
+		t.Fatalf("fixture expected 2 segments, got %d", got)
+	}
+
+	// Drive a real compaction in a clone to harvest authentic merged bytes.
+	work := cloneDir(t, dir)
+	cfg2 := testConfig(8)
+	cfg2.CompactFanout = 2
+	s2 := mustOpen(t, work, cfg2)
+	waitForSegments(t, s2, 1, 5*time.Second)
+	if err := s2.Err(); err != nil {
+		t.Fatalf("compaction: %v", err)
+	}
+	mustClose(t, s2)
+	man, err := LoadManifest(filepath.Join(work, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) != 1 || !man.Segments[0].Compacted {
+		t.Fatalf("compaction fixture left %+v", man.Segments)
+	}
+	mergedName = man.Segments[0].File
+	mergedData, err = os.ReadFile(filepath.Join(work, mergedName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, n, mergedName, mergedData, man.Encode()
+}
+
+// checkCompactionRecovered opens dir and asserts recovery landed on a legal
+// generation: the two pre-compaction segments or the one merged segment —
+// with every element still accounted for either way.
+func checkCompactionRecovered(t *testing.T, dir string, step int, n int64) {
+	t.Helper()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("step %d: recovery failed: %v", step, err)
+	}
+	gotN := s.N()
+	segs := s.Segments()
+	if err := s.Close(); err != nil {
+		t.Fatalf("step %d: close after recovery: %v", step, err)
+	}
+	if gotN != n {
+		t.Fatalf("step %d: recovered N=%d, want %d", step, gotN, n)
+	}
+	switch len(segs) {
+	case 2: // old generation intact
+	case 1: // merged generation complete
+		if !segs[0].Compacted {
+			t.Fatalf("step %d: single recovered segment is not the merged one: %+v", step, segs[0])
+		}
+	default:
+		t.Fatalf("step %d: recovered %d segments, want 1 or 2", step, len(segs))
+	}
+}
+
+func TestCrashDuringCompactionSegmentWriteRecoversOldGeneration(t *testing.T) {
+	dir, n, mergedName, mergedData, _ := buildCompactionCrashFixture(t)
+	// A crash at any prefix of the merged segment file write: the manifest
+	// still names the two inputs, so recovery serves them and sweeps the
+	// debris. Sample boundaries densely and the interior sparsely — the
+	// interesting transitions are at the ends, and every step is a full
+	// store open.
+	steps := faultio.CrashSteps(mergedData)
+	for step := 0; step < steps; step++ {
+		if step > 64 && step < steps-64 && step%97 != 0 {
+			continue
+		}
+		d := cloneDir(t, dir)
+		left, err := faultio.CrashAtomicWrite(d, mergedName, mergedData, step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(d, Config{})
+		if err != nil {
+			t.Fatalf("step %d: recovery failed: %v", step, err)
+		}
+		if got := s.N(); got != n {
+			t.Fatalf("step %d: N = %d, want %d", step, got, n)
+		}
+		if got := len(s.Segments()); got != 2 {
+			t.Fatalf("step %d: %d segments, want the 2 inputs", step, got)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(left); !os.IsNotExist(err) {
+			t.Fatalf("step %d: crash debris %s survived recovery", step, filepath.Base(left))
+		}
+	}
+}
+
+func TestCrashDuringCompactionManifestWriteRecoversEitherGeneration(t *testing.T) {
+	dir, n, mergedName, mergedData, manData := buildCompactionCrashFixture(t)
+	// The merged file write completed; the crash hits the manifest rewrite
+	// at every byte offset. Before the rename the two inputs are live (the
+	// merged file is an orphan, swept); after it the merged segment serves
+	// and the inputs become tombstones.
+	for step := 0; step < faultio.CrashSteps(manData); step++ {
+		d := cloneDir(t, dir)
+		if err := os.WriteFile(filepath.Join(d, mergedName), mergedData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := faultio.CrashAtomicWrite(d, ManifestName, manData, step); err != nil {
+			t.Fatal(err)
+		}
+		checkCompactionRecovered(t, d, step, n)
 	}
 }

@@ -25,8 +25,14 @@ import (
 // ManifestName is the manifest's file name within a store directory.
 const ManifestName = "MANIFEST.hbm"
 
-// manifestMagic identifies manifest format v1 ("HBM1").
-var manifestMagic = []byte{'H', 'B', 'M', 1}
+// manifestMagic identifies manifest format v1 ("HBM1"); manifestMagicV2
+// ("HBM2") appends the quarantined-segment list after the live segments.
+// Writers emit v2; readers accept both (a v1 manifest simply has nothing
+// quarantined).
+var (
+	manifestMagic   = []byte{'H', 'B', 'M', 1}
+	manifestMagicV2 = []byte{'H', 'B', 'M', 2}
+)
 
 // crcTable is the Castagnoli polynomial, matching the detector footer.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -70,12 +76,17 @@ type Manifest struct {
 	Params histburst.SketchParams
 	// Segments lists the live segments in ascending time order.
 	Segments []SegmentMeta
+	// Quarantined lists segments removed from service because their files
+	// failed verification. Their files live under quarantine/; their
+	// metadata is retained so the store can report the missing spans (and
+	// keep its durable element count honest for WAL replay).
+	Quarantined []SegmentMeta
 }
 
 // Encode serializes the manifest with its CRC32-C footer.
 func (m *Manifest) Encode() []byte {
 	var enc binenc.Writer
-	enc.BytesBlob(manifestMagic)
+	enc.BytesBlob(manifestMagicV2)
 	enc.Uvarint(m.Generation)
 	enc.Uvarint(m.NextID)
 	p := m.Params
@@ -85,8 +96,15 @@ func (m *Manifest) Encode() []byte {
 	enc.Uvarint(uint64(p.W))
 	enc.Float64(p.Gamma)
 	enc.Bool(p.NoIndex)
-	enc.Uvarint(uint64(len(m.Segments)))
-	for _, g := range m.Segments {
+	encodeSegmentMetas(&enc, m.Segments)
+	encodeSegmentMetas(&enc, m.Quarantined)
+	enc.Uint32(crc32.Checksum(enc.Bytes(), crcTable))
+	return enc.Bytes()
+}
+
+func encodeSegmentMetas(enc *binenc.Writer, metas []SegmentMeta) {
+	enc.Uvarint(uint64(len(metas)))
+	for _, g := range metas {
 		enc.Uvarint(g.ID)
 		enc.BytesBlob([]byte(g.File))
 		enc.Varint(g.Start)
@@ -96,8 +114,6 @@ func (m *Manifest) Encode() []byte {
 		enc.Varint(g.Elements)
 		enc.Bool(g.Compacted)
 	}
-	enc.Uint32(crc32.Checksum(enc.Bytes(), crcTable))
-	return enc.Bytes()
 }
 
 // minSegmentMetaBytes is the least a SegmentMeta can occupy on the wire:
@@ -120,7 +136,9 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 		return nil, fmt.Errorf("segstore: corrupt manifest: checksum mismatch (%08x != %08x)", got, want)
 	}
 	dec := binenc.NewReader(body)
-	if !bytes.Equal(dec.BytesBlob(), manifestMagic) {
+	magic := dec.BytesBlob()
+	v2 := bytes.Equal(magic, manifestMagicV2)
+	if !v2 && !bytes.Equal(magic, manifestMagic) {
 		return nil, fmt.Errorf("segstore: bad magic (not a manifest)")
 	}
 	var m Manifest
@@ -132,10 +150,32 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	m.Params.W = int(dec.Uvarint())
 	m.Params.Gamma = dec.Float64()
 	m.Params.NoIndex = dec.Bool()
+	var err error
+	if m.Segments, err = decodeSegmentMetas(dec); err != nil {
+		return nil, err
+	}
+	if v2 {
+		if m.Quarantined, err = decodeSegmentMetas(dec); err != nil {
+			return nil, err
+		}
+	}
+	if err := dec.Close(); err != nil {
+		return nil, fmt.Errorf("segstore: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// decodeSegmentMetas parses one length-prefixed SegmentMeta list.
+//
+//histburst:decoder
+func decodeSegmentMetas(dec *binenc.Reader) ([]SegmentMeta, error) {
 	n := dec.SliceLen(maxManifestSegments, minSegmentMetaBytes)
-	m.Segments = make([]SegmentMeta, n)
-	for i := range m.Segments {
-		g := &m.Segments[i]
+	metas := make([]SegmentMeta, n)
+	for i := range metas {
+		g := &metas[i]
 		g.ID = dec.Uvarint()
 		name := dec.BytesBlob()
 		if len(name) > maxFileNameLen {
@@ -149,13 +189,7 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 		g.Elements = dec.Varint()
 		g.Compacted = dec.Bool()
 	}
-	if err := dec.Close(); err != nil {
-		return nil, fmt.Errorf("segstore: %w", err)
-	}
-	if err := m.validate(); err != nil {
-		return nil, err
-	}
-	return &m, nil
+	return metas, nil
 }
 
 // validate rejects decoded manifests that are structurally impossible —
@@ -185,6 +219,20 @@ func (m *Manifest) validate() error {
 		}
 		if i > 0 && g.MinT < m.Segments[i-1].MaxT {
 			return fmt.Errorf("segstore: corrupt manifest: segment %d out of time order", g.ID)
+		}
+	}
+	// Quarantined segments keep their metas but not their order: they are
+	// pulled out of the live sequence one at a time, so only per-meta shape
+	// is checked.
+	for _, g := range m.Quarantined {
+		if g.File != "" && !validSegmentFileName(g.File) {
+			return fmt.Errorf("segstore: corrupt manifest: unsafe quarantined file name %q", g.File)
+		}
+		if g.Start > g.End || g.MinT > g.MaxT || g.Elements < 0 {
+			return fmt.Errorf("segstore: corrupt manifest: quarantined segment %d spans are inverted", g.ID)
+		}
+		if g.ID >= m.NextID {
+			return fmt.Errorf("segstore: corrupt manifest: quarantined segment ID %d at or past next ID %d", g.ID, m.NextID)
 		}
 	}
 	return nil

@@ -30,6 +30,7 @@ import (
 type Snapshot struct {
 	v       *storeView
 	kfold   uint64
+	gamma   float64
 	noIndex bool
 }
 
@@ -37,7 +38,7 @@ type Snapshot struct {
 // snapshot never observe seals or compaction swaps that happen after it was
 // taken.
 func (s *Store) Snapshot() *Snapshot {
-	return &Snapshot{v: s.view.Load(), kfold: s.kfold, noIndex: s.noIndex}
+	return &Snapshot{v: s.view.Load(), kfold: s.kfold, gamma: s.params.Gamma, noIndex: s.noIndex}
 }
 
 // Generation returns the manifest generation this snapshot pins.
@@ -499,6 +500,74 @@ func (sn *Snapshot) Segments() []SegmentInfo {
 		}
 	}
 	return out
+}
+
+// Quarantined returns the introspection records of segments removed from
+// service for damage. Their sketches are gone; Bytes is zero and File names
+// the evidence under quarantine/.
+func (sn *Snapshot) Quarantined() []SegmentInfo {
+	out := make([]SegmentInfo, len(sn.v.quarantined))
+	for i, meta := range sn.v.quarantined {
+		out[i] = SegmentInfo{
+			ID: meta.ID, Start: meta.Start, End: meta.End,
+			Elements: meta.Elements, File: meta.File, Compacted: meta.Compacted,
+		}
+	}
+	return out
+}
+
+// MissingRanges returns the time spans covered only by quarantined
+// segments — history the snapshot cannot see. Empty for a healthy store.
+func (sn *Snapshot) MissingRanges() []histburst.TimeRange {
+	out := make([]histburst.TimeRange, len(sn.v.quarantined))
+	for i, meta := range sn.v.quarantined {
+		out[i] = histburst.TimeRange{Start: meta.MinT, End: meta.MaxT}
+	}
+	return out
+}
+
+// ErrorEnvelope bounds the error of estimates at one instant. Bound is the
+// additive PBE-2 guarantee summed over contributing sketch components
+// (γ per sealed segment whose curve reaches the instant; the head is
+// exact). When segments are quarantined, their elements are absent from
+// every estimate entirely — an unbounded-in-γ hole — so the envelope
+// reports them separately instead of folding them into Bound, in the
+// spirit of Hokusai's declining-fidelity reporting.
+type ErrorEnvelope struct {
+	// Gamma is the per-component PBE-2 error cap.
+	Gamma float64 `json:"gamma"`
+	// Components is how many sealed sketch segments contribute at t.
+	Components int `json:"components"`
+	// Bound is Gamma·Components: the additive error cap on any cumulative
+	// frequency (and each burstiness term) at t, over the data the store
+	// still holds.
+	Bound float64 `json:"bound"`
+	// MissingElements is how many elements quarantined segments held in
+	// spans at or before t — history the estimates cannot include.
+	MissingElements int64 `json:"missingElements,omitempty"`
+	// Missing lists the quarantined spans overlapping [0, t].
+	Missing []histburst.TimeRange `json:"missing,omitempty"`
+	// Degraded is true when any history at or before t is missing.
+	Degraded bool `json:"degraded"`
+}
+
+// Envelope reports the snapshot's error envelope for queries at instant t.
+func (sn *Snapshot) Envelope(t int64) ErrorEnvelope {
+	env := ErrorEnvelope{Gamma: sn.gamma}
+	for _, g := range sn.v.segs {
+		if g.meta.MinT <= t {
+			env.Components++
+		}
+	}
+	env.Bound = env.Gamma * float64(env.Components)
+	for _, meta := range sn.v.quarantined {
+		if meta.MinT <= t {
+			env.MissingElements += meta.Elements
+			env.Missing = append(env.Missing, histburst.TimeRange{Start: meta.MinT, End: meta.MaxT})
+		}
+	}
+	env.Degraded = env.MissingElements > 0 || len(env.Missing) > 0
+	return env
 }
 
 // HeadStats describes the in-memory portion of a snapshot.

@@ -181,7 +181,7 @@ func (h *memHead) appendTS(q *eventSeq, t int64) {
 			h.slab = make([]int64, headSlabSize)
 			h.slabOff = 0
 		}
-		q.open = h.slab[h.slabOff:h.slabOff : h.slabOff+headChunk]
+		q.open = h.slab[h.slabOff : h.slabOff : h.slabOff+headChunk]
 		h.slabOff += headChunk
 	}
 	q.open = append(q.open, t)
@@ -330,6 +330,15 @@ func (h *memHead) sealedData() (elems stream.Stream, n, minT, maxT int64) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.elems, h.n, h.minT, h.maxT
+}
+
+// appendElems appends a copy of the head's element log to dst — the WAL
+// rotation baseline capture, which must copy because a live head keeps
+// growing after the lock drops.
+func (h *memHead) appendElems(dst stream.Stream) stream.Stream {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append(dst, h.elems...)
 }
 
 // snapshot returns the head's counters in one consistent read.

@@ -28,8 +28,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"histburst"
+	"histburst/internal/atomicfile"
 	"histburst/internal/stream"
 )
 
@@ -63,15 +65,37 @@ type Config struct {
 	// CompactFanout is how many adjacent same-class segments one compaction
 	// merges (default DefaultCompactFanout; below 2 disables compaction).
 	CompactFanout int
+
+	// WALSync selects when the write-ahead log fsyncs (default
+	// WALSyncAlways). Persistent stores log every accepted append ahead of
+	// applying it, so a crash between checkpoints loses nothing acked.
+	WALSync WALSyncPolicy
+	// WALSyncEvery is the background fsync cadence under WALSyncInterval
+	// (default DefaultWALSyncEvery).
+	WALSyncEvery time.Duration
+	// DisableWAL turns the write-ahead log off entirely: the store reverts
+	// to checkpoint-grained durability.
+	DisableWAL bool
+
+	// ScrubInterval is the cadence of the background segment scrubber,
+	// which re-verifies segment file CRCs and manifest agreement and
+	// quarantines damaged segments (0 = DefaultScrubInterval; negative
+	// disables). Only persistent stores scrub.
+	ScrubInterval time.Duration
+
+	// Logf, when set, receives operational log lines (quarantine events,
+	// replay anomalies). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // storeView is one immutable generation of the store's composition.
 // Replaced wholesale under Store.mu; read via Store.view without locks.
 type storeView struct {
-	gen    uint64
-	segs   []*Segment // ascending time order; elements immutable
-	frozen []*memHead // freeze order; awaiting the sealer
-	head   *memHead
+	gen         uint64
+	segs        []*Segment    // ascending time order; elements immutable
+	quarantined []SegmentMeta // segments removed from service (damage), metadata only
+	frozen      []*memHead    // freeze order; awaiting the sealer
+	head        *memHead
 }
 
 // Store is a segmented timeline store. All methods are safe for concurrent
@@ -91,16 +115,29 @@ type Store struct {
 	// Checkpoint waits for the queue to drain). Associated with mu.
 	cond *sync.Cond
 
-	// gen, nextID, segs, frozen, closed and bgErr are guarded by mu.
-	gen    uint64
-	nextID uint64
-	segs   []*Segment
-	frozen []*memHead
-	closed bool
-	bgErr  error // first background seal/compaction failure, sticky
+	// gen, nextID, segs, quarantined, frozen, closed, bgErr and scrubErr
+	// are guarded by mu.
+	gen         uint64
+	nextID      uint64
+	segs        []*Segment
+	quarantined []SegmentMeta
+	frozen      []*memHead
+	closed      bool
+	bgErr       error // first background seal/compaction failure, sticky
+	scrubErr    error // last scrub pass failure (nil after a clean pass)
 
 	view     atomic.Pointer[storeView]
 	rejected atomic.Int64 // out-of-order appends refused
+
+	// wal is the write-ahead log (nil for volatile or DisableWAL stores).
+	// Lock order: wal.mu is taken strictly before mu — the accept path
+	// holds it across frontier read, log append, and head apply, and
+	// rotation holds it while reading the composition under mu.
+	wal *wal
+
+	scrubEvery  time.Duration
+	scrubPasses atomic.Int64
+	logf        func(format string, args ...any)
 
 	compactNudge chan struct{}
 	stop         chan struct{}
@@ -112,19 +149,28 @@ type Store struct {
 	noMerge map[string]bool
 }
 
+// DefaultScrubInterval is the background scrubber's default cadence.
+const DefaultScrubInterval = time.Minute
+
 // Open opens (or creates) a store in dir. An empty dir makes the store
 // volatile: fully functional, nothing persisted. If dir holds a manifest,
 // the segment directory is recovered from it — every referenced segment
-// file is loaded and verified, and unreferenced segment or temp files
-// (debris of a crashed seal or compaction) are swept.
+// file is loaded and verified (a damaged one is quarantined, not fatal),
+// unreferenced segment or temp files (debris of a crashed seal or
+// compaction) are swept, and the write-ahead log is replayed into the head
+// so nothing acked before the crash is missing.
 func Open(dir string, cfg Config) (*Store, error) {
 	s := &Store{
 		dir:          dir,
 		compactNudge: make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 		noMerge:      make(map[string]bool),
+		logf:         cfg.Logf,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
 
 	s.seals.events = cfg.SealEvents
 	if s.seals.events == 0 {
@@ -136,6 +182,10 @@ func Open(dir string, cfg Config) (*Store, error) {
 	s.fanout = int64(cfg.CompactFanout)
 	if cfg.CompactFanout == 0 {
 		s.fanout = DefaultCompactFanout
+	}
+	s.scrubEvery = cfg.ScrubInterval
+	if s.scrubEvery == 0 {
+		s.scrubEvery = DefaultScrubInterval
 	}
 
 	params := histburst.SketchParams{
@@ -185,19 +235,80 @@ func Open(dir string, cfg Config) (*Store, error) {
 
 	frontier := int64(0)
 	if man != nil {
+		s.quarantined = man.Quarantined //histburst:allow lockguard -- Open constructs the store before it is shared
+		newDamage := false
 		for _, meta := range man.Segments {
 			seg, err := s.loadSegment(meta)
 			if err != nil {
+				// Referenced files were fsynced before the manifest named
+				// them, so this is real damage, not a crash artifact —
+				// quarantine it loudly and keep serving the survivors. The
+				// frontier still advances past the damaged span: the store
+				// must never re-accept times a sealed segment covered.
+				s.logf("segstore: quarantining segment %d (%s): %v", meta.ID, meta.File, err)
+				s.quarantined = append(s.quarantined, meta)
+				newDamage = true
+			} else {
+				s.segs = append(s.segs, seg)
+			}
+			if meta.MaxT > frontier {
+				frontier = meta.MaxT
+			}
+		}
+		for _, meta := range s.quarantined {
+			if meta.MaxT > frontier {
+				frontier = meta.MaxT
+			}
+		}
+		if newDamage {
+			s.gen++                                         //histburst:allow lockguard -- single-goroutine construction; no other goroutine exists yet
+			if err := s.writeManifestLocked(); err != nil { //histburst:allow lockguard -- single-goroutine construction; no other goroutine exists yet
 				return nil, err
 			}
-			s.segs = append(s.segs, seg)
-			frontier = meta.MaxT
+		}
+		// Manifest-first quarantine protocol: finish any file move a crash
+		// (or the quarantine just above) left undone, then sweep debris.
+		if err := s.finishQuarantineMoves(); err != nil {
+			return nil, err
 		}
 		if err := s.sweepOrphans(man); err != nil {
 			return nil, err
 		}
 	}
 	s.publishLocked(newMemHead(frontier)) //histburst:allow lockguard -- single-goroutine construction; no other goroutine exists yet
+
+	if dir != "" && !cfg.DisableWAL {
+		durable := int64(0)
+		for _, g := range s.segs {
+			durable += g.meta.Elements
+		}
+		for _, q := range s.quarantined {
+			durable += q.Elements
+		}
+		w, replay, err := openWAL(dir, cfg.WALSync, cfg.WALSyncEvery, durable)
+		if err != nil {
+			return nil, err
+		}
+		if len(replay) > 0 {
+			if rej, err := s.applyDirect(replay); err != nil {
+				return nil, fmt.Errorf("segstore: wal replay: %w", err)
+			} else if rej > 0 {
+				// Positions said these elements were unsealed, yet the head
+				// refused them — the log and manifest disagree. Serve what
+				// was applied and say so; refusing to open would lose more.
+				s.logf("segstore: wal replay: %d elements rejected (log/manifest disagreement)", rej)
+			}
+			s.logf("segstore: wal replay recovered %d unsealed elements", len(replay))
+		}
+		s.wal = w
+		// Rotate immediately: the fresh log restates the replayed suffix as
+		// one baseline record and the old files are deleted, so recovery
+		// work is bounded by the head regardless of crash history.
+		if err := s.rotateWAL(); err != nil {
+			return nil, err
+		}
+		w.start()
+	}
 
 	s.wg.Add(1)
 	go s.sealLoop()
@@ -206,7 +317,29 @@ func Open(dir string, cfg Config) (*Store, error) {
 		go s.compactLoop()
 		s.nudgeCompactor()
 	}
+	if dir != "" && s.scrubEvery > 0 {
+		s.wg.Add(1)
+		go s.scrubLoop()
+	}
 	return s, nil
+}
+
+// applyDirect pushes elems through the head machinery without touching the
+// WAL — the replay path. Out-of-order elements are counted, not fatal.
+func (s *Store) applyDirect(elems stream.Stream) (rejectedCount int64, err error) {
+	i := 0
+	for i < len(elems) {
+		v := s.view.Load()
+		consumed, _, rej, needFreeze, _ := v.head.appendBatch(elems[i:], s.kfold, s.seals, false) //histburst:allow errdrop -- stopOnReject=false never errors; disorder is counted in rej
+		rejectedCount += rej
+		i += consumed
+		if needFreeze {
+			if err := s.freezeHead(v, false); err != nil {
+				return rejectedCount, err
+			}
+		}
+	}
+	return rejectedCount, nil
 }
 
 // checkConfigAgainstManifest rejects explicit config values that conflict
@@ -261,8 +394,13 @@ func (s *Store) loadSegment(meta SegmentMeta) (*Segment, error) {
 // package creates are touched; anything else in the directory (legacy
 // snapshots, user files) is left alone.
 func (s *Store) sweepOrphans(man *Manifest) error {
-	live := make(map[string]bool, len(man.Segments))
+	live := make(map[string]bool, len(man.Segments)+len(s.quarantined))
 	for _, g := range man.Segments {
+		live[g.File] = true
+	}
+	// Quarantined files belong in quarantine/, but if a move failed they
+	// may still sit in the root — they are evidence, never debris.
+	for _, g := range s.quarantined {
 		live[g.File] = true
 	}
 	entries, err := os.ReadDir(s.dir)
@@ -285,7 +423,34 @@ func (s *Store) sweepOrphans(man *Manifest) error {
 const (
 	segFilePrefix = "seg-"
 	segFileSuffix = ".hbsk"
+	// quarantineDir is the store-directory subfolder damaged segment files
+	// are moved into (kept for forensics, never loaded).
+	quarantineDir = "quarantine"
 )
+
+// finishQuarantineMoves relocates quarantined segment files still sitting
+// in the store root — the manifest names a segment quarantined first, then
+// the file moves, so a crash (or a fresh quarantine at open) can leave the
+// move undone.
+func (s *Store) finishQuarantineMoves() error {
+	for _, meta := range s.quarantined {
+		if meta.File == "" {
+			continue
+		}
+		src := filepath.Join(s.dir, meta.File)
+		if _, err := os.Stat(src); err != nil {
+			continue // already moved (or the damage took the file with it)
+		}
+		if err := os.MkdirAll(filepath.Join(s.dir, quarantineDir), 0o755); err != nil {
+			return err
+		}
+		if err := os.Rename(src, filepath.Join(s.dir, quarantineDir, meta.File)); err != nil {
+			return err
+		}
+	}
+	atomicfile.SyncDir(s.dir)
+	return nil
+}
 
 func segFileName(id uint64) string { return fmt.Sprintf("%s%016d%s", segFilePrefix, id, segFileSuffix) }
 
@@ -293,8 +458,20 @@ func segFileName(id uint64) string { return fmt.Sprintf("%s%016d%s", segFilePref
 // order store-wide; a timestamp behind the frontier is rejected with an
 // error wrapping stream.ErrOutOfOrder and counted in Rejected. Event ids at
 // or above K are folded into the space by modulo, exactly as the monolithic
-// detector folds them.
+// detector folds them. With the WAL enabled the element is durable (per the
+// sync policy) before Append returns.
 func (s *Store) Append(e uint64, t int64) error {
+	if s.wal != nil {
+		s.wal.mu.Lock()
+		defer s.wal.mu.Unlock()
+		if f := s.Frontier(); t < f {
+			s.rejected.Add(1)
+			return fmt.Errorf("%w: append at %d behind frontier %d", stream.ErrOutOfOrder, t, f)
+		}
+		if err := s.wal.appendLocked(stream.Stream{{Event: e, Time: t}}); err != nil {
+			return err
+		}
+	}
 	e %= s.kfold
 	for {
 		v := s.view.Load()
@@ -312,6 +489,36 @@ func (s *Store) Append(e uint64, t int64) error {
 	}
 }
 
+// admitBatch simulates the head's admission rule against a running
+// frontier: an element behind the newest accepted timestamp so far is
+// rejected, everything else is accepted in order. This mirrors appendBatch
+// exactly (freezes never change an element's outcome — the fresh head's
+// floor is the frozen head's frontier), which is what lets the accepted set
+// be logged before any of it is applied.
+func admitBatch(elems stream.Stream, frontier int64) (accepted stream.Stream, rejected int64) {
+	maxT := frontier
+	i := 0
+	for ; i < len(elems); i++ {
+		if elems[i].Time < maxT {
+			break
+		}
+		maxT = elems[i].Time
+	}
+	if i == len(elems) {
+		return elems, 0
+	}
+	accepted = append(stream.Stream{}, elems[:i]...)
+	for ; i < len(elems); i++ {
+		if elems[i].Time < maxT {
+			rejected++
+			continue
+		}
+		maxT = elems[i].Time
+		accepted = append(accepted, elems[i])
+	}
+	return accepted, rejected
+}
+
 // AppendBatch bulk-ingests a time-sorted batch, taking the head lock once
 // per batch (plus once per seal boundary crossed) instead of once per
 // element. Elements behind the frontier are counted in rejected and skipped
@@ -322,6 +529,27 @@ func (s *Store) Append(e uint64, t int64) error {
 //
 //histburst:fastpath Append
 func (s *Store) AppendBatch(elems stream.Stream) (appended, rejected int64, err error) {
+	if s.wal != nil && len(elems) > 0 {
+		// Write-ahead: precompute the exact accepted set, log it as one
+		// frame, and only then apply. A log failure leaves nothing applied
+		// (and nothing counted), so the caller can retry the whole batch.
+		s.wal.mu.Lock()
+		defer s.wal.mu.Unlock()
+		accepted, rej := admitBatch(elems, s.Frontier())
+		if len(accepted) == 0 {
+			s.rejected.Add(rej)
+			return 0, rej, nil
+		}
+		if err := s.wal.appendLocked(accepted); err != nil {
+			return 0, 0, err
+		}
+		appended, _, err = s.applyAccepted(accepted)
+		if err == nil {
+			rejected = rej
+			s.rejected.Add(rej)
+		}
+		return appended, rejected, err
+	}
 	i := 0
 	for i < len(elems) {
 		v := s.view.Load()
@@ -344,9 +572,66 @@ func (s *Store) AppendBatch(elems stream.Stream) (appended, rejected int64, err 
 	return appended, rejected, nil
 }
 
+// applyAccepted pushes an already-admitted, already-logged element set into
+// the head. The caller holds wal.mu, so the frontier cannot move under us
+// and every element must land; a rejection here means the admission
+// simulation diverged from the head — surfaced as an error, never silent.
+func (s *Store) applyAccepted(accepted stream.Stream) (appended, rejected int64, err error) {
+	i := 0
+	for i < len(accepted) {
+		v := s.view.Load()
+		consumed, acc, rej, needFreeze, _ := v.head.appendBatch(accepted[i:], s.kfold, s.seals, false) //histburst:allow errdrop -- stopOnReject=false never errors; disorder is counted in rej
+		appended += acc
+		rejected += rej
+		i += consumed
+		if needFreeze {
+			if err := s.freezeHead(v, false); err != nil {
+				return appended, rejected, err
+			}
+		}
+	}
+	if rejected > 0 {
+		return appended, rejected, fmt.Errorf("segstore: %d logged elements refused by the head (admission mismatch)", rejected)
+	}
+	return appended, 0, nil
+}
+
 // AppendStream bulk-ingests a time-sorted element slice through the batch
 // path, stopping with an error at the first out-of-order element.
 func (s *Store) AppendStream(elems stream.Stream) error {
+	if s.wal != nil && len(elems) > 0 {
+		s.wal.mu.Lock()
+		defer s.wal.mu.Unlock()
+		// Accept the prefix up to the first out-of-order element — exactly
+		// what the stopOnReject apply does — and log it ahead of applying.
+		f := s.Frontier()
+		maxT := f
+		cut := len(elems)
+		for i, el := range elems {
+			if el.Time < maxT {
+				cut = i
+				break
+			}
+			maxT = el.Time
+		}
+		if cut > 0 {
+			if err := s.wal.appendLocked(elems[:cut]); err != nil {
+				return err
+			}
+			if _, _, err := s.applyAccepted(elems[:cut]); err != nil {
+				return err
+			}
+		}
+		if cut < len(elems) {
+			s.rejected.Add(1)
+			frontier := f
+			if cut > 0 {
+				frontier = elems[cut-1].Time
+			}
+			return fmt.Errorf("%w: append at %d behind frontier %d", stream.ErrOutOfOrder, elems[cut].Time, frontier)
+		}
+		return nil
+	}
 	i := 0
 	for i < len(elems) {
 		v := s.view.Load()
@@ -424,10 +709,11 @@ func (s *Store) publishLocked(head *memHead) {
 		head = s.view.Load().head
 	}
 	s.view.Store(&storeView{
-		gen:    s.gen,
-		segs:   append([]*Segment(nil), s.segs...),
-		frozen: append([]*memHead(nil), s.frozen...),
-		head:   head,
+		gen:         s.gen,
+		segs:        append([]*Segment(nil), s.segs...),
+		quarantined: append([]SegmentMeta(nil), s.quarantined...),
+		frozen:      append([]*memHead(nil), s.frozen...),
+		head:        head,
 	})
 }
 
@@ -491,15 +777,55 @@ func (s *Store) sealLoop() {
 			s.bgErr = fmt.Errorf("segstore: seal: %w", err)
 		}
 		failed := err != nil
+		published := ok > 0
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		if failed {
 			// The queue is left intact so the data stays queryable; the
 			// store is wedged for durability until the error is observed.
+			// With the WAL on, the wedge is softer than it sounds: every
+			// unsealed element is still in the log, so a restart recovers.
 			return
+		}
+		if published {
+			// The just-sealed elements are durable in segments now; rewrite
+			// the log down to the remaining unsealed suffix so it stays
+			// O(head). Failure is retried at the next seal — the oversized
+			// log is only a space cost, never a correctness one.
+			if rerr := s.rotateWAL(); rerr != nil {
+				s.logf("segstore: wal rotation failed (will retry at next seal): %v", rerr)
+			}
 		}
 		s.nudgeCompactor()
 	}
+}
+
+// rotateWAL rewrites the log as one baseline record of the store's current
+// unsealed elements. It takes wal.mu before mu (the store's lock order), so
+// ingest is quiesced while the baseline is captured and written.
+func (s *Store) rotateWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	w := s.wal
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s.mu.Lock()
+	durable := int64(0)
+	for _, g := range s.segs {
+		durable += g.meta.Elements
+	}
+	for _, q := range s.quarantined {
+		durable += q.Elements
+	}
+	var pending stream.Stream
+	for _, h := range s.frozen {
+		elems, _, _, _ := h.sealedData()
+		pending = append(pending, elems...)
+	}
+	pending = s.view.Load().head.appendElems(pending)
+	s.mu.Unlock()
+	return w.rotateLocked(durable, pending)
 }
 
 // buildSegment summarizes a frozen head into an immutable sketch segment
@@ -540,6 +866,7 @@ func (s *Store) writeManifestLocked() error {
 	for i, g := range s.segs {
 		m.Segments[i] = g.meta
 	}
+	m.Quarantined = append([]SegmentMeta(nil), s.quarantined...)
 	return WriteManifest(filepath.Join(s.dir, ManifestName), m)
 }
 
@@ -582,6 +909,17 @@ func (s *Store) Bootstrap(det *histburst.Detector) error {
 	if p != s.params {
 		return fmt.Errorf("segstore: detector parameters %+v do not match store %+v", p, s.params)
 	}
+	if err := s.bootstrapInstall(det); err != nil {
+		return err
+	}
+	// The durable position jumped by det.N(); rotate so the log's positions
+	// agree (an empty store's log holds no records, so this just restates
+	// the new baseline). Taken outside mu — rotation locks wal.mu first.
+	return s.rotateWAL()
+}
+
+// bootstrapInstall is Bootstrap's composition change, under mu.
+func (s *Store) bootstrapInstall(det *histburst.Detector) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -597,7 +935,7 @@ func (s *Store) Bootstrap(det *histburst.Detector) error {
 	}
 	det.Finish()
 	meta := SegmentMeta{
-		ID:   s.nextID,
+		ID:    s.nextID,
 		Start: det.MinTime(), End: det.MaxTime(),
 		MinT: det.MinTime(), MaxT: det.MaxTime(),
 		Elements: det.N(),
@@ -643,12 +981,66 @@ func (s *Store) Close() error {
 	s.mu.Unlock()
 	close(s.stop)
 	s.wg.Wait()
+	if s.wal != nil {
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	if err == nil {
 		s.mu.Lock()
 		err = s.bgErr
 		s.mu.Unlock()
 	}
 	return err
+}
+
+// SyncWAL repairs and flushes the write-ahead log — the durability probe a
+// degraded server retries until the disk recovers. A store without a WAL
+// trivially succeeds.
+func (s *Store) SyncWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// StoreHealth is the store's self-diagnosis for serving-layer probes.
+type StoreHealth struct {
+	// Err is the sticky background seal/compaction failure, if any.
+	Err string `json:"err,omitempty"`
+	// ScrubErr is the last scrub pass's failure, if any (cleared by the
+	// next clean pass).
+	ScrubErr string `json:"scrubErr,omitempty"`
+	// ScrubPasses counts completed scrub passes.
+	ScrubPasses int64 `json:"scrubPasses"`
+	// WAL reports the log position and lag.
+	WAL WALStats `json:"wal"`
+	// Quarantined counts segments removed from service for damage, and
+	// QuarantinedElements how many elements their spans held.
+	Quarantined         int   `json:"quarantined"`
+	QuarantinedElements int64 `json:"quarantinedElements"`
+}
+
+// Health reports the store's durability and integrity state.
+func (s *Store) Health() StoreHealth {
+	var h StoreHealth
+	s.mu.Lock()
+	if s.bgErr != nil {
+		h.Err = s.bgErr.Error()
+	}
+	if s.scrubErr != nil {
+		h.ScrubErr = s.scrubErr.Error()
+	}
+	h.Quarantined = len(s.quarantined)
+	for _, q := range s.quarantined {
+		h.QuarantinedElements += q.Elements
+	}
+	s.mu.Unlock()
+	h.ScrubPasses = s.scrubPasses.Load()
+	if s.wal != nil {
+		h.WAL = s.wal.stats()
+	}
+	return h
 }
 
 // nudgeCompactor wakes the compactor without blocking.
