@@ -132,6 +132,15 @@ func main() {
 			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)  //histburst:allow errdrop -- regex guarantees decimal digits
 			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64) //histburst:allow errdrop -- regex guarantees decimal digits
 		}
+		// A repeated name (go test -count N) keeps the fastest run: the
+		// minimum is the least-noise estimate of a benchmark's true cost,
+		// which is what a regression gate on a shared box needs.
+		if prev, ok := byName[r.Name]; ok {
+			if r.NsPerOp < prev.NsPerOp {
+				*prev = r
+			}
+			continue
+		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 		byName[r.Name] = &rep.Benchmarks[len(rep.Benchmarks)-1]
 	}

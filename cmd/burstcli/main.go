@@ -13,6 +13,13 @@
 //
 //	burstcli -in data.hbst -save data.hbsk -stats
 //	burstcli -sketch data.hbsk -events -t 1700000 -theta 500
+//
+// With -addr the same queries run against a live burstd over the HBP1
+// wire protocol instead of a local build; degraded-history answers print
+// the server's error envelope:
+//
+//	burstcli -addr localhost:8428 -point -e 3 -t 1700000 -tau 86400
+//	burstcli -addr localhost:8428 -stats
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 func main() {
 	var (
 		in     = flag.String("in", "", "input dataset file written by burstgen")
+		addr   = flag.String("addr", "", "query a running burstd over HBP1 at this address instead of building locally")
 		sketch = flag.String("sketch", "", "load a saved sketch instead of building from -in")
 		save   = flag.String("save", "", "after building, save the sketch to this file")
 		point  = flag.Bool("point", false, "POINT QUERY: burstiness of event -e at time -t")
@@ -45,7 +53,13 @@ func main() {
 		seed  = flag.Int64("seed", 1, "sketch hash seed")
 	)
 	flag.Parse()
-	if err := run(*in, *sketch, *save, *point, *times, *evts, *stats, *e, *t, *tau, *theta, *gamma, *seed); err != nil {
+	var err error
+	if *addr != "" {
+		err = runRemote(*addr, *point, *times, *evts, *stats, *e, *t, *tau, *theta)
+	} else {
+		err = run(*in, *sketch, *save, *point, *times, *evts, *stats, *e, *t, *tau, *theta, *gamma, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "burstcli:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"histburst/internal/loadgen"
+)
+
+// Sustained-load smoke over both transports against an in-process burstd:
+// a short mixed closed-loop run plus an open-loop flash, asserting the
+// serving path completes work on every op kind without errors. `make
+// load-smoke` runs this; BURSTLOAD_SMOKE_MS stretches the per-run length.
+
+func smokeDuration() time.Duration {
+	if ms := os.Getenv("BURSTLOAD_SMOKE_MS"); ms != "" {
+		var n int
+		if _, err := fmt.Sscanf(ms, "%d", &n); err == nil && n > 0 {
+			return time.Duration(n) * time.Millisecond
+		}
+	}
+	return 500 * time.Millisecond
+}
+
+// loadTargets builds one loadgen target per transport over srv, each with
+// its own profile clocked at the live frontier.
+func loadTargets(t *testing.T, srv *server, workers int) map[string]loadgen.Target {
+	t.Helper()
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	wl, err := listenWire(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wl.Close)
+	events := make([]uint64, 64)
+	for i := range events {
+		events[i] = uint64(i % 16)
+	}
+	mk := func() *loadgen.Profile {
+		p := &loadgen.Profile{Events: events, Tau: 86_400, Theta: 100,
+			AppendBatch: 64, PointBatch: 8}
+		p.StartClock(srv.store.MaxTime() + 1)
+		p.MaxT = srv.store.MaxTime()
+		return p
+	}
+	wt, err := loadgen.DialWire(wl.Addr().String(), workers, 5*time.Second, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wt.Close)
+	return map[string]loadgen.Target{
+		"http": &loadgen.HTTPTarget{
+			Base:   ts.URL,
+			Client: &http.Client{Timeout: 10 * time.Second},
+			P:      mk(),
+		},
+		"wire": wt,
+	}
+}
+
+func TestServingLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-load run")
+	}
+	srv := demoServer(t)
+	dur := smokeDuration()
+	for name, tgt := range loadTargets(t, srv, 4) {
+		t.Run(name, func(t *testing.T) {
+			rep, err := loadgen.Run(loadgen.Config{
+				Duration: dur, Workers: 4,
+				Mix:  loadgen.Mix{Append: 1, Point: 4, Bursty: 1},
+				Seed: 7,
+			}, tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Errors != 0 {
+				t.Fatalf("%d of %d ops errored", rep.Errors, rep.Ops)
+			}
+			for _, kind := range loadgen.Kinds {
+				ks := rep.Kinds[kind]
+				if ks == nil || ks.Ops == 0 {
+					t.Fatalf("op kind %s never ran (%d total ops)", kind, rep.Ops)
+				}
+				if ks.P99Ns <= 0 {
+					t.Fatalf("%s: empty latency record %+v", kind, ks)
+				}
+			}
+		})
+	}
+	// Open-loop flash: a fixed arrival schedule against the wire transport,
+	// proving the pacer and the credit window coexist.
+	wt := loadTargets(t, srv, 4)["wire"]
+	rep, err := loadgen.Run(loadgen.Config{
+		Duration: dur, Workers: 4, Rate: 200,
+		Mix:  loadgen.Mix{Append: 1, Point: 4, Bursty: 1},
+		Seed: 11,
+	}, wt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Ops == 0 {
+		t.Fatalf("open loop: %d ops, %d errors", rep.Ops, rep.Errors)
+	}
+}
+
+// recordTarget builds one transport target against its own fresh server,
+// so a measured run never inherits the store another transport grew.
+func recordTarget(t *testing.T, name string, workers, appendBatch, pointBatch int) loadgen.Target {
+	t.Helper()
+	srv := demoServer(t)
+	events := make([]uint64, 64)
+	for i := range events {
+		events[i] = uint64(i % 16)
+	}
+	p := &loadgen.Profile{Events: events, Tau: 86_400, Theta: 100,
+		AppendBatch: appendBatch, PointBatch: pointBatch}
+	p.StartClock(srv.store.MaxTime() + 1)
+	p.MaxT = srv.store.MaxTime()
+	if name == "http" {
+		ts := httptest.NewServer(srv.handler())
+		t.Cleanup(ts.Close)
+		return &loadgen.HTTPTarget{
+			Base:   ts.URL,
+			Client: &http.Client{Timeout: 10 * time.Second},
+			P:      p,
+		}
+	}
+	wl, err := listenWire(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wl.Close)
+	wt, err := loadgen.DialWire(wl.Addr().String(), workers, 5*time.Second, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wt.Close)
+	return wt
+}
+
+// TestServingLatencyRecord is the BENCH_PR7 measurement, not a test: with
+// BURSTLOAD_RECORD=1 it runs closed-loop comparisons on both transports and
+// prints go-bench-style rows for cmd/benchjson (`make bench-json` pipes
+// them into the PR record next to the segstore microbenchmarks).
+//
+// Two runs per transport, each against a fresh server: a mixed
+// append+point run (the headline ingest-vs-query contention numbers) and a
+// pure bursty run. Bursty is measured separately because a bursty scan is
+// a multi-ms CPU-bound walk of the whole history — interleaving it with
+// the mixed run puts the scan duration into *both* transports' point p99
+// on a small box (the queries wait on the CPU, not the wire), which
+// records scheduler contention, not serving cost.
+func TestServingLatencyRecord(t *testing.T) {
+	if os.Getenv("BURSTLOAD_RECORD") == "" {
+		t.Skip("set BURSTLOAD_RECORD=1 to measure")
+	}
+	runs := []struct {
+		mix loadgen.Mix
+		dur time.Duration
+	}{
+		{loadgen.Mix{Append: 1, Point: 4}, 3 * time.Second},
+		{loadgen.Mix{Bursty: 1}, 2 * time.Second},
+	}
+	for _, name := range []string{"http", "wire"} {
+		for _, r := range runs {
+			tgt := recordTarget(t, name, 2, 256, 32)
+			rep, err := loadgen.Run(loadgen.Config{
+				Duration: r.dur, Workers: 2, Mix: r.mix, Seed: 7,
+			}, tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Errors != 0 {
+				t.Fatalf("%s %+v: %d of %d ops errored", name, r.mix, rep.Errors, rep.Ops)
+			}
+			for _, line := range rep.BenchLines(name) {
+				fmt.Println(line)
+			}
+		}
+	}
+}

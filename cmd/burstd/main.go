@@ -53,13 +53,15 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		sketch = flag.String("sketch", "", "saved sketch from burstcli -save (skips building)")
-		in     = flag.String("in", "", "dataset file from burstgen (default: generate a demo olympicrio stream)")
-		n      = flag.Int64("n", 200_000, "demo stream size when no -in is given")
-		k      = flag.Uint64("k", 0, "start with an empty detector over this event-id space (skips the demo stream)")
-		gamma  = flag.Float64("gamma", 8, "PBE-2 error cap γ")
-		seed   = flag.Int64("seed", 1, "workload / sketch seed")
+		addr     = flag.String("addr", ":8080", "listen address")
+		wireAddr = flag.String("wire-addr", "", "HBP1 binary wire-protocol listen address (empty = disabled)")
+		debug    = flag.String("debug-addr", "", "net/http/pprof listen address (empty = disabled)")
+		sketch   = flag.String("sketch", "", "saved sketch from burstcli -save (skips building)")
+		in       = flag.String("in", "", "dataset file from burstgen (default: generate a demo olympicrio stream)")
+		n        = flag.Int64("n", 200_000, "demo stream size when no -in is given")
+		k        = flag.Uint64("k", 0, "start with an empty detector over this event-id space (skips the demo stream)")
+		gamma    = flag.Float64("gamma", 8, "PBE-2 error cap γ")
+		seed     = flag.Int64("seed", 1, "workload / sketch seed")
 
 		snapDir    = flag.String("snapshots", "", "store directory for checkpoints and crash recovery (empty = stateless)")
 		checkpoint = flag.Duration("checkpoint", time.Minute, "checkpoint cadence when -snapshots is set (0 = only on shutdown)")
@@ -87,13 +89,13 @@ func main() {
 		SealEvents: *sealEvents, Fanout: *fanout,
 		WALSync: walPolicy, WALSyncEvery: *walSyncEvery, ScrubInterval: *scrubInterval,
 	}
-	if err := run(*addr, opts, *checkpoint, *drain); err != nil {
+	if err := run(*addr, *wireAddr, *debug, opts, *checkpoint, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "burstd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, opts serverOpts, checkpoint, drain time.Duration) error {
+func run(addr, wireAddr, debugAddr string, opts serverOpts, checkpoint, drain time.Duration) error {
 	srv, err := newServer(opts)
 	if err != nil {
 		return err
@@ -134,16 +136,45 @@ func run(addr string, opts serverOpts, checkpoint, drain time.Duration) error {
 		}()
 	}
 
+	// The HBP1 wire listener serves the same store alongside HTTP. Appends
+	// ride the same ingest seam, so draining and degraded semantics match;
+	// shutdown closes the listener and its connections after the HTTP drain.
+	var ws *wireListener
+	if wireAddr != "" {
+		ws, err = listenWire(srv, wireAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("burstd: wire protocol (HBP1) listening on %s", ws.Addr())
+	}
+
+	// The debug listener exposes net/http/pprof privately for load-test
+	// profiling; it never shares a mux with the public routes.
+	if debugAddr != "" {
+		go func() {
+			log.Printf("burstd: debug (pprof) listening on %s", debugAddr)
+			if err := http.ListenAndServe(debugAddr, debugHandler()); err != nil {
+				log.Printf("burstd: debug listener: %v", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
 	select {
 	case err := <-errc:
+		if ws != nil {
+			ws.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
 	log.Printf("burstd: shutting down (drain %s)", drain)
 	srv.ready.Store(false) // readyz flips 503; new appends are refused
+	if ws != nil {
+		ws.Close() // wire conns get NACK(draining) until the close lands
+	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

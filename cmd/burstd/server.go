@@ -16,6 +16,7 @@ import (
 	"histburst"
 	"histburst/internal/segstore"
 	"histburst/internal/stream"
+	"histburst/internal/wire"
 	"histburst/internal/workload"
 )
 
@@ -68,7 +69,12 @@ type server struct {
 	probing    atomic.Bool   // one prober at a time
 	probeEvery time.Duration // prober cadence (tests shrink it)
 	inflight   chan struct{}
-	logf       func(format string, args ...any)
+	// retryHint is the Retry-After duration (nanoseconds) shed and degraded
+	// responses advertise, derived from appendWithRetry's live backoff state
+	// instead of a hardcoded constant: it tracks the backoff the write path
+	// is actually experiencing and resets once appends succeed again.
+	retryHint atomic.Int64
+	logf      func(format string, args ...any)
 }
 
 // newServer builds the server: recover from a manifest if one exists,
@@ -86,6 +92,7 @@ func newServer(o serverOpts) (*server, error) {
 		probeEvery: time.Second,
 		logf:       o.Logf,
 	}
+	s.retryHint.Store(int64(time.Second))
 
 	lifecycle := segstore.Config{
 		SealEvents: o.SealEvents, CompactFanout: o.Fanout,
@@ -255,10 +262,28 @@ func (s *server) limit(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server overloaded"))
 		}
 	})
+}
+
+// retryAfter is the current Retry-After hint: the write path's live backoff,
+// never below one second.
+func (s *server) retryAfter() time.Duration {
+	d := time.Duration(s.retryHint.Load())
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// retryAfterSeconds renders the hint for the HTTP Retry-After header,
+// rounding partial seconds up (the header speaks whole seconds).
+func (s *server) retryAfterSeconds() string {
+	d := s.retryAfter()
+	secs := int64((d + time.Second - 1) / time.Second)
+	return strconv.FormatInt(secs, 10)
 }
 
 // healthBody is the shared health surface of /healthz and /readyz: store
@@ -326,11 +351,6 @@ type appendElement struct {
 const maxAppendBody = 8 << 20
 
 func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("shutting down"))
-		return
-	}
 	var req appendRequest
 	body := http.MaxBytesReader(w, r.Body, maxAppendBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -345,10 +365,41 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	for i, el := range req.Elements {
 		elems[i] = stream.Element{Event: el.Event, Time: el.Time}
 	}
+	// The ingest seam applies the shared admission policy (draining,
+	// read-only, retry/degrade) for both this handler and the wire
+	// transport; here its verdict is mapped back onto HTTP status codes.
+	res := s.ingest(elems)
+	switch {
+	case res.Refused != 0:
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("%s", res.Message))
+	case res.Err != nil:
+		httpError(w, http.StatusInternalServerError, res.Err)
+	default:
+		writeJSON(w, map[string]any{
+			"appended": res.Appended, "rejected": res.Rejected,
+			"elements": res.Elements, "outOfOrder": res.OutOfOrder,
+		})
+	}
+}
+
+// ingest drives one decoded batch through the admission policy shared by
+// the HTTP append handler and the wire transport: refuse while draining or
+// read-only, retry disk faults with backoff, degrade on a persistent fault.
+// Keeping both transports on this one seam is what makes their semantics
+// identical by construction.
+func (s *server) ingest(elems stream.Stream) wire.IngestResult {
+	if !s.ready.Load() {
+		return wire.IngestResult{
+			Refused: wire.NackDraining, RetryAfter: s.retryAfter(),
+			Message: "shutting down",
+		}
+	}
 	if s.readOnly.Load() {
-		w.Header().Set("Retry-After", "5")
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("store is read-only after a disk fault; queries keep serving"))
-		return
+		return wire.IngestResult{
+			Refused: wire.NackReadOnly, RetryAfter: s.retryAfter(),
+			Message: "store is read-only after a disk fault; queries keep serving",
+		}
 	}
 	// The stager shards staging across CPUs and group-commits staged batches
 	// into the head in timestamp order, so concurrent ingest requests no
@@ -357,31 +408,43 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if res.Err != nil {
 		if isDiskFault(res.Err) {
 			s.enterReadOnly(res.Err)
-			w.Header().Set("Retry-After", "5")
-			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("store is read-only after a disk fault: %w", res.Err))
-			return
+			return wire.IngestResult{
+				Refused: wire.NackReadOnly, RetryAfter: s.retryAfter(),
+				Message: fmt.Sprintf("store is read-only after a disk fault: %v", res.Err),
+			}
 		}
-		httpError(w, http.StatusInternalServerError, res.Err)
-		return
+		return wire.IngestResult{Err: res.Err}
 	}
 	if res.Appended > 0 {
 		s.dirty.Store(true)
 	}
-	writeJSON(w, map[string]any{
-		"appended": res.Appended, "rejected": res.Rejected,
-		"elements": s.store.N(), "outOfOrder": s.store.Rejected(),
-	})
+	return wire.IngestResult{
+		Appended: res.Appended, Rejected: res.Rejected,
+		Elements: s.store.N(), OutOfOrder: s.store.Rejected(),
+	}
 }
 
-// appendWithRetry drives one batch through the ingest seam, retrying disk
+// appendWithRetry drives one batch through the append func, retrying disk
 // faults with capped exponential backoff — a filling disk is often a
 // transient (log rotation racing a cleanup); only a fault that survives
-// the whole budget degrades the server.
+// the whole budget degrades the server. The backoff it experiences feeds
+// the server's Retry-After hint: a success resets the hint to the floor,
+// each retry raises it to the sleep it is about to take, and giving up
+// leaves it at the next (unslept) rung — the server's best estimate of how
+// long a client should wait before trying again.
 func (s *server) appendWithRetry(elems stream.Stream) segstore.BatchResult {
 	backoff := 50 * time.Millisecond
 	for attempt := 0; ; attempt++ {
 		res := s.append(elems)
-		if res.Err == nil || !isDiskFault(res.Err) || attempt == 3 {
+		if res.Err == nil {
+			s.retryHint.Store(int64(time.Second))
+			return res
+		}
+		if !isDiskFault(res.Err) {
+			return res
+		}
+		s.retryHint.Store(int64(backoff))
+		if attempt == 3 {
 			return res
 		}
 		s.logf("burstd: append hit a disk fault (attempt %d, retrying in %s): %v", attempt+1, backoff, res.Err)

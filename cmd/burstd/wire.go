@@ -1,0 +1,88 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"histburst/internal/segstore"
+	"histburst/internal/stream"
+	"histburst/internal/wire"
+)
+
+// The wire.Backend implementation: the HBP1 listener fronts the same store
+// snapshot accessors and ingest seam the HTTP handlers use, so the two
+// transports cannot drift apart semantically.
+
+// Snapshot returns the store view wire queries run against.
+func (s *server) Snapshot() *segstore.Snapshot { return s.store.Snapshot() }
+
+// Ingest drives one wire append batch through the shared admission policy.
+func (s *server) Ingest(elems stream.Stream) wire.IngestResult { return s.ingest(elems) }
+
+// Stats mirrors the serving fields of GET /v1/stats for STATS frames.
+func (s *server) Stats() wire.Stats {
+	sn := s.store.Snapshot()
+	h := s.store.Health()
+	return wire.Stats{
+		Elements:    sn.N(),
+		EventSpace:  s.store.K(),
+		MaxTime:     sn.MaxTime(),
+		Bytes:       int64(sn.Bytes()),
+		OutOfOrder:  s.store.Rejected(),
+		Generation:  sn.Generation(),
+		Segments:    len(sn.Segments()),
+		Quarantined: h.Quarantined,
+		ReadOnly:    s.readOnly.Load(),
+		HeadElems:   sn.Head().Elements,
+	}
+}
+
+// wireServer builds the HBP1 server fronting this burstd instance.
+func (s *server) wireServer() *wire.Server {
+	return &wire.Server{Backend: s, Logf: s.logf}
+}
+
+// wireListener couples an HBP1 server to its TCP listener so shutdown can
+// tear both down.
+type wireListener struct {
+	ws *wire.Server
+	ln net.Listener
+}
+
+// listenWire starts the HBP1 listener on addr, serving srv's store.
+func listenWire(srv *server, addr string) (*wireListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ws := srv.wireServer()
+	go func() {
+		if err := ws.Serve(ln); err != nil {
+			srv.logf("burstd: wire listener: %v", err)
+		}
+	}()
+	return &wireListener{ws: ws, ln: ln}, nil
+}
+
+func (w *wireListener) Addr() net.Addr { return w.ln.Addr() }
+
+// Close stops accepting and drops every live wire connection.
+func (w *wireListener) Close() {
+	w.ws.Close()
+	w.ln.Close() //histburst:allow errdrop -- shutdown teardown; nothing to recover
+}
+
+// debugHandler serves net/http/pprof on the separate -debug-addr listener.
+// The profiling routes are registered on a private mux rather than imported
+// for DefaultServeMux's side effect, so the public serving mux never
+// exposes them.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

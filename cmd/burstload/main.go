@@ -1,0 +1,245 @@
+// Command burstload drives sustained load against a running burstd and
+// reports throughput and latency quantiles per transport, so the JSON
+// serving path and the HBP1 wire path can be compared on identical
+// workloads.
+//
+// Two disciplines (see internal/loadgen): closed loop (fixed concurrency,
+// the default) and open loop (-rate, fixed arrival rate with latency
+// measured from the scheduled arrival — queueing counts). The op mix draws
+// append batches from a workload-skewed event population (the olympicrio
+// spec) plus batched point queries and bursty-times/bursty-events queries
+// over the served history.
+//
+//	burstd -n 200000 -addr :8427 -wire-addr :8428 &
+//	burstload -http http://localhost:8427 -wire localhost:8428 -duration 10s
+//	burstload -wire localhost:8428 -rate 5000 -c 32 -mix append=1,point=8,bursty=1
+//
+// -json writes the combined record; -bench prints `go test -bench`-style
+// rows (BenchmarkServe/<transport>/<kind>/p99 ...) for cmd/benchjson.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"histburst/internal/loadgen"
+	"histburst/internal/wire"
+	"histburst/internal/workload"
+)
+
+func main() {
+	var (
+		httpURL  = flag.String("http", "", "burstd base URL for the JSON/HTTP transport (e.g. http://localhost:8427)")
+		wireAddr = flag.String("wire", "", "burstd HBP1 address for the wire transport (e.g. localhost:8428)")
+		duration = flag.Duration("duration", 10*time.Second, "run length per transport")
+		workers  = flag.Int("c", 16, "concurrent workers")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in ops/sec (0 = closed loop)")
+		mixSpec  = flag.String("mix", "append=1,point=4,bursty=1", "op mix weights, kind=weight comma-separated")
+		batch    = flag.Int("append-batch", 256, "elements per append op")
+		points   = flag.Int("point-batch", 16, "queries per point op")
+		tau      = flag.Int64("tau", 86_400, "burst span τ for every query")
+		theta    = flag.Float64("theta", 100, "bursty-query threshold θ")
+		seed     = flag.Int64("seed", 1, "workload and mix seed")
+		jsonOut  = flag.String("json", "", "write the combined JSON record to this file")
+		bench    = flag.Bool("bench", false, "print go-bench-style result rows for cmd/benchjson")
+	)
+	flag.Parse()
+	if err := run(*httpURL, *wireAddr, *duration, *workers, *rate, *mixSpec,
+		*batch, *points, *tau, *theta, *seed, *jsonOut, *bench, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "burstload:", err)
+		os.Exit(1)
+	}
+}
+
+// parseMix parses "append=1,point=4,bursty=1"; omitted kinds weigh zero.
+func parseMix(spec string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("mix term %q: want kind=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("mix term %q: bad weight", part)
+		}
+		switch loadgen.Kind(name) {
+		case loadgen.KindAppend:
+			m.Append = w
+		case loadgen.KindPoint:
+			m.Point = w
+		case loadgen.KindBursty:
+			m.Bursty = w
+		default:
+			return m, fmt.Errorf("mix term %q: unknown kind", part)
+		}
+	}
+	if m.Append+m.Point+m.Bursty == 0 {
+		return m, fmt.Errorf("mix %q has no weight", spec)
+	}
+	return m, nil
+}
+
+// eventDraws materializes the olympicrio workload and returns its event
+// sequence — a draw list carrying the spec's popularity skew and burst
+// structure, folded into the server's event-id space.
+func eventDraws(seed int64, k uint64) ([]uint64, error) {
+	st, err := workload.Generate(workload.OlympicRioSpec(seed, 20_000))
+	if err != nil {
+		return nil, err
+	}
+	if len(st) == 0 {
+		return nil, fmt.Errorf("workload generated no elements")
+	}
+	events := make([]uint64, len(st))
+	for i, el := range st {
+		events[i] = el.Event
+		if k > 0 {
+			events[i] %= k
+		}
+	}
+	return events, nil
+}
+
+type record struct {
+	Mix        loadgen.Mix                `json:"mix"`
+	Tau        int64                      `json:"tau"`
+	Theta      float64                    `json:"theta"`
+	Seed       int64                      `json:"seed"`
+	Transports map[string]*loadgen.Report `json:"transports"`
+}
+
+func run(httpURL, wireAddr string, duration time.Duration, workers int, rate float64,
+	mixSpec string, batch, points int, tau int64, theta float64, seed int64,
+	jsonOut string, bench bool, out *os.File) error {
+	if httpURL == "" && wireAddr == "" {
+		return fmt.Errorf("need -http and/or -wire")
+	}
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{Duration: duration, Workers: workers, Rate: rate, Mix: mix, Seed: seed}
+	rec := &record{Mix: mix, Tau: tau, Theta: theta, Seed: seed, Transports: map[string]*loadgen.Report{}}
+
+	// One event-space probe up front so both transports share a profile
+	// population; the per-transport clock still starts at the live frontier.
+	var k uint64
+	if wireAddr != "" {
+		c, err := wire.Dial(wireAddr, 10*time.Second)
+		if err != nil {
+			return fmt.Errorf("wire %s: %w", wireAddr, err)
+		}
+		k = c.Hello().K
+		c.Close() //histburst:allow errdrop -- probe connection, nothing in flight
+	} else {
+		resp, err := http.Get(strings.TrimRight(httpURL, "/") + "/v1/stats")
+		if err != nil {
+			return fmt.Errorf("http %s: %w", httpURL, err)
+		}
+		var st struct {
+			EventSpace uint64 `json:"eventSpace"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close() //histburst:allow errdrop -- response fully decoded
+		if err != nil {
+			return err
+		}
+		k = st.EventSpace
+	}
+	events, err := eventDraws(seed, k)
+	if err != nil {
+		return err
+	}
+
+	runOne := func(name string, tgt loadgen.Target) error {
+		rep, err := loadgen.Run(cfg, tgt)
+		if err != nil {
+			return err
+		}
+		rec.Transports[name] = rep
+		printReport(out, name, rep)
+		if bench {
+			for _, line := range rep.BenchLines(name) {
+				fmt.Fprintln(out, line)
+			}
+		}
+		return nil
+	}
+
+	if httpURL != "" {
+		p := &loadgen.Profile{Events: events, Tau: tau, Theta: theta,
+			AppendBatch: batch, PointBatch: points}
+		tgt := &loadgen.HTTPTarget{
+			Base: strings.TrimRight(httpURL, "/"),
+			Client: &http.Client{
+				Timeout:   30 * time.Second,
+				Transport: &http.Transport{MaxIdleConnsPerHost: workers},
+			},
+			P: p,
+		}
+		if err := tgt.Frontier(); err != nil {
+			return fmt.Errorf("http %s: %w", httpURL, err)
+		}
+		if err := runOne("http", tgt); err != nil {
+			return err
+		}
+	}
+	if wireAddr != "" {
+		p := &loadgen.Profile{Events: events, Tau: tau, Theta: theta,
+			AppendBatch: batch, PointBatch: points}
+		tgt, err := loadgen.DialWire(wireAddr, workers, 10*time.Second, p)
+		if err != nil {
+			return fmt.Errorf("wire %s: %w", wireAddr, err)
+		}
+		defer tgt.Close()
+		if err := tgt.Frontier(); err != nil {
+			return fmt.Errorf("wire %s: %w", wireAddr, err)
+		}
+		if err := runOne("wire", tgt); err != nil {
+			return err
+		}
+	}
+
+	if jsonOut != "" {
+		enc, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printReport(out *os.File, transport string, rep *loadgen.Report) {
+	fmt.Fprintf(out, "%s: %s loop, %d workers", transport, rep.Mode, rep.Workers)
+	if rep.Mode == "open" {
+		fmt.Fprintf(out, ", %.0f ops/s scheduled", rep.Rate)
+	}
+	fmt.Fprintf(out, ": %d ops (%.0f ops/s), %d errors\n", rep.Ops, rep.OpsPerSec, rep.Errors)
+	kinds := make([]loadgen.Kind, 0, len(rep.Kinds))
+	for k := range rep.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		ks := rep.Kinds[k]
+		fmt.Fprintf(out, "  %-7s %8d ops  %9.0f ops/s  p50 %-10s p95 %-10s p99 %-10s max %s\n",
+			k, ks.Ops, ks.OpsPerSec,
+			time.Duration(ks.P50Ns), time.Duration(ks.P95Ns),
+			time.Duration(ks.P99Ns), time.Duration(ks.MaxNs))
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"histburst/internal/loadgen"
+)
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		spec string
+		want loadgen.Mix
+		ok   bool
+	}{
+		{"append=1,point=4,bursty=1", loadgen.Mix{Append: 1, Point: 4, Bursty: 1}, true},
+		{"point=8", loadgen.Mix{Point: 8}, true},
+		{" append=2 , bursty=3 ", loadgen.Mix{Append: 2, Bursty: 3}, true},
+		{"append=0,point=0,bursty=0", loadgen.Mix{}, false}, // no weight
+		{"append=1,unknown=2", loadgen.Mix{}, false},
+		{"append", loadgen.Mix{}, false},
+		{"append=-1", loadgen.Mix{}, false},
+		{"append=x", loadgen.Mix{}, false},
+	}
+	for _, c := range cases {
+		got, err := parseMix(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("parseMix(%q): err=%v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parseMix(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestEventDrawsFoldIntoIDSpace(t *testing.T) {
+	events, err := eventDraws(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no draws")
+	}
+	for i, e := range events {
+		if e >= 16 {
+			t.Fatalf("draw %d = %d escapes id space 16", i, e)
+		}
+	}
+	// The workload's popularity skew must survive the fold: the draw list
+	// is not a uniform cycle.
+	counts := map[uint64]int{}
+	for _, e := range events {
+		counts[e]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("degenerate draw population: %v", counts)
+	}
+}

@@ -12,9 +12,12 @@
 //
 // At end of input the summary can be persisted with -save for later
 // burstcli/burstd querying. With -forward the mapped elements are also
-// replayed to a running burstd's /v1/append in batches, with jittered
-// exponential retry/backoff so the replay survives server restarts and
-// 503 load shedding.
+// replayed to a running burstd in batches, with jittered exponential
+// retry/backoff so the replay survives server restarts and load shedding.
+// An http:// URL replays via POST /v1/append; an hbp://host:port address
+// streams over the HBP1 wire protocol, where retries resend only the
+// unacknowledged suffix of a batch and honor the server's Retry-After
+// NACK hint.
 package main
 
 import (
@@ -39,13 +42,19 @@ func main() {
 		top    = flag.Int("top", 5, "events per report")
 		gamma  = flag.Float64("gamma", 4, "PBE-2 error cap γ")
 		save   = flag.String("save", "", "persist the final sketch to this file")
-		fwdURL = flag.String("forward", "", "replay elements to this burstd /v1/append URL (retries with backoff)")
+		fwdURL = flag.String("forward", "", "replay elements to this burstd: an /v1/append URL or hbp://host:port (retries with backoff)")
 		fwdN   = flag.Int("forward-batch", 256, "elements per forwarded append request")
 	)
 	flag.Parse()
-	var fwd *forwarder
+	var fwd replayer
 	if *fwdURL != "" {
-		fwd = newForwarder(*fwdURL, *fwdN, nil)
+		if addr, ok := strings.CutPrefix(*fwdURL, "hbp://"); ok {
+			wf := newWireForwarder(addr, *fwdN)
+			defer wf.close()
+			fwd = wf
+		} else {
+			fwd = newForwarder(*fwdURL, *fwdN, nil)
+		}
 	}
 	if err := process(os.Stdin, os.Stdout, *k, *tau, *report, *top, *gamma, *save, fwd); err != nil {
 		fmt.Fprintln(os.Stderr, "burststream:", err)
@@ -53,7 +62,7 @@ func main() {
 	}
 }
 
-func process(r io.Reader, w io.Writer, k uint64, tau, report int64, top int, gamma float64, save string, fwd *forwarder) error {
+func process(r io.Reader, w io.Writer, k uint64, tau, report int64, top int, gamma float64, save string, fwd replayer) error {
 	if top <= 0 {
 		return fmt.Errorf("-top must be positive, got %d", top)
 	}
@@ -143,8 +152,9 @@ func process(r io.Reader, w io.Writer, k uint64, tau, report int64, top int, gam
 		if err := fwd.flush(); err != nil {
 			return err
 		}
+		sent, posts, retried := fwd.totals()
 		fmt.Fprintf(w, "forwarded %d elements in %d requests (%d retries)\n",
-			fwd.sent, fwd.posts, fwd.retried)
+			sent, posts, retried)
 	}
 	det.Finish()
 	fmt.Fprintf(w, "done: %d lines, %d skipped, %d mentions of %d events, sketch %s\n",

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"histburst/internal/segstore"
+	"histburst/internal/stream"
+	"histburst/internal/wire"
+)
+
+// wireBackend fronts a real store for forwarder tests, mirroring how
+// burstd implements the wire Backend seam.
+type wireBackend struct {
+	store  *segstore.Store
+	stager *segstore.Stager
+}
+
+func newWireBackend(t *testing.T) *wireBackend {
+	t.Helper()
+	s, err := segstore.Open(t.TempDir(), segstore.Config{
+		K: 64, Gamma: 2, Seed: 7, D: 3, W: 32, WALSync: segstore.WALSyncOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("store close: %v", err)
+		}
+	})
+	return &wireBackend{store: s, stager: segstore.NewStager(s)}
+}
+
+func (b *wireBackend) Snapshot() *segstore.Snapshot { return b.store.Snapshot() }
+
+func (b *wireBackend) Ingest(elems stream.Stream) wire.IngestResult {
+	res := b.stager.Append(elems)
+	if res.Err != nil {
+		return wire.IngestResult{Err: res.Err}
+	}
+	return wire.IngestResult{
+		Appended: res.Appended, Rejected: res.Rejected,
+		Elements: b.store.N(), OutOfOrder: b.store.Rejected(),
+	}
+}
+
+func (b *wireBackend) Stats() wire.Stats {
+	sn := b.store.Snapshot()
+	return wire.Stats{
+		Elements: sn.N(), EventSpace: b.store.K(), MaxTime: sn.MaxTime(),
+		Bytes: int64(sn.Bytes()), Generation: sn.Generation(), Segments: len(sn.Segments()),
+	}
+}
+
+func serveWire(t *testing.T, b wire.Backend) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &wire.Server{Backend: b, Logf: func(string, ...any) {}}
+	go srv.Serve(l) //histburst:allow errdrop -- listener closed by cleanup ends Serve
+	t.Cleanup(func() {
+		l.Close() //histburst:allow errdrop -- test teardown
+		srv.Close()
+	})
+	return l.Addr().String()
+}
+
+func TestWireForwarderDeliversBatches(t *testing.T) {
+	b := newWireBackend(t)
+	addr := serveWire(t, b)
+	f := newWireForwarder(addr, 8)
+	defer f.close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := f.add(uint64(i%16), int64(i)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if err := f.flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	sent, posts, retried := f.totals()
+	if sent != n {
+		t.Fatalf("sent %d elements, want %d", sent, n)
+	}
+	if wantPosts := int64((n + 7) / 8); posts != wantPosts {
+		t.Fatalf("posts %d, want %d", posts, wantPosts)
+	}
+	if retried != 0 {
+		t.Fatalf("unexpected retries: %d", retried)
+	}
+	if got := b.store.N(); got != n {
+		t.Fatalf("store holds %d elements, want %d", got, n)
+	}
+}
+
+func TestWireForwarderRetriesDialFailures(t *testing.T) {
+	b := newWireBackend(t)
+	addr := serveWire(t, b)
+	f := newWireForwarder(addr, 4)
+	defer f.close()
+	f.sleep = func(time.Duration) {}
+	failures := 2
+	realDial := f.dial
+	f.dial = func(a string) (*wire.Client, error) {
+		if failures > 0 {
+			failures--
+			return nil, fmt.Errorf("synthetic dial failure")
+		}
+		return realDial(a)
+	}
+
+	for i := 0; i < 4; i++ {
+		if err := f.add(uint64(i), int64(i)); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+	}
+	_, _, retried := f.totals()
+	if retried != 2 {
+		t.Fatalf("retried %d times, want 2", retried)
+	}
+	if got := b.store.N(); got != 4 {
+		t.Fatalf("store holds %d elements, want 4", got)
+	}
+}
+
+func TestWireForwarderGivesUpAfterRetries(t *testing.T) {
+	f := newWireForwarder("unreachable", 2)
+	f.sleep = func(time.Duration) {}
+	f.retries = 3
+	f.dial = func(string) (*wire.Client, error) {
+		return nil, fmt.Errorf("synthetic dial failure")
+	}
+	if err := f.add(1, 1); err != nil {
+		t.Fatalf("add below batch size flushed: %v", err)
+	}
+	err := f.add(2, 2)
+	if err == nil || !strings.Contains(err.Error(), "synthetic dial failure") {
+		t.Fatalf("want the dial failure surfaced, got %v", err)
+	}
+	if _, _, retried := f.totals(); retried != 2 {
+		t.Fatalf("retried %d times, want 2", retried)
+	}
+}
+
+func TestWireForwarderBackoffHonorsRetryAfter(t *testing.T) {
+	f := newWireForwarder("x", 1)
+	f.rng = rand.New(rand.NewSource(1))
+	nack := &wire.NackError{Code: wire.NackDraining, RetryAfter: 42 * time.Second}
+	if d := f.backoff(1, nack); d != 42*time.Second {
+		t.Fatalf("backoff with Retry-After hint = %v, want 42s", d)
+	}
+	if d := f.backoff(1, fmt.Errorf("plain")); d > f.cap*3/2 {
+		t.Fatalf("plain backoff %v beyond jittered cap", d)
+	}
+}

@@ -25,6 +25,11 @@ type Writer struct {
 // Bytes returns the encoded record.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Byte appends a single raw byte.
+func (w *Writer) Byte(v byte) {
+	w.buf = append(w.buf, v)
+}
+
 // Uint64 appends a fixed 8-byte value.
 func (w *Writer) Uint64(v uint64) {
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
@@ -95,6 +100,20 @@ func (r *Reader) fail(what string) {
 	if r.err == nil {
 		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, r.off)
 	}
+}
+
+// Byte reads a single raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("byte")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
 }
 
 // Uint64 reads a fixed 8-byte value.

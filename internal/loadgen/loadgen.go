@@ -1,0 +1,291 @@
+// Package loadgen drives sustained load against a burstd serving frontend
+// and reports throughput and latency quantiles. One engine runs both
+// classic load-generator disciplines:
+//
+//   - closed loop: a fixed set of workers, each issuing its next operation
+//     the moment the previous one returns — measures peak sustainable
+//     throughput at a given concurrency;
+//   - open loop: operations arrive on a fixed schedule regardless of how
+//     fast the server answers, and latency is measured from the scheduled
+//     arrival, so queueing delay counts against the server (the
+//     coordinated-omission correction).
+//
+// The op mix (append / point / bursty) is drawn per operation from seeded
+// per-worker randomness, so runs are reproducible and both transports see
+// statistically identical workloads. The engine knows nothing about
+// transports: a Target executes one operation of a kind, and the bundled
+// HTTP and HBP1 targets in target.go adapt the two serving paths.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind names one operation class in the mix.
+type Kind string
+
+const (
+	KindAppend Kind = "append" // one append batch
+	KindPoint  Kind = "point"  // one batch of point queries
+	KindBursty Kind = "bursty" // one bursty-times or bursty-events query
+)
+
+// Kinds lists the op classes in reporting order.
+var Kinds = []Kind{KindAppend, KindPoint, KindBursty}
+
+// Target executes one operation of the given kind. Implementations must be
+// safe for concurrent use; rng is private to the calling worker.
+type Target interface {
+	Do(kind Kind, rng *rand.Rand) error
+}
+
+// Mix weighs the op classes; weights are relative, not percentages. A zero
+// weight removes the class from the run.
+type Mix struct {
+	Append int `json:"append"`
+	Point  int `json:"point"`
+	Bursty int `json:"bursty"`
+}
+
+func (m Mix) total() int { return m.Append + m.Point + m.Bursty }
+
+// pick draws one kind with probability proportional to its weight.
+func (m Mix) pick(rng *rand.Rand) Kind {
+	n := rng.Intn(m.total())
+	if n < m.Append {
+		return KindAppend
+	}
+	if n < m.Append+m.Point {
+		return KindPoint
+	}
+	return KindBursty
+}
+
+// Config shapes one run.
+type Config struct {
+	Duration time.Duration // wall-clock run length
+	Workers  int           // concurrent workers (closed loop: in-flight ops)
+	Rate     float64       // open loop: target ops/sec; 0 = closed loop
+	Mix      Mix
+	Seed     int64
+}
+
+func (c Config) validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration must be positive, got %v", c.Duration)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("loadgen: workers must be positive, got %d", c.Workers)
+	}
+	if c.Mix.total() <= 0 {
+		return fmt.Errorf("loadgen: op mix has no weight")
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("loadgen: rate must be non-negative, got %v", c.Rate)
+	}
+	return nil
+}
+
+// KindStats aggregates one op class over a run. Latency quantiles are in
+// nanoseconds so the record is exact in JSON.
+type KindStats struct {
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ns     int64   `json:"p50_ns"`
+	P95Ns     int64   `json:"p95_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+	MaxNs     int64   `json:"max_ns"`
+}
+
+// Report is one run's outcome.
+type Report struct {
+	Mode       string              `json:"mode"` // "closed" or "open"
+	Workers    int                 `json:"workers"`
+	Rate       float64             `json:"rate,omitempty"` // open loop only
+	DurationNs int64               `json:"duration_ns"`
+	Ops        int64               `json:"ops"`
+	Errors     int64               `json:"errors"`
+	OpsPerSec  float64             `json:"ops_per_sec"`
+	Kinds      map[Kind]*KindStats `json:"kinds"`
+}
+
+// sample is one completed operation.
+type sample struct {
+	kind Kind
+	ns   int64
+	err  bool
+}
+
+// Run drives cfg against tgt and reports. Closed loop when cfg.Rate is
+// zero, open loop otherwise.
+func Run(cfg Config, tgt Target) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(cfg.Duration)
+	perWorker := make([][]sample, cfg.Workers)
+
+	if cfg.Rate == 0 {
+		runClosed(cfg, tgt, deadline, perWorker)
+	} else {
+		runOpen(cfg, tgt, deadline, perWorker)
+	}
+	return summarize(cfg, perWorker), nil
+}
+
+// runClosed: each worker loops back-to-back until the deadline.
+func runClosed(cfg Config, tgt Target, deadline time.Time, perWorker [][]sample) {
+	done := make(chan int, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var out []sample
+			for time.Now().Before(deadline) {
+				kind := cfg.Mix.pick(rng)
+				t0 := time.Now()
+				err := tgt.Do(kind, rng)
+				out = append(out, sample{kind: kind, ns: time.Since(t0).Nanoseconds(), err: err != nil})
+			}
+			perWorker[w] = out
+		}(w)
+	}
+	for range perWorker {
+		<-done
+	}
+}
+
+// runOpen: a pacer emits scheduled arrival times at the target rate; the
+// worker pool executes them, and latency runs from the *scheduled* start,
+// so a slow server accrues its queueing delay instead of silencing it.
+func runOpen(cfg Config, tgt Target, deadline time.Time, perWorker [][]sample) {
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	// The schedule buffer absorbs a server stall without blocking the
+	// pacer; a full buffer (a server >30s of arrivals behind) sheds the
+	// arrival, which only understates the measured damage.
+	sched := make(chan time.Time, 1+int(30*cfg.Rate))
+	go func() {
+		defer close(sched)
+		next := time.Now()
+		for next.Before(deadline) {
+			now := time.Now()
+			if d := next.Sub(now); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case sched <- next:
+			default: // shed: the pool is hopelessly behind
+			}
+			next = next.Add(interval)
+		}
+	}()
+
+	done := make(chan int, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var out []sample
+			for start := range sched {
+				kind := cfg.Mix.pick(rng)
+				err := tgt.Do(kind, rng)
+				out = append(out, sample{kind: kind, ns: time.Since(start).Nanoseconds(), err: err != nil})
+			}
+			perWorker[w] = out
+		}(w)
+	}
+	for range perWorker {
+		<-done
+	}
+}
+
+func summarize(cfg Config, perWorker [][]sample) *Report {
+	rep := &Report{
+		Mode:       "closed",
+		Workers:    cfg.Workers,
+		DurationNs: cfg.Duration.Nanoseconds(),
+		Kinds:      map[Kind]*KindStats{},
+	}
+	if cfg.Rate > 0 {
+		rep.Mode = "open"
+		rep.Rate = cfg.Rate
+	}
+	byKind := map[Kind][]int64{}
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			ks := rep.Kinds[s.kind]
+			if ks == nil {
+				ks = &KindStats{}
+				rep.Kinds[s.kind] = ks
+			}
+			ks.Ops++
+			rep.Ops++
+			if s.err {
+				ks.Errors++
+				rep.Errors++
+			}
+			byKind[s.kind] = append(byKind[s.kind], s.ns)
+		}
+	}
+	secs := cfg.Duration.Seconds()
+	rep.OpsPerSec = float64(rep.Ops) / secs
+	for kind, lats := range byKind {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ks := rep.Kinds[kind]
+		ks.OpsPerSec = float64(ks.Ops) / secs
+		ks.P50Ns = percentile(lats, 50)
+		ks.P95Ns = percentile(lats, 95)
+		ks.P99Ns = percentile(lats, 99)
+		ks.MaxNs = lats[len(lats)-1]
+	}
+	return rep
+}
+
+// percentile reads the p-th percentile from an ascending-sorted slice
+// using the nearest-rank definition.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// BenchLines renders the report as `go test -bench`-style result rows —
+// `BenchmarkServe/<transport>/<kind>/p99 1 <ns> ns/op` — so cmd/benchjson
+// folds serving latency into the same machine-readable record and
+// regression gate as the microbenchmarks.
+func (r *Report) BenchLines(transport string) []string {
+	var lines []string
+	for _, kind := range Kinds {
+		ks := r.Kinds[kind]
+		if ks == nil || ks.Ops == 0 {
+			continue
+		}
+		prefix := fmt.Sprintf("BenchmarkServe/%s/%s", transport, kind)
+		lines = append(lines,
+			fmt.Sprintf("%s/p50 1 %d ns/op", prefix, ks.P50Ns),
+			fmt.Sprintf("%s/p99 1 %d ns/op", prefix, ks.P99Ns),
+		)
+		if ks.OpsPerSec > 0 {
+			// Mean inter-completion time doubles as a throughput record:
+			// ns/op here is 1e9 / ops-per-second.
+			lines = append(lines,
+				fmt.Sprintf("%s/throughput 1 %.0f ns/op", prefix, 1e9/ks.OpsPerSec))
+		}
+	}
+	return lines
+}

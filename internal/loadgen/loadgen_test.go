@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTarget counts ops per kind and injects fixed behaviour.
+type fakeTarget struct {
+	appends, points, burstys atomic.Int64
+	delay                    time.Duration
+	failEvery                int64 // every n-th op errors (0 = never)
+	calls                    atomic.Int64
+}
+
+func (f *fakeTarget) Do(kind Kind, _ *rand.Rand) error {
+	switch kind {
+	case KindAppend:
+		f.appends.Add(1)
+	case KindPoint:
+		f.points.Add(1)
+	case KindBursty:
+		f.burstys.Add(1)
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if n := f.calls.Add(1); f.failEvery > 0 && n%f.failEvery == 0 {
+		return errors.New("injected")
+	}
+	return nil
+}
+
+func TestClosedLoopRunsMixAndCountsErrors(t *testing.T) {
+	tgt := &fakeTarget{delay: 100 * time.Microsecond, failEvery: 10}
+	rep, err := Run(Config{
+		Duration: 200 * time.Millisecond,
+		Workers:  4,
+		Mix:      Mix{Append: 1, Point: 2, Bursty: 1},
+		Seed:     42,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" {
+		t.Fatalf("mode %q", rep.Mode)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	total := tgt.appends.Load() + tgt.points.Load() + tgt.burstys.Load()
+	if rep.Ops != total {
+		t.Fatalf("report says %d ops, target saw %d", rep.Ops, total)
+	}
+	// Every kind with weight > 0 ran, and the 2x-weighted kind dominates.
+	if tgt.appends.Load() == 0 || tgt.points.Load() == 0 || tgt.burstys.Load() == 0 {
+		t.Fatalf("mix skipped a kind: %d/%d/%d",
+			tgt.appends.Load(), tgt.points.Load(), tgt.burstys.Load())
+	}
+	if tgt.points.Load() <= tgt.appends.Load() {
+		t.Fatalf("2x-weighted point (%d) did not outnumber append (%d)",
+			tgt.points.Load(), tgt.appends.Load())
+	}
+	wantErrs := rep.Ops / tgt.failEvery
+	if rep.Errors < wantErrs-4 || rep.Errors > wantErrs+4 {
+		t.Fatalf("errors %d, want ~%d", rep.Errors, wantErrs)
+	}
+	for kind, ks := range rep.Kinds {
+		if ks.P50Ns <= 0 || ks.P99Ns < ks.P50Ns || ks.MaxNs < ks.P99Ns {
+			t.Fatalf("%s: implausible quantiles %+v", kind, ks)
+		}
+	}
+}
+
+func TestOpenLoopPacesArrivals(t *testing.T) {
+	tgt := &fakeTarget{}
+	const rate = 500.0
+	dur := 400 * time.Millisecond
+	rep, err := Run(Config{
+		Duration: dur,
+		Workers:  4,
+		Rate:     rate,
+		Mix:      Mix{Point: 1},
+		Seed:     1,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Fatalf("mode %q", rep.Mode)
+	}
+	want := rate * dur.Seconds()
+	// The pacer cannot overshoot the schedule; undershoot is bounded by
+	// scheduler jitter on a loaded test machine.
+	if float64(rep.Ops) > want*1.1 || float64(rep.Ops) < want/2 {
+		t.Fatalf("open loop completed %d ops, scheduled ~%.0f", rep.Ops, want)
+	}
+}
+
+// Open-loop latency is measured from the scheduled arrival: with one
+// worker and a server slower than the arrival interval, queueing delay
+// must accumulate — later ops wait longer — which a closed-loop
+// measurement would hide.
+func TestOpenLoopChargesQueueingDelay(t *testing.T) {
+	delay := 5 * time.Millisecond
+	tgt := &fakeTarget{delay: delay}
+	rep, err := Run(Config{
+		Duration: 300 * time.Millisecond,
+		Workers:  1,
+		Rate:     1000, // 1ms arrivals against a 5ms server: queue grows
+		Mix:      Mix{Point: 1},
+		Seed:     1,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := rep.Kinds[KindPoint]
+	if ks == nil || ks.Ops == 0 {
+		t.Fatal("no ops")
+	}
+	if ks.P99Ns < 4*ks.P50Ns && ks.P99Ns < (10*delay).Nanoseconds() {
+		t.Fatalf("p99 %dns shows no queueing over p50 %dns", ks.P99Ns, ks.P50Ns)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tgt := &fakeTarget{}
+	bad := []Config{
+		{Duration: 0, Workers: 1, Mix: Mix{Point: 1}},
+		{Duration: time.Second, Workers: 0, Mix: Mix{Point: 1}},
+		{Duration: time.Second, Workers: 1},
+		{Duration: time.Second, Workers: 1, Mix: Mix{Point: 1}, Rate: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, tgt); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    int
+		want int64
+	}{{50, 50}, {95, 100}, {99, 100}, {1, 10}, {100, 100}}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Fatalf("p%d = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Fatalf("empty percentile = %d", got)
+	}
+	if got := percentile([]int64{7}, 50); got != 7 {
+		t.Fatalf("singleton percentile = %d", got)
+	}
+}
+
+func TestBenchLinesShape(t *testing.T) {
+	rep := &Report{Kinds: map[Kind]*KindStats{
+		KindPoint: {Ops: 100, OpsPerSec: 1000, P50Ns: 111, P99Ns: 999},
+	}}
+	lines := rep.BenchLines("wire")
+	want := []string{
+		"BenchmarkServe/wire/point/p50 1 111 ns/op",
+		"BenchmarkServe/wire/point/p99 1 999 ns/op",
+		"BenchmarkServe/wire/point/throughput 1 1000000 ns/op",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %v", len(lines), lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d: %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestProfileBatchesAreMonotoneAcrossWorkers(t *testing.T) {
+	p := &Profile{Events: []uint64{1, 2, 3}, AppendBatch: 8}
+	p.StartClock(100)
+	seen := map[int64]bool{}
+	for i := 0; i < 10; i++ {
+		b := p.nextBatch()
+		if len(b) != 8 {
+			t.Fatalf("batch len %d", len(b))
+		}
+		prev := int64(-1 << 62)
+		for _, el := range b {
+			if el.Time <= prev {
+				t.Fatalf("non-increasing time %d after %d", el.Time, prev)
+			}
+			if seen[el.Time] {
+				t.Fatalf("time %d issued twice", el.Time)
+			}
+			seen[el.Time] = true
+			prev = el.Time
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"histburst/internal/stream"
+	"histburst/internal/wire"
+)
+
+// Profile supplies operation payloads shared by every transport: append
+// batches drawn from a workload-skewed event population with a monotone
+// time cursor (so the server's frontier admits them), and query parameters
+// sampled over the served history. One Profile drives both targets so the
+// transports answer identical question shapes.
+type Profile struct {
+	Events      []uint64 // event-id draws carrying the workload's skew, cycled
+	MaxT        int64    // upper bound for query time sampling
+	Tau         int64    // burst span for every query
+	Theta       float64  // bursty-query threshold
+	AppendBatch int      // elements per append op
+	PointBatch  int      // queries per point op
+
+	clock atomic.Int64 // next append timestamp
+	pos   atomic.Int64 // next event draw
+}
+
+// StartClock positions the append time cursor; call it with the server's
+// current frontier + 1 before a run so appends are admitted, not rejected.
+func (p *Profile) StartClock(t int64) { p.clock.Store(t) }
+
+// nextBatch builds one append batch: events cycled from the skewed draw
+// list, times strictly increasing from the shared cursor.
+func (p *Profile) nextBatch() stream.Stream {
+	n := p.AppendBatch
+	if n <= 0 {
+		n = 256
+	}
+	base := p.clock.Add(int64(n)) - int64(n)
+	start := p.pos.Add(int64(n)) - int64(n)
+	batch := make(stream.Stream, n)
+	for i := range batch {
+		batch[i] = stream.Element{
+			Event: p.Events[(start+int64(i))%int64(len(p.Events))],
+			Time:  base + int64(i),
+		}
+	}
+	return batch
+}
+
+func (p *Profile) pickEvent(rng *rand.Rand) uint64 {
+	return p.Events[rng.Intn(len(p.Events))]
+}
+
+func (p *Profile) pickTime(rng *rand.Rand) int64 {
+	if p.MaxT <= 0 {
+		return 0
+	}
+	return rng.Int63n(p.MaxT + 1)
+}
+
+func (p *Profile) pointQueries(rng *rand.Rand) []wire.PointQuery {
+	n := p.PointBatch
+	if n <= 0 {
+		n = 16
+	}
+	qs := make([]wire.PointQuery, n)
+	for i := range qs {
+		qs[i] = wire.PointQuery{Event: p.pickEvent(rng), T: p.pickTime(rng), Tau: p.Tau}
+	}
+	return qs
+}
+
+// WireTarget serves the op mix over a pool of HBP1 connections, spread
+// round-robin per operation. Each connection pipelines, but the server
+// processes one connection's frames in order (that is what makes the ack
+// prefix meaningful), so a pool — like HTTP's parallel handler goroutines
+// — keeps one slow bursty scan from head-of-line blocking every point
+// query in the run. Size the pool like the worker count.
+type WireTarget struct {
+	Cs []*wire.Client
+	P  *Profile
+
+	next atomic.Int64
+}
+
+func (t *WireTarget) conn() *wire.Client {
+	return t.Cs[int(t.next.Add(1))%len(t.Cs)]
+}
+
+func (t *WireTarget) Do(kind Kind, rng *rand.Rand) error {
+	c := t.conn()
+	switch kind {
+	case KindAppend:
+		_, err := c.Append(t.P.nextBatch())
+		return err
+	case KindPoint:
+		_, err := c.Point(t.P.pointQueries(rng))
+		return err
+	case KindBursty:
+		if rng.Intn(2) == 0 {
+			_, _, err := c.Times(t.P.pickEvent(rng), t.P.Theta, t.P.Tau)
+			return err
+		}
+		_, _, err := c.Events(t.P.pickTime(rng), t.P.Theta, t.P.Tau)
+		return err
+	default:
+		return fmt.Errorf("loadgen: unknown op kind %q", kind)
+	}
+}
+
+// Frontier positions the profile clock from the server's stats.
+func (t *WireTarget) Frontier() error {
+	st, err := t.Cs[0].Stats()
+	if err != nil {
+		return err
+	}
+	t.P.StartClock(st.MaxTime + 1)
+	if t.P.MaxT == 0 {
+		t.P.MaxT = st.MaxTime
+	}
+	return nil
+}
+
+// DialWire opens an n-connection wire target pool against addr.
+func DialWire(addr string, n int, timeout time.Duration, p *Profile) (*WireTarget, error) {
+	if n < 1 {
+		n = 1
+	}
+	t := &WireTarget{P: p}
+	for i := 0; i < n; i++ {
+		c, err := wire.Dial(addr, timeout)
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.Cs = append(t.Cs, c)
+	}
+	return t, nil
+}
+
+// Close tears down the pool.
+func (t *WireTarget) Close() {
+	for _, c := range t.Cs {
+		c.Close() //histburst:allow errdrop -- load-generator teardown, nothing in flight matters
+	}
+}
+
+// HTTPTarget serves the same mix over the JSON/HTTP API: append via
+// POST /v1/append, point batches via POST /v1/query/batch (the HTTP
+// counterpart of the wire's batched POINT frame), bursty via the GET
+// endpoints.
+type HTTPTarget struct {
+	Base   string // server base URL, no trailing slash
+	Client *http.Client
+	P      *Profile
+
+	bufs sync.Pool // request-body scratch
+}
+
+type httpElement struct {
+	Event uint64 `json:"event"`
+	Time  int64  `json:"time"`
+}
+
+func (t *HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// do issues the request and drains the response; any non-2xx status is the
+// op's error. Bodies are discarded — the load generator measures the
+// serving path, and correctness is pinned by the equivalence tests.
+func (t *HTTPTarget) do(req *http.Request) error {
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //histburst:allow errdrop -- draining for connection reuse; the status is the answer
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("loadgen: %s: %s", req.URL.Path, resp.Status)
+	}
+	return nil
+}
+
+func (t *HTTPTarget) post(path string, body any) error {
+	buf, _ := t.bufs.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = &bytes.Buffer{}
+	}
+	buf.Reset()
+	defer t.bufs.Put(buf)
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, t.Base+path, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return t.do(req)
+}
+
+func (t *HTTPTarget) get(path string) error {
+	req, err := http.NewRequest(http.MethodGet, t.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	return t.do(req)
+}
+
+func (t *HTTPTarget) Do(kind Kind, rng *rand.Rand) error {
+	switch kind {
+	case KindAppend:
+		batch := t.P.nextBatch()
+		elems := make([]httpElement, len(batch))
+		for i, el := range batch {
+			elems[i] = httpElement{Event: el.Event, Time: el.Time}
+		}
+		return t.post("/v1/append", map[string]any{"elements": elems})
+	case KindPoint:
+		qs := t.P.pointQueries(rng)
+		queries := make([]map[string]any, len(qs))
+		for i, q := range qs {
+			queries[i] = map[string]any{"event": q.Event, "t": q.T, "tau": q.Tau}
+		}
+		return t.post("/v1/query/batch", map[string]any{"queries": queries})
+	case KindBursty:
+		if rng.Intn(2) == 0 {
+			return t.get(fmt.Sprintf("/v1/times?e=%d&theta=%v&tau=%d",
+				t.P.pickEvent(rng), t.P.Theta, t.P.Tau))
+		}
+		return t.get(fmt.Sprintf("/v1/events?t=%d&theta=%v&tau=%d",
+			t.P.pickTime(rng), t.P.Theta, t.P.Tau))
+	default:
+		return fmt.Errorf("loadgen: unknown op kind %q", kind)
+	}
+}
+
+// Frontier positions the profile clock from GET /v1/stats.
+func (t *HTTPTarget) Frontier() error {
+	resp, err := t.client().Get(t.Base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: /v1/stats: %s", resp.Status)
+	}
+	var st struct {
+		MaxTime int64 `json:"maxTime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	t.P.StartClock(st.MaxTime + 1)
+	if t.P.MaxT == 0 {
+		t.P.MaxT = st.MaxTime
+	}
+	return nil
+}

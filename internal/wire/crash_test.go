@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"net"
+	"testing"
+
+	"histburst/internal/binenc"
+	"histburst/internal/faultio"
+	"histburst/internal/segstore"
+	"histburst/internal/stream"
+)
+
+// The wire acked-prefix contract under a connection torn at every byte: a
+// client stream (handshake + append frames) cut at offset c commits exactly
+// the frames fully contained in the prefix — the server must never apply a
+// partially received frame — and every ack the server emits covers only
+// durable elements (the WAL watermark under WALSyncAlways). The tear is a
+// TCP half-close, so acks written before the server notices the death are
+// still observable, mirroring PR 6's SIGKILL Stager test at the transport
+// layer.
+func TestCrashWireAppendStreamAckedPrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens a store per offset")
+	}
+
+	// Build the full client byte stream and remember each frame's end
+	// offset and element count.
+	const frames = 5
+	const perFrame = 6
+	var full bytes.Buffer
+	var hs [len(Magic) + 4]byte
+	copy(hs[:], Magic)
+	binary.LittleEndian.PutUint32(hs[len(Magic):], Version)
+	full.Write(hs[:])
+	type boundary struct {
+		end   int
+		elems int64
+	}
+	var bounds []boundary
+	next := int64(1)
+	for i := 0; i < frames; i++ {
+		batch := make(stream.Stream, perFrame)
+		for j := range batch {
+			batch[j] = stream.Element{Event: uint64((i*perFrame + j) % 8), Time: next}
+			next++
+		}
+		if err := writeFrame(&full, encodeAppend(uint64(i+1), batch)); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, boundary{end: full.Len(), elems: perFrame})
+	}
+	data := full.Bytes()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cfg := segstore.Config{K: 8, Gamma: 2, Seed: 7, D: 3, W: 32, WALSync: segstore.WALSyncAlways}
+	for cut := 0; cut < faultio.CrashPrefixSteps(data); cut++ {
+		// The frames whose bytes fully arrived before the cut.
+		var wantN int64
+		for _, b := range bounds {
+			if cut >= b.end {
+				wantN += b.elems
+			}
+		}
+
+		dir := t.TempDir()
+		st, err := segstore.Open(dir, cfg)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		backend := &testBackend{store: st, stager: segstore.NewStager(st)}
+		srv := &Server{Backend: backend, Logf: t.Logf}
+
+		accepted := make(chan struct{})
+		go func() {
+			defer close(accepted)
+			sc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			srv.ServeConn(sc)
+		}()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("cut %d: dial: %v", cut, err)
+		}
+		if _, err := conn.Write(data[:cut]); err != nil {
+			t.Fatalf("cut %d: write: %v", cut, err)
+		}
+		// The crash: the rest of the stream never arrives. Half-close so the
+		// acks the server already owes can still be read.
+		if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+			t.Fatalf("cut %d: close write: %v", cut, err)
+		}
+		var acked int64
+		br := bufio.NewReader(conn)
+		var buf []byte
+		for {
+			payload, err := readFrame(br, buf)
+			if err != nil {
+				break
+			}
+			buf = payload[:0]
+			r := binenc.NewReader(payload)
+			kind := r.Byte()
+			r.Uvarint()
+			if kind != frameAppendAck {
+				continue
+			}
+			if ack, err := decodeAppendAck(r); err == nil {
+				acked += ack.Appended
+			}
+		}
+		conn.Close()
+		<-accepted
+
+		if err := st.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		re, err := segstore.Open(dir, cfg)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		got := re.N()
+		if got != wantN {
+			t.Fatalf("cut %d: recovered %d elements, want %d (fully received frames)", cut, got, wantN)
+		}
+		if acked != wantN {
+			t.Fatalf("cut %d: %d elements acked, want %d — acks and durability disagree", cut, acked, wantN)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("cut %d: close reopened: %v", cut, err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package wire implements HBP1, burstd's framed binary protocol over
+// persistent TCP connections — the serving-path replacement for per-request
+// HTTP/JSON on the hot endpoints.
+//
+// The design follows the frame-level sender/receiver shape of BurstRTC
+// (SNIPPETS.md) applied to the repo's own framing discipline: every frame is
+// a u32 little-endian payload length, a u32 CRC32-C of the payload, and a
+// binenc-encoded payload — exactly the WAL frame layout of
+// internal/segstore. Payloads begin with a one-byte frame type and a
+// uvarint request id; responses echo the id so clients can pipeline many
+// requests on one connection and match answers out of band.
+//
+// Ingest is streamed with windowed acks and explicit credit-based
+// backpressure: the server's HELLO advertises a window of element credits,
+// every APPEND frame consumes credits equal to its element count, and the
+// server returns them with a CREDIT frame once the batch has been driven
+// through the store's group-commit path (durably, under WALSyncAlways).
+// A client that exhausts its window blocks instead of receiving 503s.
+// Refused writes (read-only after a disk fault, draining) are answered with
+// NACK frames carrying a Retry-After hint and the store's γ error envelope,
+// mirroring burstd's HTTP degraded-mode semantics.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic opens every HBP1 connection: the client sends it followed by a u32
+// little-endian protocol version before the first frame.
+const Magic = "HBP1"
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+const (
+	// frameHeader is the per-frame overhead: u32 payload length, u32
+	// CRC32-C of the payload — the WAL framing discipline.
+	frameHeader = 8
+	// MaxFramePayload bounds one frame's payload, mirroring burstd's HTTP
+	// request-body cap; a length prefix beyond it is corrupt or hostile.
+	MaxFramePayload = 8 << 20
+)
+
+// crcTable is the Castagnoli polynomial, matching the WAL and manifest.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame reports a frame the stream cannot recover from: a truncated
+// header, an implausible length, or a CRC mismatch. Framing errors are not
+// resynchronizable — the connection must be dropped.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// writeFrame frames payload onto w: header then body, one Write each.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("wire: frame payload of %d bytes exceeds the %d cap", len(payload), MaxFramePayload)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame from br, verifying length and checksum. The
+// returned slice reuses buf when it fits. io.EOF is returned untouched when
+// the stream ends cleanly between frames; a stream ending inside a frame is
+// an io.ErrUnexpectedEOF-wrapped ErrBadFrame.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return nil, err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+	}
+	ln := binary.LittleEndian.Uint32(hdr[0:])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if ln > MaxFramePayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrBadFrame, ln)
+	}
+	if cap(buf) < int(ln) {
+		buf = make([]byte, ln)
+	}
+	buf = buf[:ln]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	if crc32.Checksum(buf, crcTable) != sum {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrBadFrame)
+	}
+	return buf, nil
+}

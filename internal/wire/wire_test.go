@@ -1,0 +1,419 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"histburst/internal/segstore"
+	"histburst/internal/stream"
+)
+
+// testBackend fronts a real segmented store through the Backend seam the
+// way burstd does, with a switch to force NACKs for refusal tests.
+type testBackend struct {
+	store  *segstore.Store
+	stager *segstore.Stager
+	refuse atomic.Int32 // NackCode forced on every Ingest (0 = accept)
+}
+
+func newTestBackend(t *testing.T, dir string) *testBackend {
+	t.Helper()
+	cfg := segstore.Config{K: 64, Gamma: 2, Seed: 7, D: 3, W: 32, WALSync: segstore.WALSyncAlways}
+	s, err := segstore.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("store close: %v", err)
+		}
+	})
+	return &testBackend{store: s, stager: segstore.NewStager(s)}
+}
+
+func (b *testBackend) Snapshot() *segstore.Snapshot { return b.store.Snapshot() }
+
+func (b *testBackend) Ingest(elems stream.Stream) IngestResult {
+	if c := NackCode(b.refuse.Load()); c != 0 {
+		return IngestResult{Refused: c, RetryAfter: 7 * time.Second, Message: "forced refusal"}
+	}
+	res := b.stager.Append(elems)
+	if res.Err != nil {
+		return IngestResult{Err: res.Err}
+	}
+	return IngestResult{
+		Appended: res.Appended, Rejected: res.Rejected,
+		Elements: b.store.N(), OutOfOrder: b.store.Rejected(),
+	}
+}
+
+func (b *testBackend) Stats() Stats {
+	sn := b.store.Snapshot()
+	return Stats{
+		Elements: sn.N(), EventSpace: b.store.K(), MaxTime: sn.MaxTime(),
+		Bytes: int64(sn.Bytes()), OutOfOrder: b.store.Rejected(),
+		Generation: sn.Generation(), Segments: len(sn.Segments()),
+	}
+}
+
+// pipeClient wires a client to a server over an in-memory connection.
+func pipeClient(t *testing.T, backend Backend, window int64) *Client {
+	t.Helper()
+	srv := &Server{Backend: backend, Window: window, Logf: t.Logf}
+	cs, ss := net.Pipe()
+	go srv.ServeConn(ss)
+	c, err := NewClient(cs)
+	if err != nil {
+		cs.Close()
+		t.Fatalf("handshake: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func seq(events []uint64, start int64) stream.Stream {
+	elems := make(stream.Stream, len(events))
+	for i, e := range events {
+		elems[i] = stream.Element{Event: e, Time: start + int64(i)}
+	}
+	return elems
+}
+
+func TestHandshakeHello(t *testing.T) {
+	c := pipeClient(t, newTestBackend(t, t.TempDir()), 0)
+	h := c.Hello()
+	if h.Version != Version || h.Window != DefaultWindow || h.K != 64 || h.Gamma != 2 || h.MaxBatch != MaxBatchQueries {
+		t.Fatalf("hello = %+v", h)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	srv := &Server{Backend: newTestBackend(t, t.TempDir()), Logf: t.Logf}
+	cs, ss := net.Pipe()
+	go srv.ServeConn(ss)
+	defer cs.Close()
+
+	var hs [len(Magic) + 4]byte
+	copy(hs[:], Magic)
+	binary.LittleEndian.PutUint32(hs[len(Magic):], 99)
+	if _, err := cs.Write(hs[:]); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(bufio.NewReader(cs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = parseTestResponse(payload)
+	var ne *NackError
+	if !errors.As(err, &ne) || ne.Code != NackVersion {
+		t.Fatalf("want version NACK, got %v", err)
+	}
+}
+
+// parseTestResponse decodes a raw response payload the way Client.await
+// does, for tests that speak the protocol by hand.
+func parseTestResponse(payload []byte) (byte, error) {
+	r := newTestReader(payload)
+	kind := r.Byte()
+	r.Uvarint()
+	switch kind {
+	case frameNack:
+		ne, err := decodeNack(r)
+		if err != nil {
+			return kind, err
+		}
+		return kind, ne
+	case frameErr:
+		re, err := decodeErr(r)
+		if err != nil {
+			return kind, err
+		}
+		return kind, re
+	}
+	return kind, nil
+}
+
+func TestAppendThenQuery(t *testing.T) {
+	b := newTestBackend(t, t.TempDir())
+	c := pipeClient(t, b, 0)
+
+	res, err := c.Append(seq([]uint64{3, 3, 5, 3, 5}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 5 || res.Rejected != 0 || res.Elements != 5 {
+		t.Fatalf("append = %+v", res)
+	}
+
+	// A batch with elements behind the frontier: rejection counts must ride
+	// the ack exactly as they ride the HTTP response.
+	res, err = c.Append(stream.Stream{{Event: 1, Time: 10}, {Event: 1, Time: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 1 || res.Rejected != 1 || res.OutOfOrder != 1 {
+		t.Fatalf("out-of-order append = %+v", res)
+	}
+
+	sn := b.store.Snapshot()
+	qs := []PointQuery{
+		{Event: 3, T: 104, Tau: 2},
+		{Event: 5, T: 104, Tau: 50},
+		{Event: 9, T: 104}, // tau 0 → server default
+	}
+	got, err := c.Point(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		tau := q.Tau
+		if tau == 0 {
+			tau = 86_400
+		}
+		want, err := sn.Burstiness(q.Event, q.T, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Burstiness != want {
+			t.Fatalf("point %d: got %v want %v", i, got[i].Burstiness, want)
+		}
+		if got[i].Envelope != nil {
+			t.Fatalf("point %d: unexpected envelope on a whole history", i)
+		}
+	}
+
+	ranges, env, err := c.Times(3, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRanges, err := sn.BurstyTimes(3, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ranges) != fmt.Sprint(wantRanges) || env != nil {
+		t.Fatalf("times = %v (env %v), want %v", ranges, env, wantRanges)
+	}
+
+	hits, env, err := c.Events(104, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs, err := sn.BurstyEvents(104, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != len(wantIDs) || env != nil {
+		t.Fatalf("events = %v, want ids %v", hits, wantIDs)
+	}
+	for i, id := range wantIDs {
+		want, _ := sn.Burstiness(id, 104, 2)
+		if hits[i].Event != id || hits[i].Burstiness != want {
+			t.Fatalf("events[%d] = %+v, want event %d b %v", i, hits[i], id, want)
+		}
+	}
+
+	top, _, err := c.Top(104, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop, err := sn.TopBursty(104, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != len(wantTop) {
+		t.Fatalf("top = %v, want %v", top, wantTop)
+	}
+	for i := range top {
+		if top[i].Event != wantTop[i].Event || top[i].Burstiness != wantTop[i].Burstiness {
+			t.Fatalf("top[%d] = %+v, want %+v", i, top[i], wantTop[i])
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Elements != 6 || st.EventSpace != 64 || st.OutOfOrder != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	c := pipeClient(t, newTestBackend(t, t.TempDir()), 0)
+	cases := []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{"empty point batch", func() error { _, err := c.Point(nil); return err }, "empty batch"},
+		{"negative tau", func() error {
+			_, err := c.Point([]PointQuery{{Event: 1, T: 5, Tau: -1}})
+			return err
+		}, "query 0: burst span must be positive, got -1"},
+		{"events theta", func() error { _, _, err := c.Events(5, 0, 60); return err },
+			"threshold must be positive, got 0"},
+		{"top k", func() error { _, _, err := c.Top(5, -3, 60); return err },
+			"k must be positive, got -3"},
+		{"empty append", func() error { _, err := c.Append(nil); return err }, "empty batch"},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		var re *RequestError
+		if !errors.As(err, &re) || re.Message != tc.want {
+			t.Errorf("%s: got %v, want RequestError %q", tc.name, err, tc.want)
+		}
+	}
+	// The connection survives request errors: a valid call still works.
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("connection dead after request errors: %v", err)
+	}
+}
+
+func TestAppendNack(t *testing.T) {
+	b := newTestBackend(t, t.TempDir())
+	c := pipeClient(t, b, 0)
+	b.refuse.Store(int32(NackReadOnly))
+
+	_, err := c.Append(seq([]uint64{1, 2}, 50))
+	var ne *NackError
+	if !errors.As(err, &ne) {
+		t.Fatalf("want NackError, got %v", err)
+	}
+	if ne.Code != NackReadOnly || ne.RetryAfter != 7*time.Second || ne.Message != "forced refusal" {
+		t.Fatalf("nack = %+v", ne)
+	}
+	if ne.Envelope == nil {
+		t.Fatal("nack carries no envelope")
+	}
+
+	// Credits were returned with the NACK: once the refusal lifts, the same
+	// client can append again without stalling on an exhausted window.
+	b.refuse.Store(0)
+	res, err := c.Append(seq([]uint64{1, 2}, 50))
+	if err != nil || res.Appended != 2 {
+		t.Fatalf("append after refusal lifted: %+v, %v", res, err)
+	}
+}
+
+func TestCreditBackpressureStreamsLargeAppend(t *testing.T) {
+	b := newTestBackend(t, t.TempDir())
+	// A window far below the batch forces the client to block on CREDIT
+	// frames repeatedly; the stream must still complete exactly.
+	c := pipeClient(t, b, 96)
+	if c.Hello().Window != 96 {
+		t.Fatalf("window = %d", c.Hello().Window)
+	}
+	const total = 5000
+	elems := make(stream.Stream, total)
+	for i := range elems {
+		elems[i] = stream.Element{Event: uint64(i % 64), Time: int64(i + 1)}
+	}
+	res, err := c.Append(elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != total || res.Elements != total {
+		t.Fatalf("append = %+v", res)
+	}
+	if got := b.store.N(); got != total {
+		t.Fatalf("store holds %d, want %d", got, total)
+	}
+}
+
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	b := newTestBackend(t, t.TempDir())
+	c := pipeClient(t, b, 0)
+	if _, err := c.Append(seq([]uint64{1, 2, 3, 4, 5, 6, 7, 8}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	sn := b.store.Snapshot()
+	want := make([]float64, 8)
+	for e := range want {
+		v, err := sn.Burstiness(uint64(e+1), 1007, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[e] = v
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8*32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				e := uint64(g + 1)
+				got, err := c.Point([]PointQuery{{Event: e, T: 1007, Tau: 4}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[0].Burstiness != want[g] {
+					errs <- fmt.Errorf("goroutine %d: got %v want %v", g, got[0].Burstiness, want[g])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestProtoExtremeValues(t *testing.T) {
+	// Boundary values through the append codec: max-width uvarints (max
+	// uint64 event ids) and max-magnitude varint time deltas must survive
+	// the wire exactly — the same discipline the WAL codec is tested under.
+	elems := stream.Stream{
+		{Event: math.MaxUint64, Time: math.MinInt64 / 2},
+		{Event: 0, Time: 0},
+		{Event: math.MaxUint64 - 1, Time: math.MaxInt64/2 - 1},
+	}
+	payload := encodeAppend(42, elems)
+	r := newTestReader(payload)
+	if k := r.Byte(); k != frameAppend {
+		t.Fatalf("kind = %#x", k)
+	}
+	if id := r.Uvarint(); id != 42 {
+		t.Fatalf("id = %d", id)
+	}
+	got, err := decodeAppend(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(elems) {
+		t.Fatalf("roundtrip: got %v want %v", got, elems)
+	}
+}
+
+func TestDecodersRejectCorruptPayloads(t *testing.T) {
+	// Truncated and overlong shapes must error, never panic or over-allocate.
+	elems := seq([]uint64{1, 2, 3, 4}, 10)
+	full := encodeAppend(1, elems)
+	for cut := 3; cut < len(full); cut++ {
+		r := newTestReader(full[:cut])
+		r.Byte()
+		r.Uvarint()
+		if _, err := decodeAppend(r); err == nil {
+			t.Fatalf("truncated append at %d decoded cleanly", cut)
+		}
+	}
+	// A count far beyond the remaining bytes must be rejected up front.
+	huge := []byte{byte(frameAppend), 0x01, 0xff, 0xff, 0xff, 0xff, 0x0f}
+	r := newTestReader(huge)
+	r.Byte()
+	r.Uvarint()
+	if _, err := decodeAppend(r); err == nil {
+		t.Fatal("implausible element count decoded cleanly")
+	}
+}
