@@ -138,7 +138,8 @@ func run(addr, wireAddr, debugAddr string, opts serverOpts, checkpoint, drain ti
 
 	// The HBP1 wire listener serves the same store alongside HTTP. Appends
 	// ride the same ingest seam, so draining and degraded semantics match;
-	// shutdown closes the listener and its connections after the HTTP drain.
+	// shutdown stops accepting at drain start and tears live connections
+	// down only after the drain window, like the HTTP graceful shutdown.
 	var ws *wireListener
 	if wireAddr != "" {
 		ws, err = listenWire(srv, wireAddr)
@@ -173,13 +174,19 @@ func run(addr, wireAddr, debugAddr string, opts serverOpts, checkpoint, drain ti
 	log.Printf("burstd: shutting down (drain %s)", drain)
 	srv.ready.Store(false) // readyz flips 503; new appends are refused
 	if ws != nil {
-		ws.Close() // wire conns get NACK(draining) until the close lands
+		// Stop accepting new wire connections; live ones keep serving
+		// through the drain window so pending appends are answered with
+		// NACK(draining) instead of a connection reset.
+		ws.Drain()
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("burstd: drain incomplete: %v", err)
+	}
+	if ws != nil {
+		ws.Close() // drain window over: drop the surviving wire connections
 	}
 	// Close seals the entire head and waits for the background workers —
 	// the final checkpoint. For a stateless server this just stops the

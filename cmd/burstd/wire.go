@@ -67,6 +67,15 @@ func listenWire(srv *server, addr string) (*wireListener, error) {
 
 func (w *wireListener) Addr() net.Addr { return w.ln.Addr() }
 
+// Drain stops accepting new wire connections while live ones keep serving
+// through the shutdown drain window — their in-flight appends are answered
+// with NACK(draining) + Retry-After by the shared ingest seam rather than
+// a connection reset, mirroring the HTTP drain.
+func (w *wireListener) Drain() {
+	w.ws.Drain()
+	w.ln.Close() //histburst:allow errdrop -- drain teardown; nothing to recover
+}
+
 // Close stops accepting and drops every live wire connection.
 func (w *wireListener) Close() {
 	w.ws.Close()

@@ -96,8 +96,15 @@ func (f *wireForwarder) flush() error {
 		}
 		res, err := f.c.Append(f.batch)
 		f.posts++
-		f.sent += res.Appended + res.Rejected // delivered, whether admitted or out-of-order
-		f.batch = f.batch[res.Appended+res.Rejected:]
+		// The client promises Appended+Rejected is a contiguous acked
+		// prefix; clamp anyway so a buggy or hostile peer can never make
+		// the trim run past the batch.
+		acked := res.Appended + res.Rejected // delivered, whether admitted or out-of-order
+		if n := int64(len(f.batch)); acked > n {
+			acked = n
+		}
+		f.sent += acked
+		f.batch = f.batch[acked:]
 		if err == nil {
 			f.batch = f.batch[:0]
 			return nil

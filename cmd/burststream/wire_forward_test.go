@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -57,13 +58,13 @@ func (b *wireBackend) Stats() wire.Stats {
 	}
 }
 
-func serveWire(t *testing.T, b wire.Backend) string {
+func serveWire(t *testing.T, b wire.Backend, window int64) string {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &wire.Server{Backend: b, Logf: func(string, ...any) {}}
+	srv := &wire.Server{Backend: b, Window: window, Logf: func(string, ...any) {}}
 	go srv.Serve(l) //histburst:allow errdrop -- listener closed by cleanup ends Serve
 	t.Cleanup(func() {
 		l.Close() //histburst:allow errdrop -- test teardown
@@ -74,7 +75,7 @@ func serveWire(t *testing.T, b wire.Backend) string {
 
 func TestWireForwarderDeliversBatches(t *testing.T) {
 	b := newWireBackend(t)
-	addr := serveWire(t, b)
+	addr := serveWire(t, b, 0)
 	f := newWireForwarder(addr, 8)
 	defer f.close()
 
@@ -104,7 +105,7 @@ func TestWireForwarderDeliversBatches(t *testing.T) {
 
 func TestWireForwarderRetriesDialFailures(t *testing.T) {
 	b := newWireBackend(t)
-	addr := serveWire(t, b)
+	addr := serveWire(t, b, 0)
 	f := newWireForwarder(addr, 4)
 	defer f.close()
 	f.sleep = func(time.Duration) {}
@@ -129,6 +130,67 @@ func TestWireForwarderRetriesDialFailures(t *testing.T) {
 	}
 	if got := b.store.N(); got != 4 {
 		t.Fatalf("store holds %d elements, want 4", got)
+	}
+}
+
+// midNackBackend records every element the server commits while refusing
+// one designated Ingest call, so tests can prove the forwarder's
+// trim-and-retry around a mid-stream NACK never drops an unacked element.
+type midNackBackend struct {
+	*wireBackend
+	refuse int // 1-based Ingest call to refuse; all others accept
+
+	mu    sync.Mutex
+	calls int
+	seen  map[int64]int // element time → times committed
+}
+
+func (b *midNackBackend) Ingest(elems stream.Stream) wire.IngestResult {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.calls++
+	if b.calls == b.refuse {
+		return wire.IngestResult{Refused: wire.NackInternal, Message: "forced mid-stream refusal"}
+	}
+	for _, el := range elems {
+		b.seen[el.Time]++
+	}
+	return wire.IngestResult{Appended: int64(len(elems)), Elements: int64(len(b.seen))}
+}
+
+func TestWireForwarderRetriesNackedMiddleChunk(t *testing.T) {
+	// Chunk 2 of the first attempt is refused while chunk 3 behind it is
+	// accepted: the client must report only the acked prefix (chunk 1), and
+	// the forwarder's trim-and-retry must resend everything after it.
+	b := &midNackBackend{wireBackend: newWireBackend(t), refuse: 2, seen: map[int64]int{}}
+	addr := serveWire(t, b, 4) // 4-element window → a 12-element flush streams 3 chunks
+	f := newWireForwarder(addr, 12)
+	defer f.close()
+	f.sleep = func(time.Duration) {}
+
+	for i := 0; i < 12; i++ {
+		if err := f.add(uint64(i%8), int64(100+i)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if len(f.batch) != 0 {
+		t.Fatalf("%d elements left unflushed", len(f.batch))
+	}
+	// Nothing lost: every element — in particular refused chunk 2 (times
+	// 104–107) — was eventually committed.
+	for i := 0; i < 12; i++ {
+		if b.seen[int64(100+i)] == 0 {
+			t.Fatalf("element at time %d was never committed", 100+i)
+		}
+	}
+	// The acked prefix was not resent: retrying chunk 1 would double-count.
+	for i := 0; i < 4; i++ {
+		if n := b.seen[int64(100+i)]; n != 1 {
+			t.Fatalf("prefix element at time %d committed %d times, want exactly 1", 100+i, n)
+		}
+	}
+	if _, _, retried := f.totals(); retried != 1 {
+		t.Fatalf("retried %d times, want 1", retried)
 	}
 }
 

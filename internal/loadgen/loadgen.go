@@ -106,7 +106,7 @@ type Report struct {
 	Mode       string              `json:"mode"` // "closed" or "open"
 	Workers    int                 `json:"workers"`
 	Rate       float64             `json:"rate,omitempty"` // open loop only
-	DurationNs int64               `json:"duration_ns"`
+	DurationNs int64               `json:"duration_ns"`    // measured wall clock, run start to last op completion
 	Ops        int64               `json:"ops"`
 	Errors     int64               `json:"errors"`
 	OpsPerSec  float64             `json:"ops_per_sec"`
@@ -126,7 +126,8 @@ func Run(cfg Config, tgt Target) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
 	perWorker := make([][]sample, cfg.Workers)
 
 	if cfg.Rate == 0 {
@@ -134,7 +135,10 @@ func Run(cfg Config, tgt Target) (*Report, error) {
 	} else {
 		runOpen(cfg, tgt, deadline, perWorker)
 	}
-	return summarize(cfg, perWorker), nil
+	// Workers finish their last in-flight op past the deadline, so the
+	// throughput denominator is the measured wall clock, not the configured
+	// duration — dividing by the latter overstates ops/sec on short runs.
+	return summarize(cfg, perWorker, time.Since(start)), nil
 }
 
 // runClosed: each worker loops back-to-back until the deadline.
@@ -206,11 +210,11 @@ func runOpen(cfg Config, tgt Target, deadline time.Time, perWorker [][]sample) {
 	}
 }
 
-func summarize(cfg Config, perWorker [][]sample) *Report {
+func summarize(cfg Config, perWorker [][]sample, elapsed time.Duration) *Report {
 	rep := &Report{
 		Mode:       "closed",
 		Workers:    cfg.Workers,
-		DurationNs: cfg.Duration.Nanoseconds(),
+		DurationNs: elapsed.Nanoseconds(),
 		Kinds:      map[Kind]*KindStats{},
 	}
 	if cfg.Rate > 0 {
@@ -234,7 +238,7 @@ func summarize(cfg Config, perWorker [][]sample) *Report {
 			byKind[s.kind] = append(byKind[s.kind], s.ns)
 		}
 	}
-	secs := cfg.Duration.Seconds()
+	secs := elapsed.Seconds()
 	rep.OpsPerSec = float64(rep.Ops) / secs
 	for kind, lats := range byKind {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

@@ -326,8 +326,13 @@ func (c *Client) acquire(n int64) error {
 // frames inside the advertised window and aggregating the windowed acks.
 // The returned result sums appended/rejected across chunks and carries the
 // store totals of the last ack. When a chunk is refused mid-stream the
-// aggregate so far is returned alongside the *NackError — everything acked
-// before it is durably committed (the acked-prefix contract).
+// aggregate of the acks *before* it is returned alongside the *NackError:
+// Appended+Rejected always counts a contiguous prefix of elems, and
+// everything inside that prefix is durably committed (the acked-prefix
+// contract). Chunks the server happened to accept after a refused one are
+// not folded in — their elements count as unacknowledged, so a retry from
+// the prefix may re-append them (at-least-once) but can never drop an
+// element the server refused.
 func (c *Client) Append(elems stream.Stream) (AppendResult, error) {
 	var agg AppendResult
 	if len(elems) == 0 {
@@ -367,22 +372,23 @@ func (c *Client) Append(elems stream.Stream) (AppendResult, error) {
 		}
 		sent = append(sent, inflight{ch: ch, n: n})
 	}
-	// Collect acks in send order so a NACK surfaces at the right prefix.
+	// Collect acks in send order and stop at the first refusal or decode
+	// failure: acks that arrive for chunks *after* a failed one must not be
+	// folded in, or the aggregate would overcount the contiguous committed
+	// prefix and a retry loop trimming by it would silently drop the failed
+	// chunk's elements. Responses for the remaining in-flight chunks are
+	// discarded by the read loop (their channels are buffered).
 	var firstErr error
 	for _, f := range sent {
 		r, err := c.await(f.ch, frameAppendAck)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+			firstErr = err
+			break
 		}
 		ack, err := decodeAppendAck(r)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+			firstErr = err
+			break
 		}
 		agg.Appended += ack.Appended
 		agg.Rejected += ack.Rejected

@@ -134,6 +134,18 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// Drain marks the server as shutting down without touching live
+// connections: new connections are refused (the caller closes the listener
+// alongside, and Serve's accept error is swallowed), while established
+// sessions keep serving so their pending appends are answered — typically
+// with NACK(draining) once the backend refuses writes. Close later tears
+// the survivors down.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
 // Close tears down every live connection. The caller owns the listener.
 func (s *Server) Close() {
 	s.mu.Lock()

@@ -19,9 +19,11 @@ import (
 // testBackend fronts a real segmented store through the Backend seam the
 // way burstd does, with a switch to force NACKs for refusal tests.
 type testBackend struct {
-	store  *segstore.Store
-	stager *segstore.Stager
-	refuse atomic.Int32 // NackCode forced on every Ingest (0 = accept)
+	store     *segstore.Store
+	stager    *segstore.Stager
+	refuse    atomic.Int32 // NackCode forced on every Ingest (0 = accept)
+	refuseNth atomic.Int32 // 1-based Ingest call refused (0 = none); later calls accept
+	calls     atomic.Int32
 }
 
 func newTestBackend(t *testing.T, dir string) *testBackend {
@@ -42,8 +44,12 @@ func newTestBackend(t *testing.T, dir string) *testBackend {
 func (b *testBackend) Snapshot() *segstore.Snapshot { return b.store.Snapshot() }
 
 func (b *testBackend) Ingest(elems stream.Stream) IngestResult {
+	call := b.calls.Add(1)
 	if c := NackCode(b.refuse.Load()); c != 0 {
 		return IngestResult{Refused: c, RetryAfter: 7 * time.Second, Message: "forced refusal"}
+	}
+	if b.refuseNth.Load() == call {
+		return IngestResult{Refused: NackInternal, Message: "forced mid-stream refusal"}
 	}
 	res := b.stager.Append(elems)
 	if res.Err != nil {
@@ -300,6 +306,30 @@ func TestAppendNack(t *testing.T) {
 	res, err := c.Append(seq([]uint64{1, 2}, 50))
 	if err != nil || res.Appended != 2 {
 		t.Fatalf("append after refusal lifted: %+v, %v", res, err)
+	}
+}
+
+func TestAppendCountsStopAtMidStreamNack(t *testing.T) {
+	b := newTestBackend(t, t.TempDir())
+	b.refuseNth.Store(2) // chunk 2 of 3 refused; chunks 1 and 3 commit
+	// A 4-element window makes a 12-element batch stream as three 4-element
+	// chunks, so a chunk the server accepts *after* a refused one exists.
+	c := pipeClient(t, b, 4)
+
+	res, err := c.Append(seq([]uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 100))
+	var ne *NackError
+	if !errors.As(err, &ne) || ne.Code != NackInternal {
+		t.Fatalf("want mid-stream NackError(internal), got %v", err)
+	}
+	// Chunk 3 may be committed server-side, but the returned counts must
+	// describe only the contiguous acked prefix (chunk 1): folding chunk 3
+	// in would make a retry loop trim elements of refused chunk 2 — data
+	// loss — and re-append committed chunk 3.
+	if got := res.Appended + res.Rejected; got != 4 {
+		t.Fatalf("acked prefix = %d elements, want 4 (chunk 1 only)", got)
+	}
+	if res.Appended != 4 {
+		t.Fatalf("appended = %d, want 4", res.Appended)
 	}
 }
 
