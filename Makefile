@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-segstore crash load-smoke lint bench bench-smoke bench-baseline bench-json bench-figures experiments fuzz clean
+.PHONY: all check build vet test race race-segstore crash load-smoke lint lint-self lint-check bench bench-smoke bench-baseline bench-json bench-figures experiments fuzz clean
 
 all: build vet test
 
 # Full pre-merge gate: compile, static checks (vet plus the repo's own
-# analyzers), tests, race detector, the crash/fault-injection suite, a
-# sustained-load smoke over both serving transports, and one iteration of
-# every benchmark so a broken benchmark can't rot unnoticed.
-check: build vet lint test race race-segstore crash load-smoke bench-smoke
+# analyzers, including the linter's own sources), tests, race detector, the
+# crash/fault-injection suite, a sustained-load smoke over both serving
+# transports, and one iteration of every benchmark so a broken benchmark
+# can't rot unnoticed.
+check: build vet lint-check test race race-segstore crash load-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -19,10 +20,22 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants go vet cannot see: decoder allocation safety,
-# dropped errors, lock discipline, noalloc hot paths, fastpath twins.
+# dropped errors, lock discipline and ordering, atomic-field access, noalloc
+# hot paths, fastpath twins, goroutine shutdown, fsync-before-ack.
 # See docs/ANALYZERS.md.
 lint:
 	$(GO) run ./cmd/histlint ./...
+
+# The linter's own sources held to the same bar (analyzers, loader, fixtures
+# runner, and the histlint command).
+lint-self:
+	$(GO) run ./cmd/histlint ./internal/lint ./cmd/histlint
+
+# lint + lint-self in a single process: the loader memoizes the go/types
+# pass per directory and ExpandPatterns dedupes, so the self-lint rides the
+# same load instead of paying a second one. CI runs this through `check`.
+lint-check:
+	$(GO) run ./cmd/histlint ./... ./internal/lint ./cmd/histlint
 
 test:
 	$(GO) test ./...

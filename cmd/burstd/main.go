@@ -95,6 +95,11 @@ func main() {
 	}
 }
 
+// run owns the process lifecycle: the checkpoint ticker and the debug
+// listener it spawns live until the signal context (stop) cancels and the
+// process exits with it.
+//
+//histburst:worker stop
 func run(addr, wireAddr, debugAddr string, opts serverOpts, checkpoint, drain time.Duration) error {
 	srv, err := newServer(opts)
 	if err != nil {

@@ -59,13 +59,18 @@ type server struct {
 	// tests to inject disk faults into the degraded-mode machinery.
 	append func(stream.Stream) segstore.BatchResult
 
+	//histburst:atomic
 	dirty atomic.Bool // appends since the last checkpoint
+	//histburst:atomic
 	ready atomic.Bool
 	// readOnly flips when the write path hits a persistent disk fault
 	// (ENOSPC/EIO survived the retry budget): appends answer 503 +
 	// Retry-After while queries keep serving, and a background prober
 	// flips it back once the WAL syncs again.
-	readOnly   atomic.Bool
+	//
+	//histburst:atomic
+	readOnly atomic.Bool
+	//histburst:atomic
 	probing    atomic.Bool   // one prober at a time
 	probeEvery time.Duration // prober cadence (tests shrink it)
 	inflight   chan struct{}
@@ -73,6 +78,8 @@ type server struct {
 	// responses advertise, derived from appendWithRetry's live backoff state
 	// instead of a hardcoded constant: it tracks the backoff the write path
 	// is actually experiencing and resets once appends succeed again.
+	//
+	//histburst:atomic
 	retryHint atomic.Int64
 	logf      func(format string, args ...any)
 }
@@ -462,7 +469,11 @@ func isDiskFault(err error) bool {
 
 // enterReadOnly flips the server read-only and starts the recovery prober:
 // a goroutine that periodically asks the store to sync its WAL, and
-// restores write service on the first success. Queries are untouched.
+// restores write service on the first success. Queries are untouched. The
+// prober exits on recovery or when ready flips false at drain; the probing
+// flag guarantees at most one is live.
+//
+//histburst:worker probing
 func (s *server) enterReadOnly(cause error) {
 	if s.readOnly.Swap(true) {
 		return // already degraded; the running prober owns recovery

@@ -50,7 +50,10 @@ type wireListener struct {
 	ln net.Listener
 }
 
-// listenWire starts the HBP1 listener on addr, serving srv's store.
+// listenWire starts the HBP1 listener on addr, serving srv's store. The
+// serve goroutine exits when Close (or Drain) tears the listener down.
+//
+//histburst:worker Close
 func listenWire(srv *server, addr string) (*wireListener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	histlint [-only a,b] [-skip a,b] [-list] [packages...]
+//	histlint [-only a,b] [-skip a,b] [-list] [-json] [-atomic-strict] [packages...]
 //
-// Packages default to ./... and accept the go tool's directory patterns.
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// Packages default to ./... and accept the go tool's directory patterns;
+// duplicate directories across patterns are loaded once (the loader memoizes
+// per directory, so "./... ./internal/lint" costs one go/types pass).
+// -json emits one {file,line,col,analyzer,message} object per finding per
+// line instead of the file:line:col text format. Exit status: 0 clean, 1
+// findings, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +24,25 @@ import (
 	"histburst/internal/lint"
 )
 
+// jsonDiag is the -json record shape; field names are part of the CI
+// problem-matcher contract.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated analyzers to skip")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON records, one per line")
+	atomicStrict := flag.Bool("atomic-strict", false, "atomicguard also scans _test.go files (name-based)")
 	flag.Parse()
+
+	lint.AtomicGuardStrict = *atomicStrict
 
 	if *list {
 		for _, a := range lint.All {
@@ -82,8 +101,19 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			rec := jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message}
+			if err := enc.Encode(rec); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "histlint: %d finding(s)\n", len(diags))

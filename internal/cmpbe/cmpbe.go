@@ -88,6 +88,8 @@ type Sketch struct {
 	// bytesMemo caches Bytes()+1 (0 = invalid). Bytes walks all d·w cells,
 	// which /v1/stats would otherwise pay per request; mutations invalidate.
 	// Atomic because queries sharing a read lock may race to fill it.
+	//
+	//histburst:atomic
 	bytesMemo atomic.Int64
 }
 

@@ -19,6 +19,8 @@ type Direct struct {
 	maxT  int64
 
 	// bytesMemo caches Bytes()+1 (0 = invalid); see Sketch.bytesMemo.
+	//
+	//histburst:atomic
 	bytesMemo atomic.Int64
 }
 

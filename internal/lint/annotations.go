@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -12,21 +13,41 @@ import (
 //	//histburst:decoder                     — function decodes untrusted input
 //	//histburst:fastpath <naiveName>        — function is the fast twin of <naiveName>
 //	//histburst:locked <mu> [<mu2> ...]     — caller must hold the named mutexes
+//	//histburst:worker <stop>               — function spawns goroutines owned by
+//	                                          the named shutdown mechanism
+//	//histburst:durable-ack <syncFn>        — every success return must be preceded
+//	                                          by a call to <syncFn>
+//	//histburst:atomic                      — struct field is only touched through
+//	                                          sync/atomic operations
+//	//histburst:lockorder <muA> <muB>       — <muA> is acquired strictly before <muB>
 //	//histburst:allow <analyzer> -- <why>   — suppress one analyzer here, with a reason
 //
-// The first four attach to a function declaration's doc comment. allow may
-// also sit on (or immediately above) any offending line, or in a function
-// doc to suppress for the whole function.
+// noalloc, decoder, fastpath, locked, worker and durable-ack attach to a
+// function declaration's doc comment. atomic attaches to a struct field's doc
+// or trailing comment. lockorder is a standalone declaration and may sit
+// anywhere — conventionally next to the mutexes it orders. allow may also sit
+// on (or immediately above) any offending line, or in a function doc to
+// suppress for the whole function.
 
 const annoPrefix = "//histburst:"
 
 // FuncAnno carries the annotations attached to one function declaration.
 type FuncAnno struct {
-	NoAlloc  bool
-	Decoder  bool
-	Fastpath string   // naive twin's function name
-	Locked   []string // mutex field names the caller must hold
-	Allow    map[string]bool
+	NoAlloc    bool
+	Decoder    bool
+	Fastpath   string   // naive twin's function name
+	Locked     []string // mutex field names the caller must hold
+	Worker     string   // shutdown mechanism owning the spawned goroutines
+	DurableAck string   // sync function that must dominate success returns
+	Allow      map[string]bool
+}
+
+// LockOrderDecl is one //histburst:lockorder edge: Before is acquired
+// strictly before After. Names are qualified by the declaring struct type
+// ("wal.mu", "Store.mu") to match the acquisition graph's node naming.
+type LockOrderDecl struct {
+	Before, After string
+	Pos           token.Position
 }
 
 // Annotations indexes every //histburst: annotation in a package.
@@ -34,6 +55,17 @@ type Annotations struct {
 	// Funcs maps annotated function declarations (including test files, for
 	// fixtures and naive twins) to their parsed annotations.
 	Funcs map[*ast.FuncDecl]*FuncAnno
+
+	// AtomicFields maps struct-field objects annotated //histburst:atomic to
+	// the annotation's position. Only fields in type-checked (non-test) files
+	// appear here.
+	AtomicFields map[types.Object]token.Pos
+	// AtomicNames holds the bare names of every //histburst:atomic field —
+	// including test-file declarations — for the syntactic strict-mode scan.
+	AtomicNames map[string]bool
+
+	// LockOrder collects the package's //histburst:lockorder declarations.
+	LockOrder []LockOrderDecl
 
 	// allowLines maps file → line → analyzers suppressed on that line.
 	allowLines map[string]map[int]map[string]bool
@@ -86,16 +118,19 @@ func knownAnalyzer(name string) bool {
 // files) for the //histburst: namespace.
 func parseAnnotations(p *Package) *Annotations {
 	a := &Annotations{
-		Funcs:      make(map[*ast.FuncDecl]*FuncAnno),
-		allowLines: make(map[string]map[int]map[string]bool),
+		Funcs:        make(map[*ast.FuncDecl]*FuncAnno),
+		AtomicFields: make(map[types.Object]token.Pos),
+		AtomicNames:  make(map[string]bool),
+		allowLines:   make(map[string]map[int]map[string]bool),
 	}
 	files := make([]*ast.File, 0, len(p.Syntax)+len(p.Tests))
 	files = append(files, p.Syntax...)
 	files = append(files, p.Tests...)
 
 	// Comments that are part of a function doc are handled with their
-	// function; everything else is scanned standalone.
-	inDoc := make(map[*ast.Comment]bool)
+	// function, and //histburst:atomic comments with their struct field;
+	// everything else is scanned standalone.
+	consumed := make(map[*ast.Comment]bool)
 	for _, f := range files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -103,32 +138,96 @@ func parseAnnotations(p *Package) *Annotations {
 				continue
 			}
 			for _, c := range fn.Doc.List {
-				inDoc[c] = true
+				consumed[c] = true
 			}
 			a.parseFuncDoc(p, fn)
 		}
+		a.parseFieldAnnos(p, f, consumed)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if inDoc[c] {
+				if consumed[c] {
 					continue
 				}
 				verb, rest, ok := splitAnno(c.Text)
 				if !ok {
 					continue
 				}
-				if verb != "allow" {
+				switch verb {
+				case "allow":
+					set, ok := a.parseAllow(p, c.Pos(), rest)
+					if !ok {
+						continue
+					}
+					a.recordAllowLine(p, c.Pos(), set)
+				case "lockorder":
+					a.parseLockOrder(p, c.Pos(), rest)
+				case "atomic":
+					a.fail(p, c.Pos(), "//histburst:atomic must sit on a struct field's doc or trailing comment")
+				default:
 					a.fail(p, c.Pos(), "//histburst:%s must be part of a function declaration's doc comment", verb)
-					continue
 				}
-				set, ok := a.parseAllow(p, c.Pos(), rest)
-				if !ok {
-					continue
-				}
-				a.recordAllowLine(p, c.Pos(), set)
 			}
 		}
 	}
 	return a
+}
+
+// parseFieldAnnos walks the file's struct types for field-attached
+// annotations (//histburst:atomic), consuming their comments so the
+// standalone scan does not re-report them.
+func (a *Annotations) parseFieldAnnos(p *Package, f *ast.File, consumed map[*ast.Comment]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			for _, cg := range [2]*ast.CommentGroup{fld.Doc, fld.Comment} {
+				if cg == nil {
+					continue
+				}
+				for _, c := range cg.List {
+					verb, rest, ok := splitAnno(c.Text)
+					if !ok || verb != "atomic" {
+						continue
+					}
+					consumed[c] = true
+					if rest != "" {
+						a.fail(p, c.Pos(), "//histburst:atomic takes no arguments")
+						continue
+					}
+					if len(fld.Names) == 0 {
+						a.fail(p, c.Pos(), "//histburst:atomic needs a named field")
+						continue
+					}
+					for _, name := range fld.Names {
+						a.AtomicNames[name.Name] = true
+						if obj := p.Info.Defs[name]; obj != nil {
+							a.AtomicFields[obj] = c.Pos()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// parseLockOrder parses "//histburst:lockorder <muA> <muB>": muA is acquired
+// strictly before muB.
+func (a *Annotations) parseLockOrder(p *Package, pos token.Pos, rest string) {
+	names := strings.Fields(rest)
+	if len(names) != 2 {
+		a.fail(p, pos, "//histburst:lockorder wants exactly two mutex names (before after), got %q", rest)
+		return
+	}
+	if names[0] == names[1] {
+		a.fail(p, pos, "//histburst:lockorder cannot order %q before itself", names[0])
+		return
+	}
+	a.LockOrder = append(a.LockOrder, LockOrderDecl{
+		Before: names[0], After: names[1], Pos: p.Fset.Position(pos),
+	})
 }
 
 // parseFuncDoc extracts the annotations from one function's doc comment.
@@ -172,6 +271,25 @@ func (a *Annotations) parseFuncDoc(p *Package, fn *ast.FuncDecl) {
 				continue
 			}
 			anno.Locked = append(anno.Locked, names...)
+		case "worker":
+			if len(strings.Fields(rest)) != 1 {
+				a.fail(p, c.Pos(), "//histburst:worker wants exactly one shutdown-mechanism name, got %q", rest)
+				continue
+			}
+			anno.Worker = rest
+		case "durable-ack":
+			if len(strings.Fields(rest)) != 1 {
+				a.fail(p, c.Pos(), "//histburst:durable-ack wants exactly one sync-function name, got %q", rest)
+				continue
+			}
+			anno.DurableAck = rest
+		case "atomic":
+			a.fail(p, c.Pos(), "//histburst:atomic must sit on a struct field's doc or trailing comment, not a function doc")
+		case "lockorder":
+			// A lockorder declaration in a function doc is still a valid
+			// standalone declaration; it just conventionally lives with the
+			// mutexes. Accept it.
+			a.parseLockOrder(p, c.Pos(), rest)
 		case "allow":
 			set, ok := a.parseAllow(p, c.Pos(), rest)
 			if !ok {

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicGuard enforces the lock-free publication discipline: a struct field
+// annotated //histburst:atomic may only be touched through sync/atomic
+// operations — a method call on a sync/atomic value type (Load, Store, Add,
+// Swap, CompareAndSwap, Or, And) or its address passed to a sync/atomic
+// package function (atomic.LoadInt64(&s.f), ...). Any other appearance of
+// the field — a plain read, a plain write, taking its address for later use
+// — is a finding, because one unsynchronized access is all it takes to break
+// the generation-view protocol segstore's queries rely on.
+//
+// Test files are parsed but not type-checked, so by default they are not
+// scanned; AtomicGuardStrict (histlint -atomic-strict) adds a syntactic
+// pass over _test.go files matching annotated field names.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc:  "//histburst:atomic fields are only accessed through sync/atomic operations",
+	Run:  runAtomicGuard,
+}
+
+// AtomicGuardStrict extends the scan to _test.go files (name-based, since
+// test files carry no type information). Set by cmd/histlint -atomic-strict.
+var AtomicGuardStrict = false
+
+// atomicMethods are the accessor methods of the sync/atomic value types.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+func runAtomicGuard(p *Package) []Diagnostic {
+	if len(p.Annos.AtomicFields) == 0 && len(p.Annos.AtomicNames) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Syntax {
+		out = append(out, atomicScanTyped(p, f)...)
+	}
+	if AtomicGuardStrict {
+		for _, f := range p.Tests {
+			out = append(out, atomicScanSyntactic(p, f)...)
+		}
+	}
+	return out
+}
+
+// atomicScanTyped flags every use of an annotated field that is not
+// sanctioned as a sync/atomic operation, using full type information.
+func atomicScanTyped(p *Package, f *ast.File) []Diagnostic {
+	annotated := func(sel *ast.SelectorExpr) bool {
+		s := p.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return false
+		}
+		_, ok := p.Annos.AtomicFields[s.Obj()]
+		return ok
+	}
+
+	// First pass: collect field selectors appearing as the receiver of an
+	// atomic accessor method call or as &arg to a sync/atomic function.
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && atomicMethods[m.Sel.Name] {
+			if recv, ok := ast.Unparen(m.X).(*ast.SelectorExpr); ok && isAtomicValueType(p.Info.TypeOf(recv)) {
+				sanctioned[recv] = true
+			}
+		}
+		if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+			for _, arg := range call.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+					if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+						sanctioned[sel] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !annotated(sel) || sanctioned[sel] {
+			return true
+		}
+		out = append(out, p.diag(sel.Pos(), "atomicguard",
+			"plain access to %q: the field is //histburst:atomic and may only be touched through sync/atomic operations",
+			p.render(sel)))
+		return true
+	})
+	return out
+}
+
+// atomicScanSyntactic is the strict-mode pass over test files: no type
+// information, so any selector whose leaf matches an annotated field name is
+// suspect unless it feeds an atomic accessor pattern.
+func atomicScanSyntactic(p *Package, f *ast.File) []Diagnostic {
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && atomicMethods[m.Sel.Name] {
+			if recv, ok := ast.Unparen(m.X).(*ast.SelectorExpr); ok {
+				sanctioned[recv] = true
+			}
+		}
+		if m, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if pkg, ok := ast.Unparen(m.X).(*ast.Ident); ok && pkg.Name == "atomic" {
+				for _, arg := range call.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+						if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+							sanctioned[sel] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !p.Annos.AtomicNames[sel.Sel.Name] || sanctioned[sel] {
+			return true
+		}
+		out = append(out, p.diag(sel.Pos(), "atomicguard",
+			"plain access to %q in a test file: the field name is //histburst:atomic (strict mode matches by name)",
+			p.render(sel)))
+		return true
+	})
+	return out
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's value types
+// (Int64, Uint64, Bool, Pointer[T], Value, ...).
+func isAtomicValueType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak makes goroutine ownership explicit: every `go` statement outside
+// test files must either be provably joined inside the spawning function —
+// a WaitGroup the function Adds to, the goroutine Dones, and the function
+// Waits on; or a channel the goroutine sends on (or closes) that the
+// function receives from — or sit in a function annotated
+// //histburst:worker <stop> naming the shutdown mechanism (a stop channel,
+// a Close method, a context) that bounds the goroutine's lifetime.
+//
+// The named mechanism must resolve to an identifier declared somewhere in
+// the package, so deleting a stop channel without updating its workers is a
+// lint failure, not a silent leak.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "go statements are joined in scope or owned by a //histburst:worker function",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(p *Package) []Diagnostic {
+	var defined map[string]bool // lazily built: names declared in the package
+	definedName := func(name string) bool {
+		if defined == nil {
+			defined = make(map[string]bool)
+			for id, obj := range p.Info.Defs {
+				if obj != nil {
+					defined[id.Name] = true
+				}
+			}
+		}
+		return defined[name]
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Syntax {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var goStmts []*ast.GoStmt
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					goStmts = append(goStmts, g)
+				}
+				return true
+			})
+			anno := p.Annos.Funcs[fn]
+			if anno != nil && anno.Worker != "" {
+				if !definedName(anno.Worker) {
+					out = append(out, p.diag(fn.Pos(), "goroleak",
+						"//histburst:worker names unknown shutdown mechanism %q (no such identifier in this package)", anno.Worker))
+				}
+				if len(goStmts) == 0 {
+					out = append(out, p.diag(fn.Pos(), "goroleak",
+						"%s is annotated //histburst:worker but contains no go statement; drop the stale annotation", fn.Name.Name))
+				}
+				continue
+			}
+			joins := collectJoins(p, fn.Body)
+			for _, g := range goStmts {
+				if joinedInScope(p, g, joins) {
+					continue
+				}
+				out = append(out, p.diag(g.Pos(), "goroleak",
+					"goroutine is not provably joined in this function (no matching WaitGroup Add/Done/Wait or channel send/receive); annotate the spawning function //histburst:worker <stop> naming its shutdown mechanism"))
+			}
+		}
+	}
+	return out
+}
+
+// joinSites records, for one function body, the WaitGroups it waits on and
+// the channels it receives from — the scope-level halves of a join.
+type joinSites struct {
+	waited map[string]bool // X.Wait() called
+	added  map[string]bool // X.Add(..) called
+	recvd  map[string]bool // <-X or range over channel X
+}
+
+func collectJoins(p *Package, body *ast.BlockStmt) joinSites {
+	j := joinSites{
+		waited: make(map[string]bool),
+		added:  make(map[string]bool),
+		recvd:  make(map[string]bool),
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Wait":
+					if name := receiverLeafName(sel.X); name != "" {
+						j.waited[name] = true
+					}
+				case "Add":
+					if name := receiverLeafName(sel.X); name != "" {
+						j.added[name] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				if name := receiverLeafName(x.X); name != "" {
+					j.recvd[name] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					if name := receiverLeafName(x.X); name != "" {
+						j.recvd[name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return j
+}
+
+// joinedInScope reports whether the spawned goroutine's body visibly
+// completes a join the enclosing function participates in. Only function
+// literals can be inspected; `go x.method()` is never provable and needs a
+// worker annotation.
+func joinedInScope(p *Package, g *ast.GoStmt, joins joinSites) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if name := receiverLeafName(sel.X); name != "" && joins.waited[name] && joins.added[name] {
+					joined = true
+				}
+			}
+			if p.isBuiltin(x.Fun, "close") && len(x.Args) == 1 {
+				if name := receiverLeafName(x.Args[0]); name != "" && joins.recvd[name] {
+					joined = true
+				}
+			}
+		case *ast.SendStmt:
+			if name := receiverLeafName(x.Chan); name != "" && joins.recvd[name] {
+				joined = true
+			}
+		}
+		return true
+	})
+	return joined
+}

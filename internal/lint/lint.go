@@ -10,6 +10,14 @@
 //     heap-allocating constructs
 //   - fastpath:      every //histburst:fastpath annotation has a live naive
 //     twin and an equivalence test referencing both
+//   - lockorder:     the repo-wide lock-acquisition graph is acyclic and never
+//     inverts a //histburst:lockorder declaration
+//   - atomicguard:   fields annotated //histburst:atomic are only touched
+//     through sync/atomic operations
+//   - goroleak:      go statements are joined in scope or owned by a
+//     //histburst:worker function naming its shutdown mechanism
+//   - ackpath:       //histburst:durable-ack functions call their declared
+//     sync function before every success return (fsync-before-ack)
 //
 // Annotations use the //histburst: comment namespace; see docs/ANALYZERS.md
 // for the grammar and suppression rules.
@@ -38,11 +46,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check over a loaded package.
+// Analyzer is one named check over a loaded package. Most analyzers are
+// per-package (Run); an analyzer whose invariant spans packages — lockorder's
+// acquisition graph — sets RunAll instead and is invoked once with every
+// loaded package.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Name   string
+	Doc    string
+	Run    func(p *Package) []Diagnostic
+	RunAll func(pkgs []*Package) []Diagnostic
 }
 
 // All lists every analyzer in the suite, in the order they run.
@@ -52,6 +64,10 @@ var All = []*Analyzer{
 	LockGuard,
 	NoAlloc,
 	FastpathTwin,
+	LockOrder,
+	AtomicGuard,
+	GoroLeak,
+	AckPath,
 }
 
 // AnalyzerNames returns the names of all registered analyzers.
@@ -109,12 +125,36 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, p := range pkgs {
 		out = append(out, p.Annos.Malformed...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			for _, d := range a.Run(p) {
 				if p.Annos.Allowed(a.Name, d.Pos) {
 					continue
 				}
 				out = append(out, d)
 			}
+		}
+	}
+	// Cross-package analyzers run once over everything; a finding is
+	// suppressed by the allow annotations of whichever package owns its file.
+	allowed := func(name string, pos token.Position) bool {
+		for _, p := range pkgs {
+			if p.Annos.Allowed(name, pos) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range analyzers {
+		if a.RunAll == nil {
+			continue
+		}
+		for _, d := range a.RunAll(pkgs) {
+			if allowed(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -19,8 +19,11 @@ type expectation struct {
 // TestFixtures runs each analyzer over its golden package under testdata/
 // and checks the produced diagnostics against the `// want` comments:
 // every finding must match an expectation on its exact line, and every
-// expectation must be hit. The "annotation" fixture runs the whole suite,
-// since malformed annotations are reported regardless of analyzer choice.
+// expectation must be hit. A directory named "<analyzer>" or
+// "<analyzer>-<variant>" runs that one analyzer (the variant suffix lets
+// one analyzer own several fixtures, e.g. noalloc-generics); the
+// "annotation" fixture runs the whole suite, since malformed annotations
+// are reported regardless of analyzer choice.
 func TestFixtures(t *testing.T) {
 	byName := make(map[string]*Analyzer)
 	for _, a := range All {
@@ -35,9 +38,10 @@ func TestFixtures(t *testing.T) {
 			continue
 		}
 		name := e.Name()
+		base, _, _ := strings.Cut(name, "-")
 		analyzers := All
-		if name != "annotation" {
-			a, ok := byName[name]
+		if base != "annotation" {
+			a, ok := byName[base]
 			if !ok {
 				t.Fatalf("testdata/%s does not name an analyzer (have %v)", name, AnalyzerNames())
 			}

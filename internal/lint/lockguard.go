@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 )
@@ -14,6 +15,14 @@ import (
 // lock-at-the-top, defer-or-explicit-unlock shape this codebase uses, while
 // still catching the real bug class: a handler or helper touching shared
 // state with no acquisition anywhere in sight.
+//
+// One refinement closes the unlock/re-lock escape hatch: when the nearest
+// lock event before an access is an explicit (non-deferred) <mu>.Unlock()
+// and the function re-acquires <mu> later, the access sits in a window
+// where the lock is provably not held and is flagged even though a Lock()
+// appears earlier. Unlock calls on error-return paths (with no later
+// re-Lock) do not trip this, so the common lock/branch-unlock-return shape
+// stays clean.
 //
 // Functions that run before the value is shared (constructors) carry
 // //histburst:allow lockguard with a reason; functions whose CALLER holds
@@ -95,19 +104,32 @@ func checkFuncLocks(p *Package, fn *ast.FuncDecl, guards map[types.Object]string
 		return false
 	}
 
-	// First pass: where does each mutex get acquired?
-	lockPos := make(map[string][]ast.Node)
+	// First pass: where does each mutex get acquired and explicitly
+	// released? Deferred Unlocks hold until function exit, so they are not
+	// release events.
+	deferred := deferredRanges(fn.Body)
+	lockPos := make(map[string][]token.Pos)
+	unlockPos := make(map[string][]token.Pos)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		if !ok {
 			return true
 		}
-		if mu := receiverLeafName(sel.X); mu != "" {
-			lockPos[mu] = append(lockPos[mu], call)
+		mu := receiverLeafName(sel.X)
+		if mu == "" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			lockPos[mu] = append(lockPos[mu], call.Pos())
+		case "Unlock", "RUnlock":
+			if !inRanges(deferred, call.Pos()) {
+				unlockPos[mu] = append(unlockPos[mu], call.Pos())
+			}
 		}
 		return true
 	})
@@ -126,21 +148,63 @@ func checkFuncLocks(p *Package, fn *ast.FuncDecl, guards map[types.Object]string
 		if !guarded || held(mu) {
 			return true
 		}
-		protected := false
-		for _, lock := range lockPos[mu] {
-			if lock.Pos() < sel.Pos() {
-				protected = true
-				break
+		var (
+			lockBefore, lockAfter bool
+			lastEvent             token.Pos
+			lastIsUnlock          bool
+		)
+		for _, l := range lockPos[mu] {
+			if l < sel.Pos() {
+				lockBefore = true
+				if l > lastEvent {
+					lastEvent, lastIsUnlock = l, false
+				}
+			} else {
+				lockAfter = true
 			}
 		}
-		if !protected {
+		for _, u := range unlockPos[mu] {
+			if u < sel.Pos() && u > lastEvent {
+				lastEvent, lastIsUnlock = u, true
+			}
+		}
+		switch {
+		case !lockBefore:
 			out = append(out, p.diag(sel.Pos(), "lockguard",
 				"access to %q (guarded by %s) without %s.Lock()/RLock() earlier in the function; hold the lock, or annotate //histburst:locked %s if the caller holds it",
 				p.render(sel), mu, mu, mu))
+		case lastIsUnlock && lockAfter:
+			out = append(out, p.diag(sel.Pos(), "lockguard",
+				"access to %q (guarded by %s) between %s.Unlock() and a later re-Lock(); the lock is not held in this window",
+				p.render(sel), mu, mu))
 		}
 		return true
 	})
 	return out
+}
+
+// deferredRanges returns the source ranges of every defer statement in body,
+// so calls inside them (defer mu.Unlock(), defer func(){...}()) can be told
+// apart from immediate ones.
+func deferredRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			out = append(out, [2]token.Pos{d.Pos(), d.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// inRanges reports whether pos falls inside any of the ranges.
+func inRanges(ranges [][2]token.Pos, pos token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r[0] && pos < r[1] {
+			return true
+		}
+	}
+	return false
 }
 
 // receiverLeafName returns the last identifier of a receiver chain: "mu"

@@ -1,0 +1,386 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LockOrder builds the repo-wide lock-acquisition graph and checks it
+// against the declared ordering. Nodes are mutexes named by the struct type
+// that declares them ("Store.mu", "wal.mu"); package-level or local mutexes
+// fall back to their identifier. Edges come from two sources:
+//
+//   - observed: inside one function, acquiring mutex B while A is still held
+//     (a lexical simulation: Lock/RLock pushes, a non-deferred Unlock/RUnlock
+//     pops, //histburst:locked annotations seed the held set at entry)
+//   - declared: //histburst:lockorder <muA> <muB> comments, stating that muA
+//     is acquired strictly before muB
+//
+// Findings: an observed acquisition that inverts a declared edge, and any
+// cycle in the combined graph. The check is an approximation — it cannot see
+// acquisitions split across call boundaries unless the callee carries a
+// locked annotation — but it pins exactly the bug class PR 6 documented in
+// prose: taking Store.mu and then blocking on wal.mu.
+var LockOrder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "the lock-acquisition graph is acyclic and honors //histburst:lockorder declarations",
+	RunAll: runLockOrder,
+}
+
+// obsEdge is one observed "from held while acquiring to" pair.
+type obsEdge struct {
+	from, to string
+	pos      token.Position
+}
+
+func runLockOrder(pkgs []*Package) []Diagnostic {
+	// Declared edges, keyed before -> after.
+	declared := make(map[[2]string]token.Position)
+	var declOrder [][2]string
+	for _, p := range pkgs {
+		for _, d := range p.Annos.LockOrder {
+			key := [2]string{d.Before, d.After}
+			if _, ok := declared[key]; !ok {
+				declared[key] = d.Pos
+				declOrder = append(declOrder, key)
+			}
+		}
+	}
+
+	// Observed edges: every occurrence for inversion reporting, the first
+	// occurrence per edge for the cycle graph.
+	var allObs []obsEdge
+	observed := make(map[[2]string]token.Position)
+	var obsOrder [][2]string
+	for _, p := range pkgs {
+		for _, e := range observeLockEdges(p) {
+			allObs = append(allObs, e)
+			key := [2]string{e.from, e.to}
+			if _, ok := observed[key]; !ok {
+				observed[key] = e.pos
+				obsOrder = append(obsOrder, key)
+			}
+		}
+	}
+
+	var out []Diagnostic
+
+	// Contradictory declarations.
+	for _, key := range declOrder {
+		inv := [2]string{key[1], key[0]}
+		if invPos, ok := declared[inv]; ok && less(declared[key], invPos) {
+			out = append(out, Diagnostic{Pos: invPos, Analyzer: "lockorder",
+				Message: "declaration " + key[1] + " ≺ " + key[0] + " contradicts the earlier //histburst:lockorder " +
+					key[0] + " " + key[1] + " at " + shortPos(declared[key])})
+		}
+	}
+
+	// Observed inversions of declared edges, reported at every violating
+	// call site. Inverted edges are excluded from the cycle graph so one bug
+	// is not reported twice.
+	inverted := make(map[[2]string]bool)
+	for _, e := range allObs {
+		if declPos, ok := declared[[2]string{e.to, e.from}]; ok {
+			inverted[[2]string{e.from, e.to}] = true
+			out = append(out, Diagnostic{Pos: e.pos, Analyzer: "lockorder",
+				Message: "acquiring " + e.to + " while holding " + e.from +
+					" inverts the declared lock order " + e.to + " ≺ " + e.from +
+					" (//histburst:lockorder at " + shortPos(declPos) + ")"})
+		}
+	}
+
+	// Cycle detection over the union graph.
+	adj := make(map[string][]string)
+	edgePos := make(map[[2]string]token.Position)
+	addEdge := func(key [2]string, pos token.Position) {
+		if _, ok := edgePos[key]; ok {
+			return
+		}
+		edgePos[key] = pos
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, key := range declOrder {
+		addEdge(key, declared[key])
+	}
+	for _, key := range obsOrder {
+		if !inverted[key] {
+			addEdge(key, observed[key])
+		}
+	}
+	out = append(out, findLockCycles(adj, edgePos, observed)...)
+
+	return out
+}
+
+// findLockCycles reports each elementary cycle in the acquisition graph
+// once, anchored at the lexically latest observed edge on the cycle (or the
+// latest declaration for declared-only cycles).
+func findLockCycles(adj map[string][]string, edgePos map[[2]string]token.Position, observed map[[2]string]token.Position) []Diagnostic {
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	var out []Diagnostic
+	reported := make(map[string]bool) // canonical node-set key
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			switch color[m] {
+			case white:
+				dfs(m)
+			case gray:
+				// Back edge n -> m closes a cycle m ... n.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != m {
+					i--
+				}
+				cycle := append(append([]string{}, stack[i:]...), m)
+				key := canonicalCycle(cycle[:len(cycle)-1])
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				var pos token.Position
+				usedObserved := false
+				for j := 0; j+1 < len(cycle); j++ {
+					e := [2]string{cycle[j], cycle[j+1]}
+					if p, ok := observed[e]; ok && (!usedObserved || less(pos, p)) {
+						pos, usedObserved = p, true
+					}
+				}
+				if !usedObserved {
+					for j := 0; j+1 < len(cycle); j++ {
+						if p, ok := edgePos[[2]string{cycle[j], cycle[j+1]}]; ok && less(pos, p) {
+							pos = p
+						}
+					}
+				}
+				out = append(out, Diagnostic{Pos: pos, Analyzer: "lockorder",
+					Message: "lock-order cycle: " + strings.Join(cycle, " -> ")})
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+	return out
+}
+
+// canonicalCycle keys a cycle independent of its starting node.
+func canonicalCycle(nodes []string) string {
+	min := 0
+	for i := range nodes {
+		if nodes[i] < nodes[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, nodes[min:]...), nodes[:min]...)
+	return strings.Join(rot, "|")
+}
+
+// observeLockEdges simulates each function's Lock/Unlock calls in lexical
+// order and records every "held A, acquiring B" pair.
+func observeLockEdges(p *Package) []obsEdge {
+	var out []obsEdge
+	for _, f := range p.Syntax {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, funcLockEdges(p, fn)...)
+		}
+	}
+	return out
+}
+
+type lockEvent struct {
+	pos     token.Pos
+	name    string
+	acquire bool
+}
+
+func funcLockEdges(p *Package, fn *ast.FuncDecl) []obsEdge {
+	deferred := deferredRanges(fn.Body)
+	var events []lockEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isSyncLockable(p, sel.X) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if name := mutexNodeName(p, sel.X); name != "" {
+				events = append(events, lockEvent{call.Pos(), name, true})
+			}
+		case "Unlock", "RUnlock":
+			if inRanges(deferred, call.Pos()) {
+				return true // deferred releases hold until function exit
+			}
+			if name := mutexNodeName(p, sel.X); name != "" {
+				events = append(events, lockEvent{call.Pos(), name, false})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Seed the held set with //histburst:locked contracts, qualified by the
+	// receiver type so "locked mu" on a *wal method means wal.mu.
+	var held []string
+	if anno := p.Annos.Funcs[fn]; anno != nil {
+		owner := receiverTypeName(p, fn)
+		for _, name := range anno.Locked {
+			if owner != "" && !strings.Contains(name, ".") {
+				name = owner + "." + name
+			}
+			held = append(held, name)
+		}
+	}
+
+	var out []obsEdge
+	for _, ev := range events {
+		if ev.acquire {
+			for _, h := range held {
+				if h != ev.name {
+					out = append(out, obsEdge{h, ev.name, p.Fset.Position(ev.pos)})
+				}
+			}
+			held = append(held, ev.name)
+		} else {
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == ev.name {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isSyncLockable reports whether e's type is sync.Mutex or sync.RWMutex
+// (possibly through a pointer), so unrelated Lock/Unlock methods — file
+// locks, flock wrappers — stay out of the graph.
+func isSyncLockable(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// mutexNodeName names a lock receiver for the acquisition graph: struct
+// fields are qualified by the struct type that declares them, everything
+// else falls back to the leaf identifier.
+func mutexNodeName(p *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			if owner := fieldOwnerName(s); owner != "" {
+				return owner + "." + x.Sel.Name
+			}
+		}
+		return x.Sel.Name
+	case *ast.Ident:
+		return x.Name
+	}
+	return ""
+}
+
+// fieldOwnerName walks a selection's embedding path to the struct type that
+// directly declares the selected field and returns that type's name.
+func fieldOwnerName(s *types.Selection) string {
+	t := s.Recv()
+	idx := s.Index()
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := structUnder(t)
+		if !ok || i >= st.NumFields() {
+			return ""
+		}
+		t = st.Field(i).Type()
+	}
+	return namedTypeName(t)
+}
+
+// receiverTypeName returns the name of fn's receiver type, or "".
+func receiverTypeName(p *Package, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	return namedTypeName(p.Info.TypeOf(fn.Recv.List[0].Type))
+}
+
+// namedTypeName unwraps pointers and returns the named type's name, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// structUnder dereferences to the underlying struct type.
+func structUnder(t types.Type) (*types.Struct, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// less orders token.Positions by file, then offset.
+func less(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// shortPos renders file:line for embedding in messages.
+func shortPos(p token.Position) string {
+	return p.Filename + ":" + strconv.Itoa(p.Line)
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoCarriesKeyAnnotations pins the contract-bearing annotations in the
+// repo's own sources. The analyzers only enforce what is declared: deleting
+// //histburst:lockorder silently stops lock-order checking, deleting
+// //histburst:durable-ack silently stops the fsync-before-ack check, and so
+// on. This test turns those silent regressions into failures — the negative
+// half of "make lint enforces the invariant".
+func TestRepoCarriesKeyAnnotations(t *testing.T) {
+	keys := []struct {
+		file string
+		want string
+		why  string
+	}{
+		{"internal/segstore/segstore.go", "//histburst:lockorder wal.mu Store.mu",
+			"the WAL-before-store lock order (PR 6) must stay declared"},
+		{"internal/segstore/segstore.go", "//histburst:durable-ack appendLocked",
+			"Append/AppendBatch/AppendStream must keep the WAL-before-ack contract"},
+		{"internal/segstore/wal.go", "//histburst:durable-ack Sync",
+			"wal.appendLocked must keep fsync dominating its ack"},
+		{"internal/segstore/segstore.go", "//histburst:atomic",
+			"the generation view (and counters) must keep atomic discipline"},
+		{"internal/wire/server.go", "//histburst:worker",
+			"wire server goroutines must keep a declared shutdown mechanism"},
+		{"internal/segstore/segstore.go", "//histburst:worker stop",
+			"Open's background loops must keep a declared shutdown mechanism"},
+	}
+	root := moduleRootForTest(t)
+	for _, k := range keys {
+		data, err := os.ReadFile(filepath.Join(root, k.file))
+		if err != nil {
+			t.Fatalf("reading %s: %v", k.file, err)
+		}
+		if !strings.Contains(string(data), k.want) {
+			t.Errorf("%s no longer contains %q — %s", k.file, k.want, k.why)
+		}
+	}
+}
+
+func moduleRootForTest(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}

@@ -1,0 +1,76 @@
+// Package fixture is a histlint golden fixture for the ackpath analyzer:
+// the fsync-before-ack contract as success-return dominance.
+package fixture
+
+import "errors"
+
+type journal struct {
+	dirty bool
+	n     int
+}
+
+func (j *journal) sync() error { return nil }
+
+// appendGood acks only after the sync call: the shape the contract wants.
+//
+//histburst:durable-ack sync
+func (j *journal) appendGood(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("empty")
+	}
+	j.n++
+	if err := j.sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendBad acks without ever syncing — both success paths are findings.
+//
+//histburst:durable-ack sync
+func (j *journal) appendBad(data []byte) error {
+	if len(data) == 0 {
+		return nil // want "not preceded by a sync call"
+	}
+	j.dirty = true
+	return nil // want "not preceded by a sync call"
+}
+
+// earlyAck syncs at the end but acks an "empty batch" early; the early
+// return needs an explicit suppression or a restructure.
+//
+//histburst:durable-ack sync
+func (j *journal) earlyAck(data []byte) error {
+	if len(data) == 0 {
+		return nil // want "not preceded by a sync call"
+	}
+	return j.sync()
+}
+
+// emptyOK documents the no-op ack as deliberate with a reasoned allow.
+//
+//histburst:durable-ack sync
+func (j *journal) emptyOK(data []byte) error {
+	if len(data) == 0 {
+		return nil //histburst:allow ackpath -- nothing accepted, nothing owed durability
+	}
+	return j.sync()
+}
+
+// named exercises naked returns with named results.
+//
+//histburst:durable-ack sync
+func (j *journal) named(data []byte) (err error) {
+	if len(data) == 0 {
+		return // want "not preceded by a sync call"
+	}
+	err = j.sync()
+	return
+}
+
+// wrongSig cannot carry the contract at all.
+//
+//histburst:durable-ack sync
+func (j *journal) wrongSig(data []byte) int { // want "last result is not error"
+	return len(data)
+}

@@ -1,0 +1,55 @@
+// Package fixture is a histlint golden fixture for the atomicguard
+// analyzer: annotated fields of both shapes — sync/atomic value types and a
+// plain word driven through the sync/atomic functions — with sanctioned and
+// plain accesses.
+package fixture
+
+import "sync/atomic"
+
+type snapshot struct{ n int }
+
+type counters struct {
+	// hits counts lookups.
+	//
+	//histburst:atomic
+	hits atomic.Int64
+
+	// view is the published snapshot pointer.
+	//
+	//histburst:atomic
+	view atomic.Pointer[snapshot]
+
+	// raw is a plain word accessed through the sync/atomic functions.
+	//
+	//histburst:atomic
+	raw int64
+
+	plain int64
+}
+
+func good(c *counters) int64 {
+	c.hits.Add(1)
+	if v := c.view.Load(); v != nil {
+		_ = v.n
+	}
+	atomic.AddInt64(&c.raw, 1)
+	if c.hits.CompareAndSwap(7, 8) {
+		c.view.Store(&snapshot{n: 1})
+	}
+	return c.hits.Load() + atomic.LoadInt64(&c.raw)
+}
+
+func badDirect(c *counters) {
+	c.raw++ // want "plain access"
+	c.raw = 7 // want "plain access"
+	_ = c.plain // fine: not annotated
+}
+
+func badAddress(c *counters) int64 {
+	p := &c.hits // want "plain access"
+	return p.Load()
+}
+
+func suppressed(c *counters) int64 {
+	return c.raw //histburst:allow atomicguard -- fixture demonstrates a reasoned suppression
+}

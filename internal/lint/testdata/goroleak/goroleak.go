@@ -1,0 +1,72 @@
+// Package fixture is a histlint golden fixture for the goroleak analyzer:
+// joined goroutines (WaitGroup and channel shapes), worker-annotated
+// spawners, and the leaks the analyzer exists to catch.
+package fixture
+
+import "sync"
+
+type pool struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (p *pool) loop() { <-p.stop }
+
+func leaky(p *pool) {
+	go p.loop() // want "not provably joined"
+}
+
+// start owns the worker goroutine: Close closes p.stop and waits on p.wg.
+//
+//histburst:worker stop
+func start(p *pool) {
+	p.wg.Add(1)
+	go p.loop()
+}
+
+//histburst:worker teardown
+func badWorker(p *pool) { // want "unknown shutdown mechanism"
+	go p.loop()
+}
+
+// idle carries a worker annotation but spawns nothing.
+//
+//histburst:worker stop
+func idle(p *pool) {} // want "no go statement"
+
+func joinedWaitGroup(items []int) int {
+	var wg sync.WaitGroup
+	total := make([]int, len(items))
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			total[i] = it * 2
+		}(i, it)
+	}
+	wg.Wait()
+	sum := 0
+	for _, t := range total {
+		sum += t
+	}
+	return sum
+}
+
+func joinedChannel() int {
+	done := make(chan struct{})
+	n := 0
+	go func() {
+		n = 42
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+func joinedSend() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 7
+	}()
+	return <-out
+}

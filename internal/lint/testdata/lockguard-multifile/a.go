@@ -1,0 +1,17 @@
+// Package fixture is a multi-file histlint fixture: the guarded field is
+// declared here and misused in b.go, so the finding only exists if the
+// loader type-checks the package's files together.
+package fixture
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func set(g *gauge, v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}

@@ -1,0 +1,11 @@
+package fixture
+
+func peek(g *gauge) int {
+	return g.v // want "without mu.Lock"
+}
+
+func peekLocked(g *gauge) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}

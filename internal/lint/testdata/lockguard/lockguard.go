@@ -38,3 +38,28 @@ func lockedCaller(c *counter) int {
 func suppressedInline(c *counter) int {
 	return c.n //histburst:allow lockguard -- fixture demonstrates inline suppression
 }
+
+// relockWindow releases early and re-acquires: the access in between used to
+// pass because a Lock() appeared lexically earlier (the defer-unlock/re-lock
+// escape hatch). Regression fixture for the window check.
+func relockWindow(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want "between mu.Unlock"
+	c.mu.Lock()
+}
+
+// earlyReturnUnlock is the common branch-unlock-return shape; no re-Lock
+// follows, so the window check must stay quiet.
+func earlyReturnUnlock(c *counter) int {
+	c.mu.Lock()
+	if c.n > 42 {
+		c.mu.Unlock()
+		return 1
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}

@@ -1,0 +1,66 @@
+// Package fixture is a histlint golden fixture for the lockorder analyzer:
+// a declared edge that one function inverts, and an undeclared two-mutex
+// cycle discovered from the acquisition graph alone.
+package fixture
+
+import "sync"
+
+type journal struct{ mu sync.Mutex }
+
+type store struct {
+	mu sync.Mutex
+	j  journal
+}
+
+// The WAL-style ordering rule under test: the journal's lock always comes
+// before the store's.
+//
+//histburst:lockorder journal.mu store.mu
+
+func declaredOK(s *store) {
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func inverted(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.j.mu.Lock() // want "inverts the declared lock order"
+	s.j.mu.Unlock()
+}
+
+func releasedFirst(s *store) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.j.mu.Lock() // fine: store.mu was already released
+	s.j.mu.Unlock()
+}
+
+// lockedCallee's caller holds store.mu, so the acquisition below is an
+// inversion even though no Lock call on store.mu appears here.
+//
+//histburst:locked mu
+func (s *store) lockedCallee() {
+	s.j.mu.Lock() // want "inverts the declared lock order"
+	s.j.mu.Unlock()
+}
+
+type left struct{ mu sync.Mutex }
+
+type right struct{ mu sync.Mutex }
+
+func cycleA(l *left, r *right) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+func cycleB(l *left, r *right) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.mu.Lock() // want "lock-order cycle"
+	defer l.mu.Unlock()
+}

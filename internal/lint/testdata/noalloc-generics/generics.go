@@ -1,0 +1,35 @@
+// Package fixture pins noalloc over type-parameterized functions: the
+// loader's go/types pass must handle generic declarations (the PR 5
+// arena/chunk code is generic), and annotations attach to them like any
+// other function.
+package fixture
+
+// sum is allocation-free for any numeric element type.
+//
+//histburst:noalloc
+func sum[T ~int | ~int64 | ~float64](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// grow allocates via append, which noalloc must still flag inside a generic
+// body.
+//
+//histburst:noalloc
+func grow[T any](xs []T, x T) []T {
+	return append(xs, x) // want "calls append"
+}
+
+// pair returns a composite literal of a generic struct type.
+type box[T any] struct{ a, b T }
+
+//histburst:noalloc
+func pick[T any](b box[T], first bool) T {
+	if first {
+		return b.a
+	}
+	return b.b
+}

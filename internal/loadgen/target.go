@@ -28,8 +28,10 @@ type Profile struct {
 	AppendBatch int      // elements per append op
 	PointBatch  int      // queries per point op
 
+	//histburst:atomic
 	clock atomic.Int64 // next append timestamp
-	pos   atomic.Int64 // next event draw
+	//histburst:atomic
+	pos atomic.Int64 // next event draw
 }
 
 // StartClock positions the append time cursor; call it with the server's
@@ -88,6 +90,7 @@ type WireTarget struct {
 	Cs []*wire.Client
 	P  *Profile
 
+	//histburst:atomic
 	next atomic.Int64
 }
 

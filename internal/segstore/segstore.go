@@ -126,16 +126,21 @@ type Store struct {
 	bgErr       error // first background seal/compaction failure, sticky
 	scrubErr    error // last scrub pass failure (nil after a clean pass)
 
-	view     atomic.Pointer[storeView]
+	//histburst:atomic
+	view atomic.Pointer[storeView]
+	//histburst:atomic
 	rejected atomic.Int64 // out-of-order appends refused
 
 	// wal is the write-ahead log (nil for volatile or DisableWAL stores).
 	// Lock order: wal.mu is taken strictly before mu — the accept path
 	// holds it across frontier read, log append, and head apply, and
 	// rotation holds it while reading the composition under mu.
+	//
+	//histburst:lockorder wal.mu Store.mu
 	wal *wal
 
-	scrubEvery  time.Duration
+	scrubEvery time.Duration
+	//histburst:atomic
 	scrubPasses atomic.Int64
 	logf        func(format string, args ...any)
 
@@ -159,6 +164,8 @@ const DefaultScrubInterval = time.Minute
 // unreferenced segment or temp files (debris of a crashed seal or
 // compaction) are swept, and the write-ahead log is replayed into the head
 // so nothing acked before the crash is missing.
+//
+//histburst:worker stop
 func Open(dir string, cfg Config) (*Store, error) {
 	s := &Store{
 		dir:          dir,
@@ -460,6 +467,8 @@ func segFileName(id uint64) string { return fmt.Sprintf("%s%016d%s", segFilePref
 // or above K are folded into the space by modulo, exactly as the monolithic
 // detector folds them. With the WAL enabled the element is durable (per the
 // sync policy) before Append returns.
+//
+//histburst:durable-ack appendLocked
 func (s *Store) Append(e uint64, t int64) error {
 	if s.wal != nil {
 		s.wal.mu.Lock()
@@ -528,6 +537,7 @@ func admitBatch(elems stream.Stream, frontier int64) (accepted stream.Stream, re
 // query-wise, to calling Append element by element.
 //
 //histburst:fastpath Append
+//histburst:durable-ack appendLocked
 func (s *Store) AppendBatch(elems stream.Stream) (appended, rejected int64, err error) {
 	if s.wal != nil && len(elems) > 0 {
 		// Write-ahead: precompute the exact accepted set, log it as one
@@ -538,7 +548,7 @@ func (s *Store) AppendBatch(elems stream.Stream) (appended, rejected int64, err 
 		accepted, rej := admitBatch(elems, s.Frontier())
 		if len(accepted) == 0 {
 			s.rejected.Add(rej)
-			return 0, rej, nil
+			return 0, rej, nil //histburst:allow ackpath -- nothing was accepted, so nothing is owed durability
 		}
 		if err := s.wal.appendLocked(accepted); err != nil {
 			return 0, 0, err
@@ -598,6 +608,8 @@ func (s *Store) applyAccepted(accepted stream.Stream) (appended, rejected int64,
 
 // AppendStream bulk-ingests a time-sorted element slice through the batch
 // path, stopping with an error at the first out-of-order element.
+//
+//histburst:durable-ack appendLocked
 func (s *Store) AppendStream(elems stream.Stream) error {
 	if s.wal != nil && len(elems) > 0 {
 		s.wal.mu.Lock()

@@ -34,9 +34,11 @@ import (
 type Stager struct {
 	store  *Store
 	shards []ingestShard
-	rr     atomic.Uint64 // round-robin shard pick
-	seq    atomic.Uint64 // staging sequence numbers
-	seqMu  sync.Mutex    // held by the committing writer
+	//histburst:atomic
+	rr atomic.Uint64 // round-robin shard pick
+	//histburst:atomic
+	seq   atomic.Uint64 // staging sequence numbers
+	seqMu sync.Mutex    // held by the committing writer
 
 	// commitLog, when set, observes every group commit (the merged stream
 	// and the frontier it was admitted against) — the equivalence tests

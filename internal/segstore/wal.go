@@ -299,6 +299,8 @@ func walFileSeq(name string) uint64 {
 }
 
 // start launches the background fsync loop for WALSyncInterval.
+//
+//histburst:worker stop
 func (w *wal) start() {
 	if w.policy != WALSyncInterval {
 		return
@@ -326,6 +328,7 @@ func (w *wal) syncLoop() {
 // marked dirty, and the position does not advance — the caller may retry.
 //
 //histburst:locked mu
+//histburst:durable-ack Sync
 func (w *wal) appendLocked(elems stream.Stream) error {
 	if w.closed {
 		return ErrClosed

@@ -61,7 +61,10 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 }
 
 // NewClient performs the HBP1 handshake over an established connection and
-// starts the response reader. On error the caller still owns conn.
+// starts the response reader. On error the caller still owns conn. The read
+// loop exits when Close tears the connection down (any read error ends it).
+//
+//histburst:worker Close
 func NewClient(conn net.Conn) (*Client, error) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	var hs [len(Magic) + 4]byte
@@ -305,7 +308,10 @@ func (c *Client) Stats() (Stats, error) {
 }
 
 // acquire blocks until n element credits are available (or the transport
-// dies) and takes them.
+// dies) and takes them. Runs once per streamed chunk, between frame writes
+// on the append hot path.
+//
+//histburst:noalloc
 func (c *Client) acquire(n int64) error {
 	c.cmu.Lock()
 	defer c.cmu.Unlock()

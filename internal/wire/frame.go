@@ -73,6 +73,8 @@ func writeFrame(w io.Writer, payload []byte) error {
 // returned slice reuses buf when it fits. io.EOF is returned untouched when
 // the stream ends cleanly between frames; a stream ending inside a frame is
 // an io.ErrUnexpectedEOF-wrapped ErrBadFrame.
+//
+//histburst:decoder
 func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
@@ -87,7 +89,7 @@ func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: implausible payload length %d", ErrBadFrame, ln)
 	}
 	if cap(buf) < int(ln) {
-		buf = make([]byte, ln)
+		buf = make([]byte, ln) //histburst:allow decodersafety -- ln operates below binenc: it was just range-checked against MaxFramePayload (8 MiB), the same bound SliceLen would apply
 	}
 	buf = buf[:ln]
 	if _, err := io.ReadFull(br, buf); err != nil {

@@ -113,7 +113,10 @@ func (s *Server) untrack(c net.Conn) {
 }
 
 // Serve accepts connections from l until it fails (or Close closes it),
-// handling each on its own goroutine.
+// handling each on its own goroutine. Connection goroutines exit when the
+// peer disconnects or Close tears every tracked connection down.
+//
+//histburst:worker Close
 func (s *Server) Serve(l net.Listener) error {
 	for {
 		c, err := l.Accept()
@@ -260,7 +263,9 @@ func (s *Server) ServeConn(c net.Conn) error {
 // isQueryFrame reports whether a frame kind is safe to answer out of order:
 // read-only queries whose responses are matched by request id. APPEND is
 // excluded (ack order is the acked-prefix contract), as is anything
-// unknown (fatal, handled inline).
+// unknown (fatal, handled inline). Runs once per received frame.
+//
+//histburst:noalloc
 func isQueryFrame(kind byte) bool {
 	switch kind {
 	case framePoint, frameTimes, frameEvents, frameTop, frameStats:
@@ -279,9 +284,10 @@ type connHandler struct {
 	bw   *bufio.Writer
 	conn net.Conn
 
-	wmu      sync.Mutex // serializes frame writes and flushes
-	sem      chan struct{}
-	wg       sync.WaitGroup
+	wmu sync.Mutex // serializes frame writes and flushes
+	sem chan struct{}
+	wg  sync.WaitGroup
+	//histburst:atomic
 	inflight atomic.Int64
 
 	emu  sync.Mutex // first worker error, reported by the read loop
@@ -289,7 +295,10 @@ type connHandler struct {
 }
 
 // dispatch hands one query frame to the worker pool, blocking when the
-// pool is saturated (backpressure onto the read loop).
+// pool is saturated (backpressure onto the read loop). Workers are joined
+// by wg, which the read loop waits on before the connection returns.
+//
+//histburst:worker wg
 func (h *connHandler) dispatch(payload []byte) {
 	p := append([]byte(nil), payload...) // the read loop reuses its buffer
 	h.sem <- struct{}{}
@@ -323,6 +332,9 @@ func (h *connHandler) fail(err error) {
 	h.conn.Close() //histburst:allow errdrop -- teardown on an already-failed connection
 }
 
+// err is polled by the read loop once per frame.
+//
+//histburst:noalloc
 func (h *connHandler) err() error {
 	h.emu.Lock()
 	defer h.emu.Unlock()
