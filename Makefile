@@ -2,16 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-segstore crash load-smoke lint lint-self lint-check bench bench-smoke bench-baseline bench-json bench-figures experiments fuzz clean
+.PHONY: all check build vet test race race-segstore crash load-smoke alert-smoke lint lint-self lint-check bench bench-smoke bench-baseline bench-json bench-figures experiments fuzz clean
 
 all: build vet test
 
 # Full pre-merge gate: compile, static checks (vet plus the repo's own
 # analyzers, including the linter's own sources), tests, race detector, the
 # crash/fault-injection suite, a sustained-load smoke over both serving
-# transports, and one iteration of every benchmark so a broken benchmark
-# can't rot unnoticed.
-check: build vet lint-check test race race-segstore crash load-smoke bench-smoke
+# transports, the standing-query alert smoke, and one iteration of every
+# benchmark so a broken benchmark can't rot unnoticed.
+check: build vet lint-check test race race-segstore crash load-smoke alert-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,15 @@ crash:
 load-smoke:
 	$(GO) test -race -count 1 -run 'TestServingLoadSmoke' ./cmd/burstd/
 
+# Standing-query gate under the race detector, uncached: an append commits
+# and the alert lands on all three delivery channels (SSE, webhook, wire
+# ALERT frame), rising-edge dedup holds across a sustained burst, degraded
+# histories stamp their envelope onto alerts, and a stalled SSE subscriber
+# sheds instead of backpressuring ingest.
+alert-smoke:
+	$(GO) test -race -count 1 -run 'TestAlert|TestSubscri|TestStalledSSE|TestSSEGap|TestUnsubscribe|TestConnClose' \
+		./cmd/burstd/ ./internal/wire/ ./internal/subscribe/
+
 # Microbenchmarks plus one pass of every figure benchmark.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
@@ -84,13 +93,15 @@ bench-smoke: bench-baseline
 # identical code (checked at the pre-PR commit), so gating against PR5 had
 # started failing on environment drift alone; BENCH_PR7.json re-records all
 # five segstore rows on current hardware (within noise of PR5, speedups
-# 0.90–0.98x at the moment of recording).
+# 0.90–0.98x at the moment of recording). Bumped PR7 → PR9 when the
+# standing-query PR re-recorded everything on current hardware and added
+# the alert-latency and stalled-subscriber rows.
 # The second leg re-measures the serving-latency record (burstload quantiles
 # over both transports) against the same BENCH_PR7.json; closed-loop tail
 # quantiles are noisier still, so its threshold only trips on
 # transport-level catastrophes (e.g. wire point p50 µs → ms), never jitter.
-BENCH_BASELINE ?= BENCH_PR7.json
-SERVE_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR9.json
+SERVE_BASELINE ?= BENCH_PR9.json
 # benchjson keeps the fastest of the -count 6 runs per benchmark: the
 # min-of-N floor converges on the code's true cost as N grows, where a
 # single run wanders with the neighbors — identical code measured 791
@@ -116,8 +127,8 @@ bench-baseline:
 bench-json:
 	{ $(GO) test -run NONE -bench Segstore -benchmem -benchtime 2s ./internal/segstore/ ; \
 	  BURSTLOAD_RECORD=1 $(GO) test -v -count 1 -run 'TestServingLatencyRecord' ./cmd/burstd/ ; } \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR7.json -baseline BENCH_PR5.json \
-			-note "HBP1 wire protocol + burstload record vs the frozen PR5 segstore record. BenchmarkServe rows are burstload closed-loop quantiles over an in-process burstd, 2 workers, fresh store per transport: append+point mix (append-batch 256, point-batch 32, 3s) and a pure bursty run (2s); p50/p99 are latency quantiles in ns, throughput is 1e9/ops-per-sec. The wire rows beat http on point p99 and append throughput; segstore rows carry the PR5 baseline diff"
+		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json -baseline BENCH_PR7.json \
+			-note "Standing-query alerting record vs the PR7 wire-protocol record. New rows: BenchmarkServe/<transport>/alert/* are commit-to-alert delivery quantiles from burstload's subscribe op (arm a standing query, trip it with a burst, clock append-ack to alert arrival); append_baseline vs append_stalled_sse compare append throughput with no alerting armed against an armed standing query whose SSE consumer never reads — the stalled consumer sheds to its bounded queue, so the pair must sit within noise of each other. Segstore and serve rows carry the PR7 baseline diff"
 
 # Human-readable evaluation tables (paper Section VI).
 experiments:
@@ -136,6 +147,8 @@ fuzz:
 	$(GO) test -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/segstore/
 	$(GO) test -fuzz FuzzWALRecordDecode -fuzztime $(FUZZTIME) ./internal/segstore/
 	$(GO) test -fuzz FuzzWireFrame -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzAlertFrame -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzSubscriptionDecode -fuzztime $(FUZZTIME) ./internal/wire/
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,15 @@
 //
 //	burstcli -addr localhost:8428 -point -e 3 -t 1700000 -tau 86400
 //	burstcli -addr localhost:8428 -stats
+//
+// Standing queries run as subcommands (see runAlertCmd): `subscribe` arms
+// a burst alert over either transport, `alerts` tails the HTTP SSE stream,
+// `unsubscribe` removes an HTTP-registered subscription:
+//
+//	burstcli subscribe -http http://localhost:8427 -events 3,7 -theta 500 -follow
+//	burstcli subscribe -addr localhost:8428 -events 3,7 -theta 500
+//	burstcli alerts -http http://localhost:8427 -ids 2
+//	burstcli unsubscribe -http http://localhost:8427 -id 2
 package main
 
 import (
@@ -34,6 +43,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "subscribe", "unsubscribe", "alerts":
+			if err := runAlertCmd(os.Args[1], os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "burstcli:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	var (
 		in     = flag.String("in", "", "input dataset file written by burstgen")
 		addr   = flag.String("addr", "", "query a running burstd over HBP1 at this address instead of building locally")

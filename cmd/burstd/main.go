@@ -69,6 +69,8 @@ func main() {
 		sealEvents = flag.Int64("seal-events", 0, "elements per head segment before sealing (0 = default, negative = seal only at checkpoints)")
 		fanout     = flag.Int("compact-fanout", 0, "segments merged per compaction (0 = default, negative = no compaction)")
 		inflight   = flag.Int("max-inflight", 256, "concurrent /v1 requests before shedding with 503")
+		maxSubs    = flag.Int("max-subscriptions", 1024, "armed standing queries before registrations are refused")
+		alertQueue = flag.Int("alert-queue", 256, "per-subscriber alert queue capacity (overflow drops oldest)")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 
 		walSync       = flag.String("wal-sync", "always", "write-ahead log fsync policy: always (fsync per commit), interval (background cadence), off (page cache only)")
@@ -86,6 +88,7 @@ func main() {
 	opts := serverOpts{
 		Sketch: *sketch, In: *in, N: *n, K: *k, Gamma: *gamma, Seed: *seed,
 		SnapDir: *snapDir, Retain: *retain, MaxInflight: *inflight,
+		MaxSubs: *maxSubs, AlertQueue: *alertQueue,
 		SealEvents: *sealEvents, Fanout: *fanout,
 		WALSync: walPolicy, WALSyncEvery: *walSyncEvery, ScrubInterval: *scrubInterval,
 	}
@@ -178,6 +181,10 @@ func run(addr, wireAddr, debugAddr string, opts serverOpts, checkpoint, drain ti
 	}
 	log.Printf("burstd: shutting down (drain %s)", drain)
 	srv.ready.Store(false) // readyz flips 503; new appends are refused
+	// Shut alerting down before the HTTP drain: closing the hub unblocks
+	// every SSE handler mid-Pop, so long-lived streams cannot stall the
+	// graceful shutdown, and the webhook workers drain out.
+	srv.closeAlerts()
 	if ws != nil {
 		// Stop accepting new wire connections; live ones keep serving
 		// through the drain window so pending appends are answered with

@@ -35,6 +35,8 @@ type serverOpts struct {
 	SealEvents  int64  // head seal threshold (0 = store default)
 	Fanout      int    // compaction fanout (0 = store default)
 	MaxInflight int    // concurrent /v1 requests before shedding
+	MaxSubs     int    // armed standing queries cap (0 = subscribe default)
+	AlertQueue  int    // per-subscriber alert queue capacity (0 = default)
 
 	WALSync       segstore.WALSyncPolicy // when the WAL fsyncs
 	WALSyncEvery  time.Duration          // fsync cadence under the interval policy
@@ -58,6 +60,11 @@ type server struct {
 	// append is the ingest seam: stager.Append in production, swappable in
 	// tests to inject disk faults into the degraded-mode machinery.
 	append func(stream.Stream) segstore.BatchResult
+
+	// alerts is the standing-query subsystem: the hub hangs off the
+	// stager's commit hook and fans fired alerts out to SSE, webhook, and
+	// wire subscribers (see alerts.go).
+	alerts alerting
 
 	//histburst:atomic
 	dirty atomic.Bool // appends since the last checkpoint
@@ -115,6 +122,7 @@ func newServer(o serverOpts) (*server, error) {
 			s.store = st
 			s.stager = segstore.NewStager(st)
 			s.append = s.stager.Append
+			s.initAlerts(o.MaxSubs, o.AlertQueue)
 			if h := st.Health(); h.Quarantined > 0 {
 				s.logf("burstd: %d segments in quarantine (%d elements of history missing)",
 					h.Quarantined, h.QuarantinedElements)
@@ -157,6 +165,7 @@ func newServer(o serverOpts) (*server, error) {
 	s.store = st
 	s.stager = segstore.NewStager(st)
 	s.append = s.stager.Append
+	s.initAlerts(o.MaxSubs, o.AlertQueue)
 	s.ready.Store(true)
 	return s, nil
 }
@@ -235,6 +244,12 @@ func (s *server) handler() http.Handler {
 	mux.Handle("GET /v1/segments", limited(s.handleSegments))
 	mux.Handle("POST /v1/query/batch", limited(s.handleQueryBatch))
 	mux.Handle("POST /v1/append", limited(s.handleAppend))
+	mux.Handle("POST /v1/subscriptions", limited(s.handleSubscribe))
+	mux.Handle("GET /v1/subscriptions", limited(s.handleSubscriptionsList))
+	mux.Handle("DELETE /v1/subscriptions/{id}", limited(s.handleUnsubscribe))
+	// The alert stream is long-lived and must not pin an inflight slot; its
+	// bounded per-subscriber queue already caps what a stream can cost.
+	mux.HandleFunc("GET /v1/alerts/stream", s.handleAlertStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /{$}", s.handleUI)
@@ -303,6 +318,7 @@ func (s *server) healthBody(status string) map[string]any {
 		"ready":    s.ready.Load(),
 		"readOnly": s.readOnly.Load(),
 		"store":    h,
+		"alerts":   s.alerts.hub.Stats(),
 	}
 }
 
@@ -637,6 +653,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"wal":         h.WAL,
 		"readOnly":    s.readOnly.Load(),
 		"head":        sn.Head(),
+		"alerts":      s.alerts.hub.Stats(),
 	})
 }
 
@@ -655,6 +672,7 @@ func (s *server) handleSegments(w http.ResponseWriter, r *http.Request) {
 		"readOnly":    s.readOnly.Load(),
 		"envelope":    sn.Envelope(sn.MaxTime()),
 		"head":        sn.Head(),
+		"alerts":      s.alerts.hub.Stats(),
 	})
 }
 

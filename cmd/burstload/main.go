@@ -7,8 +7,11 @@
 // the default) and open loop (-rate, fixed arrival rate with latency
 // measured from the scheduled arrival — queueing counts). The op mix draws
 // append batches from a workload-skewed event population (the olympicrio
-// spec) plus batched point queries and bursty-times/bursty-events queries
-// over the served history.
+// spec) plus batched point queries, bursty-times/bursty-events queries
+// over the served history, and — with subscribe=N in -mix — standing-query
+// ops that arm a subscription, trip it with a burst, and clock the
+// commit-to-alert delivery; those latencies land in the report as the
+// "alert" pseudo-kind.
 //
 //	burstd -n 200000 -addr :8427 -wire-addr :8428 &
 //	burstload -http http://localhost:8427 -wire localhost:8428 -duration 10s
@@ -41,7 +44,7 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "run length per transport")
 		workers  = flag.Int("c", 16, "concurrent workers")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate in ops/sec (0 = closed loop)")
-		mixSpec  = flag.String("mix", "append=1,point=4,bursty=1", "op mix weights, kind=weight comma-separated")
+		mixSpec  = flag.String("mix", "append=1,point=4,bursty=1", "op mix weights, kind=weight comma-separated (kinds: append, point, bursty, subscribe)")
 		batch    = flag.Int("append-batch", 256, "elements per append op")
 		points   = flag.Int("point-batch", 16, "queries per point op")
 		tau      = flag.Int64("tau", 86_400, "burst span τ for every query")
@@ -81,11 +84,13 @@ func parseMix(spec string) (loadgen.Mix, error) {
 			m.Point = w
 		case loadgen.KindBursty:
 			m.Bursty = w
+		case loadgen.KindSubscribe:
+			m.Subscribe = w
 		default:
 			return m, fmt.Errorf("mix term %q: unknown kind", part)
 		}
 	}
-	if m.Append+m.Point+m.Bursty == 0 {
+	if m.Append+m.Point+m.Bursty+m.Subscribe == 0 {
 		return m, fmt.Errorf("mix %q has no weight", spec)
 	}
 	return m, nil
@@ -180,7 +185,7 @@ func run(httpURL, wireAddr string, duration time.Duration, workers int, rate flo
 
 	if httpURL != "" {
 		p := &loadgen.Profile{Events: events, Tau: tau, Theta: theta,
-			AppendBatch: batch, PointBatch: points}
+			AppendBatch: batch, PointBatch: points, K: k}
 		tgt := &loadgen.HTTPTarget{
 			Base: strings.TrimRight(httpURL, "/"),
 			Client: &http.Client{
@@ -189,6 +194,7 @@ func run(httpURL, wireAddr string, duration time.Duration, workers int, rate flo
 			},
 			P: p,
 		}
+		defer tgt.Close()
 		if err := tgt.Frontier(); err != nil {
 			return fmt.Errorf("http %s: %w", httpURL, err)
 		}
@@ -198,7 +204,7 @@ func run(httpURL, wireAddr string, duration time.Duration, workers int, rate flo
 	}
 	if wireAddr != "" {
 		p := &loadgen.Profile{Events: events, Tau: tau, Theta: theta,
-			AppendBatch: batch, PointBatch: points}
+			AppendBatch: batch, PointBatch: points, K: k}
 		tgt, err := loadgen.DialWire(wireAddr, workers, 10*time.Second, p)
 		if err != nil {
 			return fmt.Errorf("wire %s: %w", wireAddr, err)

@@ -13,6 +13,8 @@ func TestParseMix(t *testing.T) {
 		ok   bool
 	}{
 		{"append=1,point=4,bursty=1", loadgen.Mix{Append: 1, Point: 4, Bursty: 1}, true},
+		{"append=1,subscribe=2", loadgen.Mix{Append: 1, Subscribe: 2}, true},
+		{"subscribe=1", loadgen.Mix{Subscribe: 1}, true},
 		{"point=8", loadgen.Mix{Point: 8}, true},
 		{" append=2 , bursty=3 ", loadgen.Mix{Append: 2, Bursty: 3}, true},
 		{"append=0,point=0,bursty=0", loadgen.Mix{}, false}, // no weight

@@ -11,6 +11,7 @@ import (
 
 	"histburst/internal/segstore"
 	"histburst/internal/stream"
+	"histburst/internal/subscribe"
 	"histburst/internal/wire"
 )
 
@@ -38,6 +39,8 @@ func newWireBackend(t *testing.T) *wireBackend {
 }
 
 func (b *wireBackend) Snapshot() *segstore.Snapshot { return b.store.Snapshot() }
+
+func (b *wireBackend) Alerts() *subscribe.Hub { return nil }
 
 func (b *wireBackend) Ingest(elems stream.Stream) wire.IngestResult {
 	res := b.stager.Append(elems)

@@ -28,13 +28,20 @@ import (
 type Kind string
 
 const (
-	KindAppend Kind = "append" // one append batch
-	KindPoint  Kind = "point"  // one batch of point queries
-	KindBursty Kind = "bursty" // one bursty-times or bursty-events query
+	KindAppend    Kind = "append"    // one append batch
+	KindPoint     Kind = "point"     // one batch of point queries
+	KindBursty    Kind = "bursty"    // one bursty-times or bursty-events query
+	KindSubscribe Kind = "subscribe" // register a standing query, trip it, await the alert
+
+	// KindAlert is a report-only pseudo-kind: the commit-to-delivery
+	// latencies of the alerts the subscribe ops awaited, measured from the
+	// append ack to the alert's arrival on the subscriber's channel. It
+	// never appears in a Mix.
+	KindAlert Kind = "alert"
 )
 
 // Kinds lists the op classes in reporting order.
-var Kinds = []Kind{KindAppend, KindPoint, KindBursty}
+var Kinds = []Kind{KindAppend, KindPoint, KindBursty, KindSubscribe}
 
 // Target executes one operation of the given kind. Implementations must be
 // safe for concurrent use; rng is private to the calling worker.
@@ -45,12 +52,13 @@ type Target interface {
 // Mix weighs the op classes; weights are relative, not percentages. A zero
 // weight removes the class from the run.
 type Mix struct {
-	Append int `json:"append"`
-	Point  int `json:"point"`
-	Bursty int `json:"bursty"`
+	Append    int `json:"append"`
+	Point     int `json:"point"`
+	Bursty    int `json:"bursty"`
+	Subscribe int `json:"subscribe,omitempty"`
 }
 
-func (m Mix) total() int { return m.Append + m.Point + m.Bursty }
+func (m Mix) total() int { return m.Append + m.Point + m.Bursty + m.Subscribe }
 
 // pick draws one kind with probability proportional to its weight.
 func (m Mix) pick(rng *rand.Rand) Kind {
@@ -61,7 +69,10 @@ func (m Mix) pick(rng *rand.Rand) Kind {
 	if n < m.Append+m.Point {
 		return KindPoint
 	}
-	return KindBursty
+	if n < m.Append+m.Point+m.Bursty {
+		return KindBursty
+	}
+	return KindSubscribe
 }
 
 // Config shapes one run.
@@ -138,7 +149,22 @@ func Run(cfg Config, tgt Target) (*Report, error) {
 	// Workers finish their last in-flight op past the deadline, so the
 	// throughput denominator is the measured wall clock, not the configured
 	// duration — dividing by the latter overstates ops/sec on short runs.
-	return summarize(cfg, perWorker, time.Since(start)), nil
+	elapsed := time.Since(start)
+	rep := summarize(cfg, perWorker, elapsed)
+	if src, ok := tgt.(AlertLatencySource); ok {
+		if lats := src.AlertLatencies(); len(lats) > 0 {
+			rep.Kinds[KindAlert] = latencyStats(lats, elapsed.Seconds())
+		}
+	}
+	return rep, nil
+}
+
+// AlertLatencySource is implemented by targets that measure standing-query
+// alert delivery: the latencies, in nanoseconds, from each subscribe op's
+// append ack to the alert's arrival. Run folds them into the report under
+// KindAlert.
+type AlertLatencySource interface {
+	AlertLatencies() []int64
 }
 
 // runClosed: each worker loops back-to-back until the deadline.
@@ -241,15 +267,24 @@ func summarize(cfg Config, perWorker [][]sample, elapsed time.Duration) *Report 
 	secs := elapsed.Seconds()
 	rep.OpsPerSec = float64(rep.Ops) / secs
 	for kind, lats := range byKind {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		ks := rep.Kinds[kind]
-		ks.OpsPerSec = float64(ks.Ops) / secs
-		ks.P50Ns = percentile(lats, 50)
-		ks.P95Ns = percentile(lats, 95)
-		ks.P99Ns = percentile(lats, 99)
-		ks.MaxNs = lats[len(lats)-1]
+		st := latencyStats(lats, secs)
+		st.Errors = rep.Kinds[kind].Errors
+		rep.Kinds[kind] = st
 	}
 	return rep
+}
+
+// latencyStats summarizes one latency population over a run of secs seconds.
+func latencyStats(lats []int64, secs float64) *KindStats {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return &KindStats{
+		Ops:       int64(len(lats)),
+		OpsPerSec: float64(len(lats)) / secs,
+		P50Ns:     percentile(lats, 50),
+		P95Ns:     percentile(lats, 95),
+		P99Ns:     percentile(lats, 99),
+		MaxNs:     lats[len(lats)-1],
+	}
 }
 
 // percentile reads the p-th percentile from an ascending-sorted slice
@@ -274,7 +309,7 @@ func percentile(sorted []int64, p int) int64 {
 // regression gate as the microbenchmarks.
 func (r *Report) BenchLines(transport string) []string {
 	var lines []string
-	for _, kind := range Kinds {
+	for _, kind := range append(append([]Kind{}, Kinds...), KindAlert) {
 		ks := r.Kinds[kind]
 		if ks == nil || ks.Ops == 0 {
 			continue

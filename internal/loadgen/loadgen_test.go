@@ -180,6 +180,114 @@ func TestBenchLinesShape(t *testing.T) {
 	}
 }
 
+// alertingTarget fakes a transport with standing-query support: every
+// subscribe op records one alert latency.
+type alertingTarget struct {
+	fakeTarget
+	alertStats
+	subscribes atomic.Int64
+}
+
+func (f *alertingTarget) Do(kind Kind, rng *rand.Rand) error {
+	if kind == KindSubscribe {
+		f.subscribes.Add(1)
+		f.record(3 * time.Millisecond)
+		return nil
+	}
+	return f.fakeTarget.Do(kind, rng)
+}
+
+func TestSubscribeKindFoldsAlertLatencies(t *testing.T) {
+	tgt := &alertingTarget{}
+	rep, err := Run(Config{
+		Duration: 100 * time.Millisecond,
+		Workers:  2,
+		Mix:      Mix{Append: 1, Subscribe: 1},
+		Seed:     7,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.subscribes.Load() == 0 {
+		t.Fatal("mix never picked subscribe")
+	}
+	ks := rep.Kinds[KindSubscribe]
+	if ks == nil || ks.Ops != tgt.subscribes.Load() {
+		t.Fatalf("subscribe stats = %+v, want %d ops", ks, tgt.subscribes.Load())
+	}
+	// The alert pseudo-kind carries the delivery latencies, one per op, and
+	// never counts toward the op total.
+	al := rep.Kinds[KindAlert]
+	if al == nil || al.Ops != tgt.subscribes.Load() || al.P50Ns != (3*time.Millisecond).Nanoseconds() {
+		t.Fatalf("alert stats = %+v", al)
+	}
+	if rep.Ops != tgt.subscribes.Load()+tgt.appends.Load() {
+		t.Fatalf("alert rows leaked into the op count: %d", rep.Ops)
+	}
+	var found bool
+	for _, line := range rep.BenchLines("wire") {
+		if line == "BenchmarkServe/wire/alert/p50 1 3000000 ns/op" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no alert bench row in %v", rep.BenchLines("wire"))
+	}
+}
+
+func TestSubBurstIsContiguousAndSubEventsUnique(t *testing.T) {
+	p := &Profile{Events: []uint64{1}, SubBurst: 4}
+	p.StartClock(50)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
+		ev := p.nextSubEvent()
+		if ev < subEventBase || seen[ev] {
+			t.Fatalf("sub event %d reused or below base", ev)
+		}
+		seen[ev] = true
+		b := p.subBurst(ev)
+		if len(b) != 4 {
+			t.Fatalf("burst len %d", len(b))
+		}
+		for j, el := range b {
+			if el.Event != ev || el.Time != b[0].Time+int64(j) {
+				t.Fatalf("burst not contiguous: %+v", b)
+			}
+		}
+	}
+	// The shared clock advanced: interleaved append batches stay monotone.
+	if next := p.nextBatch(); next[0].Time != 50+5*4 {
+		t.Fatalf("clock at %d, want 70", next[0].Time)
+	}
+}
+
+// A subscribe op's event id must not fold onto the append population:
+// foreign append traffic would fire the standing query before the op
+// starts waiting, and the op's own burst then sustains the edge instead of
+// re-firing it.
+func TestSubEventsAvoidAppendPopulationResidues(t *testing.T) {
+	events := make([]uint64, 64)
+	for i := range events {
+		events[i] = uint64(i % 16)
+	}
+	p := &Profile{Events: events, K: 1 << 20}
+	hot := map[uint64]bool{}
+	for _, e := range events {
+		hot[e%p.K] = true
+	}
+	for i := 0; i < 40; i++ {
+		if ev := p.nextSubEvent(); hot[ev%p.K] {
+			t.Fatalf("sub event %d folds onto append population (residue %d)", ev, ev%p.K)
+		}
+	}
+	// A population covering the whole id space leaves no safe residue; the
+	// generator must still terminate rather than spin.
+	q := &Profile{Events: []uint64{0, 1, 2, 3}, K: 4}
+	if ev := q.nextSubEvent(); ev < subEventBase {
+		t.Fatalf("saturated-space sub event %d below base", ev)
+	}
+}
+
 func TestProfileBatchesAreMonotoneAcrossWorkers(t *testing.T) {
 	p := &Profile{Events: []uint64{1, 2, 3}, AppendBatch: 8}
 	p.StartClock(100)

@@ -1,17 +1,21 @@
 package loadgen
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"histburst/internal/stream"
+	"histburst/internal/subscribe"
 	"histburst/internal/wire"
 )
 
@@ -28,10 +32,147 @@ type Profile struct {
 	AppendBatch int      // elements per append op
 	PointBatch  int      // queries per point op
 
+	SubTheta  float64       // standing-query threshold per subscribe op (0 = 1)
+	SubBurst  int           // elements in the alert-tripping burst (0 = 8)
+	AlertWait time.Duration // per-op alert delivery timeout (0 = 10s)
+	K         uint64        // server event-id space, for collision-free sub events (0 = unknown; Frontier fills it)
+
 	//histburst:atomic
 	clock atomic.Int64 // next append timestamp
 	//histburst:atomic
 	pos atomic.Int64 // next event draw
+	//histburst:atomic
+	subSeq atomic.Uint64 // unique event-id cursor for subscribe ops
+
+	hotOnce sync.Once
+	hot     map[uint64]struct{} // folded append-population residues, built under hotOnce
+	hotAll  bool                // the population covers every residue; collisions unavoidable
+}
+
+// subEventBase offsets the subscribe ops' event ids far above the workload
+// population, so each op trips its own standing query. The server folds ids
+// modulo K on both the subscription and the committed batch, so large ids
+// are first-class.
+const subEventBase = 1 << 32
+
+// nextSubEvent hands each subscribe op its own event id. When the server's
+// event space K is known, ids folding onto the append population are
+// skipped: a standing query sharing a folded id with append traffic can
+// fire from someone else's batch before the op starts waiting, and the
+// op's own burst then sustains the edge instead of re-firing it.
+func (p *Profile) nextSubEvent() uint64 {
+	for {
+		ev := subEventBase + p.subSeq.Add(1)
+		if p.K == 0 || !p.hotResidue(ev%p.K) {
+			return ev
+		}
+	}
+}
+
+// hotResidue reports whether a folded id collides with the append
+// population. When the population covers the whole id space no residue is
+// safe, and collisions are simply accepted.
+func (p *Profile) hotResidue(r uint64) bool {
+	p.hotOnce.Do(func() {
+		p.hot = make(map[uint64]struct{}, len(p.Events))
+		for _, e := range p.Events {
+			p.hot[e%p.K] = struct{}{}
+		}
+		p.hotAll = uint64(len(p.hot)) >= p.K
+	})
+	if p.hotAll {
+		return false
+	}
+	_, ok := p.hot[r]
+	return ok
+}
+
+func (p *Profile) subTheta() float64 {
+	if p.SubTheta > 0 {
+		return p.SubTheta
+	}
+	return 1
+}
+
+func (p *Profile) alertWait() time.Duration {
+	if p.AlertWait > 0 {
+		return p.AlertWait
+	}
+	return 10 * time.Second
+}
+
+// subBurst reserves a contiguous block of the shared time cursor and fills
+// it with one event — enough consecutive occurrences to cross the standing
+// query's threshold in a single commit.
+func (p *Profile) subBurst(ev uint64) stream.Stream {
+	n := p.SubBurst
+	if n <= 0 {
+		n = 8
+	}
+	base := p.clock.Add(int64(n)) - int64(n)
+	batch := make(stream.Stream, n)
+	for i := range batch {
+		batch[i] = stream.Element{Event: ev, Time: base + int64(i)}
+	}
+	return batch
+}
+
+// alertRouter fans a connection's (or stream's) interleaved alerts back out
+// to the subscribe ops awaiting them, keyed by subscription id. Alerts for
+// ids nobody awaits — re-fires after an op timed out, or another op's burst
+// on a fold-colliding event — are dropped.
+type alertRouter struct {
+	mu      sync.Mutex
+	waiters map[uint64]chan subscribe.Alert // subscription id → waiter, guarded by mu
+}
+
+func (r *alertRouter) expect(id uint64) <-chan subscribe.Alert {
+	ch := make(chan subscribe.Alert, 1)
+	r.mu.Lock()
+	if r.waiters == nil {
+		r.waiters = make(map[uint64]chan subscribe.Alert)
+	}
+	r.waiters[id] = ch
+	r.mu.Unlock()
+	return ch
+}
+
+func (r *alertRouter) drop(id uint64) {
+	r.mu.Lock()
+	delete(r.waiters, id)
+	r.mu.Unlock()
+}
+
+func (r *alertRouter) dispatch(a subscribe.Alert) {
+	r.mu.Lock()
+	ch := r.waiters[a.Sub]
+	r.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- a:
+		default: // the op already got its first alert; later fires are noise
+		}
+	}
+}
+
+// alertStats collects commit-to-delivery latencies across workers.
+type alertStats struct {
+	mu  sync.Mutex
+	lat []int64 // nanoseconds, guarded by mu
+}
+
+func (s *alertStats) record(d time.Duration) {
+	s.mu.Lock()
+	s.lat = append(s.lat, d.Nanoseconds())
+	s.mu.Unlock()
+}
+
+// AlertLatencies returns the collected samples (the AlertLatencySource
+// seam; promoted onto both targets).
+func (s *alertStats) AlertLatencies() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.lat...)
 }
 
 // StartClock positions the append time cursor; call it with the server's
@@ -90,6 +231,9 @@ type WireTarget struct {
 	Cs []*wire.Client
 	P  *Profile
 
+	alertStats
+	router alertRouter
+
 	//histburst:atomic
 	next atomic.Int64
 }
@@ -114,8 +258,56 @@ func (t *WireTarget) Do(kind Kind, rng *rand.Rand) error {
 		}
 		_, _, err := c.Events(t.P.pickTime(rng), t.P.Theta, t.P.Tau)
 		return err
+	case KindSubscribe:
+		return t.subscribeOp(c)
 	default:
 		return fmt.Errorf("loadgen: unknown op kind %q", kind)
+	}
+}
+
+// subscribeOp measures the standing-query path end to end: arm a
+// subscription on a fresh event id, commit a burst that crosses its
+// threshold, and clock the gap between the append ack and the unsolicited
+// ALERT frame's arrival.
+func (t *WireTarget) subscribeOp(c *wire.Client) error {
+	ev := t.P.nextSubEvent()
+	id, err := c.Subscribe(subscribe.Subscription{Events: []uint64{ev}, Theta: t.P.subTheta(), Tau: t.P.Tau})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		c.Unsubscribe(id) //histburst:allow errdrop -- best-effort cleanup; the conn teardown disarms too
+	}()
+	ch := t.router.expect(id)
+	defer t.router.drop(id)
+	ack, err := c.Append(t.P.subBurst(ev))
+	if err != nil {
+		return err
+	}
+	if ack.Appended == 0 {
+		// The whole burst lost the frontier race to concurrently committed
+		// later timestamps: nothing was admitted, so no alert is owed.
+		return nil
+	}
+	t0 := time.Now()
+	select {
+	case <-ch:
+		t.record(time.Since(t0))
+		return nil
+	case <-time.After(t.P.alertWait()):
+		return fmt.Errorf("loadgen: alert for subscription %d never arrived", id)
+	}
+}
+
+// routeAlerts drains one connection's unsolicited ALERT frames into the
+// router; it exits when the client closes its alert queue.
+func (t *WireTarget) routeAlerts(c *wire.Client) {
+	for {
+		a, ok := c.Alerts().Pop(nil)
+		if !ok {
+			return
+		}
+		t.router.dispatch(a)
 	}
 }
 
@@ -129,10 +321,16 @@ func (t *WireTarget) Frontier() error {
 	if t.P.MaxT == 0 {
 		t.P.MaxT = st.MaxTime
 	}
+	if t.P.K == 0 {
+		t.P.K = t.Cs[0].Hello().K
+	}
 	return nil
 }
 
-// DialWire opens an n-connection wire target pool against addr.
+// DialWire opens an n-connection wire target pool against addr. Each
+// connection gets an alert-routing goroutine that lives until Close.
+//
+//histburst:worker Close
 func DialWire(addr string, n int, timeout time.Duration, p *Profile) (*WireTarget, error) {
 	if n < 1 {
 		n = 1
@@ -145,6 +343,7 @@ func DialWire(addr string, n int, timeout time.Duration, p *Profile) (*WireTarge
 			return nil, err
 		}
 		t.Cs = append(t.Cs, c)
+		go t.routeAlerts(c)
 	}
 	return t, nil
 }
@@ -165,7 +364,15 @@ type HTTPTarget struct {
 	Client *http.Client
 	P      *Profile
 
+	alertStats
+	router alertRouter
+
 	bufs sync.Pool // request-body scratch
+
+	sseOnce   sync.Once
+	sseMu     sync.Mutex         // guards sseCancel
+	sseErr    error              // set under sseOnce
+	sseCancel context.CancelFunc // guarded by sseMu
 }
 
 type httpElement struct {
@@ -245,9 +452,141 @@ func (t *HTTPTarget) Do(kind Kind, rng *rand.Rand) error {
 		}
 		return t.get(fmt.Sprintf("/v1/events?t=%d&theta=%v&tau=%d",
 			t.P.pickTime(rng), t.P.Theta, t.P.Tau))
+	case KindSubscribe:
+		return t.subscribeOp()
 	default:
 		return fmt.Errorf("loadgen: unknown op kind %q", kind)
 	}
+}
+
+// subscribeOp mirrors the wire target's: register over POST
+// /v1/subscriptions, trip the query with an append burst, await the alert
+// on the shared SSE firehose, and clean up with DELETE.
+func (t *HTTPTarget) subscribeOp() error {
+	if err := t.startSSE(); err != nil {
+		return err
+	}
+	ev := t.P.nextSubEvent()
+	var reg struct {
+		ID uint64 `json:"id"`
+	}
+	err := t.postJSON("/v1/subscriptions", map[string]any{
+		"events": []uint64{ev}, "theta": t.P.subTheta(), "tau": t.P.Tau,
+	}, http.StatusCreated, &reg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/subscriptions/%d", t.Base, reg.ID), nil)
+		if err == nil {
+			t.do(req) //histburst:allow errdrop -- best-effort cleanup
+		}
+	}()
+	ch := t.router.expect(reg.ID)
+	defer t.router.drop(reg.ID)
+
+	batch := t.P.subBurst(ev)
+	elems := make([]httpElement, len(batch))
+	for i, el := range batch {
+		elems[i] = httpElement{Event: el.Event, Time: el.Time}
+	}
+	var ack struct {
+		Appended int64 `json:"appended"`
+	}
+	if err := t.postJSON("/v1/append", map[string]any{"elements": elems}, http.StatusOK, &ack); err != nil {
+		return err
+	}
+	if ack.Appended == 0 {
+		// Burst lost the frontier race: nothing admitted, no alert owed.
+		return nil
+	}
+	t0 := time.Now()
+	select {
+	case <-ch:
+		t.record(time.Since(t0))
+		return nil
+	case <-time.After(t.P.alertWait()):
+		return fmt.Errorf("loadgen: alert for subscription %d never arrived", reg.ID)
+	}
+}
+
+// startSSE lazily opens the one shared GET /v1/alerts/stream firehose and
+// routes its alerts by subscription id. The stream uses its own client so
+// a caller-configured request timeout cannot cut it mid-run; Close ends it.
+//
+//histburst:worker Close
+func (t *HTTPTarget) startSSE() error {
+	t.sseOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		t.sseMu.Lock()
+		t.sseCancel = cancel
+		t.sseMu.Unlock()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/v1/alerts/stream", nil)
+		if err != nil {
+			t.sseErr = err
+			return
+		}
+		stream := &http.Client{Transport: t.client().Transport}
+		resp, err := stream.Do(req)
+		if err != nil {
+			t.sseErr = err
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close() //histburst:allow errdrop -- the status is the failure
+			t.sseErr = fmt.Errorf("loadgen: /v1/alerts/stream: %s", resp.Status)
+			return
+		}
+		go func() {
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				line := sc.Text()
+				if !strings.HasPrefix(line, "data: ") {
+					continue
+				}
+				var a subscribe.Alert
+				if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &a) == nil && a.Sub != 0 {
+					t.router.dispatch(a)
+				}
+			}
+		}()
+	})
+	return t.sseErr
+}
+
+// Close tears down the SSE stream (if one was opened). The target stays
+// usable for non-subscribe ops afterwards.
+func (t *HTTPTarget) Close() {
+	t.sseMu.Lock()
+	cancel := t.sseCancel
+	t.sseMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// postJSON posts body and decodes the response into out, requiring status.
+func (t *HTTPTarget) postJSON(path string, body any, status int, out any) error {
+	buf, _ := t.bufs.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = &bytes.Buffer{}
+	}
+	buf.Reset()
+	defer t.bufs.Put(buf)
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		return err
+	}
+	resp, err := t.client().Post(t.Base+path, "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != status {
+		io.Copy(io.Discard, resp.Body) //histburst:allow errdrop -- draining for connection reuse
+		return fmt.Errorf("loadgen: %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Frontier positions the profile clock from GET /v1/stats.
@@ -261,7 +600,8 @@ func (t *HTTPTarget) Frontier() error {
 		return fmt.Errorf("loadgen: /v1/stats: %s", resp.Status)
 	}
 	var st struct {
-		MaxTime int64 `json:"maxTime"`
+		MaxTime    int64  `json:"maxTime"`
+		EventSpace uint64 `json:"eventSpace"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return err
@@ -269,6 +609,9 @@ func (t *HTTPTarget) Frontier() error {
 	t.P.StartClock(st.MaxTime + 1)
 	if t.P.MaxT == 0 {
 		t.P.MaxT = st.MaxTime
+	}
+	if t.P.K == 0 {
+		t.P.K = st.EventSpace
 	}
 	return nil
 }

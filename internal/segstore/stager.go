@@ -44,6 +44,24 @@ type Stager struct {
 	// and the frontier it was admitted against) — the equivalence tests
 	// replay it through a sequential single-writer store.
 	commitLog func(merged stream.Stream, frontier int64)
+
+	// onCommit, when set, observes every successful group commit *after*
+	// the store has accepted it, with the rejected prefix already trimmed:
+	// exactly the elements now durably part of the history, time-sorted.
+	// It runs under seqMu (commits are serialized through it), so the hook
+	// sees batches in commit order and must not block — burstd wires the
+	// standing-query evaluator here, whose fan-out is non-blocking by
+	// construction.
+	onCommit func(committed stream.Stream, frontier int64)
+}
+
+// SetCommitHook installs fn as the post-commit observer. Install it before
+// the stager starts taking concurrent appends (burstd does so at startup);
+// the hook is read under seqMu.
+func (st *Stager) SetCommitHook(fn func(committed stream.Stream, frontier int64)) {
+	st.seqMu.Lock()
+	st.onCommit = fn
+	st.seqMu.Unlock()
 }
 
 type ingestShard struct {
@@ -140,6 +158,13 @@ func (st *Stager) commitStagedLocked() {
 		st.commitLog(merged, frontier)
 	}
 	_, _, err := st.store.AppendBatch(merged)
+	if err == nil && st.onCommit != nil {
+		// The rejected prefix (behind the frontier) never entered the
+		// store; the hook sees only what committed.
+		if committed := merged[countBefore(merged, frontier):]; len(committed) > 0 {
+			st.onCommit(committed, frontier)
+		}
+	}
 	for _, b := range batches {
 		if err != nil {
 			b.res = BatchResult{Err: err}

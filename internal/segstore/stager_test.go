@@ -47,6 +47,50 @@ func TestStagerSingleWriterMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestStagerCommitHookSeesAdmittedElements pins the onCommit contract: the
+// hook observes every successful group commit after the store accepted it,
+// with the rejected prefix trimmed — exactly the elements that became part
+// of the history, in timestamp order — and is never invoked for a commit
+// that admitted nothing.
+func TestStagerCommitHookSeesAdmittedElements(t *testing.T) {
+	cfg := testConfig(64)
+	cfg.CompactFanout = -1
+	st := mustOpen(t, "", cfg)
+	defer mustClose(t, st)
+	stager := NewStager(st)
+
+	var commits []stream.Stream
+	stager.SetCommitHook(func(committed stream.Stream, frontier int64) {
+		cp := make(stream.Stream, len(committed))
+		copy(cp, committed)
+		commits = append(commits, cp)
+	})
+
+	// Clean batch: the hook sees all of it, time-sorted even though the
+	// input was not.
+	stager.Append(stream.Stream{{Event: 2, Time: 20}, {Event: 1, Time: 10}})
+	// Straggler prefix: only the admitted suffix reaches the hook.
+	stager.Append(stream.Stream{{Event: 3, Time: 5}, {Event: 4, Time: 30}})
+	// Fully rejected batch: the hook must not fire at all.
+	stager.Append(stream.Stream{{Event: 5, Time: 1}, {Event: 6, Time: 2}})
+
+	if len(commits) != 2 {
+		t.Fatalf("hook fired %d times, want 2 (all-rejected commit must not fire)", len(commits))
+	}
+	want0 := stream.Stream{{Event: 1, Time: 10}, {Event: 2, Time: 20}}
+	for i, el := range want0 {
+		if commits[0][i] != el {
+			t.Fatalf("commit 0 = %v, want %v", commits[0], want0)
+		}
+	}
+	if len(commits[1]) != 1 || commits[1][0] != (stream.Element{Event: 4, Time: 30}) {
+		t.Fatalf("commit 1 = %v, want only the admitted element {4 30}", commits[1])
+	}
+	if st.N() != 3 || st.Rejected() != 3 {
+		t.Fatalf("store: n=%d rejected=%d, want 3/3", st.N(), st.Rejected())
+	}
+}
+
 // TestStagerInterleavedWritersMatchSequentialReplay runs concurrent writers
 // through the stager, records every group commit via the commit-log hook,
 // and replays the committed sequence through a second store with

@@ -1,0 +1,49 @@
+package subscribe
+
+import (
+	"fmt"
+	"testing"
+
+	"histburst/internal/stream"
+)
+
+// BenchmarkEvaluate measures the commit-hook cost: subs armed subscriptions
+// (each watching a distinct event), batches of n elements where a fraction
+// hit watched events. This is the number that bounds ingest overhead.
+func BenchmarkEvaluate(b *testing.B) {
+	for _, subs := range []int{8, 64, 512} {
+		for _, hitRate := range []string{"hit", "miss"} {
+			b.Run(fmt.Sprintf("subs=%d/%s", subs, hitRate), func(b *testing.B) {
+				h := NewHub(Config{MaxSubs: subs})
+				for i := 0; i < subs; i++ {
+					if _, err := h.Register(Subscription{
+						Events: []uint64{uint64(i)},
+						Theta:  1 << 30, // never fires; we measure evaluation
+						Tau:    1000,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				const batchLen = 256
+				batch := make(stream.Stream, batchLen)
+				for i := range batch {
+					ev := uint64(i % subs)
+					if hitRate == "miss" {
+						ev = uint64(subs) + uint64(i) // nothing watches these
+					}
+					batch[i] = stream.Element{Event: ev, Time: int64(i)}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Advance the batch in time so windows slide realistically.
+					base := int64(i) * batchLen
+					for j := range batch {
+						batch[j].Time = base + int64(j)
+					}
+					h.Evaluate(batch)
+				}
+			})
+		}
+	}
+}

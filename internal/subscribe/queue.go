@@ -1,0 +1,124 @@
+package subscribe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is one subscriber's bounded alert buffer: many producers (the hub
+// under its own lock), exactly one consumer (the SSE handler, wire alert
+// pump, or webhook worker that owns it). Push never blocks — on overflow
+// the oldest queued alert is dropped and the loss is folded into the next
+// delivered alert's Gap counter, which is what keeps one stalled consumer
+// from ever backpressuring the ingest path.
+type Queue struct {
+	// notify carries "something changed" to the single consumer; capacity 1
+	// coalesces bursts of pushes into one wakeup.
+	notify chan struct{}
+
+	mu     sync.Mutex
+	buf    []Alert // ring storage, guarded by mu
+	head   int     // oldest element index, guarded by mu
+	n      int     // queued count, guarded by mu
+	gap    uint64  // drops since the last pop, guarded by mu
+	closed bool    // guarded by mu
+
+	//histburst:atomic
+	dropped atomic.Uint64
+	//histburst:atomic
+	delivered atomic.Uint64
+}
+
+// NewQueue builds a queue holding at most capacity alerts (minimum 1).
+//
+//histburst:allow lockguard -- constructor; the value is not shared yet
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{buf: make([]Alert, capacity), notify: make(chan struct{}, 1)}
+}
+
+// Push enqueues a without blocking, dropping the oldest queued alert on
+// overflow. Pushes to a closed queue are discarded.
+func (q *Queue) Push(a Alert) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	if q.n == len(q.buf) {
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		q.gap++
+		q.dropped.Add(1)
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = a
+	q.n++
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Pop blocks until an alert is available, the queue is closed, or stop is
+// closed (nil stop never fires). The returned alert carries the number of
+// alerts dropped since the previous pop in its Gap field. ok is false on
+// close or stop.
+func (q *Queue) Pop(stop <-chan struct{}) (Alert, bool) {
+	for {
+		q.mu.Lock()
+		if q.n > 0 {
+			a := q.buf[q.head]
+			q.buf[q.head] = Alert{} // drop the envelope reference
+			q.head = (q.head + 1) % len(q.buf)
+			q.n--
+			a.Gap += q.gap
+			q.gap = 0
+			q.mu.Unlock()
+			q.delivered.Add(1)
+			return a, true
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return Alert{}, false
+		}
+		select {
+		case <-q.notify:
+		case <-stop:
+			return Alert{}, false
+		}
+	}
+}
+
+// Close marks the queue closed and wakes the consumer. Alerts already
+// queued are still drained by subsequent pops; Pop reports false once the
+// queue is both closed and empty.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Len is the current queue depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Dropped counts alerts this queue discarded on overflow.
+func (q *Queue) Dropped() uint64 { return q.dropped.Load() }
+
+// Delivered counts alerts popped from this queue.
+func (q *Queue) Delivered() uint64 { return q.delivered.Load() }

@@ -1,0 +1,139 @@
+package subscribe
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(4)
+	for i := uint64(1); i <= 3; i++ {
+		q.Push(Alert{Seq: i})
+	}
+	for i := uint64(1); i <= 3; i++ {
+		a, ok := q.Pop(nil)
+		if !ok || a.Seq != i || a.Gap != 0 {
+			t.Fatalf("pop %d = %+v, %v", i, a, ok)
+		}
+	}
+	if q.Delivered() != 3 || q.Dropped() != 0 {
+		t.Fatalf("delivered %d dropped %d", q.Delivered(), q.Dropped())
+	}
+}
+
+func TestQueueOverflowDropsOldestWithGap(t *testing.T) {
+	q := NewQueue(2)
+	for i := uint64(1); i <= 5; i++ {
+		q.Push(Alert{Seq: i})
+	}
+	// Seqs 1–3 dropped; 4 survives carrying the gap, then 5 with none.
+	a, ok := q.Pop(nil)
+	if !ok || a.Seq != 4 || a.Gap != 3 {
+		t.Fatalf("first pop = %+v, %v; want seq 4 gap 3", a, ok)
+	}
+	a, ok = q.Pop(nil)
+	if !ok || a.Seq != 5 || a.Gap != 0 {
+		t.Fatalf("second pop = %+v, %v; want seq 5 gap 0", a, ok)
+	}
+	if q.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", q.Dropped())
+	}
+}
+
+func TestQueueGapSpansInterleavedPops(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(Alert{Seq: 1})
+	q.Push(Alert{Seq: 2}) // drops 1
+	if a, _ := q.Pop(nil); a.Seq != 2 || a.Gap != 1 {
+		t.Fatalf("pop = %+v, want seq 2 gap 1", a)
+	}
+	q.Push(Alert{Seq: 3})
+	if a, _ := q.Pop(nil); a.Seq != 3 || a.Gap != 0 {
+		t.Fatalf("pop = %+v, want seq 3 gap 0 (gap was consumed)", a)
+	}
+}
+
+func TestQueueCloseDrainsThenReportsClosed(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(Alert{Seq: 1})
+	q.Close()
+	q.Push(Alert{Seq: 2}) // discarded after close
+	if a, ok := q.Pop(nil); !ok || a.Seq != 1 {
+		t.Fatalf("pop after close = %+v, %v", a, ok)
+	}
+	if _, ok := q.Pop(nil); ok {
+		t.Fatal("pop on drained closed queue succeeded")
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := NewQueue(4)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop(nil)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("blocked pop reported an alert after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked pop not woken by Close")
+	}
+}
+
+func TestQueuePopStopChannel(t *testing.T) {
+	q := NewQueue(4)
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop(stop)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("stopped pop reported an alert")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop not released by the stop channel")
+	}
+}
+
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := NewQueue(64)
+	const producers, per = 8, 200
+	var wg sync.WaitGroup
+	var got int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := q.Pop(nil); !ok {
+				return
+			}
+			got++
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(Alert{Seq: uint64(p*per + i)})
+			}
+		}(p)
+	}
+	wg.Wait()
+	q.Close()
+	<-done
+	if total := uint64(got) + q.Dropped(); total != producers*per {
+		t.Fatalf("delivered %d + dropped %d != pushed %d", got, q.Dropped(), producers*per)
+	}
+}

@@ -1,0 +1,143 @@
+package subscribe
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Webhook drives one subscription's alerts to an HTTP endpoint. The daemon
+// spawns one worker per webhook subscription; the worker pops the bounded
+// queue and POSTs each alert as JSON, retrying transient failures (network
+// errors, 429, 5xx) with capped jittered exponential backoff — the same
+// shape as burststream's replay forwarder — so a flapping receiver rides
+// out its blip without the hub ever waiting on it. An alert that exhausts
+// the retry budget is counted and dropped: webhook delivery is at-most-
+// once by design, the queue's Gap counter already tells the receiver what
+// it missed.
+type Webhook struct {
+	URL    string
+	Q      *Queue
+	Client *http.Client // http.DefaultClient when nil
+	Logf   func(format string, args ...any)
+
+	Retries int           // attempts per alert before giving up (default 8)
+	Base    time.Duration // first backoff (default 100ms)
+	Cap     time.Duration // backoff ceiling (default 5s)
+
+	rng   *rand.Rand
+	sleep func(time.Duration) // injection point for tests
+
+	//histburst:atomic
+	failed atomic.Uint64 // alerts that exhausted the retry budget
+}
+
+// NewWebhook builds a delivery worker for url consuming q. Call Run on its
+// own goroutine; it exits when q is closed and drained.
+func NewWebhook(url string, q *Queue) *Webhook {
+	return &Webhook{
+		URL: url, Q: q,
+		Retries: 8,
+		Base:    100 * time.Millisecond,
+		Cap:     5 * time.Second,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:   time.Sleep,
+	}
+}
+
+// Failed counts alerts that exhausted the retry budget.
+func (wh *Webhook) Failed() uint64 { return wh.failed.Load() }
+
+func (wh *Webhook) logf(format string, args ...any) {
+	if wh.Logf != nil {
+		wh.Logf(format, args...)
+	}
+}
+
+func (wh *Webhook) client() *http.Client {
+	if wh.Client != nil {
+		return wh.Client
+	}
+	return http.DefaultClient
+}
+
+// Run delivers alerts until the queue is closed and drained. It never
+// returns early: a worker's lifetime is its queue's, which the hub closes
+// on Detach or shutdown.
+func (wh *Webhook) Run() {
+	for {
+		a, ok := wh.Q.Pop(nil)
+		if !ok {
+			return
+		}
+		if err := wh.deliver(a); err != nil {
+			wh.failed.Add(1)
+			wh.logf("subscribe: webhook %s: dropping alert seq %d: %v", wh.URL, a.Seq, err)
+		}
+	}
+}
+
+// deliver posts one alert, retrying transient failures with backoff.
+func (wh *Webhook) deliver(a Alert) error {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; attempt < wh.Retries; attempt++ {
+		if attempt > 0 {
+			wh.sleep(wh.backoff(attempt))
+		}
+		retryable, err := wh.post(body)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !retryable {
+			return err
+		}
+	}
+	return fmt.Errorf("%d attempts failed, last: %w", wh.Retries, last)
+}
+
+// post performs one delivery attempt; retryable reports whether the
+// failure is worth another try (connection errors, 429, 5xx) as opposed to
+// a receiver that understood the request and refused it.
+func (wh *Webhook) post(body []byte) (retryable bool, err error) {
+	req, err := http.NewRequest(http.MethodPost, wh.URL, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := wh.client().Do(req)
+	if err != nil {
+		return true, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //histburst:allow errdrop -- draining for connection reuse; the status is the answer
+	if resp.StatusCode < 300 {
+		return false, nil
+	}
+	err = fmt.Errorf("webhook answered %s", resp.Status)
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		return true, err
+	}
+	return false, err
+}
+
+// backoff returns the delay before the given retry attempt: exponential in
+// the attempt number, capped, with ±50% jitter so a fleet of workers
+// recovering together does not re-stampede the receiver.
+func (wh *Webhook) backoff(attempt int) time.Duration {
+	d := wh.Base << (attempt - 1)
+	if d > wh.Cap || d <= 0 {
+		d = wh.Cap
+	}
+	half := d / 2
+	return half + time.Duration(wh.rng.Int63n(int64(d)+1))
+}

@@ -1,0 +1,151 @@
+package subscribe
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testWebhook builds a worker with deterministic jitter and recorded sleeps
+// so retry tests run instantly.
+func testWebhook(url string, q *Queue, slept *[]time.Duration) *Webhook {
+	wh := NewWebhook(url, q)
+	wh.rng = rand.New(rand.NewSource(1))
+	wh.sleep = func(d time.Duration) {
+		if slept != nil {
+			*slept = append(*slept, d)
+		}
+	}
+	return wh
+}
+
+func TestWebhookDelivers(t *testing.T) {
+	got := make(chan Alert, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type %q", ct)
+		}
+		var a Alert
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		got <- a
+	}))
+	defer srv.Close()
+
+	q := NewQueue(4)
+	wh := testWebhook(srv.URL, q, nil)
+	done := make(chan struct{})
+	go func() { defer close(done); wh.Run() }()
+
+	q.Push(Alert{Seq: 1, Sub: 2, Event: 3, Time: 4, Burstiness: 5, Theta: 4.5, Tau: 100})
+	select {
+	case a := <-got:
+		if a.Seq != 1 || a.Event != 3 || a.Burstiness != 5 {
+			t.Fatalf("delivered alert = %+v", a)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("alert not delivered")
+	}
+	q.Close()
+	<-done
+	if wh.Failed() != 0 {
+		t.Fatalf("failed = %d", wh.Failed())
+	}
+}
+
+func TestWebhookRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //histburst:allow errdrop -- test server drains the request
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	q := NewQueue(4)
+	var slept []time.Duration
+	wh := testWebhook(srv.URL, q, &slept)
+	q.Push(Alert{Seq: 7})
+	q.Close()
+	wh.Run()
+
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+	if wh.Failed() != 0 {
+		t.Fatalf("failed = %d", wh.Failed())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Jittered backoff stays within [base/2, 1.5*base<<(attempt-1)].
+	for i, d := range slept {
+		base := wh.Base << i
+		if d < base/2 || d > base+base/2 {
+			t.Fatalf("sleep %d = %v outside [%v, %v]", i, d, base/2, base+base/2)
+		}
+	}
+}
+
+func TestWebhookExhaustsBudget(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	q := NewQueue(4)
+	wh := testWebhook(srv.URL, q, nil)
+	wh.Retries = 3
+	q.Push(Alert{Seq: 1})
+	q.Close()
+	wh.Run()
+
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+	if wh.Failed() != 1 {
+		t.Fatalf("failed = %d, want 1", wh.Failed())
+	}
+}
+
+func TestWebhookNonRetryableStopsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	q := NewQueue(4)
+	wh := testWebhook(srv.URL, q, nil)
+	q.Push(Alert{Seq: 1})
+	q.Close()
+	wh.Run()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want 1 (400 is not retryable)", n)
+	}
+	if wh.Failed() != 1 {
+		t.Fatalf("failed = %d, want 1", wh.Failed())
+	}
+}
+
+func TestWebhookBackoffCaps(t *testing.T) {
+	wh := NewWebhook("http://example.invalid", NewQueue(1))
+	wh.rng = rand.New(rand.NewSource(1))
+	for attempt := 1; attempt < 40; attempt++ {
+		d := wh.backoff(attempt)
+		if d < wh.Base/2 || d > wh.Cap+wh.Cap/2 {
+			t.Fatalf("backoff(%d) = %v outside [%v, %v]", attempt, d, wh.Base/2, wh.Cap+wh.Cap/2)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"histburst/internal/binenc"
 	"histburst/internal/segstore"
 	"histburst/internal/stream"
+	"histburst/internal/subscribe"
 )
 
 // ErrClosed reports an operation on a closed client.
@@ -43,6 +44,12 @@ type Client struct {
 	cmu     sync.Mutex // guards credits
 	ccond   *sync.Cond
 	credits int64
+
+	// alerts buffers unsolicited ALERT frames for the caller to drain via
+	// Alerts().Pop — same bounded drop-oldest discipline as every other
+	// subscriber channel, so an application that subscribes but never drains
+	// cannot wedge the read loop.
+	alerts *subscribe.Queue
 }
 
 // Dial connects to an HBP1 server, performs the handshake, and starts the
@@ -105,6 +112,7 @@ func NewClient(conn net.Conn) (*Client, error) {
 		bw:      bw,
 		pending: make(map[uint64]chan []byte),
 		credits: hello.Window,
+		alerts:  subscribe.NewQueue(subscribe.DefaultQueueCap),
 	}
 	c.ccond = sync.NewCond(&c.cmu)
 	go c.readLoop(br)
@@ -135,6 +143,7 @@ func (c *Client) fail(err error) {
 	c.cmu.Lock()
 	c.ccond.Broadcast()
 	c.cmu.Unlock()
+	c.alerts.Close()
 }
 
 // readLoop delivers responses to their registered waiters and folds CREDIT
@@ -168,6 +177,15 @@ func (c *Client) readLoop(br *bufio.Reader) {
 			c.credits += grant
 			c.ccond.Broadcast()
 			c.cmu.Unlock()
+			continue
+		}
+		if kind == frameAlert {
+			a, err := decodeAlert(r)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.alerts.Push(a)
 			continue
 		}
 		c.pmu.Lock()
@@ -305,6 +323,45 @@ func (c *Client) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	return decodeStatsResp(r)
+}
+
+// Alerts returns the queue unsolicited ALERT frames are delivered to. Pop
+// it (typically on a dedicated goroutine) to follow the standing queries
+// registered with Subscribe; the queue closes when the client does. Alerts
+// arriving while nobody drains are dropped oldest-first and surface in the
+// next delivered alert's Gap field.
+func (c *Client) Alerts() *subscribe.Queue { return c.alerts }
+
+// Subscribe registers a standing burst query on the server; matching alerts
+// arrive on Alerts() until Unsubscribe or disconnect (wire subscriptions
+// are connection-scoped). The returned id names the registration.
+func (c *Client) Subscribe(sub subscribe.Subscription) (uint64, error) {
+	r, err := c.call(func(id uint64) []byte { return encodeSubscribeReq(id, sub) }, frameSubResp)
+	if err != nil {
+		return 0, err
+	}
+	subID, ok, err := decodeSubResp(r)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, &RequestError{Message: "subscription refused"}
+	}
+	return subID, nil
+}
+
+// Unsubscribe cancels a standing query registered on this connection. It
+// reports false for an id this connection does not own.
+func (c *Client) Unsubscribe(subID uint64) (bool, error) {
+	r, err := c.call(func(id uint64) []byte { return encodeUnsubscribeReq(id, subID) }, frameSubResp)
+	if err != nil {
+		return false, err
+	}
+	_, ok, err := decodeSubResp(r)
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
 }
 
 // acquire blocks until n element credits are available (or the transport

@@ -145,6 +145,14 @@ func FuzzWireFrame(f *testing.F) {
 				decodeNack(body())
 			case frameErr:
 				decodeErr(body())
+			case frameSubscribe:
+				decodeSubscribeReq(body())
+			case frameUnsubscribe:
+				decodeUnsubscribeReq(body())
+			case frameSubResp:
+				decodeSubResp(body())
+			case frameAlert:
+				decodeAlert(body())
 			}
 		}
 	})

@@ -8,6 +8,7 @@ import (
 	"histburst/internal/binenc"
 	"histburst/internal/segstore"
 	"histburst/internal/stream"
+	"histburst/internal/subscribe"
 )
 
 // Frame types. Client-originated frames carry a request id the server
@@ -15,12 +16,14 @@ import (
 // (CREDIT grants and the handshake HELLO).
 const (
 	// client → server
-	frameAppend byte = 0x01 // streamed append batch (consumes credits)
-	framePoint  byte = 0x02 // pipelined batch of point queries
-	frameTimes  byte = 0x03 // BURSTY-TIMES query
-	frameEvents byte = 0x04 // BURSTY-EVENTS query
-	frameTop    byte = 0x05 // top-k burstiness query
-	frameStats  byte = 0x06 // server statistics
+	frameAppend      byte = 0x01 // streamed append batch (consumes credits)
+	framePoint       byte = 0x02 // pipelined batch of point queries
+	frameTimes       byte = 0x03 // BURSTY-TIMES query
+	frameEvents      byte = 0x04 // BURSTY-EVENTS query
+	frameTop         byte = 0x05 // top-k burstiness query
+	frameStats       byte = 0x06 // server statistics
+	frameSubscribe   byte = 0x07 // register a standing burst query
+	frameUnsubscribe byte = 0x08 // cancel a standing burst query
 
 	// server → client
 	frameHello      byte = 0x10 // handshake accept: version, window, sketch params
@@ -33,6 +36,8 @@ const (
 	frameCredit     byte = 0x17 // backpressure credit grant (element count)
 	frameNack       byte = 0x18 // refused request: code, Retry-After, γ envelope
 	frameErr        byte = 0x19 // malformed request (HTTP 400 equivalent)
+	frameSubResp    byte = 0x1A // subscribe/unsubscribe outcome: id or refusal
+	frameAlert      byte = 0x1B // unsolicited burst alert (request id 0)
 )
 
 // Decoder ceilings. Each is generous against real traffic but keeps a
@@ -52,6 +57,9 @@ const (
 	maxEnvelopeRanges = 1 << 16
 	// maxMessageBytes bounds NACK/ERR message strings.
 	maxMessageBytes = 1 << 12
+	// maxSubEvents bounds one SUBSCRIBE frame's event list, mirroring
+	// subscribe.MaxEventsPerSub.
+	maxSubEvents = subscribe.MaxEventsPerSub
 )
 
 // NackCode classifies a refused request.
@@ -561,6 +569,116 @@ func decodeErr(r *binenc.Reader) (*RequestError, error) {
 		return nil, fmt.Errorf("wire: error frame: %w", err)
 	}
 	return &RequestError{Message: string(msg)}, nil
+}
+
+// encodeSubscribeReq frames a standing-query registration: the watched
+// event set and the (θ, τ, dedup) triple. Webhook targets are HTTP-only —
+// a wire subscription's delivery channel is the connection itself.
+func encodeSubscribeReq(id uint64, sub subscribe.Subscription) []byte {
+	var w binenc.Writer
+	beginPayload(&w, frameSubscribe, id)
+	w.Uvarint(uint64(len(sub.Events)))
+	for _, e := range sub.Events {
+		w.Uvarint(e)
+	}
+	w.Float64(sub.Theta)
+	w.Varint(sub.Tau)
+	w.Varint(sub.Dedup)
+	return w.Bytes()
+}
+
+//histburst:decoder
+func decodeSubscribeReq(r *binenc.Reader) (subscribe.Subscription, error) {
+	var sub subscribe.Subscription
+	n := r.SliceLen(maxSubEvents, 1)
+	sub.Events = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		sub.Events = append(sub.Events, r.Uvarint())
+	}
+	sub.Theta = r.Float64()
+	sub.Tau = r.Varint()
+	sub.Dedup = r.Varint()
+	if err := r.Close(); err != nil {
+		return subscribe.Subscription{}, fmt.Errorf("wire: subscribe request: %w", err)
+	}
+	return sub, nil
+}
+
+func encodeUnsubscribeReq(id uint64, subID uint64) []byte {
+	var w binenc.Writer
+	beginPayload(&w, frameUnsubscribe, id)
+	w.Uvarint(subID)
+	return w.Bytes()
+}
+
+//histburst:decoder
+func decodeUnsubscribeReq(r *binenc.Reader) (uint64, error) {
+	subID := r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, fmt.Errorf("wire: unsubscribe request: %w", err)
+	}
+	return subID, nil
+}
+
+// encodeSubResp frames a subscribe/unsubscribe outcome: ok plus the
+// subscription id (the new registration's id, or the one just cancelled).
+func encodeSubResp(id uint64, subID uint64, ok bool) []byte {
+	var w binenc.Writer
+	beginPayload(&w, frameSubResp, id)
+	w.Bool(ok)
+	w.Uvarint(subID)
+	return w.Bytes()
+}
+
+//histburst:decoder
+func decodeSubResp(r *binenc.Reader) (subID uint64, ok bool, err error) {
+	ok = r.Bool()
+	subID = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return 0, false, fmt.Errorf("wire: subscription response: %w", err)
+	}
+	return subID, ok, nil
+}
+
+// encodeAlert frames one unsolicited burst alert (request id 0, like CREDIT
+// grants): the alert identity, the triggering measurement, and — when the
+// history is degraded — the γ error envelope the measurement was taken
+// under.
+func encodeAlert(a subscribe.Alert) []byte {
+	var w binenc.Writer
+	beginPayload(&w, frameAlert, 0)
+	w.Uvarint(a.Seq)
+	w.Uvarint(a.Sub)
+	w.Uvarint(a.Event)
+	w.Varint(a.Time)
+	w.Float64(a.Burstiness)
+	w.Float64(a.Theta)
+	w.Varint(a.Tau)
+	w.Uvarint(a.Gap)
+	encodeEnvelope(&w, a.Envelope)
+	return w.Bytes()
+}
+
+//histburst:decoder
+func decodeAlert(r *binenc.Reader) (subscribe.Alert, error) {
+	var a subscribe.Alert
+	a.Seq = r.Uvarint()
+	a.Sub = r.Uvarint()
+	a.Event = r.Uvarint()
+	a.Time = r.Varint()
+	a.Burstiness = r.Float64()
+	a.Theta = r.Float64()
+	a.Tau = r.Varint()
+	a.Gap = r.Uvarint()
+	env, err := decodeEnvelope(r)
+	if err != nil {
+		return subscribe.Alert{}, fmt.Errorf("wire: alert: %w", err)
+	}
+	a.Envelope = env
+	if err := r.Close(); err != nil {
+		return subscribe.Alert{}, fmt.Errorf("wire: alert: %w", err)
+	}
+	return a, nil
 }
 
 func encodeCredit(grant int64) []byte {

@@ -14,6 +14,7 @@ import (
 	"histburst/internal/binenc"
 	"histburst/internal/segstore"
 	"histburst/internal/stream"
+	"histburst/internal/subscribe"
 )
 
 // IngestResult is one append batch's outcome through the Backend seam. A
@@ -43,6 +44,9 @@ type Backend interface {
 	Ingest(elems stream.Stream) IngestResult
 	// Stats mirrors the serving fields of GET /v1/stats.
 	Stats() Stats
+	// Alerts returns the standing-query hub, or nil when alerting is
+	// disabled — SUBSCRIBE frames are then refused.
+	Alerts() *subscribe.Hub
 }
 
 // DefaultWindow is the append credit window advertised to each connection
@@ -212,6 +216,9 @@ func (s *Server) ServeConn(c net.Conn) error {
 	}
 
 	h := &connHandler{s: s, bw: bw, conn: c, sem: make(chan struct{}, s.queryWorkers())}
+	// Subscriptions are connection-scoped: whatever standing queries this
+	// session registered die with it, and the alert pump drains out.
+	defer h.closeAlerts()
 	var buf []byte
 	for {
 		payload, err := readFrame(br, buf)
@@ -292,6 +299,18 @@ type connHandler struct {
 
 	emu  sync.Mutex // first worker error, reported by the read loop
 	werr error
+
+	// Alerting state, lazily built on the first SUBSCRIBE. The queue is
+	// attached to the backend hub; the pump goroutine drains it into
+	// unsolicited ALERT frames sharing wmu with every other writer. SUBSCRIBE
+	// and UNSUBSCRIBE are handled inline on the read loop, so these fields
+	// are only ever touched from there — amu exists for closeAlerts, which
+	// runs on the same goroutine via defer but keeps the invariant explicit
+	// for the pump join.
+	amu  sync.Mutex
+	aq   *subscribe.Queue    // guarded by amu
+	subs map[uint64]struct{} // conn-owned subscription ids, guarded by amu
+	awg  sync.WaitGroup      // joins the alert pump
 }
 
 // dispatch hands one query frame to the worker pool, blocking when the
@@ -371,6 +390,10 @@ func (h *connHandler) handle(payload []byte) error {
 		return h.handleTop(id, r)
 	case frameStats:
 		return h.send(encodeStatsResp(id, h.s.Backend.Stats()))
+	case frameSubscribe:
+		return h.handleSubscribe(id, r)
+	case frameUnsubscribe:
+		return h.handleUnsubscribe(id, r)
 	default:
 		return fmt.Errorf("%w: unknown frame type 0x%02x", ErrBadFrame, kind)
 	}
@@ -410,6 +433,114 @@ func (h *connHandler) handleAppend(id uint64, r *binenc.Reader) error {
 		}
 	}
 	return h.send(encodeCredit(grant))
+}
+
+// handleSubscribe registers a connection-scoped standing query. The first
+// subscription lazily attaches this connection's alert queue to the hub and
+// starts the pump that turns popped alerts into unsolicited ALERT frames.
+// SUBSCRIBE runs inline on the read loop (not the query pool) so a
+// subscription is armed before any append pipelined behind it commits.
+//
+//histburst:worker closeAlerts
+func (h *connHandler) handleSubscribe(id uint64, r *binenc.Reader) error {
+	sub, err := decodeSubscribeReq(r)
+	if err != nil {
+		return err
+	}
+	hub := h.s.Backend.Alerts()
+	if hub == nil {
+		return h.send(encodeErr(id, "alerting disabled"))
+	}
+	reg, err := hub.Register(sub)
+	if err != nil {
+		return h.send(encodeErr(id, err.Error()))
+	}
+	h.amu.Lock()
+	if h.aq == nil {
+		h.aq = hub.Attach(subscribe.ChannelWire, 0)
+		h.subs = make(map[uint64]struct{})
+		h.awg.Add(1)
+		go h.pumpAlerts(h.aq)
+	}
+	h.subs[reg.ID] = struct{}{}
+	h.amu.Unlock()
+	hub.Watch(h.aq, reg.ID)
+	return h.send(encodeSubResp(id, reg.ID, true))
+}
+
+// handleUnsubscribe cancels a standing query. Only ids this connection
+// registered are honoured — a session cannot tear down another's
+// subscriptions — and an unknown id answers ok=false rather than an error,
+// matching DELETE /v1/subscriptions/{id}'s 404.
+func (h *connHandler) handleUnsubscribe(id uint64, r *binenc.Reader) error {
+	subID, err := decodeUnsubscribeReq(r)
+	if err != nil {
+		return err
+	}
+	hub := h.s.Backend.Alerts()
+	if hub == nil {
+		return h.send(encodeErr(id, "alerting disabled"))
+	}
+	h.amu.Lock()
+	_, owned := h.subs[subID]
+	if owned {
+		delete(h.subs, subID)
+	}
+	aq := h.aq
+	h.amu.Unlock()
+	if !owned {
+		return h.send(encodeSubResp(id, subID, false))
+	}
+	hub.Unwatch(aq, subID)
+	hub.Unregister(subID)
+	return h.send(encodeSubResp(id, subID, true))
+}
+
+// pumpAlerts drains the connection's alert queue into unsolicited ALERT
+// frames. Each alert is flushed immediately — an alert held in a write
+// buffer until the next query response is an alert that arrived late. The
+// pump exits when the queue closes (closeAlerts or hub shutdown); a write
+// failure tears the connection down like any worker error.
+func (h *connHandler) pumpAlerts(q *subscribe.Queue) {
+	defer h.awg.Done()
+	for {
+		a, ok := q.Pop(nil)
+		if !ok {
+			return
+		}
+		h.wmu.Lock()
+		err := writeFrame(h.bw, encodeAlert(a))
+		if err == nil {
+			err = h.bw.Flush()
+		}
+		h.wmu.Unlock()
+		if err != nil {
+			h.fail(err)
+			return
+		}
+	}
+}
+
+// closeAlerts unregisters every subscription this connection owns and
+// detaches its queue, which closes it and lets the pump drain out. Runs on
+// the connection's way down.
+func (h *connHandler) closeAlerts() {
+	h.amu.Lock()
+	aq := h.aq
+	subs := h.subs
+	h.aq, h.subs = nil, nil
+	h.amu.Unlock()
+	if aq == nil {
+		return
+	}
+	hub := h.s.Backend.Alerts()
+	if hub != nil {
+		for id := range subs {
+			hub.Unregister(id)
+		}
+		hub.Detach(aq)
+	}
+	h.awg.Wait()
 }
 
 // envelopeFor returns the store's γ envelope at its frontier, or nil when

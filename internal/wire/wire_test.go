@@ -14,6 +14,7 @@ import (
 
 	"histburst/internal/segstore"
 	"histburst/internal/stream"
+	"histburst/internal/subscribe"
 )
 
 // testBackend fronts a real segmented store through the Backend seam the
@@ -21,6 +22,7 @@ import (
 type testBackend struct {
 	store     *segstore.Store
 	stager    *segstore.Stager
+	hub       *subscribe.Hub
 	refuse    atomic.Int32 // NackCode forced on every Ingest (0 = accept)
 	refuseNth atomic.Int32 // 1-based Ingest call refused (0 = none); later calls accept
 	calls     atomic.Int32
@@ -38,10 +40,18 @@ func newTestBackend(t *testing.T, dir string) *testBackend {
 			t.Errorf("store close: %v", err)
 		}
 	})
-	return &testBackend{store: s, stager: segstore.NewStager(s)}
+	stager := segstore.NewStager(s)
+	hub := subscribe.NewHub(subscribe.Config{
+		Fold: func(e uint64) uint64 { return e % s.K() },
+	})
+	stager.SetCommitHook(func(committed stream.Stream, frontier int64) { hub.Evaluate(committed) })
+	t.Cleanup(hub.Close)
+	return &testBackend{store: s, stager: stager, hub: hub}
 }
 
 func (b *testBackend) Snapshot() *segstore.Snapshot { return b.store.Snapshot() }
+
+func (b *testBackend) Alerts() *subscribe.Hub { return b.hub }
 
 func (b *testBackend) Ingest(elems stream.Stream) IngestResult {
 	call := b.calls.Add(1)
