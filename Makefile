@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-segstore crash load-smoke alert-smoke lint lint-self lint-check bench bench-smoke bench-baseline bench-json bench-figures experiments fuzz clean
+.PHONY: all check build vet test race race-segstore crash decay-smoke load-smoke alert-smoke lint lint-self lint-check bench bench-smoke bench-baseline bench-json bench-figures experiments fuzz clean
 
 all: build vet test
 
 # Full pre-merge gate: compile, static checks (vet plus the repo's own
 # analyzers, including the linter's own sources), tests, race detector, the
-# crash/fault-injection suite, a sustained-load smoke over both serving
-# transports, the standing-query alert smoke, and one iteration of every
-# benchmark so a broken benchmark can't rot unnoticed.
-check: build vet lint-check test race race-segstore crash load-smoke alert-smoke bench-smoke
+# crash/fault-injection suite, the time-decayed compaction smoke, a
+# sustained-load smoke over both serving transports, the standing-query
+# alert smoke, and one iteration of every benchmark so a broken benchmark
+# can't rot unnoticed.
+check: build vet lint-check test race race-segstore crash decay-smoke load-smoke alert-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +59,16 @@ race-segstore:
 crash:
 	$(GO) test -race -count 1 -run 'TestCrash|TestWAL|TestStager|TestScrub|TestCorrupt|TestDiskFault|TestQuarantine' \
 		./internal/segstore/ ./internal/faultio/ ./internal/wire/ ./cmd/burstd/
+
+# Time-decayed compaction gate under the race detector, uncached: the
+# multi-week long-horizon lifecycle (recent history bit-identical to an
+# undecayed store, old history inside its reported envelope, reopen
+# round-trip), the downsample kernel vs its naive twin, tier-ladder
+# validation, crash sweeps over the decay manifest/segment writes, and the
+# burstd -decay-tiers flag end to end.
+decay-smoke:
+	$(GO) test -race -count 1 -run 'TestDecay|TestEqualBoundary|TestResolveDecayTiers|TestParseDecayTiers|TestCrashDuringDecay' \
+		./internal/segstore/ ./cmd/burstd/
 
 # Sustained-load smoke: burstload's closed- and open-loop engines against an
 # in-process burstd over both serving transports (HTTP/JSON and the HBP1
@@ -126,9 +137,10 @@ bench-baseline:
 # parallel walk, so that pair can read slightly below 1x there.
 bench-json:
 	{ $(GO) test -run NONE -bench Segstore -benchmem -benchtime 2s ./internal/segstore/ ; \
+	  $(GO) test -run NONE -bench Downsample -benchmem -benchtime 2s ./internal/pbe2/ ; \
 	  BURSTLOAD_RECORD=1 $(GO) test -v -count 1 -run 'TestServingLatencyRecord' ./cmd/burstd/ ; } \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json -baseline BENCH_PR7.json \
-			-note "Standing-query alerting record vs the PR7 wire-protocol record. New rows: BenchmarkServe/<transport>/alert/* are commit-to-alert delivery quantiles from burstload's subscribe op (arm a standing query, trip it with a burst, clock append-ack to alert arrival); append_baseline vs append_stalled_sse compare append throughput with no alerting armed against an armed standing query whose SSE consumer never reads — the stalled consumer sheds to its bounded queue, so the pair must sit within noise of each other. Segstore and serve rows carry the PR7 baseline diff"
+		| $(GO) run ./cmd/benchjson -o BENCH_PR10.json -baseline BENCH_PR9.json \
+			-note "Time-decayed compaction record vs the PR9 standing-query record. New rows: SegstoreDecayRun vs SegstoreDecayRunNaive pit the streaming downsample merge kernel against the merge-then-rebuild twin on the same 4-segment run; SegstoreDecayFootprint/{decay,full} ingest the same ~42-day synthetic stream and report the retained-bytes metric family (whole store plus per-tier split) — the decay leg must come out far below the full leg, the O(log T) vs O(T) claim; SegstoreDeepHistory/{point,events,times}/{decayed,full} measure historical queries deep in tier-2 territory, where coarser segments mean fewer cells scanned, so decayed legs must be no worse; PBE2Downsample vs PBE2DownsampleNaive pin the per-layer kernel. Pre-existing segstore and serve rows carry the PR9 baseline diff"
 
 # Human-readable evaluation tables (paper Section VI).
 experiments:

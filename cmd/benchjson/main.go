@@ -38,6 +38,11 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric families beyond the three
+	// standard columns — e.g. the retained-bytes footprint rows the decay
+	// benchmarks emit (unit "retained-bytes", one sub-benchmark per tier
+	// policy). Keyed by the metric's unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type speedup struct {
@@ -131,6 +136,29 @@ func main() {
 		if m[4] != "" {
 			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)  //histburst:allow errdrop -- regex guarantees decimal digits
 			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64) //histburst:allow errdrop -- regex guarantees decimal digits
+		}
+		// Custom b.ReportMetric families ride the same row as extra
+		// "<value> <unit>" pairs between ns/op and the -benchmem columns —
+		// which also pushes B/op out of the regex's optional group, so this
+		// scan re-captures the -benchmem columns alongside the custom units.
+		fields := strings.Fields(line)
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // past the metric columns (e.g. trailing annotations)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op": // already captured by the regex
+			case "B/op":
+				r.BytesPerOp = int64(val)
+			case "allocs/op":
+				r.AllocsPerOp = int64(val)
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = val
+			}
 		}
 		// A repeated name (go test -count N) keeps the fastest run: the
 		// minimum is the least-noise estimate of a benchmark's true cost,

@@ -51,6 +51,12 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "segments":
+			if err := runSegmentsCmd(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "burstcli:", err)
+				os.Exit(1)
+			}
+			return
 		}
 	}
 	var (

@@ -45,6 +45,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +70,7 @@ func main() {
 		retain     = flag.Int("retain", 5, "legacy snapshots kept during migration")
 		sealEvents = flag.Int64("seal-events", 0, "elements per head segment before sealing (0 = default, negative = seal only at checkpoints)")
 		fanout     = flag.Int("compact-fanout", 0, "segments merged per compaction (0 = default, negative = no compaction)")
+		decayTiers = flag.String("decay-tiers", "", "time-decayed compaction ladder, ascending \"age:gamma:res[:w]\" tiers separated by commas (empty = keep full fidelity forever)")
 		inflight   = flag.Int("max-inflight", 256, "concurrent /v1 requests before shedding with 503")
 		maxSubs    = flag.Int("max-subscriptions", 1024, "armed standing queries before registrations are refused")
 		alertQueue = flag.Int("alert-queue", 256, "per-subscriber alert queue capacity (overflow drops oldest)")
@@ -84,18 +87,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "burstd:", err)
 		os.Exit(2)
 	}
+	tiers, err := parseDecayTiers(*decayTiers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "burstd:", err)
+		os.Exit(2)
+	}
 
 	opts := serverOpts{
 		Sketch: *sketch, In: *in, N: *n, K: *k, Gamma: *gamma, Seed: *seed,
 		SnapDir: *snapDir, Retain: *retain, MaxInflight: *inflight,
 		MaxSubs: *maxSubs, AlertQueue: *alertQueue,
-		SealEvents: *sealEvents, Fanout: *fanout,
+		SealEvents: *sealEvents, Fanout: *fanout, DecayTiers: tiers,
 		WALSync: walPolicy, WALSyncEvery: *walSyncEvery, ScrubInterval: *scrubInterval,
 	}
 	if err := run(*addr, *wireAddr, *debug, opts, *checkpoint, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "burstd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseDecayTiers parses the -decay-tiers ladder: comma-separated
+// "age:gamma:res[:w]" tiers in ascending age order, where age is the
+// event-time distance behind the ingest frontier at which a sealed segment
+// is re-summarized, gamma the widened PBE-2 error cap, res the coarsened
+// time grid, and w (optional) the narrowed sketch width. Values of 0 defer
+// to the store's tier-chaining defaults; full validation (ascending ages,
+// width divisibility, γ floors) happens in segstore.Open.
+func parseDecayTiers(spec string) ([]segstore.DecayTier, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var tiers []segstore.DecayTier
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("decay tier %q: want age:gamma:res[:w]", part)
+		}
+		age, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("decay tier %q: age: %w", part, err)
+		}
+		gamma, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("decay tier %q: gamma: %w", part, err)
+		}
+		res, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("decay tier %q: res: %w", part, err)
+		}
+		tier := segstore.DecayTier{Age: age, Gamma: gamma, Res: res}
+		if len(fields) == 4 {
+			w, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("decay tier %q: w: %w", part, err)
+			}
+			tier.W = w
+		}
+		tiers = append(tiers, tier)
+	}
+	return tiers, nil
 }
 
 // run owns the process lifecycle: the checkpoint ticker and the debug

@@ -30,10 +30,11 @@ type serverOpts struct {
 	Gamma  float64 // PBE-2 error cap γ
 	Seed   int64   // workload / sketch seed
 
-	SnapDir     string // store directory ("" = stateless)
-	Retain      int    // legacy snapshots kept (migration only)
-	SealEvents  int64  // head seal threshold (0 = store default)
-	Fanout      int    // compaction fanout (0 = store default)
+	SnapDir     string               // store directory ("" = stateless)
+	Retain      int                  // legacy snapshots kept (migration only)
+	SealEvents  int64                // head seal threshold (0 = store default)
+	Fanout      int                  // compaction fanout (0 = store default)
+	DecayTiers  []segstore.DecayTier // time-decayed compaction ladder (nil = full fidelity forever)
 	MaxInflight int    // concurrent /v1 requests before shedding
 	MaxSubs     int    // armed standing queries cap (0 = subscribe default)
 	AlertQueue  int    // per-subscriber alert queue capacity (0 = default)
@@ -110,7 +111,8 @@ func newServer(o serverOpts) (*server, error) {
 
 	lifecycle := segstore.Config{
 		SealEvents: o.SealEvents, CompactFanout: o.Fanout,
-		WALSync: o.WALSync, WALSyncEvery: o.WALSyncEvery,
+		DecayTiers: o.DecayTiers,
+		WALSync:    o.WALSync, WALSyncEvery: o.WALSyncEvery,
 		ScrubInterval: o.ScrubInterval, Logf: o.Logf,
 	}
 	if o.SnapDir != "" {
@@ -318,6 +320,7 @@ func (s *server) healthBody(status string) map[string]any {
 		"ready":    s.ready.Load(),
 		"readOnly": s.readOnly.Load(),
 		"store":    h,
+		"tiers":    s.store.Snapshot().Tiers(),
 		"alerts":   s.alerts.hub.Stats(),
 	}
 }
@@ -667,6 +670,7 @@ func (s *server) handleSegments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"generation":  sn.Generation(),
 		"segments":    sn.Segments(),
+		"tiers":       sn.Tiers(),
 		"quarantined": sn.Quarantined(),
 		"wal":         h.WAL,
 		"readOnly":    s.readOnly.Load(),

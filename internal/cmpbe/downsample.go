@@ -1,0 +1,140 @@
+package cmpbe
+
+import (
+	"fmt"
+
+	"histburst/internal/hash"
+	"histburst/internal/pbe"
+	"histburst/internal/pbe2"
+)
+
+// DownsampleSketches re-summarizes time-disjoint sketch parts at lower
+// fidelity in one pass: per-cell error caps widen to gamma, time resolution
+// coarsens to res, and the Count-Min width narrows from the source width W
+// to w (w must divide W).
+//
+// Width narrowing is sound because the hash family draws its coefficients
+// independently of the width (see hash.NewFamily): with h(x) = u(x) mod W,
+// the narrower hash is h'(x) = u(x) mod w = h(x) mod w whenever w | W. So
+// output cell (i, j) receives exactly the substreams of source cells
+// {(i, j + m·w) : 0 ≤ m < W/w}, and the sum of those cells' cumulative
+// curves is the curve the narrow sketch would have ingested directly. The
+// per-part fit error of the sum is the sum of the member caps — W/w
+// member cells of cap γ_src per part — so gamma must be at least
+// (W/w)·γ_src (pbe2 validates this per cell part).
+//
+// Sources must be finished and are never mutated. All d·w result cells are
+// laid out in one arena allocation, mirroring MergeSketches.
+func DownsampleSketches(parts []*Sketch, gamma float64, res int64, w int) (*Sketch, error) {
+	if len(parts) == 0 || parts[0] == nil {
+		return nil, fmt.Errorf("cmpbe: downsample of zero sketches")
+	}
+	first := parts[0]
+	for _, p := range parts[1:] {
+		if p == nil {
+			return nil, fmt.Errorf("cmpbe: cannot downsample nil sketch")
+		}
+		if first.d != p.d || first.w != p.w {
+			return nil, fmt.Errorf("cmpbe: dimension mismatch (%d×%d vs %d×%d)", first.d, first.w, p.d, p.w)
+		}
+		if first.seed != p.seed {
+			return nil, fmt.Errorf("cmpbe: seed mismatch (%d vs %d)", first.seed, p.seed)
+		}
+	}
+	if w <= 0 || first.w%w != 0 {
+		return nil, fmt.Errorf("cmpbe: target width %d must positively divide source width %d", w, first.w)
+	}
+	group := first.w / w
+	hf, err := hash.NewFamily(first.d, w, first.seed)
+	if err != nil {
+		return nil, err
+	}
+	var n, maxT int64
+	for _, p := range parts {
+		n += p.n
+		if p.maxT > maxT {
+			maxT = p.maxT
+		}
+	}
+	cellCount := first.d * w
+	flat := make([]pbe.PBE, cellCount)
+	arena := make([]pbe2.Builder, cellCount)
+	// One backing array for all per-cell member slices, reused across cells.
+	memberBuf := make([]*pbe2.Builder, len(parts)*group)
+	srcParts := make([][]*pbe2.Builder, len(parts))
+	for k := range parts {
+		srcParts[k] = memberBuf[k*group : (k+1)*group : (k+1)*group]
+	}
+	for i := 0; i < first.d; i++ {
+		for j := 0; j < w; j++ {
+			for k, p := range parts {
+				for m := 0; m < group; m++ {
+					b, ok := p.cells[i][j+m*w].(*pbe2.Builder)
+					if !ok {
+						return nil, fmt.Errorf("cmpbe: cell type %T is not downsampleable", p.cells[i][j+m*w])
+					}
+					srcParts[k][m] = b
+				}
+			}
+			c := i*w + j
+			if err := pbe2.DownsampleInto(&arena[c], srcParts, gamma, res); err != nil {
+				return nil, fmt.Errorf("cmpbe: cell (%d,%d): %w", i, j, err)
+			}
+			flat[c] = &arena[c]
+		}
+	}
+	out := &Sketch{d: first.d, w: w, seed: first.seed, flat: flat, hf: hf, n: n, maxT: maxT}
+	out.cells = make([][]pbe.PBE, out.d)
+	for i := range out.cells {
+		out.cells[i] = flat[i*w : (i+1)*w : (i+1)*w]
+	}
+	return out, nil
+}
+
+// DownsampleDirects re-summarizes time-disjoint collision-free summaries at
+// lower fidelity. The id space is structural (additivity of the dyadic
+// index depends on it), so only the error cap and time resolution change —
+// cell count is preserved.
+func DownsampleDirects(parts []*Direct, gamma float64, res int64) (*Direct, error) {
+	if len(parts) == 0 || parts[0] == nil {
+		return nil, fmt.Errorf("cmpbe: downsample of zero summaries")
+	}
+	first := parts[0]
+	for _, p := range parts[1:] {
+		if p == nil {
+			return nil, fmt.Errorf("cmpbe: cannot downsample nil summary")
+		}
+		if len(first.cells) != len(p.cells) {
+			return nil, fmt.Errorf("cmpbe: id space mismatch (%d vs %d)", len(first.cells), len(p.cells))
+		}
+	}
+	var n, maxT int64
+	for _, p := range parts {
+		n += p.n
+		if p.maxT > maxT {
+			maxT = p.maxT
+		}
+	}
+	cellCount := len(first.cells)
+	out := make([]pbe.PBE, cellCount)
+	arena := make([]pbe2.Builder, cellCount)
+	memberBuf := make([]*pbe2.Builder, len(parts))
+	srcParts := make([][]*pbe2.Builder, len(parts))
+	for k := range parts {
+		srcParts[k] = memberBuf[k : k+1 : k+1]
+	}
+	for c := 0; c < cellCount; c++ {
+		for k, p := range parts {
+			b, ok := p.cells[c].(*pbe2.Builder)
+			if !ok {
+				return nil, fmt.Errorf("cmpbe: cell type %T is not downsampleable", p.cells[c])
+			}
+			srcParts[k][0] = b
+		}
+		if err := pbe2.DownsampleInto(&arena[c], srcParts, gamma, res); err != nil {
+			return nil, fmt.Errorf("cmpbe: direct cell %d: %w", c, err)
+		}
+		out[c] = &arena[c]
+	}
+	return &Direct{cells: out, n: n, maxT: maxT}, nil
+}

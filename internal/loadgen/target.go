@@ -280,14 +280,21 @@ func (t *WireTarget) subscribeOp(c *wire.Client) error {
 	}()
 	ch := t.router.expect(id)
 	defer t.router.drop(id)
-	ack, err := c.Append(t.P.subBurst(ev))
-	if err != nil {
-		return err
+	// A reserved burst block can lose the frontier race to a concurrently
+	// committed later block, rejecting every element — then no alert is
+	// owed. Each retry reserves a fresh, strictly later block, so a short
+	// run still measures a delivery instead of recording nothing; a burst
+	// that IS admitted but never answered still fails below.
+	var admitted int64
+	for attempt := 0; attempt < 4 && admitted == 0; attempt++ {
+		ack, err := c.Append(t.P.subBurst(ev))
+		if err != nil {
+			return err
+		}
+		admitted = ack.Appended
 	}
-	if ack.Appended == 0 {
-		// The whole burst lost the frontier race to concurrently committed
-		// later timestamps: nothing was admitted, so no alert is owed.
-		return nil
+	if admitted == 0 {
+		return nil // persistently lost the race; nothing admitted, no alert owed
 	}
 	t0 := time.Now()
 	select {
@@ -485,20 +492,27 @@ func (t *HTTPTarget) subscribeOp() error {
 	ch := t.router.expect(reg.ID)
 	defer t.router.drop(reg.ID)
 
-	batch := t.P.subBurst(ev)
-	elems := make([]httpElement, len(batch))
-	for i, el := range batch {
-		elems[i] = httpElement{Event: el.Event, Time: el.Time}
+	// Same retry as the wire target: a reserved block can lose the
+	// frontier race to a concurrently committed later block, in which
+	// case nothing is admitted and no alert is owed — reserve a fresh,
+	// strictly later block and try again.
+	var admitted int64
+	for attempt := 0; attempt < 4 && admitted == 0; attempt++ {
+		batch := t.P.subBurst(ev)
+		elems := make([]httpElement, len(batch))
+		for i, el := range batch {
+			elems[i] = httpElement{Event: el.Event, Time: el.Time}
+		}
+		var ack struct {
+			Appended int64 `json:"appended"`
+		}
+		if err := t.postJSON("/v1/append", map[string]any{"elements": elems}, http.StatusOK, &ack); err != nil {
+			return err
+		}
+		admitted = ack.Appended
 	}
-	var ack struct {
-		Appended int64 `json:"appended"`
-	}
-	if err := t.postJSON("/v1/append", map[string]any{"elements": elems}, http.StatusOK, &ack); err != nil {
-		return err
-	}
-	if ack.Appended == 0 {
-		// Burst lost the frontier race: nothing admitted, no alert owed.
-		return nil
+	if admitted == 0 {
+		return nil // persistently lost the race; nothing admitted, no alert owed
 	}
 	t0 := time.Now()
 	select {

@@ -1,0 +1,494 @@
+package pbe2
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"histburst/internal/geometry"
+)
+
+// Downsampling re-summarizes finished PBE-2 summaries at lower fidelity: a
+// wider error cap gamma and constraint instants snapped up to a res-spaced
+// time grid. It is the kernel behind the segment store's time-decayed
+// compaction tiers (Hokusai-style): old history trades accuracy for a much
+// smaller piecewise-linear curve, without ever replaying the raw stream.
+//
+// The construction generalizes MergeFinished. parts is a time-ordered run;
+// parts[k] holds the g source summaries whose true staircases sum to part
+// k's staircase (for Count-Min width narrowing, the g cells that fold into
+// one output cell). Writing F for the concatenated total staircase and
+// S(t) = base_k + Σ_m est_m(t) for the sum of part k's member estimates on
+// top of the exact count of all earlier parts, every member obeys
+// F_m − γ_m ≤ est_m ≤ F_m at every instant, so S(t) ≤ F(t) ≤ S(t) + Γ_k
+// with Γ_k = Σ_m γ_m. Feeding the feasible-region machinery the float
+// constraint S − (γ − Γ_k) ≤ a·t + b ≤ S at an instant t therefore pins the
+// output curve inside [F(t) − γ, F(t)] there — the PBE-2 invariant at the
+// new, wider cap. The instants fed are the members' segment breakpoints
+// aligned up to the res grid (deduplicated), each part's boundary pin, and
+// the exact global frontier; between two fed instants the output holds a
+// value bracketed by the curve at the surrounding fed instants, so the
+// only extra uncertainty is the true count's rise across that gap (the
+// time-resolution loss the tier's Res metadata reports).
+//
+// Decomposing by exact part bases requires every arrival of part k to be
+// strictly later than every arrival of part k−1 — the same constraint
+// MergeAppend enforces via the virtual-pin check, and the reason the
+// compactor never downsample-merges across an equal timestamp boundary.
+
+// fpoint is a float-valued constrained instant: the output curve must land
+// in [lo, hi] at t.
+type fpoint struct {
+	t      int64
+	lo, hi float64
+}
+
+// fpointConstraints returns the two half-planes lo ≤ a·t + b ≤ hi in the
+// (a, b) plane, the float-range analogue of pointConstraints.
+//
+//histburst:noalloc
+func fpointConstraints(p fpoint) (geometry.HalfPlane, geometry.HalfPlane) {
+	t := float64(p.t)
+	upper := geometry.HalfPlane{A: t, B: 1, C: p.hi}   // a·t + b ≤ hi
+	lower := geometry.HalfPlane{A: -t, B: -1, C: -p.lo} // a·t + b ≥ lo
+	return upper, lower
+}
+
+// seedFConstraints returns the four half-planes of two float constraints.
+func seedFConstraints(p1, p2 fpoint) [4]geometry.HalfPlane {
+	a1, a2 := fpointConstraints(p1)
+	b1, b2 := fpointConstraints(p2)
+	return [4]geometry.HalfPlane{a1, a2, b1, b2}
+}
+
+// downsampler runs the feasible-region window machinery over float
+// constraints, emitting segments into the output builder. It mirrors
+// Builder.feed exactly, except that each constraint carries its own
+// [lo, hi] admissible range instead of deriving it from an integer
+// frequency and the builder's gamma.
+type downsampler struct {
+	out      *Builder
+	poly     geometry.Polygon
+	polyOpen bool
+	winStart int64
+	winEnd   int64
+	pending  []fpoint
+	pendBuf  [1]fpoint
+}
+
+func (d *downsampler) init(out *Builder) {
+	d.out = out
+	d.pending = d.pendBuf[:0]
+}
+
+// feed adds one float constraint, emitting a segment and restarting the
+// window when the feasible region empties.
+func (d *downsampler) feed(p fpoint) {
+	out := d.out
+	if !d.polyOpen {
+		if len(d.pending) == 0 {
+			d.pending = append(d.pending, p)
+			d.winStart = p.t
+			return
+		}
+		first := d.pending[0]
+		if p.t == first.t {
+			d.pending[0] = p
+			return
+		}
+		scr := out.scratch()
+		poly, ok := geometry.BoundedIntersectionInto(seedFConstraints(first, p), &scr.bufs[scr.cur])
+		if !ok || poly.Empty() {
+			d.emitPointSegment(first)
+			d.pending = d.pending[:0]
+			d.pending = append(d.pending, p)
+			d.winStart = p.t
+			return
+		}
+		d.poly = poly
+		d.polyOpen = true
+		d.pending = d.pending[:0]
+		d.winEnd = p.t
+		return
+	}
+	h1, h2 := fpointConstraints(p)
+	scr := out.scratch()
+	next := d.poly.ClipInto(h1, &scr.tmp).ClipInto(h2, &scr.bufs[1-scr.cur])
+	if next.Empty() {
+		d.closeWindow()
+		d.pending = append(d.pending[:0], p)
+		d.winStart = p.t
+		return
+	}
+	scr.cur = 1 - scr.cur
+	d.poly = next
+	d.winEnd = p.t
+	if out.maxVertices > 0 && d.poly.Len() > out.maxVertices {
+		d.closeWindow()
+		d.pending = append(d.pending[:0], p)
+		d.winStart = p.t
+	}
+}
+
+// closeWindow emits a segment for the open window, if any.
+func (d *downsampler) closeWindow() {
+	if d.polyOpen {
+		c := d.poly.Centroid()
+		d.out.appendSegment(Segment{A: c.X, B: c.Y, Start: d.winStart, End: d.winEnd})
+		d.poly = geometry.Polygon{}
+		d.polyOpen = false
+		return
+	}
+	if len(d.pending) == 1 {
+		d.emitPointSegment(d.pending[0])
+		d.pending = d.pending[:0]
+	}
+}
+
+// emitPointSegment records a single-instant segment pinned to the middle of
+// the constraint's admissible range.
+func (d *downsampler) emitPointSegment(p fpoint) {
+	d.out.appendSegment(Segment{A: 0, B: (p.lo + p.hi) / 2, Start: p.t, End: p.t})
+}
+
+// srcCursor evaluates one finished source summary at ascending instants in
+// amortized O(1) per step, bit-identical to Builder.Estimate.
+type srcCursor struct {
+	b *Builder
+	i int // largest segment index with Start ≤ the last queried t, or -1
+}
+
+//histburst:noalloc
+func (c *srcCursor) est(t int64) float64 {
+	b := c.b
+	if b.started && t >= b.lastT {
+		return float64(b.count)
+	}
+	segs := b.segs
+	for c.i+1 < len(segs) && segs[c.i+1].Start <= t {
+		c.i++
+	}
+	return b.segValue(c.i, t)
+}
+
+// memberIter streams one member's candidate constraint instants — its
+// segment breakpoints aligned up to the res grid — in non-decreasing order.
+type memberIter struct {
+	cur   srcCursor
+	segs  []Segment
+	lastT int64
+	j     int
+	phase int8
+	next  int64 // next aligned candidate; math.MaxInt64 when exhausted
+}
+
+//histburst:noalloc
+func (m *memberIter) advance(res int64) {
+	for m.j < len(m.segs) {
+		if m.phase == 0 {
+			m.phase = 1
+			m.next = alignUp(m.segs[m.j].Start, res)
+			return
+		}
+		raw := m.segs[m.j].End + 1
+		m.phase = 0
+		m.j++
+		if raw <= m.lastT {
+			m.next = alignUp(raw, res)
+			return
+		}
+	}
+	m.next = math.MaxInt64
+}
+
+// alignUp snaps t up to the next multiple of res.
+//
+//histburst:noalloc
+func alignUp(t, res int64) int64 {
+	q := t / res
+	if t%res != 0 && t > 0 {
+		q++
+	}
+	return q * res
+}
+
+// dsScratch is the pooled per-call member state of the streaming kernel.
+type dsScratch struct {
+	members []memberIter
+}
+
+var dsScratchPool = sync.Pool{New: func() any { return new(dsScratch) }}
+
+// validateDownsample checks the shared preconditions of both downsample
+// paths and returns the per-part gamma sums.
+func validateDownsample(parts [][]*Builder, gamma float64, res int64) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("pbe2: downsample of zero parts")
+	}
+	if gamma < 1 || math.IsNaN(gamma) || math.IsInf(gamma, 0) {
+		return fmt.Errorf("pbe2: downsample gamma must be at least 1, got %v", gamma)
+	}
+	if res < 1 {
+		return fmt.Errorf("pbe2: downsample resolution must be at least 1, got %d", res)
+	}
+	for k, part := range parts {
+		if len(part) == 0 {
+			return fmt.Errorf("pbe2: downsample part %d has no members", k)
+		}
+		sum := 0.0
+		for i, m := range part {
+			if m == nil {
+				return fmt.Errorf("pbe2: downsample part %d member %d is nil", k, i)
+			}
+			if m.started && !m.done {
+				return fmt.Errorf("pbe2: downsample part %d member %d not finished", k, i)
+			}
+			sum += m.gamma
+		}
+		if sum > gamma {
+			return fmt.Errorf("pbe2: downsample gamma %v below part %d's summed source caps %v", gamma, k, sum)
+		}
+	}
+	return nil
+}
+
+// partBounds returns part k's boundary pin (the earliest member constraint
+// instant), frontier, element count and summed error caps; started reports
+// whether any member holds data.
+func partBounds(part []*Builder) (pin, lastT, count int64, gammaSum float64, outOfOrder int64, started bool) {
+	pin = math.MaxInt64
+	lastT = math.MinInt64
+	for _, m := range part {
+		gammaSum += m.gamma
+		outOfOrder += m.outOfOrder
+		count += m.count
+		if !m.started {
+			continue
+		}
+		started = true
+		if len(m.segs) > 0 && m.segs[0].Start < pin {
+			pin = m.segs[0].Start
+		}
+		if m.lastT > lastT {
+			lastT = m.lastT
+		}
+	}
+	return pin, lastT, count, gammaSum, outOfOrder, started
+}
+
+// DownsampleInto builds into out — which must be a zero Builder — one
+// summary with error cap gamma and time resolution res covering the
+// concatenation of parts: parts[k] is the group of finished source
+// summaries whose true counts sum to part k's staircase, and parts are in
+// strictly increasing time order. Sources are never mutated.
+//
+// The kernel streams: member breakpoints merge on the fly (no materialized
+// candidate list), sources are evaluated through amortized-O(1) cursors,
+// and the clip arena comes from the shared scratch pool, so a call does no
+// allocation beyond the output's own segment array.
+//
+//histburst:fastpath downsampleNaive
+func DownsampleInto(out *Builder, parts [][]*Builder, gamma float64, res int64) error {
+	if err := validateDownsample(parts, gamma, res); err != nil {
+		return err
+	}
+	*out = Builder{gamma: gamma, maxVertices: parts[0][0].maxVertices, headLow: math.MaxInt64}
+	scr := dsScratchPool.Get().(*dsScratch)
+	defer dsScratchPool.Put(scr)
+
+	var d downsampler
+	d.init(out)
+	var base, total, globalLast, totalOOO int64
+	anyStarted := false
+	lastFed := int64(math.MinInt64)
+	prevLast := int64(math.MinInt64)
+
+	for k := range parts {
+		part := parts[k]
+		pin, partLast, count, gammaSum, ooo, started := partBounds(part)
+		totalOOO += ooo
+		if !started {
+			continue // contributes nothing, exactly as MergeAppend skips it
+		}
+		if anyStarted && pin < prevLast {
+			out.releaseScratch()
+			return fmt.Errorf("pbe2: time ranges overlap (part ends at %d, next starts at %d)", prevLast, pin)
+		}
+		// The part owns constraint instants up to the next part's boundary
+		// pin; the last part runs to its own frontier, fed exactly.
+		capT := partLast
+		for j := k + 1; j < len(parts); j++ {
+			nextPin, _, _, _, _, nextStarted := partBounds(parts[j])
+			if nextStarted {
+				capT = nextPin
+				break
+			}
+		}
+		slack := gamma - gammaSum
+
+		members := scr.members[:0]
+		for _, m := range part {
+			it := memberIter{cur: srcCursor{b: m, i: -1}, segs: m.segs, lastT: m.lastT}
+			it.advance(res)
+			members = append(members, it)
+		}
+		scr.members = members
+
+		sBase := float64(base)
+		for {
+			minC := int64(math.MaxInt64)
+			for i := range members {
+				if members[i].next < minC {
+					minC = members[i].next
+				}
+			}
+			if minC >= capT {
+				break
+			}
+			if minC > lastFed {
+				s := sBase
+				for i := range members {
+					s += members[i].cur.est(minC)
+				}
+				d.feed(fpoint{t: minC, lo: s - slack, hi: s})
+				lastFed = minC
+			}
+			for i := range members {
+				if members[i].next == minC {
+					members[i].advance(res)
+				}
+			}
+		}
+		if capT > lastFed {
+			s := sBase
+			for i := range members {
+				s += members[i].cur.est(capT)
+			}
+			d.feed(fpoint{t: capT, lo: s - slack, hi: s})
+			lastFed = capT
+		}
+
+		base += count
+		total += count
+		if partLast > globalLast {
+			globalLast = partLast
+		}
+		prevLast = partLast
+		anyStarted = true
+	}
+
+	d.closeWindow()
+	out.count = total
+	out.outOfOrder = totalOOO
+	if anyStarted {
+		out.lastT = globalLast
+		out.prevF = total
+		out.started = true
+		out.done = true
+	}
+	out.updateHeadLow()
+	out.releaseScratch()
+	return nil
+}
+
+// Downsample is DownsampleInto returning a fresh builder.
+func Downsample(parts [][]*Builder, gamma float64, res int64) (*Builder, error) {
+	out := new(Builder)
+	if err := DownsampleInto(out, parts, gamma, res); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// downsampleNaive is the retained naive twin of DownsampleInto: the same
+// constraint mathematics, but candidate instants are materialized, sorted
+// and deduplicated per part, and sources are evaluated through the plain
+// Estimate search instead of streaming cursors. Equivalence tests pin the
+// two bit-identical.
+func downsampleNaive(parts [][]*Builder, gamma float64, res int64) (*Builder, error) {
+	if err := validateDownsample(parts, gamma, res); err != nil {
+		return nil, err
+	}
+	out := &Builder{gamma: gamma, maxVertices: parts[0][0].maxVertices, headLow: math.MaxInt64}
+	var d downsampler
+	d.init(out)
+	var base, total, globalLast, totalOOO int64
+	anyStarted := false
+	lastFed := int64(math.MinInt64)
+	prevLast := int64(math.MinInt64)
+
+	for k := range parts {
+		part := parts[k]
+		pin, partLast, count, gammaSum, ooo, started := partBounds(part)
+		totalOOO += ooo
+		if !started {
+			continue
+		}
+		if anyStarted && pin < prevLast {
+			out.releaseScratch()
+			return nil, fmt.Errorf("pbe2: time ranges overlap (part ends at %d, next starts at %d)", prevLast, pin)
+		}
+		capT := partLast
+		for j := k + 1; j < len(parts); j++ {
+			nextPin, _, _, _, _, nextStarted := partBounds(parts[j])
+			if nextStarted {
+				capT = nextPin
+				break
+			}
+		}
+		slack := gamma - gammaSum
+
+		var cands []int64
+		for _, m := range part {
+			for _, s := range m.segs {
+				cands = append(cands, alignUp(s.Start, res))
+				if bp := s.End + 1; bp <= m.lastT {
+					cands = append(cands, alignUp(bp, res))
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		sBase := float64(base)
+		for _, c := range cands {
+			if c <= lastFed || c >= capT {
+				continue
+			}
+			s := sBase
+			for _, m := range part {
+				s += m.Estimate(c)
+			}
+			d.feed(fpoint{t: c, lo: s - slack, hi: s})
+			lastFed = c
+		}
+		if capT > lastFed {
+			s := sBase
+			for _, m := range part {
+				s += m.Estimate(capT)
+			}
+			d.feed(fpoint{t: capT, lo: s - slack, hi: s})
+			lastFed = capT
+		}
+
+		base += count
+		total += count
+		if partLast > globalLast {
+			globalLast = partLast
+		}
+		prevLast = partLast
+		anyStarted = true
+	}
+
+	d.closeWindow()
+	out.count = total
+	out.outOfOrder = totalOOO
+	if anyStarted {
+		out.lastT = globalLast
+		out.prevF = total
+		out.started = true
+		out.done = true
+	}
+	out.updateHeadLow()
+	out.releaseScratch()
+	return out, nil
+}

@@ -54,7 +54,17 @@ func (s *Store) compactLoop() {
 				s.mu.Unlock()
 				return
 			}
-			if !progressed {
+			decayed, err := s.decayOnce()
+			if err != nil {
+				s.mu.Lock()
+				if s.bgErr == nil {
+					s.bgErr = fmt.Errorf("segstore: decay: %w", err)
+				}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			if !progressed && !decayed {
 				break
 			}
 		}
@@ -154,9 +164,12 @@ func (s *Store) swapRun(run []*Segment, merged *Segment) error {
 }
 
 // pickRuns returns every disjoint run of fanout adjacent segments sharing a
-// size class, oldest first, skipping runs already known unmergeable. The
-// runs never overlap — the scan resumes past each pick — so their merges are
-// independent. Operates on an immutable view slice, so no lock is needed.
+// size class and fidelity, oldest first, skipping runs already known
+// unmergeable. (Mixed-fidelity neighbors cannot merge — the merge kernel
+// requires identical configurations — but equal-fidelity decayed segments
+// compact exactly like full-fidelity ones.) The runs never overlap — the
+// scan resumes past each pick — so their merges are independent. Operates on
+// an immutable view slice, so no lock is needed.
 func (s *Store) pickRuns(segs []*Segment) [][]*Segment {
 	n := int(s.fanout)
 	if n < 2 || len(segs) < n {
@@ -167,7 +180,8 @@ func (s *Store) pickRuns(segs []*Segment) [][]*Segment {
 		lvl := segs[lo].level(s.seals.events, s.fanout)
 		ok := true
 		for i := 1; i < n; i++ {
-			if segs[lo+i].level(s.seals.events, s.fanout) != lvl {
+			if segs[lo+i].level(s.seals.events, s.fanout) != lvl ||
+				!sameFidelity(segs[lo+i].meta, segs[lo].meta) {
 				ok = false
 				break
 			}
@@ -251,7 +265,8 @@ func (s *Store) mergeRunNaive(run []*Segment) (*Segment, error) {
 }
 
 // runMeta derives the merged segment's manifest record from the run it
-// replaces.
+// replaces. Fidelity metadata carries over from the first segment — pickRuns
+// and pickDecayRuns only group equal-fidelity neighbors.
 func runMeta(run []*Segment) SegmentMeta {
 	first, last := run[0].meta, run[len(run)-1].meta
 	elements := int64(0)
@@ -262,5 +277,6 @@ func runMeta(run []*Segment) SegmentMeta {
 		Start: first.Start, End: last.End,
 		MinT: first.MinT, MaxT: last.MaxT,
 		Elements: elements, Compacted: true,
+		Tier: first.Tier, Gamma: first.Gamma, W: first.W, Res: first.Res,
 	}
 }

@@ -2,10 +2,52 @@ package segstore
 
 import (
 	"bytes"
+	"hash/crc32"
 	"testing"
 
 	"histburst"
+	"histburst/internal/binenc"
 )
+
+// encodeLegacyManifest reproduces the HBM1/HBM2 wire layouts (no per-segment
+// fidelity fields, HBM1 without the quarantine list) so the fuzz corpus and
+// the backward-loading tests exercise genuine old-format bytes.
+func encodeLegacyManifest(m *Manifest, version int) []byte {
+	var enc binenc.Writer
+	magic := manifestMagic
+	if version == 2 {
+		magic = manifestMagicV2
+	}
+	enc.BytesBlob(magic)
+	enc.Uvarint(m.Generation)
+	enc.Uvarint(m.NextID)
+	p := m.Params
+	enc.Uvarint(p.K)
+	enc.Int64(p.Seed)
+	enc.Uvarint(uint64(p.D))
+	enc.Uvarint(uint64(p.W))
+	enc.Float64(p.Gamma)
+	enc.Bool(p.NoIndex)
+	legacy := func(metas []SegmentMeta) {
+		enc.Uvarint(uint64(len(metas)))
+		for _, g := range metas {
+			enc.Uvarint(g.ID)
+			enc.BytesBlob([]byte(g.File))
+			enc.Varint(g.Start)
+			enc.Varint(g.End)
+			enc.Varint(g.MinT)
+			enc.Varint(g.MaxT)
+			enc.Varint(g.Elements)
+			enc.Bool(g.Compacted)
+		}
+	}
+	legacy(m.Segments)
+	if version == 2 {
+		legacy(m.Quarantined)
+	}
+	enc.Uint32(crc32.Checksum(enc.Bytes(), crcTable))
+	return enc.Bytes()
+}
 
 // FuzzManifestLoad targets the manifest decode path the same way
 // FuzzDetectorLoad targets the detector's: valid blobs, their truncations,
@@ -24,17 +66,32 @@ func FuzzManifestLoad(f *testing.F) {
 			Segments: []SegmentMeta{
 				{ID: 1, File: "", Start: 0, End: 0, MinT: 0, MaxT: 0, Elements: 1},
 			}},
+		// HBM3 fidelity metadata: a decayed tier ladder plus a quarantined
+		// decayed segment.
+		{Generation: 12, NextID: 9, Params: params,
+			Segments: []SegmentMeta{
+				{ID: 7, File: segFileName(7), Start: 0, End: 99, MinT: 0, MaxT: 99, Elements: 400,
+					Compacted: true, Tier: 2, Gamma: 32, W: 4, Res: 3600},
+				{ID: 6, File: segFileName(6), Start: 100, End: 150, MinT: 100, MaxT: 150, Elements: 80,
+					Compacted: true, Tier: 1, Gamma: 8, W: 8, Res: 60},
+				{ID: 5, File: segFileName(5), Start: 151, End: 160, MinT: 151, MaxT: 160, Elements: 16},
+			},
+			Quarantined: []SegmentMeta{
+				{ID: 2, File: segFileName(2), Start: 200, End: 210, MinT: 200, MaxT: 210, Elements: 9,
+					Tier: 1, Gamma: 8, W: 8, Res: 60},
+			}},
 	} {
-		data := m.Encode()
-		f.Add(data)
-		for _, cut := range []int{1, 4, 8, len(data) / 2, len(data) - 1} {
-			if cut < len(data) {
-				f.Add(data[:cut])
+		for _, data := range [][]byte{m.Encode(), encodeLegacyManifest(m, 1), encodeLegacyManifest(m, 2)} {
+			f.Add(data)
+			for _, cut := range []int{1, 4, 8, len(data) / 2, len(data) - 1} {
+				if cut < len(data) {
+					f.Add(data[:cut])
+				}
 			}
+			flipped := append([]byte(nil), data...)
+			flipped[len(flipped)/2] ^= 0x20
+			f.Add(flipped)
 		}
-		flipped := append([]byte(nil), data...)
-		flipped[len(flipped)/2] ^= 0x20
-		f.Add(flipped)
 	}
 	f.Add([]byte{})
 	f.Add([]byte("HBM\x01 nearly"))

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"strings"
 
@@ -26,12 +27,15 @@ import (
 const ManifestName = "MANIFEST.hbm"
 
 // manifestMagic identifies manifest format v1 ("HBM1"); manifestMagicV2
-// ("HBM2") appends the quarantined-segment list after the live segments.
-// Writers emit v2; readers accept both (a v1 manifest simply has nothing
-// quarantined).
+// ("HBM2") appends the quarantined-segment list after the live segments;
+// manifestMagicV3 ("HBM3") additionally carries per-segment fidelity
+// metadata (decay tier, effective γ, Count-Min width, time resolution) on
+// every SegmentMeta. Writers emit v3; readers accept all three (a v1/v2
+// manifest simply has every segment at full fidelity).
 var (
 	manifestMagic   = []byte{'H', 'B', 'M', 1}
 	manifestMagicV2 = []byte{'H', 'B', 'M', 2}
+	manifestMagicV3 = []byte{'H', 'B', 'M', 3}
 )
 
 // crcTable is the Castagnoli polynomial, matching the detector footer.
@@ -62,6 +66,71 @@ type SegmentMeta struct {
 	Elements int64
 	// Compacted marks segments produced by merging smaller ones.
 	Compacted bool
+
+	// Fidelity metadata (HBM3). Zero values mean full fidelity: tier 0 with
+	// the store's configured γ and width and per-instant time resolution.
+
+	// Tier is the decay tier that produced this segment (0 = never decayed).
+	Tier int
+	// Gamma is the per-cell PBE-2 error cap in force for this segment
+	// (0 = the store's configured Gamma).
+	Gamma float64
+	// W is the segment's Count-Min width (0 = the store's configured W).
+	W int
+	// Res is the time-resolution grid of retained curve detail: estimates
+	// are γ-accurate at res-aligned instants and may additionally lag by the
+	// true count change within a grid cell between them (0 or 1 = exact
+	// instants).
+	Res int64
+}
+
+// EffectiveGamma returns the per-cell error cap in force for the segment.
+func (g SegmentMeta) EffectiveGamma(storeGamma float64) float64 {
+	if g.Gamma != 0 {
+		return g.Gamma
+	}
+	return storeGamma
+}
+
+// EffectiveRes returns the segment's time-resolution grid (minimum 1).
+func (g SegmentMeta) EffectiveRes() int64 {
+	if g.Res > 1 {
+		return g.Res
+	}
+	return 1
+}
+
+// effectiveParams returns the sketch parameters the segment's detector file
+// must carry: the store's, with the fidelity overrides a decay pass applied.
+func (g SegmentMeta) effectiveParams(base histburst.SketchParams) histburst.SketchParams {
+	if g.Gamma != 0 {
+		base.Gamma = g.Gamma
+	}
+	if g.W != 0 {
+		base.W = g.W
+	}
+	return base
+}
+
+// maxDecayTiers bounds the tier index a manifest may carry; decay policies
+// are age-doubling, so even a century-deep store stays far below this.
+const maxDecayTiers = 64
+
+// validFidelity rejects fidelity metadata no decay pass could have written.
+func (g SegmentMeta) validFidelity() error {
+	if g.Tier < 0 || g.Tier > maxDecayTiers {
+		return fmt.Errorf("segstore: corrupt manifest: segment %d tier %d out of range", g.ID, g.Tier)
+	}
+	if g.Gamma < 0 || math.IsNaN(g.Gamma) || math.IsInf(g.Gamma, 0) {
+		return fmt.Errorf("segstore: corrupt manifest: segment %d gamma %v is not a valid error cap", g.ID, g.Gamma)
+	}
+	if g.W < 0 || g.W > maxSketchDim {
+		return fmt.Errorf("segstore: corrupt manifest: segment %d implausible width %d", g.ID, g.W)
+	}
+	if g.Res < 0 {
+		return fmt.Errorf("segstore: corrupt manifest: segment %d negative resolution %d", g.ID, g.Res)
+	}
+	return nil
 }
 
 // Manifest is the decoded segment directory. It is exported so sibling
@@ -86,7 +155,7 @@ type Manifest struct {
 // Encode serializes the manifest with its CRC32-C footer.
 func (m *Manifest) Encode() []byte {
 	var enc binenc.Writer
-	enc.BytesBlob(manifestMagicV2)
+	enc.BytesBlob(manifestMagicV3)
 	enc.Uvarint(m.Generation)
 	enc.Uvarint(m.NextID)
 	p := m.Params
@@ -113,13 +182,21 @@ func encodeSegmentMetas(enc *binenc.Writer, metas []SegmentMeta) {
 		enc.Varint(g.MaxT)
 		enc.Varint(g.Elements)
 		enc.Bool(g.Compacted)
+		enc.Uvarint(uint64(g.Tier))
+		enc.Float64(g.Gamma)
+		enc.Uvarint(uint64(g.W))
+		enc.Varint(g.Res)
 	}
 }
 
 // minSegmentMetaBytes is the least a SegmentMeta can occupy on the wire:
 // one byte each for ID, the File length prefix, the five varints, and the
-// Compacted flag.
-const minSegmentMetaBytes = 8
+// Compacted flag. minSegmentMetaBytesV3 adds the fidelity fields: one byte
+// each for Tier, W and Res plus the fixed eight of Gamma.
+const (
+	minSegmentMetaBytes   = 8
+	minSegmentMetaBytesV3 = minSegmentMetaBytes + 11
+)
 
 // DecodeManifest parses a manifest record. Corrupt or truncated input of
 // any shape yields an error, never a panic, and cannot trigger allocations
@@ -137,7 +214,8 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	}
 	dec := binenc.NewReader(body)
 	magic := dec.BytesBlob()
-	v2 := bytes.Equal(magic, manifestMagicV2)
+	v3 := bytes.Equal(magic, manifestMagicV3)
+	v2 := v3 || bytes.Equal(magic, manifestMagicV2)
 	if !v2 && !bytes.Equal(magic, manifestMagic) {
 		return nil, fmt.Errorf("segstore: bad magic (not a manifest)")
 	}
@@ -151,11 +229,11 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	m.Params.Gamma = dec.Float64()
 	m.Params.NoIndex = dec.Bool()
 	var err error
-	if m.Segments, err = decodeSegmentMetas(dec); err != nil {
+	if m.Segments, err = decodeSegmentMetas(dec, v3); err != nil {
 		return nil, err
 	}
 	if v2 {
-		if m.Quarantined, err = decodeSegmentMetas(dec); err != nil {
+		if m.Quarantined, err = decodeSegmentMetas(dec, v3); err != nil {
 			return nil, err
 		}
 	}
@@ -168,11 +246,17 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	return &m, nil
 }
 
-// decodeSegmentMetas parses one length-prefixed SegmentMeta list.
+// decodeSegmentMetas parses one length-prefixed SegmentMeta list. v3 lists
+// carry the per-segment fidelity fields; older lists leave them zero (full
+// fidelity).
 //
 //histburst:decoder
-func decodeSegmentMetas(dec *binenc.Reader) ([]SegmentMeta, error) {
-	n := dec.SliceLen(maxManifestSegments, minSegmentMetaBytes)
+func decodeSegmentMetas(dec *binenc.Reader, v3 bool) ([]SegmentMeta, error) {
+	minBytes := minSegmentMetaBytes
+	if v3 {
+		minBytes = minSegmentMetaBytesV3
+	}
+	n := dec.SliceLen(maxManifestSegments, minBytes)
 	metas := make([]SegmentMeta, n)
 	for i := range metas {
 		g := &metas[i]
@@ -188,6 +272,12 @@ func decodeSegmentMetas(dec *binenc.Reader) ([]SegmentMeta, error) {
 		g.MaxT = dec.Varint()
 		g.Elements = dec.Varint()
 		g.Compacted = dec.Bool()
+		if v3 {
+			g.Tier = int(dec.Uvarint())
+			g.Gamma = dec.Float64()
+			g.W = int(dec.Uvarint())
+			g.Res = dec.Varint()
+		}
 	}
 	return metas, nil
 }
@@ -220,6 +310,9 @@ func (m *Manifest) validate() error {
 		if i > 0 && g.MinT < m.Segments[i-1].MaxT {
 			return fmt.Errorf("segstore: corrupt manifest: segment %d out of time order", g.ID)
 		}
+		if err := g.validFidelity(); err != nil {
+			return err
+		}
 	}
 	// Quarantined segments keep their metas but not their order: they are
 	// pulled out of the live sequence one at a time, so only per-meta shape
@@ -233,6 +326,9 @@ func (m *Manifest) validate() error {
 		}
 		if g.ID >= m.NextID {
 			return fmt.Errorf("segstore: corrupt manifest: quarantined segment ID %d at or past next ID %d", g.ID, m.NextID)
+		}
+		if err := g.validFidelity(); err != nil {
+			return err
 		}
 	}
 	return nil

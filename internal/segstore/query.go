@@ -31,6 +31,7 @@ type Snapshot struct {
 	v       *storeView
 	kfold   uint64
 	gamma   float64
+	w       int
 	noIndex bool
 }
 
@@ -38,7 +39,7 @@ type Snapshot struct {
 // snapshot never observe seals or compaction swaps that happen after it was
 // taken.
 func (s *Store) Snapshot() *Snapshot {
-	return &Snapshot{v: s.view.Load(), kfold: s.kfold, gamma: s.params.Gamma, noIndex: s.noIndex}
+	return &Snapshot{v: s.view.Load(), kfold: s.kfold, gamma: s.params.Gamma, w: s.params.W, noIndex: s.noIndex}
 }
 
 // Generation returns the manifest generation this snapshot pins.
@@ -497,7 +498,64 @@ func (sn *Snapshot) Segments() []SegmentInfo {
 			ID: g.meta.ID, Start: g.meta.Start, End: g.meta.End,
 			Elements: g.meta.Elements, Bytes: g.det.Bytes(),
 			File: g.meta.File, Compacted: g.meta.Compacted,
+			Tier: g.meta.Tier, Gamma: g.meta.Gamma, W: g.meta.W, Res: g.meta.Res,
 		}
+	}
+	return out
+}
+
+// TierStats aggregates the segments of one decay tier: how much history the
+// tier holds, in how many bytes, at what fidelity. Tier 0 is full fidelity.
+type TierStats struct {
+	Tier     int     `json:"tier"`
+	Segments int     `json:"segments"`
+	Elements int64   `json:"elements"`
+	Bytes    int     `json:"bytes"`
+	Gamma    float64 `json:"gamma"`
+	W        int     `json:"w"`
+	Res      int64   `json:"res"`
+	MinT     int64   `json:"minT"`
+	MaxT     int64   `json:"maxT"`
+}
+
+// Tiers returns per-decay-tier footprint stats, ascending by tier. A store
+// without decay reports a single tier-0 row (or none when empty). The tier
+// table is the observable shape of the decay policy: retained bytes per
+// tier stay roughly flat while the time span each tier covers doubles.
+func (sn *Snapshot) Tiers() []TierStats {
+	byTier := make(map[int]*TierStats)
+	var order []int
+	for _, g := range sn.v.segs {
+		ts := byTier[g.meta.Tier]
+		if ts == nil {
+			ts = &TierStats{
+				Tier:  g.meta.Tier,
+				Gamma: g.meta.EffectiveGamma(sn.gamma),
+				W:     g.meta.W,
+				Res:   g.meta.EffectiveRes(),
+				MinT:  g.meta.MinT,
+				MaxT:  g.meta.MaxT,
+			}
+			if ts.W == 0 {
+				ts.W = sn.w
+			}
+			byTier[g.meta.Tier] = ts
+			order = append(order, g.meta.Tier)
+		}
+		ts.Segments++
+		ts.Elements += g.meta.Elements
+		ts.Bytes += g.det.Bytes()
+		if g.meta.MinT < ts.MinT {
+			ts.MinT = g.meta.MinT
+		}
+		if g.meta.MaxT > ts.MaxT {
+			ts.MaxT = g.meta.MaxT
+		}
+	}
+	sort.Ints(order)
+	out := make([]TierStats, len(order))
+	for i, tier := range order {
+		out[i] = *byTier[tier]
 	}
 	return out
 }
@@ -527,21 +585,29 @@ func (sn *Snapshot) MissingRanges() []histburst.TimeRange {
 }
 
 // ErrorEnvelope bounds the error of estimates at one instant. Bound is the
-// additive PBE-2 guarantee summed over contributing sketch components
-// (γ per sealed segment whose curve reaches the instant; the head is
-// exact). When segments are quarantined, their elements are absent from
-// every estimate entirely — an unbounded-in-γ hole — so the envelope
-// reports them separately instead of folding them into Bound, in the
-// spirit of Hokusai's declining-fidelity reporting.
+// additive PBE-2 guarantee summed over contributing sketch components: each
+// sealed segment contributes its own (possibly decayed) γ, and only while
+// the instant falls inside its span — a segment's cells report exact counts
+// at and past its MaxT, so a segment entirely behind t adds zero error, and
+// one entirely ahead contributes nothing at all. The head is exact. When
+// segments are quarantined, their elements are absent from every estimate
+// entirely — an unbounded-in-γ hole — so the envelope reports them
+// separately instead of folding them into Bound, in the spirit of Hokusai's
+// declining-fidelity reporting.
 type ErrorEnvelope struct {
-	// Gamma is the per-component PBE-2 error cap.
+	// Gamma is the store's configured full-fidelity error cap.
 	Gamma float64 `json:"gamma"`
-	// Components is how many sealed sketch segments contribute at t.
+	// Components is how many sealed sketch segments span the instant —
+	// the segments whose γ caps actually bind at t.
 	Components int `json:"components"`
-	// Bound is Gamma·Components: the additive error cap on any cumulative
-	// frequency (and each burstiness term) at t, over the data the store
-	// still holds.
+	// Bound is the summed effective γ of the spanning segments: the
+	// additive error cap on any cumulative frequency (and each burstiness
+	// term) at res-aligned instants, over the data the store still holds.
 	Bound float64 `json:"bound"`
+	// Resolution is the coarsest time-resolution grid among the spanning
+	// segments (1 = per-instant). Estimates between grid-aligned instants
+	// may additionally lag by the true count change within the grid cell.
+	Resolution int64 `json:"resolution,omitempty"`
 	// MissingElements is how many elements quarantined segments held in
 	// spans at or before t — history the estimates cannot include.
 	MissingElements int64 `json:"missingElements,omitempty"`
@@ -551,15 +617,22 @@ type ErrorEnvelope struct {
 	Degraded bool `json:"degraded"`
 }
 
-// Envelope reports the snapshot's error envelope for queries at instant t.
+// Envelope reports the snapshot's error envelope for queries at instant t:
+// the γ (and time resolution) actually in force there, not the store-wide
+// worst case. Deep history decayed to coarser tiers widens the envelope
+// only for instants inside those tiers' spans; recent instants keep the
+// full-fidelity envelope however much history has decayed behind them.
 func (sn *Snapshot) Envelope(t int64) ErrorEnvelope {
-	env := ErrorEnvelope{Gamma: sn.gamma}
+	env := ErrorEnvelope{Gamma: sn.gamma, Resolution: 1}
 	for _, g := range sn.v.segs {
-		if g.meta.MinT <= t {
+		if g.meta.MinT <= t && t <= g.meta.MaxT {
 			env.Components++
+			env.Bound += g.meta.EffectiveGamma(sn.gamma)
+			if res := g.meta.EffectiveRes(); res > env.Resolution {
+				env.Resolution = res
+			}
 		}
 	}
-	env.Bound = env.Gamma * float64(env.Components)
 	for _, meta := range sn.v.quarantined {
 		if meta.MinT <= t {
 			env.MissingElements += meta.Elements

@@ -33,7 +33,9 @@ func (g *Segment) level(sealEvents int64, fanout int64) int {
 }
 
 // SegmentInfo is the exported introspection record for one segment
-// (the /v1/segments endpoint serves these).
+// (the /v1/segments endpoint serves these). The fidelity fields are zero
+// for full-fidelity segments and report the decay tier's coarser summary
+// parameters otherwise.
 type SegmentInfo struct {
 	ID        uint64 `json:"id"`
 	Start     int64  `json:"start"`
@@ -42,6 +44,11 @@ type SegmentInfo struct {
 	Bytes     int    `json:"bytes"`
 	File      string `json:"file,omitempty"`
 	Compacted bool   `json:"compacted"`
+
+	Tier  int     `json:"tier,omitempty"`
+	Gamma float64 `json:"gamma,omitempty"`
+	W     int     `json:"w,omitempty"`
+	Res   int64   `json:"res,omitempty"`
 }
 
 // A memHead is the mutable in-memory head segment: live appends land here

@@ -83,9 +83,85 @@ type Config struct {
 	// disables). Only persistent stores scrub.
 	ScrubInterval time.Duration
 
+	// DecayTiers, when non-empty, enables time-decayed compaction: once a
+	// sealed segment's event-time age (store frontier minus the segment's
+	// MaxT) reaches a tier's Age, the compactor re-summarizes it — together
+	// with adjacent neighbors of the same fidelity bound for the same tier —
+	// at the tier's coarser fidelity. Tiers must be strictly ascending in
+	// Age; see DecayTier for the per-tier constraints. Decay runs on the
+	// compaction goroutine, so it requires CompactFanout ≥ 2.
+	DecayTiers []DecayTier
+
 	// Logf, when set, receives operational log lines (quarantine events,
 	// replay anomalies). Nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// DecayTier describes one age tier of the time-decay policy. Aging is
+// measured in event time, the only clock the store has: a segment's age is
+// the store frontier minus the segment's MaxT, so tiers only take effect
+// while ingest keeps the frontier moving. Each tier's fidelity must be
+// expressible as a downsample of the previous tier's (and, transitively, of
+// the store's full fidelity), which is what lets a segment decay straight to
+// the deepest tier its age demands.
+type DecayTier struct {
+	// Age is the event-time age at which the tier takes effect. Must be
+	// positive and strictly ascending across tiers.
+	Age int64
+	// Gamma is the tier's per-cell PBE-2 error cap. It must be at least
+	// (W_prev / W) · Gamma_prev — the summed caps of the previous tier's
+	// cells folded into each output cell. Zero means exactly that minimum.
+	Gamma float64
+	// W is the tier's Count-Min width; it must divide the previous tier's
+	// width. Zero keeps the previous width.
+	W int
+	// Res is the tier's time-resolution grid: estimates stay γ-accurate at
+	// res-aligned instants and may additionally lag by the in-cell count
+	// change between them. Must be at least the previous tier's; zero keeps
+	// it.
+	Res int64
+}
+
+// resolveDecayTiers validates the tier ladder against the store's full
+// fidelity and fills in the zero-value defaults, returning the resolved
+// tiers.
+func resolveDecayTiers(tiers []DecayTier, params histburst.SketchParams) ([]DecayTier, error) {
+	if len(tiers) > maxDecayTiers {
+		return nil, fmt.Errorf("segstore: %d decay tiers exceed the maximum %d", len(tiers), maxDecayTiers)
+	}
+	out := make([]DecayTier, len(tiers))
+	prevAge := int64(0)
+	prevGamma := params.Gamma
+	prevW := params.W
+	prevRes := int64(1)
+	for i, t := range tiers {
+		if t.Age <= prevAge {
+			return nil, fmt.Errorf("segstore: decay tier %d age %d is not strictly ascending (previous %d)", i, t.Age, prevAge)
+		}
+		if t.W == 0 {
+			t.W = prevW
+		}
+		if t.W < 1 || prevW%t.W != 0 {
+			return nil, fmt.Errorf("segstore: decay tier %d width %d must divide the previous width %d", i, t.W, prevW)
+		}
+		minGamma := float64(prevW/t.W) * prevGamma
+		if t.Gamma == 0 {
+			t.Gamma = minGamma
+		}
+		if t.Gamma < minGamma {
+			return nil, fmt.Errorf("segstore: decay tier %d gamma %v below folded source error %v (= %d/%d × %v)",
+				i, t.Gamma, minGamma, prevW, t.W, prevGamma)
+		}
+		if t.Res == 0 {
+			t.Res = prevRes
+		}
+		if t.Res < prevRes {
+			return nil, fmt.Errorf("segstore: decay tier %d resolution %d below the previous tier's %d", i, t.Res, prevRes)
+		}
+		out[i] = t
+		prevAge, prevGamma, prevW, prevRes = t.Age, t.Gamma, t.W, t.Res
+	}
+	return out, nil
 }
 
 // storeView is one immutable generation of the store's composition.
@@ -105,7 +181,8 @@ type Store struct {
 	params  histburst.SketchParams
 	kfold   uint64 // event ids are folded modulo this (detector K())
 	seals   sealLimits
-	fanout  int64 // < 2 disables compaction
+	fanout  int64       // < 2 disables compaction
+	tiers   []DecayTier // resolved decay ladder; empty disables decay
 	noIndex bool
 
 	// mu serializes composition changes: freezing the head, publishing
@@ -239,6 +316,15 @@ func Open(dir string, cfg Config) (*Store, error) {
 	s.params = params
 	s.kfold = template.K()
 	s.noIndex = params.NoIndex
+	if len(cfg.DecayTiers) > 0 {
+		if s.fanout < 2 {
+			return nil, fmt.Errorf("segstore: decay tiers require compaction (CompactFanout ≥ 2)")
+		}
+		s.tiers, err = resolveDecayTiers(cfg.DecayTiers, params)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	frontier := int64(0)
 	if man != nil {
@@ -385,7 +471,7 @@ func (s *Store) loadSegment(meta SegmentMeta) (*Segment, error) {
 		return nil, fmt.Errorf("segstore: segment %d: %w", meta.ID, err)
 	}
 	p, ok := det.Params()
-	if !ok || p != s.params {
+	if !ok || p != meta.effectiveParams(s.params) {
 		return nil, fmt.Errorf("segstore: segment %d: sketch parameters do not match manifest", meta.ID)
 	}
 	if det.N() != meta.Elements {

@@ -280,6 +280,7 @@ func encodeEnvelope(w *binenc.Writer, env *segstore.ErrorEnvelope) {
 	w.Float64(env.Gamma)
 	w.Uvarint(uint64(env.Components))
 	w.Float64(env.Bound)
+	w.Varint(env.Resolution)
 	w.Uvarint(uint64(env.MissingElements))
 	w.Uvarint(uint64(len(env.Missing)))
 	for _, m := range env.Missing {
@@ -298,6 +299,7 @@ func decodeEnvelope(r *binenc.Reader) (*segstore.ErrorEnvelope, error) {
 	env.Gamma = r.Float64()
 	env.Components = int(r.Len(1 << 30))
 	env.Bound = r.Float64()
+	env.Resolution = r.Varint()
 	env.MissingElements = int64(r.Uvarint())
 	n := r.SliceLen(maxEnvelopeRanges, 2)
 	env.Missing = make([]histburst.TimeRange, 0, n)
